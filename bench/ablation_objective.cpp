@@ -1,0 +1,81 @@
+/**
+ * @file
+ * Ablation of CoSA's objective composition (a design choice this
+ * reproduction adds on top of the paper): the default min-max latency
+ * proxy vs the paper's plain Eq. 12 weighted sum vs single-term
+ * objectives (utilization-only, traffic-only), across a spread of layer
+ * shapes. Demonstrates why the composite objectives are needed — single
+ * terms win on their own metric but lose end-to-end.
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace cosa;
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const std::vector<std::string> labels = {
+        "3_7_512_512_1",   // weight-heavy conv
+        "1_56_64_256_1",   // activation-heavy 1x1
+        "3_14_256_256_2",  // strided conv
+        "1_1_2048_1000_1", // FC
+    };
+
+    struct Variant
+    {
+        const char* name;
+        CosaConfig config;
+    };
+    std::vector<Variant> variants;
+    {
+        Variant v;
+        v.name = "min-max latency (default)";
+        v.config = bench::defaultCosaConfig();
+        variants.push_back(v);
+        v.name = "Eq.12 weighted sum";
+        v.config = bench::defaultCosaConfig();
+        v.config.objective_mode = CosaObjectiveMode::WeightedSum;
+        variants.push_back(v);
+        v.name = "utilization only";
+        v.config = bench::defaultCosaConfig();
+        v.config.objective_mode = CosaObjectiveMode::WeightedSum;
+        v.config.w_comp = 0.0;
+        v.config.w_traf = 0.0;
+        variants.push_back(v);
+        v.name = "traffic only";
+        v.config = bench::defaultCosaConfig();
+        v.config.objective_mode = CosaObjectiveMode::WeightedSum;
+        v.config.w_util = 0.0;
+        v.config.w_comp = 0.0;
+        variants.push_back(v);
+    }
+
+    TextTable table("Ablation: CoSA objective composition "
+                    "(model MCycles per layer)");
+    std::vector<std::string> header{"objective"};
+    for (const auto& label : labels)
+        header.push_back(label);
+    header.push_back("geomean");
+    table.setHeader(header);
+
+    for (const Variant& variant : variants) {
+        std::vector<std::string> row{variant.name};
+        std::vector<double> cycles;
+        for (const auto& label : labels) {
+            const LayerSpec layer = LayerSpec::fromLabel(label);
+            CosaScheduler scheduler(variant.config);
+            const SearchResult r = scheduler.schedule(layer, arch);
+            if (!r.found) {
+                row.push_back("-");
+                continue;
+            }
+            cycles.push_back(r.eval.cycles);
+            row.push_back(TextTable::fmt(r.eval.cycles / 1e6, 3));
+        }
+        row.push_back(TextTable::fmt(geomean(cycles) / 1e6, 3));
+        table.addRow(row);
+    }
+    table.print(std::cout);
+    return 0;
+}

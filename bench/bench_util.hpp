@@ -1,0 +1,82 @@
+#pragma once
+
+/**
+ * @file
+ * Shared helpers for the per-figure benchmark harnesses: scheduler
+ * construction with paper-default configurations, speedup tables and
+ * geometric means. Each bench binary regenerates the rows/series of one
+ * paper exhibit; absolute numbers differ from the paper (different
+ * energy tables / DRAM timing) but the comparative shape is the target.
+ *
+ * Environment knobs:
+ *   COSA_BENCH_QUICK=1   subsample layers for a fast smoke run
+ *   COSA_TIME_LIMIT=<s>  per-layer CoSA solver budget (default 5s)
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "common/math_utils.hpp"
+#include "common/table.hpp"
+#include "cosa/scheduler.hpp"
+#include "mapper/hybrid_mapper.hpp"
+#include "mapper/random_mapper.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa::bench {
+
+inline bool
+quickMode()
+{
+    const char* env = std::getenv("COSA_BENCH_QUICK");
+    return env && env[0] == '1';
+}
+
+inline double
+timeLimit()
+{
+    const char* env = std::getenv("COSA_TIME_LIMIT");
+    return env ? std::atof(env) : 5.0;
+}
+
+inline CosaConfig
+defaultCosaConfig()
+{
+    CosaConfig config;
+    config.mip.time_limit_sec = timeLimit();
+    return config;
+}
+
+inline RandomMapperConfig
+defaultRandomConfig(SearchObjective objective = SearchObjective::Latency)
+{
+    RandomMapperConfig config;
+    config.objective = objective;
+    return config;
+}
+
+inline HybridMapperConfig
+defaultHybridConfig(SearchObjective objective = SearchObjective::Latency)
+{
+    HybridMapperConfig config;
+    config.objective = objective;
+    if (quickMode())
+        config.victory_condition = 100;
+    return config;
+}
+
+/** Subsample a workload's layers in quick mode (every third layer). */
+inline std::vector<LayerSpec>
+layersOf(const Workload& workload)
+{
+    if (!quickMode())
+        return workload.layers;
+    std::vector<LayerSpec> subset;
+    for (std::size_t i = 0; i < workload.layers.size(); i += 3)
+        subset.push_back(workload.layers[i]);
+    return subset;
+}
+
+} // namespace cosa::bench

@@ -1,0 +1,56 @@
+/**
+ * @file
+ * Fig. 6 reproduction: per-layer speedup of Timeloop-Hybrid and CoSA
+ * schedules relative to Random search on the Timeloop-style analytical
+ * platform, for all four DNN workloads, plus per-network and overall
+ * geomeans (paper: CoSA 5.2x, TLH 3.5x overall).
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace cosa;
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    std::vector<double> tlh_all, cosa_all;
+    for (const Workload& suite : workloads::allSuites()) {
+        TextTable table("Fig. 6 [" + suite.name +
+                        "]: speedup over Random (Timeloop platform)");
+        table.setHeader({"layer", "random_MCyc", "tlh_x", "cosa_x"});
+        std::vector<double> tlh_net, cosa_net;
+        for (const LayerSpec& layer : bench::layersOf(suite)) {
+            RandomMapper random(bench::defaultRandomConfig());
+            HybridMapper hybrid(bench::defaultHybridConfig());
+            CosaScheduler cosa_sched(bench::defaultCosaConfig());
+            const SearchResult r_rnd = random.schedule(layer, arch);
+            const SearchResult r_tlh = hybrid.schedule(layer, arch);
+            const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
+            if (!r_rnd.found || !r_tlh.found || !r_cosa.found) {
+                table.addRow({layer.name, "scheduler failed"});
+                continue;
+            }
+            const double tlh_x = r_rnd.eval.cycles / r_tlh.eval.cycles;
+            const double cosa_x = r_rnd.eval.cycles / r_cosa.eval.cycles;
+            tlh_net.push_back(tlh_x);
+            cosa_net.push_back(cosa_x);
+            table.addRow({layer.name,
+                          TextTable::fmt(r_rnd.eval.cycles / 1e6, 3),
+                          TextTable::fmt(tlh_x, 2),
+                          TextTable::fmt(cosa_x, 2)});
+        }
+        table.addRow({"GEOMEAN", "",
+                      TextTable::fmt(geomean(tlh_net), 2),
+                      TextTable::fmt(geomean(cosa_net), 2)});
+        table.print(std::cout);
+        std::cout << "\n";
+        tlh_all.insert(tlh_all.end(), tlh_net.begin(), tlh_net.end());
+        cosa_all.insert(cosa_all.end(), cosa_net.begin(), cosa_net.end());
+    }
+    std::cout << "OVERALL geomean speedup vs Random:  TimeloopHybrid "
+              << TextTable::fmt(geomean(tlh_all), 2) << "x   CoSA "
+              << TextTable::fmt(geomean(cosa_all), 2)
+              << "x   (paper: 3.5x / 5.2x)\n";
+    return 0;
+}

@@ -1,0 +1,47 @@
+/**
+ * @file
+ * Fig. 7 reproduction: total-energy improvement of Timeloop-Hybrid and
+ * CoSA schedules over Random search per network (all schedulers
+ * optimizing for energy), normalized to Random, on the analytical
+ * energy model (paper: TLH 2.7x, CoSA 3.3x overall).
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace cosa;
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    TextTable table("Fig. 7: energy improvement over Random");
+    table.setHeader({"network", "tlh_x", "cosa_x"});
+    std::vector<double> tlh_all, cosa_all;
+    for (const Workload& suite : workloads::allSuites()) {
+        std::vector<double> tlh_net, cosa_net;
+        for (const LayerSpec& layer : bench::layersOf(suite)) {
+            RandomMapper random(
+                bench::defaultRandomConfig(SearchObjective::Energy));
+            HybridMapper hybrid(
+                bench::defaultHybridConfig(SearchObjective::Energy));
+            CosaScheduler cosa_sched(bench::defaultCosaConfig());
+            const SearchResult r_rnd = random.schedule(layer, arch);
+            const SearchResult r_tlh = hybrid.schedule(layer, arch);
+            const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
+            if (!r_rnd.found || !r_tlh.found || !r_cosa.found)
+                continue;
+            tlh_net.push_back(r_rnd.eval.energy_pj / r_tlh.eval.energy_pj);
+            cosa_net.push_back(r_rnd.eval.energy_pj /
+                               r_cosa.eval.energy_pj);
+        }
+        table.addRow({suite.name, TextTable::fmt(geomean(tlh_net), 2),
+                      TextTable::fmt(geomean(cosa_net), 2)});
+        tlh_all.insert(tlh_all.end(), tlh_net.begin(), tlh_net.end());
+        cosa_all.insert(cosa_all.end(), cosa_net.begin(), cosa_net.end());
+    }
+    table.addRow({"GEOMEAN", TextTable::fmt(geomean(tlh_all), 2),
+                  TextTable::fmt(geomean(cosa_all), 2)});
+    table.print(std::cout);
+    std::cout << "(paper: TLH 2.7x, CoSA 3.3x)\n";
+    return 0;
+}

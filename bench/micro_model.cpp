@@ -1,0 +1,79 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the evaluation substrates: the
+ * analytical model (which the search baselines call tens of thousands
+ * of times per layer) and one NoC simulation step.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "cosa/greedy.hpp"
+#include "mapping/mapspace.hpp"
+#include "model/analytical_model.hpp"
+#include "noc/schedule_sim.hpp"
+#include "problem/workloads.hpp"
+
+namespace {
+
+using namespace cosa;
+
+void
+BM_AnalyticalEvaluate(benchmark::State& state)
+{
+    const LayerSpec layer = workloads::fig1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    AnalyticalModel model(layer, arch);
+    const Mapping mapping = greedyMapping(layer, arch);
+    for (auto _ : state) {
+        const Evaluation ev = model.evaluate(mapping);
+        benchmark::DoNotOptimize(ev.cycles);
+    }
+}
+BENCHMARK(BM_AnalyticalEvaluate);
+
+void
+BM_RandomSampleAndEvaluate(benchmark::State& state)
+{
+    const LayerSpec layer = workloads::fig1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    AnalyticalModel model(layer, arch);
+    FactorPool pool(layer);
+    Rng rng(5);
+    for (auto _ : state) {
+        const FactorAssignment a = sampleAssignment(pool, arch, rng);
+        const Mapping m = buildMapping(pool, a, arch);
+        const Evaluation ev = model.evaluate(m);
+        benchmark::DoNotOptimize(ev.valid);
+    }
+}
+BENCHMARK(BM_RandomSampleAndEvaluate);
+
+void
+BM_GreedyMapping(benchmark::State& state)
+{
+    const LayerSpec layer = workloads::fig8Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    for (auto _ : state) {
+        const Mapping m = greedyMapping(layer, arch);
+        benchmark::DoNotOptimize(m.numLoops());
+    }
+}
+BENCHMARK(BM_GreedyMapping);
+
+void
+BM_NocSimulateSmallLayer(benchmark::State& state)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const Mapping mapping = greedyMapping(layer, arch);
+    ScheduleSimulator sim(layer, arch);
+    for (auto _ : state) {
+        const SimResult r = sim.simulate(mapping);
+        benchmark::DoNotOptimize(r.cycles);
+    }
+}
+BENCHMARK(BM_NocSimulateSmallLayer);
+
+} // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,107 @@
+/**
+ * @file
+ * google-benchmark microbenchmarks of the MIP solver substrate: LP
+ * relaxation throughput, warm dual re-solves, and small end-to-end
+ * MIPs — the per-node cost drivers of CoSA's time-to-solution.
+ */
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.hpp"
+#include "cosa/formulation.hpp"
+#include "problem/workloads.hpp"
+#include "solver/model.hpp"
+
+namespace {
+
+using namespace cosa;
+using namespace cosa::solver;
+
+Model
+randomLpModel(int n, int m, std::uint64_t seed)
+{
+    Rng rng(seed);
+    Model model;
+    std::vector<Var> vars;
+    LinExpr obj;
+    for (int j = 0; j < n; ++j) {
+        Var v = model.addContinuous(0.0, 1.0);
+        vars.push_back(v);
+        obj += (rng.nextDouble() * 2.0 - 1.0) * v;
+    }
+    for (int r = 0; r < m; ++r) {
+        LinExpr row;
+        for (int j = 0; j < n; ++j)
+            row += (rng.nextDouble() * 2.0 - 1.0) * vars[j];
+        model.addConstr(row, Sense::LessEqual,
+                        0.5 + rng.nextDouble() * 2.0);
+    }
+    model.setObjective(obj, ObjSense::Minimize);
+    return model;
+}
+
+void
+BM_LpRelaxation(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Model model = randomLpModel(n, n / 2, 99);
+    for (auto _ : state) {
+        auto result = model.optimizeRelaxation();
+        benchmark::DoNotOptimize(result.objective);
+    }
+}
+BENCHMARK(BM_LpRelaxation)->Arg(32)->Arg(64)->Arg(128);
+
+void
+BM_SmallKnapsackMip(benchmark::State& state)
+{
+    const int n = static_cast<int>(state.range(0));
+    Rng rng(7);
+    Model model;
+    LinExpr weight, value;
+    for (int i = 0; i < n; ++i) {
+        Var v = model.addBinary();
+        weight += (1.0 + static_cast<double>(rng.nextBelow(20))) * v;
+        value += (1.0 + static_cast<double>(rng.nextBelow(30))) * v;
+    }
+    model.addConstr(weight, Sense::LessEqual, 5.0 * n);
+    model.setObjective(value, ObjSense::Maximize);
+    for (auto _ : state) {
+        MipParams params;
+        params.time_limit_sec = 5.0;
+        auto result = model.optimize(params);
+        benchmark::DoNotOptimize(result.objective);
+    }
+}
+BENCHMARK(BM_SmallKnapsackMip)->Arg(12)->Arg(20);
+
+void
+BM_CosaFormulationBuild(benchmark::State& state)
+{
+    const LayerSpec layer = workloads::fig8Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    for (auto _ : state) {
+        CosaConfig config;
+        CosaFormulation formulation(layer, arch, config);
+        benchmark::DoNotOptimize(formulation.model().numVars());
+    }
+}
+BENCHMARK(BM_CosaFormulationBuild);
+
+void
+BM_CosaRootRelaxation(benchmark::State& state)
+{
+    const LayerSpec layer = workloads::fig8Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    CosaConfig config;
+    CosaFormulation formulation(layer, arch, config);
+    for (auto _ : state) {
+        auto result = formulation.model().optimizeRelaxation();
+        benchmark::DoNotOptimize(result.objective);
+    }
+}
+BENCHMARK(BM_CosaRootRelaxation);
+
+} // namespace
+
+BENCHMARK_MAIN();

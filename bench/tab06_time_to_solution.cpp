@@ -1,0 +1,74 @@
+/**
+ * @file
+ * Table VI reproduction: time-to-solution comparison. Average runtime,
+ * samples drawn and valid schedules evaluated per layer for CoSA,
+ * Random (5x) and Timeloop-Hybrid search over a representative layer
+ * set (paper: 4.2s / 4.6s / 379.9s per layer; 1 / 20K / 67M samples;
+ * 1 / 5 / 16K+ evaluations).
+ */
+
+#include "bench_util.hpp"
+
+int
+main()
+{
+    using namespace cosa;
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    std::vector<LayerSpec> layers;
+    for (const Workload& suite : workloads::allSuites()) {
+        const auto subset = bench::layersOf(suite);
+        // A representative subset keeps this bench minutes-scale.
+        for (std::size_t i = 0; i < subset.size();
+             i += bench::quickMode() ? 3 : 2)
+            layers.push_back(subset[i]);
+    }
+
+    struct Row
+    {
+        double time = 0.0;
+        double samples = 0.0;
+        double evals = 0.0;
+        int runs = 0;
+    };
+    Row rows[3];
+    for (const LayerSpec& layer : layers) {
+        CosaScheduler cosa_sched(bench::defaultCosaConfig());
+        RandomMapper random(bench::defaultRandomConfig());
+        HybridMapper hybrid(bench::defaultHybridConfig());
+        const SearchResult results[3] = {cosa_sched.schedule(layer, arch),
+                                         random.schedule(layer, arch),
+                                         hybrid.schedule(layer, arch)};
+        for (int s = 0; s < 3; ++s) {
+            rows[s].time += results[s].stats.search_time_sec;
+            rows[s].samples +=
+                static_cast<double>(results[s].stats.samples);
+            rows[s].evals +=
+                static_cast<double>(results[s].stats.valid_evaluated);
+            ++rows[s].runs;
+        }
+    }
+
+    TextTable table("Table VI: time-to-solution over " +
+                    std::to_string(layers.size()) + " layers");
+    table.setHeader({"", "CoSA", "Random(5x)", "TimeloopHybrid"});
+    auto avg = [&](int s, double Row::*field) {
+        return rows[s].*field / std::max(rows[s].runs, 1);
+    };
+    table.addRow({"Avg. runtime / layer [s]",
+                  TextTable::fmt(avg(0, &Row::time), 2),
+                  TextTable::fmt(avg(1, &Row::time), 2),
+                  TextTable::fmt(avg(2, &Row::time), 2)});
+    table.addRow({"Avg. samples / layer",
+                  TextTable::fmt(avg(0, &Row::samples), 0),
+                  TextTable::fmt(avg(1, &Row::samples), 0),
+                  TextTable::fmt(avg(2, &Row::samples), 0)});
+    table.addRow({"Avg. evaluations / layer",
+                  TextTable::fmt(avg(0, &Row::evals), 0),
+                  TextTable::fmt(avg(1, &Row::evals), 0),
+                  TextTable::fmt(avg(2, &Row::evals), 0)});
+    table.print(std::cout);
+    std::cout << "(paper: 4.2s/4.6s/379.9s; 1/20K/67M samples; "
+                 "1/5/16K+ evaluations)\n";
+    return 0;
+}

@@ -1,0 +1,64 @@
+/**
+ * @file
+ * End-to-end network scheduling: run CoSA and both baselines over every
+ * ResNet-50 layer shape and report total network latency and energy —
+ * the whole-network view behind the paper's per-layer Fig. 6 bars.
+ *
+ *   ./examples/resnet50_end_to_end [time_limit_seconds]
+ */
+
+#include <cstdlib>
+#include <iostream>
+
+#include "common/table.hpp"
+#include "cosa/scheduler.hpp"
+#include "mapper/hybrid_mapper.hpp"
+#include "mapper/random_mapper.hpp"
+#include "problem/workloads.hpp"
+
+int
+main(int argc, char** argv)
+{
+    using namespace cosa;
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const Workload net = workloads::resNet50();
+
+    CosaConfig cosa_config;
+    if (argc > 1)
+        cosa_config.mip.time_limit_sec = std::atof(argv[1]);
+
+    double total_cycles[3] = {};
+    double total_energy[3] = {};
+    TextTable table("ResNet-50 end to end on " + arch.name);
+    table.setHeader({"layer", "random_MCyc", "tlh_MCyc", "cosa_MCyc"});
+    for (const LayerSpec& layer : net.layers) {
+        RandomMapper random;
+        HybridMapper hybrid;
+        CosaScheduler cosa_sched(cosa_config);
+        const SearchResult results[3] = {random.schedule(layer, arch),
+                                         hybrid.schedule(layer, arch),
+                                         cosa_sched.schedule(layer, arch)};
+        std::vector<std::string> row{layer.name};
+        for (int s = 0; s < 3; ++s) {
+            if (!results[s].found) {
+                row.push_back("-");
+                continue;
+            }
+            total_cycles[s] += results[s].eval.cycles;
+            total_energy[s] += results[s].eval.energy_pj;
+            row.push_back(TextTable::fmt(results[s].eval.cycles / 1e6, 3));
+        }
+        table.addRow(row);
+    }
+    table.addRow({"TOTAL", TextTable::fmt(total_cycles[0] / 1e6, 2),
+                  TextTable::fmt(total_cycles[1] / 1e6, 2),
+                  TextTable::fmt(total_cycles[2] / 1e6, 2)});
+    table.print(std::cout);
+    std::cout << "network energy [mJ]: random "
+              << total_energy[0] / 1e9 << ", hybrid "
+              << total_energy[1] / 1e9 << ", cosa "
+              << total_energy[2] / 1e9 << "\n";
+    std::cout << "network speedup of CoSA over Random: "
+              << total_cycles[0] / total_cycles[2] << "x\n";
+    return 0;
+}

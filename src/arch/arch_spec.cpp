@@ -1,0 +1,178 @@
+#include "arch/arch_spec.hpp"
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+int
+ArchSpec::tensorBits(Tensor t) const
+{
+    switch (t) {
+      case Tensor::Weights: return weight_bits;
+      case Tensor::Inputs: return input_bits;
+      case Tensor::Outputs: return output_bits;
+    }
+    panic("invalid tensor");
+}
+
+double
+ArchSpec::tensorBytes(Tensor t) const
+{
+    return static_cast<double>(tensorBits(t)) / 8.0;
+}
+
+const SpatialGroup*
+ArchSpec::groupOfLevel(int level) const
+{
+    for (const auto& group : spatial_groups) {
+        if (group.containsLevel(level))
+            return &group;
+    }
+    return nullptr;
+}
+
+int
+ArchSpec::homeLevel(Tensor t) const
+{
+    int home = -1;
+    for (int i = 0; i < noc_level; ++i) {
+        if (levels[i].storesTensor(t))
+            home = i;
+    }
+    COSA_ASSERT(home >= 0, "no PE-side buffer stores tensor ",
+                tensorName(t));
+    return home;
+}
+
+void
+ArchSpec::validate() const
+{
+    if (levels.size() < 2)
+        fatal("arch `", name, "` needs at least two memory levels");
+    if (noc_level <= 0 || noc_level >= numLevels())
+        fatal("arch `", name, "` has invalid noc_level ", noc_level);
+    if (!levels.back().unbounded())
+        fatal("arch `", name, "` outermost level must be unbounded DRAM");
+    for (Tensor t : kAllTensors) {
+        if (!levels.back().storesTensor(t))
+            fatal("arch `", name, "` DRAM must store every tensor");
+        homeLevel(t); // asserts a PE-side home buffer exists
+    }
+    for (const auto& group : spatial_groups) {
+        if (group.fanout < 1)
+            fatal("arch `", name, "` spatial group `", group.name,
+                  "` has fanout < 1");
+        for (int level : group.levels) {
+            if (level < 0 || level >= numLevels())
+                fatal("arch `", name, "` spatial group `", group.name,
+                      "` references invalid level ", level);
+        }
+    }
+    if (numPEs() < 1)
+        fatal("arch `", name, "` has an empty PE array");
+}
+
+ArchSpec
+ArchSpec::simbaBaseline()
+{
+    ArchSpec arch;
+    arch.name = "simba-4x4";
+    arch.noc_x = 4;
+    arch.noc_y = 4;
+    arch.macs_per_pe = 64;
+
+    // Innermost to outermost. Energy constants are Accelergy-inspired
+    // relative magnitudes (register << SRAM << DRAM); absolute values
+    // only need to preserve the ordering the paper's figures report.
+    MemLevelSpec reg;
+    reg.name = "Register";
+    reg.capacity_bytes = 64;
+    reg.stores = {true, true, true};
+    reg.energy_pj_per_byte = 0.15;
+    reg.bandwidth_bytes_per_cycle = 16.0;
+
+    MemLevelSpec acc;
+    acc.name = "AccBuf";
+    acc.capacity_bytes = 3 * 1024;
+    acc.stores = {false, false, true};
+    acc.energy_pj_per_byte = 0.9;
+    acc.bandwidth_bytes_per_cycle = 8.0;
+
+    MemLevelSpec wbuf;
+    wbuf.name = "WBuf";
+    wbuf.capacity_bytes = 32 * 1024;
+    wbuf.stores = {true, false, false};
+    wbuf.energy_pj_per_byte = 1.6;
+    wbuf.bandwidth_bytes_per_cycle = 8.0;
+
+    MemLevelSpec ibuf;
+    ibuf.name = "InputBuf";
+    ibuf.capacity_bytes = 8 * 1024;
+    ibuf.stores = {false, true, false};
+    ibuf.energy_pj_per_byte = 1.1;
+    ibuf.bandwidth_bytes_per_cycle = 8.0;
+
+    MemLevelSpec gbuf;
+    gbuf.name = "GlobalBuf";
+    gbuf.capacity_bytes = 128 * 1024;
+    gbuf.stores = {false, true, true};
+    gbuf.energy_pj_per_byte = 6.0;
+    gbuf.bandwidth_bytes_per_cycle = 32.0;
+
+    MemLevelSpec dram;
+    dram.name = "DRAM";
+    dram.capacity_bytes = 0; // unbounded
+    dram.stores = {true, true, true};
+    dram.energy_pj_per_byte = 200.0;
+    dram.bandwidth_bytes_per_cycle = 16.0;
+
+    arch.levels = {reg, acc, wbuf, ibuf, gbuf, dram};
+    arch.noc_level = 4; // GlobalBuf boundary carries the mesh traffic
+
+    SpatialGroup macs;
+    macs.name = "MACs";
+    macs.levels = {0, 1, 2, 3}; // intra-PE boundaries share the lanes
+    macs.fanout = arch.macs_per_pe;
+    SpatialGroup pes;
+    pes.name = "PEs";
+    pes.levels = {4};
+    pes.fanout = arch.numPEs();
+    arch.spatial_groups = {macs, pes};
+
+    arch.validate();
+    return arch;
+}
+
+ArchSpec
+ArchSpec::simba8x8()
+{
+    ArchSpec arch = simbaBaseline();
+    arch.name = "simba-8x8";
+    arch.noc_x = 8;
+    arch.noc_y = 8;
+    // Paper §V-B4: 4x the PEs with 2x on-chip and DRAM bandwidth.
+    arch.levels[4].bandwidth_bytes_per_cycle *= 2.0;
+    arch.levels[5].bandwidth_bytes_per_cycle *= 2.0;
+    for (auto& group : arch.spatial_groups) {
+        if (group.name == "PEs")
+            group.fanout = arch.numPEs();
+    }
+    arch.validate();
+    return arch;
+}
+
+ArchSpec
+ArchSpec::simbaBigBuffers()
+{
+    ArchSpec arch = simbaBaseline();
+    arch.name = "simba-bigbuf";
+    // Paper §V-B4: local buffers doubled, global buffer 8x.
+    arch.levels[1].capacity_bytes *= 2;
+    arch.levels[2].capacity_bytes *= 2;
+    arch.levels[3].capacity_bytes *= 2;
+    arch.levels[4].capacity_bytes *= 8;
+    arch.validate();
+    return arch;
+}
+
+} // namespace cosa

@@ -1,0 +1,139 @@
+#pragma once
+
+/**
+ * @file
+ * Description of the target spatial accelerator: a multi-level,
+ * software-managed memory hierarchy (matrix B of the paper), per-level
+ * spatial fanouts (PE array, MAC vector lanes), NoC geometry, datatype
+ * precisions, and the energy reference table used by the analytical
+ * model (Accelergy-inspired constants).
+ *
+ * Levels are indexed innermost-first: 0 = Registers ... last = DRAM.
+ * Loops "at level i" iterate over tiles of level i-1 inside a tile of
+ * level i, matching the loop-nest representation of Listing 1.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "problem/dims.hpp"
+
+namespace cosa {
+
+/** One memory level of the hierarchy. */
+struct MemLevelSpec
+{
+    std::string name;
+    /** Capacity in bytes; 0 means unbounded (DRAM). */
+    std::int64_t capacity_bytes = 0;
+    /** Which tensors this level may hold (one row of matrix B). */
+    std::array<bool, kNumTensors> stores{};
+    /** Energy per byte accessed, picojoules. */
+    double energy_pj_per_byte = 0.0;
+    /** Sustained bandwidth per instance, bytes per cycle. */
+    double bandwidth_bytes_per_cycle = 1.0;
+
+    bool storesTensor(Tensor t) const { return stores[tensorIndex(t)]; }
+    bool unbounded() const { return capacity_bytes == 0; }
+
+    /** Number of tensors this level stores (capacity sharing). */
+    int
+    numStoredTensors() const
+    {
+        int n = 0;
+        for (bool b : stores)
+            n += b;
+        return n;
+    }
+};
+
+/**
+ * A group of memory levels whose spatial loop factors share one pool of
+ * parallel hardware (e.g. all intra-PE levels share the 64 MAC lanes;
+ * the global-buffer boundary fans out over the 16 PEs of the mesh).
+ */
+struct SpatialGroup
+{
+    std::string name;
+    std::vector<int> levels;     //!< member level indices
+    std::int64_t fanout = 1;     //!< max product of spatial factors
+
+    bool
+    containsLevel(int level) const
+    {
+        for (int l : levels) {
+            if (l == level)
+                return true;
+        }
+        return false;
+    }
+};
+
+/** Full accelerator description. */
+struct ArchSpec
+{
+    std::string name;
+    std::vector<MemLevelSpec> levels; //!< innermost (0) to DRAM (last)
+    std::vector<SpatialGroup> spatial_groups;
+
+    int noc_x = 4;                   //!< mesh width
+    int noc_y = 4;                   //!< mesh height
+    int noc_level = -1;              //!< level whose boundary is the NoC
+    double noc_hop_energy_pj_per_byte = 1.5;
+    double mac_energy_pj = 0.5;      //!< energy of one multiply-accumulate
+    std::int64_t macs_per_pe = 64;
+
+    /** Datatype widths in bits (Table V: 8b weights/inputs, 24b psums). */
+    int weight_bits = 8;
+    int input_bits = 8;
+    int output_bits = 24;
+
+    int numLevels() const { return static_cast<int>(levels.size()); }
+    int dramLevel() const { return numLevels() - 1; }
+    std::int64_t numPEs() const
+    {
+        return static_cast<std::int64_t>(noc_x) * noc_y;
+    }
+
+    /** Bits per element of tensor @p t. */
+    int tensorBits(Tensor t) const;
+
+    /** Bytes per element (fractional widths round up per element). */
+    double tensorBytes(Tensor t) const;
+
+    /** The spatial group containing @p level, or nullptr. */
+    const SpatialGroup* groupOfLevel(int level) const;
+
+    /** True if spatial loops are allowed at @p level. */
+    bool spatialAllowedAt(int level) const
+    {
+        return groupOfLevel(level) != nullptr;
+    }
+
+    /**
+     * The innermost level at or above @p from that may store @p t —
+     * i.e. where a tile of t nearest the MACs lives (the "home" buffer
+     * whose refills cross the interconnect).
+     */
+    int homeLevel(Tensor t) const;
+
+    /** Sanity-check invariants; calls fatal() on a malformed spec. */
+    void validate() const;
+
+    /**
+     * Baseline Simba-like accelerator of Table V: 4x4 PEs, 64 MACs/PE,
+     * 64B registers, 3KB accumulation + 32KB weight + 8KB input buffers
+     * per PE, 128KB shared global buffer.
+     */
+    static ArchSpec simbaBaseline();
+
+    /** Fig. 9a variant: 8x8 PEs with 2x NoC and DRAM bandwidth. */
+    static ArchSpec simba8x8();
+
+    /** Fig. 9b variant: 2x local buffers, 8x global buffer. */
+    static ArchSpec simbaBigBuffers();
+};
+
+} // namespace cosa

@@ -1,0 +1,92 @@
+#pragma once
+
+/**
+ * @file
+ * Error-reporting and status-message helpers.
+ *
+ * Follows the gem5 convention: fatal() is for conditions that are the
+ * *user's* fault (bad configuration, invalid arguments) and exits cleanly;
+ * panic() is for conditions that should never happen regardless of input
+ * (an internal bug) and aborts; warn()/inform() report status without
+ * stopping the run.
+ */
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace cosa {
+
+namespace detail {
+
+/** Stream a pack of arguments into a single string. */
+template <typename... Args>
+std::string
+concatToString(Args&&... args)
+{
+    std::ostringstream oss;
+    (oss << ... << std::forward<Args>(args));
+    return oss.str();
+}
+
+} // namespace detail
+
+/**
+ * Report an unrecoverable user-level error (bad config, invalid argument)
+ * and exit with status 1.
+ */
+template <typename... Args>
+[[noreturn]] void
+fatal(Args&&... args)
+{
+    std::cerr << "fatal: "
+              << detail::concatToString(std::forward<Args>(args)...)
+              << std::endl;
+    std::exit(1);
+}
+
+/**
+ * Report an internal invariant violation (a bug in this library, not a
+ * user error) and abort, so a debugger or core dump can capture state.
+ */
+template <typename... Args>
+[[noreturn]] void
+panic(Args&&... args)
+{
+    std::cerr << "panic: "
+              << detail::concatToString(std::forward<Args>(args)...)
+              << std::endl;
+    std::abort();
+}
+
+/** Report a suspicious-but-survivable condition. */
+template <typename... Args>
+void
+warn(Args&&... args)
+{
+    std::cerr << "warn: "
+              << detail::concatToString(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** Report normal operating status. */
+template <typename... Args>
+void
+inform(Args&&... args)
+{
+    std::cerr << "info: "
+              << detail::concatToString(std::forward<Args>(args)...)
+              << std::endl;
+}
+
+/** panic() unless the stated invariant holds. */
+#define COSA_ASSERT(cond, ...)                                              \
+    do {                                                                    \
+        if (!(cond)) {                                                      \
+            ::cosa::panic("assertion `", #cond, "` failed at ", __FILE__,   \
+                          ":", __LINE__, " ", ##__VA_ARGS__);               \
+        }                                                                   \
+    } while (0)
+
+} // namespace cosa

@@ -1,0 +1,110 @@
+#include "math_utils.hpp"
+
+#include <cmath>
+
+#include "logging.hpp"
+
+namespace cosa {
+
+bool
+isPrime(std::int64_t n)
+{
+    if (n < 2)
+        return false;
+    if (n < 4)
+        return true;
+    if (n % 2 == 0)
+        return false;
+    for (std::int64_t d = 3; d * d <= n; d += 2) {
+        if (n % d == 0)
+            return false;
+    }
+    return true;
+}
+
+std::vector<std::int64_t>
+factorize(std::int64_t n)
+{
+    COSA_ASSERT(n >= 1, "cannot factorize non-positive value ", n);
+    std::vector<std::int64_t> factors;
+    for (std::int64_t d = 2; d * d <= n; ++d) {
+        while (n % d == 0) {
+            factors.push_back(d);
+            n /= d;
+        }
+    }
+    if (n > 1)
+        factors.push_back(n);
+    return factors;
+}
+
+std::map<std::int64_t, int>
+factorCounts(std::int64_t n)
+{
+    std::map<std::int64_t, int> counts;
+    for (std::int64_t f : factorize(n))
+        ++counts[f];
+    return counts;
+}
+
+std::int64_t
+padToSmoothBound(std::int64_t n, std::int64_t max_prime_factor)
+{
+    COSA_ASSERT(n >= 1 && max_prime_factor >= 2);
+    for (std::int64_t candidate = n;; ++candidate) {
+        auto factors = factorize(candidate);
+        if (factors.empty() || factors.back() <= max_prime_factor)
+            return candidate;
+    }
+}
+
+std::vector<std::int64_t>
+divisors(std::int64_t n)
+{
+    COSA_ASSERT(n >= 1);
+    std::vector<std::int64_t> small, large;
+    for (std::int64_t d = 1; d * d <= n; ++d) {
+        if (n % d == 0) {
+            small.push_back(d);
+            if (d != n / d)
+                large.push_back(n / d);
+        }
+    }
+    small.insert(small.end(), large.rbegin(), large.rend());
+    return small;
+}
+
+double
+geomean(const std::vector<double>& values)
+{
+    if (values.empty())
+        return 0.0;
+    double log_sum = 0.0;
+    for (double v : values) {
+        COSA_ASSERT(v > 0.0, "geomean requires positive values, got ", v);
+        log_sum += std::log(v);
+    }
+    return std::exp(log_sum / static_cast<double>(values.size()));
+}
+
+std::int64_t
+nextPow2(std::int64_t v)
+{
+    COSA_ASSERT(v >= 1);
+    std::int64_t p = 1;
+    while (p < v)
+        p <<= 1;
+    return p;
+}
+
+std::int64_t
+ipow(std::int64_t base, int exp)
+{
+    COSA_ASSERT(exp >= 0);
+    std::int64_t result = 1;
+    while (exp-- > 0)
+        result *= base;
+    return result;
+}
+
+} // namespace cosa

@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Integer and floating-point helpers used throughout the scheduler:
+ * prime factorization (the backbone of CoSA's prime-factor allocation
+ * encoding), divisor enumeration, ceil-div, and geometric means.
+ */
+
+#include <cstdint>
+#include <map>
+#include <vector>
+
+namespace cosa {
+
+/** Ceiling division for non-negative integers. */
+constexpr std::int64_t
+ceilDiv(std::int64_t num, std::int64_t den)
+{
+    return (num + den - 1) / den;
+}
+
+/** True when @p n is prime (trial division; fine for loop bounds). */
+bool isPrime(std::int64_t n);
+
+/**
+ * Prime-factorize @p n into a multiset of prime factors, smallest first.
+ * factorize(12) == {2, 2, 3}. factorize(1) == {} by convention.
+ */
+std::vector<std::int64_t> factorize(std::int64_t n);
+
+/**
+ * Prime factorization as {prime -> multiplicity}.
+ * factorCounts(12) == {{2,2},{3,1}}.
+ */
+std::map<std::int64_t, int> factorCounts(std::int64_t n);
+
+/**
+ * CoSA pads loop bounds whose value is a large prime so the factor pool
+ * is not a single indivisible chunk (paper §III-B1). Returns the smallest
+ * integer >= n whose largest prime factor is <= max_prime_factor.
+ */
+std::int64_t padToSmoothBound(std::int64_t n, std::int64_t max_prime_factor);
+
+/** All positive divisors of @p n, ascending. */
+std::vector<std::int64_t> divisors(std::int64_t n);
+
+/** Geometric mean of a set of positive values; 0 if empty. */
+double geomean(const std::vector<double>& values);
+
+/** Round @p v up to the next power of two (v >= 1). */
+std::int64_t nextPow2(std::int64_t v);
+
+/** Integer exponentiation. */
+std::int64_t ipow(std::int64_t base, int exp);
+
+} // namespace cosa

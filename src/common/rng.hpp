@@ -1,0 +1,54 @@
+#pragma once
+
+/**
+ * @file
+ * A small, fast, seedable PRNG (xoshiro256**) used by the Random and
+ * Timeloop-Hybrid mappers so experiments are reproducible independent of
+ * the standard library's unspecified distributions.
+ */
+
+#include <cstdint>
+#include <vector>
+
+namespace cosa {
+
+/** xoshiro256** by Blackman & Vigna; deterministic across platforms. */
+class Rng
+{
+  public:
+    /** Seed via splitmix64 expansion of @p seed. */
+    explicit Rng(std::uint64_t seed = 0x5eed5eed5eedULL);
+
+    /** Next raw 64-bit value. */
+    std::uint64_t next();
+
+    /** Uniform integer in [0, bound) using rejection sampling. */
+    std::uint64_t nextBelow(std::uint64_t bound);
+
+    /** Uniform double in [0, 1). */
+    double nextDouble();
+
+    /** Uniform element index choice helper. */
+    template <typename Container>
+    std::size_t
+    choiceIndex(const Container& c)
+    {
+        return static_cast<std::size_t>(nextBelow(c.size()));
+    }
+
+    /** In-place Fisher-Yates shuffle. */
+    template <typename T>
+    void
+    shuffle(std::vector<T>& v)
+    {
+        for (std::size_t i = v.size(); i > 1; --i) {
+            std::size_t j = static_cast<std::size_t>(nextBelow(i));
+            std::swap(v[i - 1], v[j]);
+        }
+    }
+
+  private:
+    std::uint64_t state_[4];
+};
+
+} // namespace cosa

@@ -1,0 +1,133 @@
+#include "table.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <ostream>
+#include <sstream>
+
+#include "logging.hpp"
+
+namespace cosa {
+
+TextTable::TextTable(std::string title) : title_(std::move(title)) {}
+
+void
+TextTable::setHeader(std::vector<std::string> header)
+{
+    header_ = std::move(header);
+}
+
+void
+TextTable::addRow(std::vector<std::string> row)
+{
+    rows_.push_back(std::move(row));
+}
+
+std::string
+TextTable::fmt(double value, int precision)
+{
+    std::ostringstream oss;
+    oss << std::fixed << std::setprecision(precision) << value;
+    return oss.str();
+}
+
+void
+TextTable::print(std::ostream& os) const
+{
+    std::vector<std::size_t> widths;
+    auto grow = [&](const std::vector<std::string>& row) {
+        if (widths.size() < row.size())
+            widths.resize(row.size(), 0);
+        for (std::size_t c = 0; c < row.size(); ++c)
+            widths[c] = std::max(widths[c], row[c].size());
+    };
+    grow(header_);
+    for (const auto& row : rows_)
+        grow(row);
+
+    if (!title_.empty())
+        os << "== " << title_ << " ==\n";
+
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            os << std::left << std::setw(static_cast<int>(widths[c]) + 2)
+               << row[c];
+        }
+        os << "\n";
+    };
+    if (!header_.empty()) {
+        emit(header_);
+        std::size_t total = 0;
+        for (std::size_t w : widths)
+            total += w + 2;
+        os << std::string(total, '-') << "\n";
+    }
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+void
+TextTable::printCsv(std::ostream& os) const
+{
+    auto emit = [&](const std::vector<std::string>& row) {
+        for (std::size_t c = 0; c < row.size(); ++c) {
+            if (c)
+                os << ",";
+            os << row[c];
+        }
+        os << "\n";
+    };
+    if (!header_.empty())
+        emit(header_);
+    for (const auto& row : rows_)
+        emit(row);
+}
+
+AsciiHistogram::AsciiHistogram(std::vector<double> values, int num_bins)
+{
+    COSA_ASSERT(num_bins > 0);
+    counts_.assign(static_cast<std::size_t>(num_bins), 0);
+    if (values.empty())
+        return;
+    auto [lo, hi] = std::minmax_element(values.begin(), values.end());
+    min_ = *lo;
+    max_ = *hi;
+    const double span = std::max(max_ - min_, 1e-12);
+    for (double v : values) {
+        int bin = static_cast<int>((v - min_) / span * num_bins);
+        bin = std::clamp(bin, 0, num_bins - 1);
+        ++counts_[static_cast<std::size_t>(bin)];
+    }
+}
+
+double
+AsciiHistogram::binLow(int bin) const
+{
+    const double span = std::max(max_ - min_, 1e-12);
+    return min_ + span * bin / static_cast<double>(counts_.size());
+}
+
+double
+AsciiHistogram::binHigh(int bin) const
+{
+    return binLow(bin + 1);
+}
+
+void
+AsciiHistogram::print(std::ostream& os, int max_bar_width) const
+{
+    std::size_t peak = 1;
+    for (std::size_t c : counts_)
+        peak = std::max(peak, c);
+    for (std::size_t b = 0; b < counts_.size(); ++b) {
+        const int bar = static_cast<int>(
+            std::llround(static_cast<double>(counts_[b]) * max_bar_width /
+                         static_cast<double>(peak)));
+        os << std::setw(10) << std::fixed << std::setprecision(2)
+           << binLow(static_cast<int>(b)) << " | " << std::setw(7)
+           << counts_[b] << " | " << std::string(bar, '#') << "\n";
+    }
+}
+
+} // namespace cosa

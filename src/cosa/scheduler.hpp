@@ -1,0 +1,31 @@
+#pragma once
+
+/**
+ * @file
+ * The CoSA scheduler: wraps the MIP formulation behind the same
+ * interface as the search baselines. One formulation build + one solve
+ * produces the schedule (the paper's "one-shot" property); samples = 1
+ * and valid_evaluated = 1 in the Table VI statistics.
+ */
+
+#include "cosa/formulation.hpp"
+#include "mapper/mapper.hpp"
+
+namespace cosa {
+
+/** Constrained-optimization scheduler (the paper's contribution). */
+class CosaScheduler
+{
+  public:
+    explicit CosaScheduler(CosaConfig config = {});
+
+    /** Solve the MIP once and evaluate the extracted schedule. */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
+
+    const CosaConfig& config() const { return config_; }
+
+  private:
+    CosaConfig config_;
+};
+
+} // namespace cosa

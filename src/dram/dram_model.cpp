@@ -1,0 +1,119 @@
+#include "dram/dram_model.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+DramModel::DramModel(DramConfig config) : config_(std::move(config))
+{
+    COSA_ASSERT(config_.num_banks > 0 && config_.row_bytes > 0);
+    banks_.resize(static_cast<std::size_t>(config_.num_banks));
+}
+
+int
+DramModel::bankOf(std::uint64_t address) const
+{
+    // Row-interleaved bank mapping: consecutive rows rotate banks.
+    return static_cast<int>((address / config_.row_bytes) %
+                            static_cast<std::uint64_t>(config_.num_banks));
+}
+
+std::int64_t
+DramModel::rowOf(std::uint64_t address) const
+{
+    return static_cast<std::int64_t>(
+        address / (static_cast<std::uint64_t>(config_.row_bytes) *
+                   config_.num_banks));
+}
+
+bool
+DramModel::canAccept(std::uint64_t address) const
+{
+    const Bank& bank = banks_[static_cast<std::size_t>(bankOf(address))];
+    return static_cast<int>(bank.queue.size()) < config_.queue_depth;
+}
+
+bool
+DramModel::enqueue(const DramRequest& request)
+{
+    Bank& bank = banks_[static_cast<std::size_t>(bankOf(request.address))];
+    if (static_cast<int>(bank.queue.size()) >= config_.queue_depth)
+        return false;
+    bank.queue.push_back({request, 0, false});
+    return true;
+}
+
+void
+DramModel::tick()
+{
+    ++cycle_;
+    for (Bank& bank : banks_) {
+        if (bank.queue.empty())
+            continue;
+
+        // FR-FCFS-lite: issue a row hit ahead of the oldest request.
+        if (!bank.queue.front().issued && cycle_ >= bank.busy_until) {
+            std::size_t pick = 0;
+            const std::int64_t open = bank.open_row;
+            for (std::size_t i = 0; i < bank.queue.size(); ++i) {
+                if (!bank.queue[i].issued &&
+                    rowOf(bank.queue[i].request.address) == open) {
+                    pick = i;
+                    break;
+                }
+            }
+            PendingRequest& req = bank.queue[pick];
+            if (!req.issued) {
+                const std::int64_t row = rowOf(req.request.address);
+                int latency = config_.t_cas;
+                if (row != bank.open_row) {
+                    latency += bank.open_row >= 0
+                                   ? config_.t_rp + config_.t_rcd
+                                   : config_.t_rcd;
+                    bank.open_row = row;
+                    ++row_misses_;
+                } else {
+                    ++row_hits_;
+                }
+                req.issued = true;
+                req.ready_at = cycle_ + static_cast<std::uint64_t>(latency);
+                bank.busy_until = req.ready_at;
+                // Move the picked request to the front so completion
+                // order within a bank stays FIFO-after-issue.
+                if (pick != 0)
+                    std::swap(bank.queue[0], bank.queue[pick]);
+            }
+        }
+
+        // Complete the front request once the bank and the shared data
+        // bus are both ready.
+        PendingRequest& front = bank.queue.front();
+        if (front.issued && cycle_ >= front.ready_at &&
+            cycle_ >= bus_free_at_) {
+            bus_free_at_ =
+                cycle_ + static_cast<std::uint64_t>(config_.burst_cycles);
+            bus_busy_cycles_ += config_.burst_cycles;
+            if (front.request.is_write)
+                ++writes_;
+            else
+                ++reads_;
+            DramRequest done = front.request;
+            bank.queue.pop_front();
+            if (callback_)
+                callback_(done);
+        }
+    }
+}
+
+int
+DramModel::pending() const
+{
+    int total = 0;
+    for (const Bank& bank : banks_)
+        total += static_cast<int>(bank.queue.size());
+    return total;
+}
+
+} // namespace cosa

@@ -1,0 +1,105 @@
+#pragma once
+
+/**
+ * @file
+ * DRAMSim2-lite: a banked DRAM timing model in the spirit of the
+ * DRAMSim2 backend the paper's NoC simulator uses. Models channel/bank
+ * parallelism, open-page row buffers (row hit vs precharge+activate
+ * miss), a bounded request queue with FR-FCFS-lite scheduling (row hits
+ * first, then oldest), and a shared data bus with finite bandwidth.
+ * Cycle-driven: call tick() once per memory cycle.
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace cosa {
+
+/** DRAM timing and geometry parameters (DDR-like defaults). */
+struct DramConfig
+{
+    int num_banks = 8;
+    int row_bytes = 2048;          //!< row-buffer (page) size
+    int t_cas = 11;                //!< column access latency, cycles
+    int t_rcd = 11;                //!< activate-to-access, cycles
+    int t_rp = 11;                 //!< precharge, cycles
+    int burst_bytes = 64;          //!< bytes delivered per burst
+    int burst_cycles = 4;          //!< data-bus occupancy per burst
+    int queue_depth = 32;          //!< per-bank pending request cap
+};
+
+/** One DRAM read/write request (granularity: one burst). */
+struct DramRequest
+{
+    std::uint64_t address = 0;
+    bool is_write = false;
+    std::uint64_t payload_id = 0; //!< caller-defined tag
+};
+
+/**
+ * Cycle-driven DRAM model. Completion is reported through a callback so
+ * the NoC simulator can inject reply packets.
+ */
+class DramModel
+{
+  public:
+    using CompletionCallback = std::function<void(const DramRequest&)>;
+
+    explicit DramModel(DramConfig config = {});
+
+    /** True if the target bank queue can accept another request. */
+    bool canAccept(std::uint64_t address) const;
+
+    /** Enqueue a request; returns false (and drops it) when full. */
+    bool enqueue(const DramRequest& request);
+
+    /** Advance one memory cycle. */
+    void tick();
+
+    /** Completion callback (invoked during tick()). */
+    void setCallback(CompletionCallback cb) { callback_ = std::move(cb); }
+
+    /** Outstanding requests across all banks. */
+    int pending() const;
+
+    /** Statistics. */
+    std::int64_t totalReads() const { return reads_; }
+    std::int64_t totalWrites() const { return writes_; }
+    std::int64_t rowHits() const { return row_hits_; }
+    std::int64_t rowMisses() const { return row_misses_; }
+    std::int64_t busBusyCycles() const { return bus_busy_cycles_; }
+    std::uint64_t now() const { return cycle_; }
+
+  private:
+    struct PendingRequest
+    {
+        DramRequest request;
+        std::uint64_t ready_at = 0; //!< bank-side completion cycle
+        bool issued = false;
+    };
+    struct Bank
+    {
+        std::deque<PendingRequest> queue;
+        std::int64_t open_row = -1;
+        std::uint64_t busy_until = 0;
+    };
+
+    DramConfig config_;
+    std::vector<Bank> banks_;
+    CompletionCallback callback_;
+    std::uint64_t cycle_ = 0;
+    std::uint64_t bus_free_at_ = 0;
+
+    std::int64_t reads_ = 0;
+    std::int64_t writes_ = 0;
+    std::int64_t row_hits_ = 0;
+    std::int64_t row_misses_ = 0;
+    std::int64_t bus_busy_cycles_ = 0;
+
+    int bankOf(std::uint64_t address) const;
+    std::int64_t rowOf(std::uint64_t address) const;
+};
+
+} // namespace cosa

@@ -1,0 +1,64 @@
+#include "gpu/gpu_arch.hpp"
+
+namespace cosa::gpu {
+
+ArchSpec
+k80Like()
+{
+    ArchSpec arch;
+    arch.name = "k80-like";
+    // The "mesh" degenerates to the SM grid; only its size matters for
+    // the block-parallelism fanout (13 SMX x 16 warps ~ 2496/192).
+    arch.noc_x = 13;
+    arch.noc_y = 1;
+    arch.macs_per_pe = 192; // cores per SMX
+    arch.weight_bits = 32;  // fp32 workloads on the K80
+    arch.input_bits = 32;
+    arch.output_bits = 32;
+
+    MemLevelSpec reg;
+    reg.name = "Registers";
+    reg.capacity_bytes = 64 * 1024; // register file per block
+    reg.stores = {true, true, true};
+    reg.energy_pj_per_byte = 0.1;
+    reg.bandwidth_bytes_per_cycle = 256.0;
+
+    MemLevelSpec shared;
+    shared.name = "SharedMem";
+    shared.capacity_bytes = 48 * 1024;
+    shared.stores = {true, true, true};
+    shared.energy_pj_per_byte = 0.6;
+    shared.bandwidth_bytes_per_cycle = 128.0;
+
+    MemLevelSpec l2;
+    l2.name = "L2";
+    l2.capacity_bytes = 1536 * 1024;
+    l2.stores = {true, true, true};
+    l2.energy_pj_per_byte = 2.5;
+    l2.bandwidth_bytes_per_cycle = 64.0;
+
+    MemLevelSpec dram;
+    dram.name = "GDDR";
+    dram.capacity_bytes = 0;
+    dram.stores = {true, true, true};
+    dram.energy_pj_per_byte = 120.0;
+    dram.bandwidth_bytes_per_cycle = 32.0; // ~240GB/s at ~0.8GHz
+
+    arch.levels = {reg, shared, l2, dram};
+    arch.noc_level = 2; // L2 feeds the "PEs" (thread blocks)
+
+    SpatialGroup threads;
+    threads.name = "Threads";
+    threads.levels = {0, 1}; // thread parallelism inside a block
+    threads.fanout = 1024;   // CUDA block limit
+    SpatialGroup blocks;
+    blocks.name = "Blocks";
+    blocks.levels = {2};
+    blocks.fanout = 13; // concurrent SMX-resident blocks
+    arch.spatial_groups = {threads, blocks};
+
+    arch.validate();
+    return arch;
+}
+
+} // namespace cosa::gpu

@@ -1,0 +1,34 @@
+#pragma once
+
+/**
+ * @file
+ * GPU evaluation substrate for the paper's §V-D experiment (Fig. 11).
+ *
+ * The paper formulates GPU scheduling with the same CoSA machinery by
+ * treating thread groups as spatial levels and shared/local memory as
+ * capacity constraints. We do exactly that: a K80-like GPU is expressed
+ * as an ArchSpec — registers and shared memory are the PE-side buffers,
+ * the L2 cache plays the global-buffer role, thread-level parallelism
+ * is a spatial group capped at 1024 threads/block, and block-level
+ * parallelism a spatial group sized by the core count. The analytical
+ * model then supplies the cost function for both CoSA-GPU and the
+ * simulated TVM-style iterative tuner.
+ *
+ * Substitution note (no GPU hardware available): the paper measured on
+ * a physical K80 against TVM+XGBoost. Here both schedulers are scored
+ * by the same analytical GPU model, so the comparison isolates exactly
+ * what Fig. 11 demonstrates — a constrained-optimization formulation
+ * reaches iterative-tuner schedule quality orders of magnitude faster.
+ */
+
+#include "arch/arch_spec.hpp"
+
+namespace cosa::gpu {
+
+/**
+ * K80-like GPU as a spatial architecture: 2496 cores, 48KB shared
+ * memory and 64KB registers per block, 1.5MB L2, <=1024 threads/block.
+ */
+ArchSpec k80Like();
+
+} // namespace cosa::gpu

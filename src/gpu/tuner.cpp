@@ -1,0 +1,63 @@
+#include "gpu/tuner.hpp"
+
+#include "common/rng.hpp"
+
+namespace cosa::gpu {
+
+IterativeTuner::IterativeTuner(TunerConfig config)
+    : config_(std::move(config))
+{
+}
+
+SearchResult
+IterativeTuner::schedule(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    const double start = wallTimeSec();
+    SearchResult result;
+    result.scheduler = "IterativeTuner";
+
+    AnalyticalModel model(layer, arch);
+    FactorPool pool(layer);
+    Rng rng(config_.seed);
+
+    FactorAssignment best_assignment;
+    double best_metric = 0.0;
+
+    for (int trial = 0; trial < config_.trials; ++trial) {
+        FactorAssignment assignment;
+        if (!result.found || trial % 3 == 0) {
+            // Exploration: fresh random sample.
+            assignment = sampleAssignment(pool, arch, rng);
+        } else {
+            // Exploitation: mutate the best known assignment.
+            assignment = best_assignment;
+            for (int f = 0; f < pool.size(); ++f) {
+                if (rng.nextDouble() >= config_.mutation_rate)
+                    continue;
+                const int level = static_cast<int>(rng.nextBelow(
+                    static_cast<std::uint64_t>(arch.numLevels())));
+                assignment.level[f] = level;
+                assignment.spatial[f] = arch.spatialAllowedAt(level) &&
+                                        rng.nextDouble() < 0.4;
+            }
+        }
+        Mapping mapping = buildMapping(pool, assignment, arch);
+        ++result.stats.samples;
+        const Evaluation ev = model.evaluate(mapping);
+        if (!ev.valid)
+            continue;
+        ++result.stats.valid_evaluated;
+        const double metric = objectiveValue(ev, config_.objective);
+        if (!result.found || metric < best_metric) {
+            result.found = true;
+            best_metric = metric;
+            best_assignment = assignment;
+            result.mapping = std::move(mapping);
+            result.eval = ev;
+        }
+    }
+    result.stats.search_time_sec = wallTimeSec() - start;
+    return result;
+}
+
+} // namespace cosa::gpu

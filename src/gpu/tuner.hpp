@@ -1,0 +1,38 @@
+#pragma once
+
+/**
+ * @file
+ * Simulated TVM-style iterative tuner (the Fig. 11 baseline): a
+ * feedback-driven search that alternates guided mutation of the best
+ * schedule found so far with fresh random samples, evaluating a fixed
+ * trial budget against the analytical model (the paper ran TVM's
+ * XGBoost tuner for 50 trials per layer).
+ */
+
+#include "mapper/mapper.hpp"
+#include "mapping/mapspace.hpp"
+
+namespace cosa::gpu {
+
+/** Tuner configuration (paper: 50 trials per layer). */
+struct TunerConfig
+{
+    int trials = 50;
+    double mutation_rate = 0.25; //!< per-factor reassignment probability
+    SearchObjective objective = SearchObjective::Latency;
+    std::uint64_t seed = 0x7170;
+};
+
+/** Feedback-driven iterative tuner. */
+class IterativeTuner
+{
+  public:
+    explicit IterativeTuner(TunerConfig config = {});
+
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
+
+  private:
+    TunerConfig config_;
+};
+
+} // namespace cosa::gpu

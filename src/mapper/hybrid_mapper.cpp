@@ -1,0 +1,104 @@
+#include "mapper/hybrid_mapper.hpp"
+
+#include <mutex>
+#include <thread>
+
+#include "common/rng.hpp"
+#include "mapper/random_mapper.hpp"
+
+namespace cosa {
+
+HybridMapper::HybridMapper(HybridMapperConfig config)
+    : config_(std::move(config))
+{
+}
+
+SearchResult
+HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    const double start = wallTimeSec();
+    SearchResult result;
+    result.scheduler = "TimeloopHybrid";
+
+    AnalyticalModel model(layer, arch);
+    FactorPool pool(layer);
+
+    std::mutex merge_mutex;
+    double best_metric = 0.0;
+
+    auto worker = [&](int thread_id) {
+        Rng rng(config_.seed + 0x9e37 * static_cast<std::uint64_t>(thread_id));
+        SearchStats stats;
+        bool local_found = false;
+        Mapping local_best;
+        Evaluation local_eval;
+        double local_metric = 0.0;
+        int consecutive_suboptimal = 0;
+
+        while (consecutive_suboptimal < config_.victory_condition &&
+               stats.samples < config_.max_samples_per_thread) {
+            // (1) random tiling factorization + spatial choice
+            const FactorAssignment assignment =
+                sampleAssignment(pool, arch, rng);
+            const Mapping base = buildMapping(pool, assignment, arch);
+
+            // (2)+(3) linear scan of the pruned permutation subspace at
+            // the two reuse-critical levels (GlobalBuf, then DRAM).
+            std::vector<Mapping> candidates = permuteLevel(
+                base, arch.noc_level, config_.max_perms_per_factorization);
+            // Early validity probe: if the factorization itself violates
+            // capacity, one evaluation suffices (tiling-identical perms
+            // share validity).
+            const Evaluation probe = model.evaluate(candidates.front());
+            ++stats.samples;
+            if (!probe.valid) {
+                continue;
+            }
+            for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
+                const Mapping& candidate = candidates[ci];
+                const Evaluation ev =
+                    ci == 0 ? probe : model.evaluate(candidate);
+                stats.samples += ci == 0 ? 0 : 1;
+                if (!ev.valid)
+                    continue;
+                ++stats.valid_evaluated;
+                const double metric =
+                    objectiveValue(ev, config_.objective);
+                if (!local_found || metric < local_metric) {
+                    local_found = true;
+                    local_metric = metric;
+                    local_best = candidate;
+                    local_eval = ev;
+                    consecutive_suboptimal = 0;
+                } else {
+                    ++consecutive_suboptimal;
+                    if (consecutive_suboptimal >=
+                        config_.victory_condition)
+                        break;
+                }
+            }
+        }
+
+        std::lock_guard<std::mutex> lock(merge_mutex);
+        result.stats.samples += stats.samples;
+        result.stats.valid_evaluated += stats.valid_evaluated;
+        if (local_found && (!result.found || local_metric < best_metric)) {
+            result.found = true;
+            best_metric = local_metric;
+            result.mapping = local_best;
+            result.eval = local_eval;
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(config_.num_threads));
+    for (int t = 0; t < config_.num_threads; ++t)
+        threads.emplace_back(worker, t);
+    for (auto& t : threads)
+        t.join();
+
+    result.stats.search_time_sec = wallTimeSec() - start;
+    return result;
+}
+
+} // namespace cosa

@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * Common interface for all schedulers (CoSA and the search baselines):
+ * given a layer and an architecture, produce a mapping plus evaluation
+ * and search statistics (samples drawn, valid schedules evaluated,
+ * wall-clock time) for the paper's Table VI comparison.
+ */
+
+#include <cstdint>
+#include <string>
+
+#include "model/analytical_model.hpp"
+
+namespace cosa {
+
+/** Optimization target for search-based mappers. */
+enum class SearchObjective {
+    Latency, //!< minimize model cycles
+    Energy,  //!< minimize model energy
+    Edp,     //!< minimize energy-delay product
+};
+
+/** Metric value of an evaluation under an objective. */
+double objectiveValue(const Evaluation& ev, SearchObjective objective);
+
+/** Statistics of one scheduling run (Table VI columns). */
+struct SearchStats
+{
+    std::int64_t samples = 0;          //!< mappings drawn/constructed
+    std::int64_t valid_evaluated = 0;  //!< valid mappings evaluated
+    double search_time_sec = 0.0;      //!< wall-clock time to solution
+};
+
+/** Outcome of one scheduling run. */
+struct SearchResult
+{
+    bool found = false;
+    Mapping mapping;
+    Evaluation eval;
+    SearchStats stats;
+    std::string scheduler;
+};
+
+/** Monotonic wall clock in seconds (shared by all schedulers). */
+double wallTimeSec();
+
+} // namespace cosa

@@ -1,0 +1,88 @@
+#include "mapper/random_mapper.hpp"
+
+#include <chrono>
+
+namespace cosa {
+
+double
+wallTimeSec()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+double
+objectiveValue(const Evaluation& ev, SearchObjective objective)
+{
+    switch (objective) {
+      case SearchObjective::Latency: return ev.cycles;
+      case SearchObjective::Energy: return ev.energy_pj;
+      case SearchObjective::Edp: return ev.edp();
+    }
+    return ev.cycles;
+}
+
+RandomMapper::RandomMapper(RandomMapperConfig config)
+    : config_(std::move(config))
+{
+}
+
+SearchResult
+RandomMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    const double start = wallTimeSec();
+    SearchResult result;
+    result.scheduler = "Random";
+
+    AnalyticalModel model(layer, arch);
+    FactorPool pool(layer);
+    Rng rng(config_.seed);
+
+    int valid_found = 0;
+    double best_metric = 0.0;
+    for (std::int64_t s = 0;
+         s < config_.max_samples && valid_found < config_.target_valid;
+         ++s) {
+        ++result.stats.samples;
+        FactorAssignment assignment = sampleAssignment(pool, arch, rng);
+        Mapping mapping = buildMapping(pool, assignment, arch);
+        shuffleLoopOrders(mapping, rng);
+        const Evaluation ev = model.evaluate(mapping);
+        if (!ev.valid)
+            continue;
+        ++result.stats.valid_evaluated;
+        ++valid_found;
+        const double metric = objectiveValue(ev, config_.objective);
+        if (!result.found || metric < best_metric) {
+            result.found = true;
+            best_metric = metric;
+            result.mapping = std::move(mapping);
+            result.eval = ev;
+        }
+    }
+    result.stats.search_time_sec = wallTimeSec() - start;
+    return result;
+}
+
+std::vector<std::pair<Mapping, Evaluation>>
+RandomMapper::sampleValid(const LayerSpec& layer, const ArchSpec& arch,
+                          int count, std::int64_t max_tries) const
+{
+    AnalyticalModel model(layer, arch);
+    FactorPool pool(layer);
+    Rng rng(config_.seed);
+    std::vector<std::pair<Mapping, Evaluation>> out;
+    for (std::int64_t t = 0;
+         t < max_tries && static_cast<int>(out.size()) < count; ++t) {
+        FactorAssignment assignment = sampleAssignment(pool, arch, rng);
+        Mapping mapping = buildMapping(pool, assignment, arch);
+        shuffleLoopOrders(mapping, rng);
+        Evaluation ev = model.evaluate(mapping);
+        if (ev.valid)
+            out.emplace_back(std::move(mapping), std::move(ev));
+    }
+    return out;
+}
+
+} // namespace cosa

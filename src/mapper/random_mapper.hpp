@@ -1,0 +1,49 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's Random baseline (§IV-B): draw uniform samples from the
+ * unpruned mapspace, keep the first few *valid* schedules found, and
+ * return the best of them under the chosen objective. Most samples are
+ * invalid (Table VI: ~5 valid out of 20K samples), which is the point —
+ * it demonstrates why constraint-based pruning matters.
+ */
+
+#include "common/rng.hpp"
+#include "mapper/mapper.hpp"
+#include "mapping/mapspace.hpp"
+
+namespace cosa {
+
+/** Tunables of the Random scheduler. */
+struct RandomMapperConfig
+{
+    std::int64_t max_samples = 20'000; //!< sampling budget per layer
+    int target_valid = 5;              //!< stop after this many valid
+    SearchObjective objective = SearchObjective::Latency;
+    std::uint64_t seed = 0xC05A;
+};
+
+/** Random-search scheduler. */
+class RandomMapper
+{
+  public:
+    explicit RandomMapper(RandomMapperConfig config = {});
+
+    /** Search for the best of the first few valid schedules. */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
+
+    /**
+     * Draw valid mappings until @p count are found (or the try budget is
+     * exhausted); returns each with its evaluation. Used by Fig. 1's
+     * histogram of valid-schedule latencies.
+     */
+    std::vector<std::pair<Mapping, Evaluation>> sampleValid(
+        const LayerSpec& layer, const ArchSpec& arch, int count,
+        std::int64_t max_tries) const;
+
+  private:
+    RandomMapperConfig config_;
+};
+
+} // namespace cosa

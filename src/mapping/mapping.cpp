@@ -1,0 +1,213 @@
+#include "mapping/mapping.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+std::int64_t
+Mapping::totalBound(Dim d) const
+{
+    std::int64_t prod = 1;
+    for (const auto& level : levels) {
+        for (const Loop& loop : level) {
+            if (loop.dim == d)
+                prod *= loop.bound;
+        }
+    }
+    return prod;
+}
+
+std::int64_t
+Mapping::temporalProduct() const
+{
+    std::int64_t prod = 1;
+    for (const auto& level : levels) {
+        for (const Loop& loop : level) {
+            if (!loop.spatial)
+                prod *= loop.bound;
+        }
+    }
+    return prod;
+}
+
+std::int64_t
+Mapping::spatialProductAt(int level) const
+{
+    if (level < 0 || level >= static_cast<int>(levels.size()))
+        return 1;
+    std::int64_t prod = 1;
+    for (const Loop& loop : levels[level]) {
+        if (loop.spatial)
+            prod *= loop.bound;
+    }
+    return prod;
+}
+
+std::int64_t
+Mapping::spatialProductInGroup(const SpatialGroup& group) const
+{
+    std::int64_t prod = 1;
+    for (int level : group.levels)
+        prod *= spatialProductAt(level);
+    return prod;
+}
+
+std::int64_t
+Mapping::instancesOfLevel(int level) const
+{
+    std::int64_t prod = 1;
+    for (int i = level + 1; i < static_cast<int>(levels.size()); ++i)
+        prod *= spatialProductAt(i);
+    return prod;
+}
+
+std::int64_t
+Mapping::tileBound(Dim d, int level) const
+{
+    std::int64_t prod = 1;
+    for (int i = 0; i <= level && i < static_cast<int>(levels.size()); ++i) {
+        for (const Loop& loop : levels[i]) {
+            if (loop.dim == d)
+                prod *= loop.bound;
+        }
+    }
+    return prod;
+}
+
+void
+Mapping::pruneUnitLoops()
+{
+    for (auto& level : levels) {
+        std::erase_if(level, [](const Loop& l) { return l.bound == 1; });
+    }
+}
+
+int
+Mapping::numLoops() const
+{
+    int n = 0;
+    for (const auto& level : levels)
+        n += static_cast<int>(level.size());
+    return n;
+}
+
+std::string
+Mapping::toString(const ArchSpec& arch) const
+{
+    std::ostringstream oss;
+    int indent = 0;
+    auto pad = [&]() { return std::string(static_cast<size_t>(indent), ' '); };
+    for (int i = static_cast<int>(levels.size()) - 1; i >= 0; --i) {
+        const std::string level_name = i < arch.numLevels()
+                                           ? arch.levels[i].name
+                                           : "L" + std::to_string(i);
+        oss << pad() << "// " << level_name << " level\n";
+        for (const Loop& loop : levels[i]) {
+            oss << pad() << (loop.spatial ? "spatial_for " : "for ")
+                << dimName(loop.dim) << " in [0:" << loop.bound << ")\n";
+            indent += 2;
+        }
+    }
+    return oss.str();
+}
+
+TileAnalysis::TileAnalysis(const Mapping& mapping, const LayerSpec& layer,
+                           const ArchSpec& arch)
+    : mapping_(mapping), layer_(layer), arch_(arch)
+{
+}
+
+std::int64_t
+TileAnalysis::tileElements(Tensor t, int level) const
+{
+    const auto tb = [&](Dim d) { return mapping_.tileBound(d, level); };
+    switch (t) {
+      case Tensor::Weights:
+        return tb(Dim::R) * tb(Dim::S) * tb(Dim::C) * tb(Dim::K);
+      case Tensor::Inputs: {
+        const std::int64_t w = (tb(Dim::P) - 1) * layer_.stride + tb(Dim::R);
+        const std::int64_t h = (tb(Dim::Q) - 1) * layer_.stride + tb(Dim::S);
+        return w * h * tb(Dim::C) * tb(Dim::N);
+      }
+      case Tensor::Outputs:
+        return tb(Dim::P) * tb(Dim::Q) * tb(Dim::K) * tb(Dim::N);
+    }
+    panic("invalid tensor");
+}
+
+double
+TileAnalysis::tileBytes(Tensor t, int level) const
+{
+    return static_cast<double>(tileElements(t, level)) *
+           arch_.tensorBytes(t);
+}
+
+double
+TileAnalysis::residentBytes(int level) const
+{
+    double bytes = 0.0;
+    for (Tensor t : kAllTensors) {
+        if (arch_.levels[level].storesTensor(t))
+            bytes += tileBytes(t, level);
+    }
+    return bytes;
+}
+
+ValidationResult
+validateMapping(const Mapping& mapping, const LayerSpec& layer,
+                const ArchSpec& arch)
+{
+    ValidationResult res;
+    auto fail = [&](std::string reason) {
+        res.valid = false;
+        res.reason = std::move(reason);
+        return res;
+    };
+
+    if (static_cast<int>(mapping.levels.size()) != arch.numLevels())
+        return fail("mapping level count does not match architecture");
+
+    // 1. Coverage: loop products must cover each dimension's bound.
+    for (Dim d : kAllDims) {
+        const std::int64_t prod = mapping.totalBound(d);
+        if (prod < layer.bound(d)) {
+            return fail(std::string("dimension ") + dimName(d) +
+                        " under-covered: " + std::to_string(prod) + " < " +
+                        std::to_string(layer.bound(d)));
+        }
+    }
+
+    // 2. Spatial loops only where a spatial group exists; fanouts hold.
+    for (int i = 0; i < arch.numLevels(); ++i) {
+        if (mapping.spatialProductAt(i) > 1 && !arch.spatialAllowedAt(i)) {
+            return fail("spatial loop at level without spatial resources: " +
+                        arch.levels[i].name);
+        }
+    }
+    for (const auto& group : arch.spatial_groups) {
+        const std::int64_t used = mapping.spatialProductInGroup(group);
+        if (used > group.fanout) {
+            return fail("spatial group " + group.name + " over-subscribed: " +
+                        std::to_string(used) + " > " +
+                        std::to_string(group.fanout));
+        }
+    }
+
+    // 3. Buffer capacities with shared-buffer (summed) semantics.
+    TileAnalysis tiles(mapping, layer, arch);
+    for (int i = 0; i < arch.numLevels(); ++i) {
+        if (arch.levels[i].unbounded())
+            continue;
+        const double resident = tiles.residentBytes(i);
+        if (resident > static_cast<double>(arch.levels[i].capacity_bytes)) {
+            return fail(arch.levels[i].name + " overflows: " +
+                        std::to_string(resident) + "B > " +
+                        std::to_string(arch.levels[i].capacity_bytes) + "B");
+        }
+    }
+    return res;
+}
+
+} // namespace cosa

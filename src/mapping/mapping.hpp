@@ -1,0 +1,119 @@
+#pragma once
+
+/**
+ * @file
+ * The loop-nest mapping representation (paper Listing 1): which loops
+ * live at which memory level, their bounds, relative order, and whether
+ * they are spatial or temporal. This is the common IR produced by every
+ * scheduler (CoSA, Random, Timeloop-Hybrid) and consumed by both
+ * evaluation platforms (analytical model and NoC simulator).
+ */
+
+#include <string>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "problem/layer.hpp"
+
+namespace cosa {
+
+/** One loop of the nest. */
+struct Loop
+{
+    Dim dim = Dim::R;
+    std::int64_t bound = 1;
+    bool spatial = false;
+
+    bool operator==(const Loop&) const = default;
+};
+
+/**
+ * A complete schedule: per memory level (index 0 = innermost), the loops
+ * at that level ordered outermost-first. Loops at level i iterate over
+ * level-(i-1) tiles within one level-i tile.
+ */
+struct Mapping
+{
+    std::vector<std::vector<Loop>> levels;
+
+    /** Product of all loop bounds of dimension @p d. */
+    std::int64_t totalBound(Dim d) const;
+
+    /** Product of every temporal loop bound (per-lane compute cycles). */
+    std::int64_t temporalProduct() const;
+
+    /** Product of spatial bounds at one level. */
+    std::int64_t spatialProductAt(int level) const;
+
+    /** Product of spatial bounds over the levels of a group. */
+    std::int64_t spatialProductInGroup(const SpatialGroup& group) const;
+
+    /** Product of spatial bounds at all levels strictly above @p level. */
+    std::int64_t instancesOfLevel(int level) const;
+
+    /**
+     * Tile bound of dimension @p d at level @p I: the product of d-loops
+     * at levels <= I (spatial and temporal). This is the extent of d
+     * covered by one level-I tile.
+     */
+    std::int64_t tileBound(Dim d, int level) const;
+
+    /** Drop bound-1 loops (canonicalization; preserves semantics). */
+    void pruneUnitLoops();
+
+    /** Total number of loops (including bound-1). */
+    int numLoops() const;
+
+    /** Listing-1-style pretty print. */
+    std::string toString(const ArchSpec& arch) const;
+
+    bool operator==(const Mapping&) const = default;
+};
+
+/**
+ * Tile footprints of each tensor at each level, honoring the input halo
+ * W = (P_tile - 1) * stride + R_tile.
+ */
+class TileAnalysis
+{
+  public:
+    TileAnalysis(const Mapping& mapping, const LayerSpec& layer,
+                 const ArchSpec& arch);
+
+    /** Elements of tensor @p t in one level-@p I tile. */
+    std::int64_t tileElements(Tensor t, int level) const;
+
+    /** Bytes of tensor @p t in one level-@p I tile. */
+    double tileBytes(Tensor t, int level) const;
+
+    /**
+     * Bytes resident at @p level: sum of tile bytes over the tensors the
+     * level stores (true shared-buffer semantics).
+     */
+    double residentBytes(int level) const;
+
+  private:
+    const Mapping& mapping_;
+    const LayerSpec& layer_;
+    const ArchSpec& arch_;
+};
+
+/** Why a mapping is invalid, for diagnostics and tests. */
+struct ValidationResult
+{
+    bool valid = true;
+    std::string reason;
+};
+
+/**
+ * Full validity check of a mapping against a layer and architecture:
+ *  - every dimension's loop product covers the (possibly padded) bound,
+ *  - every bounded buffer holds its resident tiles,
+ *  - every spatial group's fanout is respected,
+ *  - spatial loops appear only at levels belonging to a spatial group.
+ */
+ValidationResult validateMapping(const Mapping& mapping,
+                                 const LayerSpec& layer,
+                                 const ArchSpec& arch);
+
+} // namespace cosa

@@ -1,0 +1,104 @@
+#include "mapping/mapspace.hpp"
+
+#include <algorithm>
+#include <map>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+Mapping
+buildMapping(const FactorPool& pool, const FactorAssignment& assignment,
+             const ArchSpec& arch)
+{
+    COSA_ASSERT(static_cast<int>(assignment.level.size()) == pool.size() &&
+                static_cast<int>(assignment.spatial.size()) == pool.size(),
+                "assignment size mismatch");
+    Mapping mapping;
+    mapping.levels.resize(static_cast<std::size_t>(arch.numLevels()));
+
+    // Merge factors sharing (level, dim, kind) into one loop.
+    std::map<std::tuple<int, int, bool>, std::int64_t> merged;
+    for (int f = 0; f < pool.size(); ++f) {
+        const auto key = std::make_tuple(assignment.level[f],
+                                         dimIndex(pool[f].dim),
+                                         assignment.spatial[f]);
+        auto [it, inserted] = merged.try_emplace(key, 1);
+        it->second *= pool[f].value;
+    }
+    for (const auto& [key, bound] : merged) {
+        const auto& [level, dim_idx, spatial] = key;
+        COSA_ASSERT(level >= 0 && level < arch.numLevels());
+        if (bound == 1)
+            continue;
+        mapping.levels[static_cast<std::size_t>(level)].push_back(
+            {static_cast<Dim>(dim_idx), bound, spatial});
+    }
+    // Canonical order: spatial loops outermost-first, then temporal, each
+    // in dimension order (std::map iteration already sorted by dim; sort
+    // once more for the spatial-first rule).
+    for (auto& level : mapping.levels) {
+        std::stable_sort(level.begin(), level.end(),
+                         [](const Loop& a, const Loop& b) {
+                             return a.spatial > b.spatial;
+                         });
+    }
+    return mapping;
+}
+
+FactorAssignment
+sampleAssignment(const FactorPool& pool, const ArchSpec& arch, Rng& rng,
+                 double spatial_prob)
+{
+    FactorAssignment assignment;
+    assignment.level.resize(static_cast<std::size_t>(pool.size()));
+    assignment.spatial.resize(static_cast<std::size_t>(pool.size()));
+    for (int f = 0; f < pool.size(); ++f) {
+        const int level =
+            static_cast<int>(rng.nextBelow(
+                static_cast<std::uint64_t>(arch.numLevels())));
+        assignment.level[f] = level;
+        assignment.spatial[f] = arch.spatialAllowedAt(level) &&
+                                rng.nextDouble() < spatial_prob;
+    }
+    return assignment;
+}
+
+void
+shuffleLoopOrders(Mapping& mapping, Rng& rng)
+{
+    for (auto& level : mapping.levels)
+        rng.shuffle(level);
+}
+
+std::vector<Mapping>
+permuteLevel(const Mapping& mapping, int level, int max_perms)
+{
+    std::vector<Mapping> result;
+    COSA_ASSERT(level >= 0 &&
+                level < static_cast<int>(mapping.levels.size()));
+    Mapping base = mapping;
+    auto& loops = base.levels[static_cast<std::size_t>(level)];
+    std::sort(loops.begin(), loops.end(), [](const Loop& a, const Loop& b) {
+        if (a.dim != b.dim)
+            return dimIndex(a.dim) < dimIndex(b.dim);
+        if (a.bound != b.bound)
+            return a.bound < b.bound;
+        return a.spatial < b.spatial;
+    });
+    do {
+        result.push_back(base);
+        if (static_cast<int>(result.size()) >= max_perms)
+            break;
+    } while (std::next_permutation(
+        loops.begin(), loops.end(), [](const Loop& a, const Loop& b) {
+            if (a.dim != b.dim)
+                return dimIndex(a.dim) < dimIndex(b.dim);
+            if (a.bound != b.bound)
+                return a.bound < b.bound;
+            return a.spatial < b.spatial;
+        }));
+    return result;
+}
+
+} // namespace cosa

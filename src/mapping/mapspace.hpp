@@ -1,0 +1,57 @@
+#pragma once
+
+/**
+ * @file
+ * Mapspace utilities shared by the search-based baselines: random
+ * factorization sampling (the paper's Random scheduler draws uniform
+ * prime-factor allocations), mapping construction from a factor
+ * assignment, and per-level permutation enumeration (the pruned
+ * permutation subspace the Timeloop-Hybrid mapper scans linearly).
+ */
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "mapping/mapping.hpp"
+
+namespace cosa {
+
+/** Assignment of every prime factor to a (level, spatial) slot. */
+struct FactorAssignment
+{
+    std::vector<int> level;       //!< per-factor memory level
+    std::vector<bool> spatial;    //!< per-factor spatial flag
+};
+
+/**
+ * Build a mapping from a factor assignment. Factors of the same
+ * dimension and kind within one level merge into a single loop. The
+ * within-level loop order is canonical (dimension order, spatial loops
+ * first); use permuteLevel() to explore other orders.
+ */
+Mapping buildMapping(const FactorPool& pool,
+                     const FactorAssignment& assignment,
+                     const ArchSpec& arch);
+
+/**
+ * Uniformly sample a factor assignment: each prime factor picks a
+ * uniform level and, where the level supports spatial resources, flips
+ * a coin for spatial execution. No validity bias (paper §IV-B: random
+ * sampling finds ~5 valid schedules out of 20K samples).
+ */
+FactorAssignment sampleAssignment(const FactorPool& pool,
+                                  const ArchSpec& arch, Rng& rng,
+                                  double spatial_prob = 0.35);
+
+/** Randomly permute the loop order within every level of @p mapping. */
+void shuffleLoopOrders(Mapping& mapping, Rng& rng);
+
+/**
+ * All permutations of the loops at @p level, capped at @p max_perms
+ * (superfluous permutations of unit loops are already pruned away by
+ * buildMapping's unit-loop elision).
+ */
+std::vector<Mapping> permuteLevel(const Mapping& mapping, int level,
+                                  int max_perms);
+
+} // namespace cosa

@@ -1,0 +1,190 @@
+#include "model/analytical_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+AnalyticalModel::AnalyticalModel(const LayerSpec& layer, const ArchSpec& arch)
+    : layer_(layer), arch_(arch)
+{
+    arch_.validate();
+}
+
+std::vector<int>
+AnalyticalModel::tensorPath(Tensor t) const
+{
+    std::vector<int> path;
+    for (int i = 0; i < arch_.numLevels(); ++i) {
+        if (arch_.levels[i].storesTensor(t))
+            path.push_back(i);
+    }
+    return path;
+}
+
+double
+AnalyticalModel::reuseRounds(const Mapping& mapping, Tensor t, int level)
+{
+    // Walk the loop nest from just above `level` to the outermost loop,
+    // inner to outer. A temporal loop multiplies the refetch count once
+    // any relevant loop has been seen at or inside it.
+    double rounds = 1.0;
+    bool seen_relevant = false;
+    for (int i = level + 1; i < static_cast<int>(mapping.levels.size());
+         ++i) {
+        const auto& loops = mapping.levels[static_cast<std::size_t>(i)];
+        for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
+            if (it->spatial)
+                continue; // spatial loops do not iterate in time
+            if (dimRelatesToTensor(it->dim, t))
+                seen_relevant = true;
+            if (seen_relevant)
+                rounds *= static_cast<double>(it->bound);
+        }
+    }
+    return rounds;
+}
+
+namespace {
+
+/** Product of spatial bounds at levels in (child, parent],
+ *  optionally restricted to loops relevant to @p t. */
+double
+spatialWindowProduct(const Mapping& mapping, int child, int parent,
+                     Tensor t, bool relevant_only)
+{
+    double prod = 1.0;
+    for (int i = child + 1;
+         i <= parent && i < static_cast<int>(mapping.levels.size()); ++i) {
+        for (const Loop& loop : mapping.levels[static_cast<std::size_t>(i)]) {
+            if (!loop.spatial)
+                continue;
+            if (relevant_only && !dimRelatesToTensor(loop.dim, t))
+                continue;
+            prod *= static_cast<double>(loop.bound);
+        }
+    }
+    return prod;
+}
+
+} // namespace
+
+Evaluation
+AnalyticalModel::evaluate(const Mapping& mapping) const
+{
+    Evaluation ev;
+    const ValidationResult vr = validateMapping(mapping, layer_, arch_);
+    if (!vr.valid) {
+        ev.invalid_reason = vr.reason;
+        return ev;
+    }
+    ev.valid = true;
+
+    const int num_levels = arch_.numLevels();
+    ev.reads_bytes.assign(static_cast<std::size_t>(num_levels), 0.0);
+    ev.writes_bytes.assign(static_cast<std::size_t>(num_levels), 0.0);
+    ev.level_cycles.assign(static_cast<std::size_t>(num_levels), 0.0);
+    ev.level_energy_pj.assign(static_cast<std::size_t>(num_levels), 0.0);
+
+    TileAnalysis tiles(mapping, layer_, arch_);
+
+    // --- Data movement per tensor over its buffer path. ---
+    for (Tensor t : kAllTensors) {
+        const std::vector<int> path = tensorPath(t);
+        const bool is_output = t == Tensor::Outputs;
+        for (std::size_t pi = 0; pi + 1 < path.size(); ++pi) {
+            const int child = path[pi];
+            const int parent = path[pi + 1];
+            const double tile_bytes = tiles.tileBytes(t, child);
+            const double rounds = reuseRounds(mapping, t, child);
+            const double child_inst = static_cast<double>(
+                mapping.instancesOfLevel(child));
+
+            const double fills = tile_bytes * rounds * child_inst;
+            if (!is_output) {
+                // Parent -> children. Multicast dedup applies when the
+                // transfer crosses the NoC boundary or leaves DRAM.
+                const bool dedup = parent >= arch_.noc_level;
+                double reads_from_parent = fills;
+                if (dedup) {
+                    const double total = spatialWindowProduct(
+                        mapping, child, parent, t, false);
+                    const double unique = spatialWindowProduct(
+                        mapping, child, parent, t, true);
+                    reads_from_parent = fills * unique / total;
+                }
+                ev.writes_bytes[static_cast<std::size_t>(child)] += fills;
+                ev.reads_bytes[static_cast<std::size_t>(parent)] +=
+                    reads_from_parent;
+                if (child < arch_.noc_level && parent >= arch_.noc_level)
+                    ev.noc_bytes += reads_from_parent;
+            } else {
+                // Outputs: partial sums stream up every round and are
+                // read back for accumulation on all but the first round.
+                const double updates_up = fills;
+                const double reads_back = tile_bytes * (rounds - 1.0) *
+                                          child_inst;
+                ev.reads_bytes[static_cast<std::size_t>(child)] += updates_up;
+                ev.writes_bytes[static_cast<std::size_t>(parent)] +=
+                    updates_up;
+                ev.reads_bytes[static_cast<std::size_t>(parent)] +=
+                    reads_back;
+                ev.writes_bytes[static_cast<std::size_t>(child)] +=
+                    reads_back;
+                if (child < arch_.noc_level && parent >= arch_.noc_level)
+                    ev.noc_bytes += updates_up + reads_back;
+            }
+        }
+    }
+
+    // --- Compute and MAC-side register traffic. ---
+    double macs = 1.0;
+    for (Dim d : kAllDims)
+        macs *= static_cast<double>(mapping.totalBound(d));
+    ev.total_macs = static_cast<std::int64_t>(macs);
+    ev.compute_cycles = static_cast<double>(mapping.temporalProduct());
+
+    const double operand_bytes = arch_.tensorBytes(Tensor::Weights) +
+                                 arch_.tensorBytes(Tensor::Inputs) +
+                                 2.0 * arch_.tensorBytes(Tensor::Outputs);
+    ev.reads_bytes[0] += macs * operand_bytes;
+
+    // --- Per-level cycles and energy. ---
+    for (int i = 0; i < num_levels; ++i) {
+        const double bytes = ev.reads_bytes[static_cast<std::size_t>(i)] +
+                             ev.writes_bytes[static_cast<std::size_t>(i)];
+        const double inst =
+            static_cast<double>(mapping.instancesOfLevel(i));
+        ev.level_cycles[static_cast<std::size_t>(i)] =
+            bytes / (arch_.levels[i].bandwidth_bytes_per_cycle * inst);
+        ev.level_energy_pj[static_cast<std::size_t>(i)] =
+            bytes * arch_.levels[i].energy_pj_per_byte;
+        ev.memory_cycles = std::max(
+            ev.memory_cycles, ev.level_cycles[static_cast<std::size_t>(i)]);
+        ev.energy_pj += ev.level_energy_pj[static_cast<std::size_t>(i)];
+    }
+    ev.dram_bytes =
+        ev.reads_bytes[static_cast<std::size_t>(num_levels - 1)] +
+        ev.writes_bytes[static_cast<std::size_t>(num_levels - 1)];
+
+    ev.mac_energy_pj = macs * arch_.mac_energy_pj;
+    const double avg_hops = 0.5 * (arch_.noc_x + arch_.noc_y);
+    ev.noc_energy_pj =
+        ev.noc_bytes * avg_hops * arch_.noc_hop_energy_pj_per_byte;
+    ev.energy_pj += ev.mac_energy_pj + ev.noc_energy_pj;
+
+    ev.cycles = std::max(ev.compute_cycles, ev.memory_cycles);
+
+    double used_lanes = 1.0, avail_lanes = 1.0;
+    for (const auto& group : arch_.spatial_groups) {
+        used_lanes *=
+            static_cast<double>(mapping.spatialProductInGroup(group));
+        avail_lanes *= static_cast<double>(group.fanout);
+    }
+    ev.spatial_utilization = used_lanes / avail_lanes;
+    return ev;
+}
+
+} // namespace cosa

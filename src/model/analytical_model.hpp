@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Timeloop-style analytical performance and energy model (paper §IV-A).
+ *
+ * Modeling assumptions, matching the paper's description of Timeloop:
+ *  - latency = max(per-lane compute cycles, per-level memory cycles),
+ *    i.e. perfect latency hiding with double buffering;
+ *  - access counts derive from tile footprints and an inner-to-outer
+ *    reuse walk (a tile is refetched once per iteration of every loop at
+ *    or outside its innermost *relevant* loop);
+ *  - energy = sum over components of accesses x energy-per-access, plus
+ *    MAC and estimated NoC hop energy;
+ *  - multicast dedup applies to read traffic that crosses the NoC or
+ *    leaves DRAM: spatially replicated (tensor-irrelevant) destinations
+ *    receive one multicast payload.
+ */
+
+#include <array>
+#include <string>
+#include <vector>
+
+#include "mapping/mapping.hpp"
+
+namespace cosa {
+
+/** Full evaluation of one mapping. */
+struct Evaluation
+{
+    bool valid = false;
+    std::string invalid_reason;
+
+    double compute_cycles = 0.0;  //!< per-lane MAC cycles
+    double memory_cycles = 0.0;   //!< slowest memory level
+    double cycles = 0.0;          //!< max of the two
+    double energy_pj = 0.0;
+
+    /** Per-level byte counters (index = memory level). */
+    std::vector<double> reads_bytes;
+    std::vector<double> writes_bytes;
+    std::vector<double> level_cycles;
+    std::vector<double> level_energy_pj;
+
+    double mac_energy_pj = 0.0;
+    double noc_energy_pj = 0.0;
+    double noc_bytes = 0.0;   //!< unique bytes crossing the NoC boundary
+    double dram_bytes = 0.0;  //!< bytes read from + written to DRAM
+    double spatial_utilization = 0.0; //!< used lanes / available lanes
+    std::int64_t total_macs = 0;
+
+    /** Energy-delay product, a common composite metric. */
+    double edp() const { return energy_pj * cycles; }
+};
+
+/**
+ * Analytical evaluator bound to one (layer, architecture) pair.
+ * Thread-safe: evaluate() is const and reentrant.
+ */
+class AnalyticalModel
+{
+  public:
+    AnalyticalModel(const LayerSpec& layer, const ArchSpec& arch);
+
+    /** Validate and evaluate @p mapping. Invalid mappings return
+     *  valid=false with a diagnostic reason and no metrics. */
+    Evaluation evaluate(const Mapping& mapping) const;
+
+    /**
+     * Refetch multiplier for tensor @p t's tile at @p level: the product
+     * of temporal loop bounds at or outside the innermost relevant loop
+     * above @p level (public because the NoC traffic generator shares
+     * this reuse analysis).
+     */
+    static double reuseRounds(const Mapping& mapping, Tensor t, int level);
+
+    const LayerSpec& layer() const { return layer_; }
+    const ArchSpec& arch() const { return arch_; }
+
+  private:
+    LayerSpec layer_;
+    ArchSpec arch_;
+
+    /** Levels storing @p t, ascending (the tensor's buffer path). */
+    std::vector<int> tensorPath(Tensor t) const;
+};
+
+} // namespace cosa

@@ -1,0 +1,239 @@
+#include "noc/mesh_noc.hpp"
+
+#include <algorithm>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+MeshNoc::MeshNoc(NocConfig config) : config_(std::move(config))
+{
+    COSA_ASSERT(config_.nx >= 1 && config_.ny >= 1);
+    COSA_ASSERT(numNodes() <= 64, "dest_mask supports up to 64 nodes");
+    routers_.resize(static_cast<std::size_t>(numNodes()));
+}
+
+bool
+MeshNoc::ioCanAccept() const
+{
+    return static_cast<int>(routers_[0].in[kIo].size()) <
+           config_.input_buffer_packets;
+}
+
+void
+MeshNoc::injectFromIo(NocPacket packet)
+{
+    COSA_ASSERT(ioCanAccept(), "IO injection without flow control");
+    packet.src = kIoNode;
+    routers_[0].in[kIo].push_back(
+        {packet, cycle_ + static_cast<std::uint64_t>(packet.flits()),
+         cycle_});
+    ++stats_.packets_injected;
+    ++in_flight_;
+}
+
+bool
+MeshNoc::nodeCanAccept(int node) const
+{
+    return static_cast<int>(
+               routers_[static_cast<std::size_t>(node)].in[kLocal].size()) <
+           config_.input_buffer_packets;
+}
+
+void
+MeshNoc::injectFromNode(int node, NocPacket packet)
+{
+    COSA_ASSERT(nodeCanAccept(node), "node injection without flow control");
+    packet.src = node;
+    routers_[static_cast<std::size_t>(node)].in[kLocal].push_back(
+        {packet, cycle_ + static_cast<std::uint64_t>(packet.flits()),
+         cycle_});
+    ++stats_.packets_injected;
+    ++in_flight_;
+}
+
+void
+MeshNoc::routeMask(int node, const NocPacket& packet,
+                   std::uint64_t out_masks[kNumPorts], bool* io_here) const
+{
+    for (int p = 0; p < kNumPorts; ++p)
+        out_masks[p] = 0;
+    *io_here = false;
+
+    if (packet.to_io) {
+        // X-Y route toward node 0, then out the IO port.
+        if (node == 0) {
+            *io_here = true;
+        } else if (nodeX(node) > 0) {
+            out_masks[kWest] = 1; // non-zero marker; mask unused for io
+        } else {
+            out_masks[kNorth] = 1;
+        }
+        return;
+    }
+
+    const int x = nodeX(node);
+    const int y = nodeY(node);
+    std::uint64_t mask = packet.dest_mask;
+    while (mask) {
+        const int dest = __builtin_ctzll(mask);
+        mask &= mask - 1;
+        const int dx = nodeX(dest);
+        const int dy = nodeY(dest);
+        Port port;
+        if (dx > x)
+            port = kEast;
+        else if (dx < x)
+            port = kWest;
+        else if (dy > y)
+            port = kSouth;
+        else if (dy < y)
+            port = kNorth;
+        else
+            port = kLocal;
+        out_masks[port] |= (1ULL << dest);
+    }
+}
+
+bool
+MeshNoc::hasBufferRoom(int node, Port in_port) const
+{
+    return static_cast<int>(routers_[static_cast<std::size_t>(node)]
+                                .in[in_port]
+                                .size()) < config_.input_buffer_packets;
+}
+
+void
+MeshNoc::forwardFrom(int node, Port in_port)
+{
+    Router& router = routers_[static_cast<std::size_t>(node)];
+    auto& queue = router.in[in_port];
+    if (queue.empty())
+        return;
+    InFlight& head = queue.front();
+    if (cycle_ < head.ready_at)
+        return; // still being received (cut-through tail)
+
+    std::uint64_t out_masks[kNumPorts];
+    bool io_here = false;
+    routeMask(node, head.packet, out_masks, &io_here);
+
+    // Local / IO ejection first (no link contention).
+    if (io_here) {
+        if (io_deliver_)
+            io_deliver_(head.packet);
+        ++stats_.packets_delivered;
+        latency_accum_ +=
+            static_cast<double>(cycle_ - head.injected_at);
+        --in_flight_;
+        queue.pop_front();
+        return;
+    }
+    if (out_masks[kLocal]) {
+        if (deliver_)
+            deliver_(node, head.packet);
+        ++stats_.packets_delivered;
+        latency_accum_ +=
+            static_cast<double>(cycle_ - head.injected_at);
+        out_masks[kLocal] = 0;
+    }
+
+    // All remaining branches must be able to move this cycle; a
+    // synchronous fork keeps multicast copies consistent (the paper's
+    // router replicates flits at branch points the same way).
+    struct Branch
+    {
+        Port out;
+        int next;
+        Port next_in;
+        std::uint64_t mask;
+    };
+    Branch branches[kNumPorts];
+    int num_branches = 0;
+    for (int p = 0; p < kNumPorts; ++p) {
+        if (!out_masks[p])
+            continue;
+        int next = node;
+        Port next_in = kNumPorts;
+        switch (static_cast<Port>(p)) {
+          case kEast:
+            next = node + 1;
+            next_in = kWest;
+            break;
+          case kWest:
+            next = node - 1;
+            next_in = kEast;
+            break;
+          case kSouth:
+            next = node + config_.nx;
+            next_in = kNorth;
+            break;
+          case kNorth:
+            next = node - config_.nx;
+            next_in = kSouth;
+            break;
+          default:
+            continue;
+        }
+        branches[num_branches++] = {static_cast<Port>(p), next, next_in,
+                                    out_masks[p]};
+    }
+    if (num_branches == 0) {
+        // Fully delivered locally.
+        --in_flight_;
+        queue.pop_front();
+        return;
+    }
+    for (int b = 0; b < num_branches; ++b) {
+        if (cycle_ < router.out_busy_until[branches[b].out] ||
+            !hasBufferRoom(branches[b].next, branches[b].next_in))
+            return; // stall until every branch can advance
+    }
+    const auto flits = static_cast<std::uint64_t>(head.packet.flits());
+    for (int b = 0; b < num_branches; ++b) {
+        const Branch& branch = branches[b];
+        router.out_busy_until[branch.out] = cycle_ + flits;
+        NocPacket copy = head.packet;
+        copy.dest_mask = branch.mask;
+        routers_[static_cast<std::size_t>(branch.next)]
+            .in[branch.next_in]
+            .push_back({copy,
+                        cycle_ + flits +
+                            static_cast<std::uint64_t>(
+                                config_.router_latency),
+                        head.injected_at});
+        stats_.flit_hops += head.packet.flits();
+        ++in_flight_;
+    }
+    if (num_branches > 1)
+        stats_.multicast_forks += num_branches - 1;
+    --in_flight_;
+    queue.pop_front();
+}
+
+void
+MeshNoc::tick()
+{
+    ++cycle_;
+    // Round-robin-ish service: rotate the starting port with the cycle
+    // to avoid systematic starvation.
+    for (int node = 0; node < numNodes(); ++node) {
+        for (int p = 0; p < kNumPorts; ++p) {
+            const int port =
+                (p + static_cast<int>(cycle_)) % kNumPorts;
+            forwardFrom(node, static_cast<Port>(port));
+        }
+    }
+    if (stats_.packets_delivered > 0) {
+        stats_.avg_packet_latency =
+            latency_accum_ / static_cast<double>(stats_.packets_delivered);
+    }
+}
+
+bool
+MeshNoc::idle() const
+{
+    return in_flight_ == 0;
+}
+
+} // namespace cosa

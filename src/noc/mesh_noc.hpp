@@ -1,0 +1,145 @@
+#pragma once
+
+/**
+ * @file
+ * Cycle-driven 2-D mesh network-on-chip in the spirit of the paper's
+ * Matchlib-based simulator: dimension-ordered (X-Y) routing, hardware
+ * multicast via tree forking at branch routers, credit-limited input
+ * buffers, and per-link flit serialization.
+ *
+ * Switching granularity is virtual cut-through at packet level: a
+ * packet occupies a link for (header + payload flits) cycles and can
+ * only advance when the downstream buffer has room for the whole
+ * packet. Relative to the paper's wormhole router this is slightly
+ * optimistic about buffer usage but carries the same bandwidth,
+ * serialization and congestion behaviour, which is what differentiates
+ * schedules (multicast vs unicast vs reduction traffic).
+ *
+ * Node 0 additionally hosts the IO port where the global buffer and
+ * DRAM inject and collect packets (the paper's GB-to-mesh attachment).
+ */
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace cosa {
+
+/** Mesh and router parameters (paper Table V: 4x4, 64b flits). */
+struct NocConfig
+{
+    int nx = 4;
+    int ny = 4;
+    int flit_bytes = 8;        //!< 64-bit flits
+    int max_packet_flits = 64; //!< larger transfers are segmented
+    int input_buffer_packets = 4;
+    int router_latency = 1;    //!< per-hop pipeline latency
+};
+
+/** One (possibly multicast) packet. */
+struct NocPacket
+{
+    std::uint64_t id = 0;
+    int src = -1;                //!< node id, or kIoNode
+    std::uint64_t dest_mask = 0; //!< bit i = deliver to node i
+    bool to_io = false;          //!< destination is the IO port
+    int payload_flits = 1;
+    std::uint64_t tag = 0;       //!< caller-defined bookkeeping
+
+    int flits() const { return payload_flits + 1; } // + header
+};
+
+/** Aggregate NoC statistics. */
+struct NocStats
+{
+    std::int64_t packets_injected = 0;
+    std::int64_t packets_delivered = 0; //!< per destination copy
+    std::int64_t flit_hops = 0;
+    std::int64_t multicast_forks = 0;
+    double avg_packet_latency = 0.0;
+};
+
+/**
+ * The mesh. Delivery is reported through callbacks invoked during
+ * tick(); injection is flow-controlled through the *CanAccept probes.
+ */
+class MeshNoc
+{
+  public:
+    /** Pseudo node id for the IO (GB/DRAM) port attached at node 0. */
+    static constexpr int kIoNode = -2;
+
+    using DeliverCallback =
+        std::function<void(int node, const NocPacket&)>;
+    using IoDeliverCallback = std::function<void(const NocPacket&)>;
+
+    explicit MeshNoc(NocConfig config = {});
+
+    int numNodes() const { return config_.nx * config_.ny; }
+
+    /** True when the IO injection queue can take another packet. */
+    bool ioCanAccept() const;
+
+    /** Inject from the IO port (GB/DRAM side). */
+    void injectFromIo(NocPacket packet);
+
+    /** True when node @p node can inject another packet. */
+    bool nodeCanAccept(int node) const;
+
+    /** Inject from a PE. */
+    void injectFromNode(int node, NocPacket packet);
+
+    /** Advance one cycle. */
+    void tick();
+
+    /** True when no packet is anywhere in flight. */
+    bool idle() const;
+
+    void setDeliverCallback(DeliverCallback cb) { deliver_ = std::move(cb); }
+    void setIoDeliverCallback(IoDeliverCallback cb)
+    {
+        io_deliver_ = std::move(cb);
+    }
+
+    const NocStats& stats() const { return stats_; }
+    std::uint64_t now() const { return cycle_; }
+
+  private:
+    /** Router ports in fixed order. */
+    enum Port { kNorth = 0, kSouth, kEast, kWest, kLocal, kIo, kNumPorts };
+
+    struct InFlight
+    {
+        NocPacket packet;
+        std::uint64_t ready_at = 0;   //!< fully received at this router
+        std::uint64_t injected_at = 0;
+    };
+    struct Router
+    {
+        std::deque<InFlight> in[kNumPorts];
+        std::uint64_t out_busy_until[kNumPorts] = {};
+    };
+
+    NocConfig config_;
+    std::vector<Router> routers_;
+    DeliverCallback deliver_;
+    IoDeliverCallback io_deliver_;
+    NocStats stats_;
+    std::uint64_t cycle_ = 0;
+    std::int64_t in_flight_ = 0;
+    double latency_accum_ = 0.0;
+
+    int nodeX(int node) const { return node % config_.nx; }
+    int nodeY(int node) const { return node / config_.nx; }
+
+    /** Split @p mask into per-output-port submasks at router @p node
+     *  (X-Y multicast tree); to_io routes toward node 0 then kIo. */
+    void routeMask(int node, const NocPacket& packet,
+                   std::uint64_t out_masks[kNumPorts], bool* io_here) const;
+
+    bool hasBufferRoom(int node, Port in_port) const;
+    void forwardFrom(int node, Port in_port);
+};
+
+} // namespace cosa

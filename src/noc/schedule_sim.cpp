@@ -1,0 +1,475 @@
+#include "noc/schedule_sim.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+
+namespace cosa {
+
+namespace {
+
+/** One loop of the outer (NoC-visible) iteration space. */
+struct OuterLoop
+{
+    Dim dim;
+    std::int64_t bound;
+};
+
+} // namespace
+
+ScheduleSimulator::ScheduleSimulator(const LayerSpec& layer,
+                                     const ArchSpec& arch,
+                                     ScheduleSimConfig config)
+    : layer_(layer), arch_(arch), config_(std::move(config))
+{
+    config_.noc.nx = arch_.noc_x;
+    config_.noc.ny = arch_.noc_y;
+    arch_.validate();
+}
+
+SimResult
+ScheduleSimulator::simulate(const Mapping& mapping) const
+{
+    SimResult result;
+    const ValidationResult vr = validateMapping(mapping, layer_, arch_);
+    if (!vr.valid) {
+        result.error = vr.reason;
+        return result;
+    }
+
+    const int noc_level = arch_.noc_level;
+    const int num_levels = arch_.numLevels();
+
+    // ---- Outer loop nest: DRAM first (outermost), then GB order. ----
+    std::vector<OuterLoop> outer;
+    std::size_t num_dram_loops = 0;
+    for (int i = num_levels - 1; i >= noc_level; --i) {
+        for (const Loop& loop :
+             mapping.levels[static_cast<std::size_t>(i)]) {
+            if (!loop.spatial && loop.bound > 1) {
+                outer.push_back({loop.dim, loop.bound});
+                if (i == num_levels - 1)
+                    ++num_dram_loops;
+            }
+        }
+    }
+    std::int64_t total_iters = 1;
+    for (const OuterLoop& loop : outer)
+        total_iters *= loop.bound;
+    result.outer_iterations = total_iters;
+
+    // ---- Spatial PE assignment from the NoC-level spatial loops. ----
+    std::vector<Loop> spatial_loops;
+    for (const Loop& loop :
+         mapping.levels[static_cast<std::size_t>(noc_level)]) {
+        if (loop.spatial && loop.bound > 1)
+            spatial_loops.push_back(loop);
+    }
+    std::int64_t num_active_pes = 1;
+    for (const Loop& loop : spatial_loops)
+        num_active_pes *= loop.bound;
+    COSA_ASSERT(num_active_pes <= 64);
+
+    // Destination groups per tensor: PEs sharing every relevant spatial
+    // coordinate receive identical data (one multicast mask per group).
+    std::vector<std::uint64_t> groups[kNumTensors];
+    {
+        std::vector<std::int64_t> key_of_pe(
+            static_cast<std::size_t>(num_active_pes));
+        for (Tensor t : kAllTensors) {
+            std::vector<std::int64_t> idx(spatial_loops.size(), 0);
+            for (std::int64_t pe = 0; pe < num_active_pes; ++pe) {
+                std::int64_t key = 0;
+                for (std::size_t l = 0; l < spatial_loops.size(); ++l) {
+                    if (dimRelatesToTensor(spatial_loops[l].dim, t)) {
+                        key = key * (spatial_loops[l].bound + 1) +
+                              idx[l] + 1;
+                    }
+                }
+                key_of_pe[static_cast<std::size_t>(pe)] = key;
+                for (std::size_t l = spatial_loops.size(); l-- > 0;) {
+                    if (++idx[l] < spatial_loops[l].bound)
+                        break;
+                    idx[l] = 0;
+                }
+            }
+            std::vector<std::int64_t> keys = key_of_pe;
+            std::sort(keys.begin(), keys.end());
+            keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+            for (std::int64_t key : keys) {
+                std::uint64_t mask = 0;
+                for (std::int64_t pe = 0; pe < num_active_pes; ++pe) {
+                    if (key_of_pe[static_cast<std::size_t>(pe)] == key)
+                        mask |= 1ULL << pe;
+                }
+                groups[tensorIndex(t)].push_back(mask);
+            }
+        }
+    }
+
+    // ---- Tile sizes and compute work. ----
+    TileAnalysis tiles(mapping, layer_, arch_);
+    double tile_bytes[kNumTensors];
+    for (Tensor t : kAllTensors)
+        tile_bytes[tensorIndex(t)] = tiles.tileBytes(t, arch_.homeLevel(t));
+    std::int64_t compute_per_iter = 1;
+    for (int i = 0; i < noc_level; ++i) {
+        for (const Loop& loop :
+             mapping.levels[static_cast<std::size_t>(i)]) {
+            if (!loop.spatial)
+                compute_per_iter *= loop.bound;
+        }
+    }
+    result.compute_cycles_per_iter = compute_per_iter;
+    const double gb_input_tile_bytes =
+        tiles.tileBytes(Tensor::Inputs, noc_level);
+
+    // ---- Sampling: schedules with astronomically many outer
+    // iterations (e.g. random all-at-DRAM ones) are simulated for a
+    // representative prefix and extrapolated linearly. The prefix is
+    // periodic in the loop nest, so per-iteration behaviour repeats.
+    const std::int64_t sim_iters =
+        std::min<std::int64_t>(total_iters, config_.sample_iterations);
+    const double extrapolation =
+        static_cast<double>(total_iters) /
+        static_cast<double>(std::max<std::int64_t>(sim_iters, 1));
+
+    // ---- Per-iteration refetch plans: rolling ring over a lazy
+    // odometer (the full table would not fit for huge nests). ----
+    struct IterPlan
+    {
+        bool fetch_weights = false;
+        bool fetch_inputs = false;
+        bool gb_input_fill = false;
+        bool output_changes = false;
+    };
+    const int plan_ring_size = config_.prefetch_window + 4;
+    std::vector<IterPlan> plan_ring(
+        static_cast<std::size_t>(plan_ring_size));
+    std::vector<std::int64_t> plan_odo(outer.size(), 0);
+    std::int64_t plan_meta_through = -1;
+    auto compute_next_plan = [&]() {
+        const std::int64_t it = ++plan_meta_through;
+        std::size_t pos = 0;
+        if (it > 0) {
+            for (std::size_t l = outer.size(); l-- > 0;) {
+                if (++plan_odo[l] < outer[l].bound) {
+                    pos = l;
+                    break;
+                }
+                plan_odo[l] = 0;
+            }
+        }
+        auto changed_relevant = [&](Tensor t) {
+            if (it == 0)
+                return true;
+            for (std::size_t l = pos; l < outer.size(); ++l) {
+                if (dimRelatesToTensor(outer[l].dim, t))
+                    return true;
+            }
+            return false;
+        };
+        IterPlan plan;
+        plan.fetch_weights = changed_relevant(Tensor::Weights);
+        plan.fetch_inputs = changed_relevant(Tensor::Inputs);
+        plan.output_changes = changed_relevant(Tensor::Outputs);
+        plan.gb_input_fill = it == 0;
+        if (it > 0 && pos < num_dram_loops) {
+            for (std::size_t l = pos; l < num_dram_loops; ++l) {
+                if (dimRelatesToTensor(outer[l].dim, Tensor::Inputs))
+                    plan.gb_input_fill = true;
+            }
+        }
+        plan_ring[static_cast<std::size_t>(it % plan_ring_size)] = plan;
+    };
+    auto plan_at = [&](std::int64_t it) -> const IterPlan& {
+        COSA_ASSERT(it <= plan_meta_through &&
+                    it > plan_meta_through - plan_ring_size);
+        return plan_ring[static_cast<std::size_t>(it % plan_ring_size)];
+    };
+
+    // ---- Engines and bookkeeping. ----
+    MeshNoc noc(config_.noc);
+    DramModel dram(config_.dram);
+    const int flit_bytes = config_.noc.flit_bytes;
+    auto segments_for = [&](double bytes) {
+        const auto flits = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::ceil(bytes / flit_bytes)));
+        return ceilDiv(flits, config_.noc.max_packet_flits);
+    };
+    auto seg_flits = [&](double bytes, std::int64_t seg,
+                         std::int64_t segs) {
+        const auto total = std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(std::ceil(bytes / flit_bytes)));
+        return static_cast<int>(total / segs + (seg < total % segs));
+    };
+
+    struct IoPacket
+    {
+        NocPacket packet;
+        bool dram_backed = false; //!< must wait for one DRAM burst
+        bool issued = false;
+        bool ready = false;
+    };
+    std::deque<IoPacket> io_queue;
+    std::uint64_t dram_addr = 0;
+    std::int64_t outstanding_drains = 0;
+
+    // Per-(window slot, pe) expected packet counters.
+    const int window = config_.prefetch_window + 2;
+    std::vector<std::vector<int>> expected(
+        static_cast<std::size_t>(window),
+        std::vector<int>(static_cast<std::size_t>(num_active_pes), 0));
+    auto slot_of = [&](std::int64_t it) {
+        return static_cast<std::size_t>(it % window);
+    };
+
+    auto enqueue_iteration = [&](std::int64_t it) {
+        while (plan_meta_through < it + 1)
+            compute_next_plan();
+        const IterPlan& plan = plan_at(it);
+        auto& expect = expected[slot_of(it)];
+        std::fill(expect.begin(), expect.end(), 0);
+        auto emit = [&](Tensor t, bool dram_backed) {
+            const double bytes = tile_bytes[tensorIndex(t)];
+            const std::int64_t segs = segments_for(bytes);
+            for (std::uint64_t mask : groups[tensorIndex(t)]) {
+                for (std::int64_t s = 0; s < segs; ++s) {
+                    NocPacket p;
+                    p.dest_mask = mask;
+                    p.payload_flits = seg_flits(bytes, s, segs);
+                    p.tag = static_cast<std::uint64_t>(it);
+                    io_queue.push_back({p, dram_backed, false, false});
+                    for (std::int64_t pe = 0; pe < num_active_pes; ++pe) {
+                        if (mask & (1ULL << pe))
+                            ++expect[static_cast<std::size_t>(pe)];
+                    }
+                }
+            }
+        };
+        if (plan.fetch_weights)
+            emit(Tensor::Weights, /*dram_backed=*/true);
+        if (plan.fetch_inputs) {
+            emit(Tensor::Inputs, /*dram_backed=*/false);
+            if (plan.gb_input_fill) {
+                // Charge the DRAM for refilling the GB input tile.
+                const auto bursts = std::max<std::int64_t>(
+                    1, static_cast<std::int64_t>(
+                           std::ceil(gb_input_tile_bytes /
+                                     config_.dram.burst_bytes)));
+                for (std::int64_t b = 0; b < bursts; ++b) {
+                    if (dram.canAccept(dram_addr))
+                        dram.enqueue({dram_addr, false, 0});
+                    dram_addr += static_cast<std::uint64_t>(
+                        config_.dram.burst_bytes);
+                }
+            }
+        }
+        // Iterations with no transfers at all still need a go signal;
+        // mark them immediately arrived via a zero count (handled by
+        // the PE scheduler below).
+    };
+
+    dram.setCallback([&](const DramRequest& req) {
+        if (req.payload_id == 1) {
+            for (auto& entry : io_queue) {
+                if (entry.dram_backed && entry.issued && !entry.ready) {
+                    entry.ready = true;
+                    break;
+                }
+            }
+        }
+    });
+
+    // Per-PE state machines.
+    struct PeState
+    {
+        std::int64_t arrived_through = -1; //!< all iters <= this arrived
+        std::int64_t computing = -1;
+        std::int64_t computed_through = -1;
+        std::uint64_t compute_done_at = 0;
+        std::int64_t busy_cycles = 0;
+        std::int64_t drains_pending = 0;
+    };
+    std::vector<PeState> pes(static_cast<std::size_t>(num_active_pes));
+
+    noc.setDeliverCallback([&](int node, const NocPacket& packet) {
+        auto& expect = expected[slot_of(
+            static_cast<std::int64_t>(packet.tag))];
+        --expect[static_cast<std::size_t>(node)];
+    });
+    noc.setIoDeliverCallback([&](const NocPacket& packet) {
+        (void)packet;
+        const auto bursts = std::max<std::int64_t>(
+            1, packet.payload_flits * flit_bytes /
+                   config_.dram.burst_bytes);
+        for (std::int64_t b = 0; b < bursts; ++b) {
+            if (dram.canAccept(dram_addr))
+                dram.enqueue({dram_addr, true, 0});
+            dram_addr +=
+                static_cast<std::uint64_t>(config_.dram.burst_bytes);
+        }
+        --outstanding_drains;
+    });
+
+    const double out_bytes = tile_bytes[tensorIndex(Tensor::Outputs)];
+    std::int64_t planned_through = -1;
+    std::int64_t completed_iters = 0; // min over PEs of computed_through+1
+    std::uint64_t cycle = 0;
+
+    std::int64_t last_progress_completed = -1;
+    std::uint64_t last_progress_cycle = 0;
+    while (completed_iters < sim_iters || outstanding_drains > 0 ||
+           !noc.idle() || dram.pending() > 0) {
+        if (static_cast<std::int64_t>(cycle) > config_.max_cycles) {
+            result.error = "cycle cap exceeded";
+            return result;
+        }
+        if (completed_iters != last_progress_completed) {
+            last_progress_completed = completed_iters;
+            last_progress_cycle = cycle;
+        } else if (static_cast<std::int64_t>(cycle - last_progress_cycle) >
+                   config_.progress_timeout) {
+            result.error = "simulation stalled (no iteration progress)";
+            return result;
+        }
+
+        // Plan ahead within the double-buffering window.
+        while (planned_through + 1 < sim_iters &&
+               planned_through <
+                   completed_iters + config_.prefetch_window) {
+            enqueue_iteration(++planned_through);
+        }
+
+        // Issue one pending DRAM burst for the oldest weight packet.
+        for (auto& entry : io_queue) {
+            if (entry.dram_backed && !entry.issued) {
+                if (dram.canAccept(dram_addr)) {
+                    dram.enqueue({dram_addr, false, 1});
+                    dram_addr += static_cast<std::uint64_t>(
+                        config_.dram.burst_bytes);
+                    entry.issued = true;
+                }
+                break;
+            }
+        }
+
+        // Inject ready IO packets in order (headline flow control).
+        while (!io_queue.empty() && noc.ioCanAccept()) {
+            IoPacket& front = io_queue.front();
+            if (front.dram_backed && !front.ready)
+                break;
+            noc.injectFromIo(front.packet);
+            io_queue.pop_front();
+        }
+
+        // PE state machines.
+        for (std::int64_t pe_id = 0; pe_id < num_active_pes; ++pe_id) {
+            auto& pe = pes[static_cast<std::size_t>(pe_id)];
+            // Arrival tracking: an iteration is "arrived" once its
+            // expected counter is back to zero and it has been planned.
+            while (pe.arrived_through + 1 <= planned_through &&
+                   expected[slot_of(pe.arrived_through + 1)]
+                           [static_cast<std::size_t>(pe_id)] == 0)
+                ++pe.arrived_through;
+
+            if (pe.computing >= 0) {
+                ++pe.busy_cycles;
+                if (cycle >= pe.compute_done_at) {
+                    pe.computed_through = pe.computing;
+                    // Drain outputs when the finished iteration's output
+                    // tile is replaced next (or the layer ends).
+                    const std::int64_t it = pe.computing;
+                    const bool drains =
+                        it + 1 >= sim_iters ||
+                        plan_at(it + 1).output_changes;
+                    if (drains)
+                        ++pe.drains_pending;
+                    pe.computing = -1;
+                }
+            }
+            // Send pending drains (flow controlled).
+            while (pe.drains_pending > 0 &&
+                   noc.nodeCanAccept(static_cast<int>(pe_id))) {
+                const std::int64_t segs = segments_for(out_bytes);
+                bool sent_all = true;
+                for (std::int64_t s = 0; s < segs; ++s) {
+                    if (!noc.nodeCanAccept(static_cast<int>(pe_id))) {
+                        sent_all = false;
+                        break;
+                    }
+                    NocPacket p;
+                    p.to_io = true;
+                    p.payload_flits = seg_flits(out_bytes, s, segs);
+                    noc.injectFromNode(static_cast<int>(pe_id), p);
+                    ++outstanding_drains;
+                }
+                if (!sent_all)
+                    break;
+                --pe.drains_pending;
+            }
+            if (pe.computing < 0 &&
+                pe.computed_through < pe.arrived_through) {
+                pe.computing = pe.computed_through + 1;
+                pe.compute_done_at =
+                    cycle + static_cast<std::uint64_t>(compute_per_iter);
+            }
+        }
+        std::int64_t min_done = sim_iters;
+        for (const auto& pe : pes)
+            min_done = std::min(min_done, pe.computed_through + 1);
+        completed_iters = min_done;
+
+        noc.tick();
+        dram.tick();
+        ++cycle;
+
+        // Fast-forward pure-compute stretches: when the network and
+        // DRAM are empty and every PE is mid-compute, jump to the next
+        // completion time.
+        if (noc.idle() && dram.pending() == 0 && io_queue.empty()) {
+            std::uint64_t next_event = 0;
+            bool all_computing = num_active_pes > 0;
+            for (const auto& pe : pes) {
+                if (pe.computing < 0 || pe.drains_pending > 0) {
+                    all_computing = false;
+                    break;
+                }
+                next_event = std::max(next_event, pe.compute_done_at);
+            }
+            if (all_computing && next_event > cycle + 1) {
+                std::uint64_t min_next = next_event;
+                for (const auto& pe : pes)
+                    min_next = std::min(min_next, pe.compute_done_at);
+                if (min_next > cycle) {
+                    const std::uint64_t skip = min_next - cycle;
+                    for (auto& pe : pes)
+                        pe.busy_cycles +=
+                            static_cast<std::int64_t>(skip);
+                    cycle = min_next;
+                }
+            }
+        }
+    }
+
+    std::int64_t busy = 0;
+    for (const auto& pe : pes)
+        busy += pe.busy_cycles;
+
+    result.ok = true;
+    result.cycles = static_cast<std::int64_t>(
+        static_cast<double>(cycle) * extrapolation);
+    result.noc = noc.stats();
+    result.dram_reads = dram.totalReads();
+    result.dram_writes = dram.totalWrites();
+    result.pe_busy_fraction =
+        static_cast<double>(busy) /
+        (static_cast<double>(cycle) *
+         static_cast<double>(std::max<std::int64_t>(num_active_pes, 1)));
+    return result;
+}
+
+} // namespace cosa

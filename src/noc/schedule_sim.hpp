@@ -1,0 +1,76 @@
+#pragma once
+
+/**
+ * @file
+ * The paper's second evaluation platform (§IV-A): a transaction-based,
+ * cycle-driven simulation of one layer's schedule on the mesh.
+ *
+ * The mapping's temporal loops at the GlobalBuf and DRAM levels form
+ * the *outer iteration space*. For every outer iteration the simulator
+ * determines, from the same inner-to-outer reuse rule the analytical
+ * model uses, which tensors need fresh tiles:
+ *   - weight tiles stream DRAM -> IO -> PEs (multicast across PEs whose
+ *     spatial coordinates are weight-irrelevant),
+ *   - input tiles stream GB -> PEs (with DRAM fills whenever the
+ *     GB-resident input tile itself changes),
+ *   - output tiles drain PE -> GB (reduction traffic: every PE sends its
+ *     partials) and GB -> DRAM.
+ * PEs compute for the per-iteration temporal work of the sub-NoC levels
+ * and are double buffered: the next iteration's tiles stream while the
+ * current one computes. DRAM timing comes from DramModel; link timing
+ * and congestion from MeshNoc. Idle stretches are fast-forwarded.
+ */
+
+#include "dram/dram_model.hpp"
+#include "mapping/mapping.hpp"
+#include "noc/mesh_noc.hpp"
+
+namespace cosa {
+
+/** Simulator tunables. */
+struct ScheduleSimConfig
+{
+    NocConfig noc;
+    DramConfig dram;
+    /** Outer iterations that may stream ahead of compute (double
+     *  buffering depth). */
+    int prefetch_window = 2;
+    /** Safety cap on simulated cycles. */
+    std::int64_t max_cycles = 200'000'000;
+    /** Outer iterations simulated before linear extrapolation. */
+    std::int64_t sample_iterations = 5'000;
+    /** Watchdog: abort if no iteration completes for this many cycles. */
+    std::int64_t progress_timeout = 3'000'000;
+};
+
+/** Result of one layer simulation. */
+struct SimResult
+{
+    bool ok = false;
+    std::string error;
+    std::int64_t cycles = 0;
+    std::int64_t outer_iterations = 0;
+    std::int64_t compute_cycles_per_iter = 0;
+    NocStats noc;
+    std::int64_t dram_reads = 0;
+    std::int64_t dram_writes = 0;
+    double pe_busy_fraction = 0.0; //!< avg busy cycles / total
+};
+
+/** Cycle-driven schedule simulator for one (layer, arch) pair. */
+class ScheduleSimulator
+{
+  public:
+    ScheduleSimulator(const LayerSpec& layer, const ArchSpec& arch,
+                      ScheduleSimConfig config = {});
+
+    /** Validate and simulate @p mapping end to end. */
+    SimResult simulate(const Mapping& mapping) const;
+
+  private:
+    LayerSpec layer_;
+    ArchSpec arch_;
+    ScheduleSimConfig config_;
+};
+
+} // namespace cosa

@@ -1,0 +1,95 @@
+#pragma once
+
+/**
+ * @file
+ * The seven canonical DNN loop dimensions used throughout CoSA
+ * (paper §III-A1): R/S convolution kernel width/height, P/Q output
+ * width/height, C input channels, K output channels, N batch.
+ */
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace cosa {
+
+/** Loop dimension index; the order matches the paper's notation. */
+enum class Dim : std::uint8_t { R = 0, S, P, Q, C, K, N };
+
+/** Number of problem dimensions. */
+inline constexpr int kNumDims = 7;
+
+/** All dimensions in canonical order. */
+inline constexpr std::array<Dim, kNumDims> kAllDims = {
+    Dim::R, Dim::S, Dim::P, Dim::Q, Dim::C, Dim::K, Dim::N,
+};
+
+/** One-letter name of a dimension. */
+inline const char*
+dimName(Dim d)
+{
+    static constexpr const char* names[kNumDims] = {"R", "S", "P", "Q",
+                                                    "C", "K", "N"};
+    return names[static_cast<int>(d)];
+}
+
+/** Index of a dimension (0..6). */
+inline constexpr int
+dimIndex(Dim d)
+{
+    return static_cast<int>(d);
+}
+
+/** The three data tensors of a convolution / matmul. */
+enum class Tensor : std::uint8_t {
+    Weights = 0,      //!< W  (R, S, C, K)
+    Inputs = 1,       //!< IA (W=f(P,R), H=f(Q,S), C, N)
+    Outputs = 2,      //!< OA (P, Q, K, N)
+};
+
+/** Number of data tensors. */
+inline constexpr int kNumTensors = 3;
+
+/** All tensors in canonical order. */
+inline constexpr std::array<Tensor, kNumTensors> kAllTensors = {
+    Tensor::Weights, Tensor::Inputs, Tensor::Outputs,
+};
+
+/** Short name of a tensor. */
+inline const char*
+tensorName(Tensor t)
+{
+    static constexpr const char* names[kNumTensors] = {"W", "IA", "OA"};
+    return names[static_cast<int>(t)];
+}
+
+/** Index of a tensor (0..2). */
+inline constexpr int
+tensorIndex(Tensor t)
+{
+    return static_cast<int>(t);
+}
+
+/**
+ * The constant binary matrix A of the paper (Table IV, left): which layer
+ * dimensions participate in each tensor's footprint and traffic.
+ *
+ * Weights:  R, S, C, K.   Inputs: R, S, P, Q, C, N (via the halo).
+ * Outputs:  P, Q, K, N.
+ */
+inline constexpr bool
+dimRelatesToTensor(Dim d, Tensor t)
+{
+    switch (t) {
+      case Tensor::Weights:
+        return d == Dim::R || d == Dim::S || d == Dim::C || d == Dim::K;
+      case Tensor::Inputs:
+        return d == Dim::R || d == Dim::S || d == Dim::P || d == Dim::Q ||
+               d == Dim::C || d == Dim::N;
+      case Tensor::Outputs:
+        return d == Dim::P || d == Dim::Q || d == Dim::K || d == Dim::N;
+    }
+    return false;
+}
+
+} // namespace cosa

@@ -1,0 +1,105 @@
+#include "problem/layer.hpp"
+
+#include <sstream>
+
+#include "common/logging.hpp"
+#include "common/math_utils.hpp"
+
+namespace cosa {
+
+std::int64_t
+LayerSpec::bound(Dim d) const
+{
+    switch (d) {
+      case Dim::R: return r;
+      case Dim::S: return s;
+      case Dim::P: return p;
+      case Dim::Q: return q;
+      case Dim::C: return c;
+      case Dim::K: return k;
+      case Dim::N: return n;
+    }
+    panic("invalid dimension");
+}
+
+std::int64_t
+LayerSpec::macs() const
+{
+    return r * s * p * q * c * k * n;
+}
+
+std::int64_t
+LayerSpec::tensorElements(Tensor t) const
+{
+    switch (t) {
+      case Tensor::Weights:
+        return r * s * c * k;
+      case Tensor::Inputs:
+        return inputWidth() * inputHeight() * c * n;
+      case Tensor::Outputs:
+        return p * q * k * n;
+    }
+    panic("invalid tensor");
+}
+
+std::string
+LayerSpec::label() const
+{
+    std::ostringstream oss;
+    oss << r << "_" << p << "_" << c << "_" << k << "_" << stride;
+    return oss.str();
+}
+
+LayerSpec
+LayerSpec::fromLabel(const std::string& label, std::int64_t batch)
+{
+    std::vector<std::int64_t> parts;
+    std::istringstream iss(label);
+    std::string tok;
+    while (std::getline(iss, tok, '_'))
+        parts.push_back(std::stoll(tok));
+    if (parts.size() != 5)
+        fatal("layer label `", label, "` must be R_P_C_K_Stride");
+    LayerSpec spec;
+    spec.name = label;
+    spec.r = spec.s = parts[0];
+    spec.p = spec.q = parts[1];
+    spec.c = parts[2];
+    spec.k = parts[3];
+    spec.stride = parts[4];
+    spec.n = batch;
+    for (Dim d : kAllDims) {
+        if (spec.bound(d) < 1)
+            fatal("layer label `", label, "` has non-positive bound");
+    }
+    return spec;
+}
+
+FactorPool::FactorPool(const LayerSpec& layer, std::int64_t max_prime)
+{
+    for (Dim d : kAllDims) {
+        std::int64_t bound = layer.bound(d);
+        auto factors = factorize(bound);
+        if (!factors.empty() && factors.back() > max_prime) {
+            bound = padToSmoothBound(bound, max_prime);
+            factors = factorize(bound);
+            any_padded_ = true;
+        }
+        padded_bounds_[dimIndex(d)] = bound;
+        for (std::int64_t f : factors)
+            factors_.push_back({d, f});
+    }
+}
+
+std::vector<int>
+FactorPool::indicesOfDim(Dim d) const
+{
+    std::vector<int> idx;
+    for (int i = 0; i < size(); ++i) {
+        if (factors_[i].dim == d)
+            idx.push_back(i);
+    }
+    return idx;
+}
+
+} // namespace cosa

@@ -1,0 +1,168 @@
+#include "problem/workloads.hpp"
+
+namespace cosa::workloads {
+
+namespace {
+
+Workload
+fromLabels(std::string name, const std::vector<std::string>& labels)
+{
+    Workload w;
+    w.name = std::move(name);
+    w.layers.reserve(labels.size());
+    for (const auto& label : labels)
+        w.layers.push_back(LayerSpec::fromLabel(label));
+    return w;
+}
+
+} // namespace
+
+Workload
+alexNet()
+{
+    return fromLabels("AlexNet", {
+        "11_55_3_64_4",
+        "5_27_64_192_1",
+        "3_13_192_384_1",
+        "3_13_384_256_1",
+        "3_13_256_256_1",
+        "1_1_9216_4096_1",
+        "1_1_4096_4096_1",
+        "1_1_4096_1000_1",
+    });
+}
+
+Workload
+resNet50()
+{
+    return fromLabels("ResNet-50", {
+        "7_112_3_64_2",
+        "1_56_64_64_1",
+        "3_56_64_64_1",
+        "1_56_64_256_1",
+        "1_56_256_64_1",
+        "1_56_256_128_1",
+        "3_28_128_128_2",
+        "1_28_128_512_1",
+        "1_28_256_512_2",
+        "1_28_512_128_1",
+        "1_28_512_256_1",
+        "3_14_256_256_2",
+        "1_14_256_1024_1",
+        "1_14_512_1024_2",
+        "1_14_1024_256_1",
+        "3_14_256_256_1",
+        "1_14_1024_512_1",
+        "3_7_512_512_2",
+        "1_7_512_2048_1",
+        "1_7_1024_2048_2",
+        "1_7_2048_512_1",
+        "3_7_512_512_1",
+        "1_1_2048_1000_1",
+    });
+}
+
+Workload
+resNeXt50()
+{
+    return fromLabels("ResNeXt-50", {
+        "7_112_3_64_2",
+        "1_56_64_128_1",
+        "3_56_4_128_1",
+        "1_56_128_256_1",
+        "1_56_64_256_1",
+        "1_56_256_128_1",
+        "1_56_256_256_1",
+        "3_28_8_256_2",
+        "1_28_256_512_1",
+        "1_28_256_512_2",
+        "1_28_512_256_1",
+        "3_28_8_256_1",
+        "1_28_512_512_1",
+        "3_14_16_512_2",
+        "1_14_512_1024_1",
+        "1_14_512_1024_2",
+        "1_14_1024_512_1",
+        "3_14_16_512_1",
+        "1_14_1024_1024_1",
+        "3_7_32_1024_2",
+        "1_7_1024_2048_1",
+        "1_7_1024_2048_2",
+        "1_7_2048_1024_1",
+        "3_7_32_1024_1",
+        "1_1_2048_1000_1",
+    });
+}
+
+Workload
+deepBench()
+{
+    return fromLabels("DeepBench", {
+        "3_480_1_16_1",
+        "3_240_16_32_1",
+        "3_120_32_64_1",
+        "3_60_64_128_1",
+        "3_108_3_64_2",
+        "3_54_64_64_1",
+        "3_27_128_128_1",
+        "3_14_128_256_1",
+        "3_7_256_512_1",
+    });
+}
+
+std::vector<Workload>
+allSuites()
+{
+    return {alexNet(), resNet50(), resNeXt50(), deepBench()};
+}
+
+LayerSpec
+fig1Layer()
+{
+    return LayerSpec::fromLabel("3_14_256_256_1");
+}
+
+LayerSpec
+fig3Layer()
+{
+    LayerSpec spec;
+    spec.name = "fig3_3_8_32_1024_1";
+    spec.r = spec.s = 3;
+    spec.p = spec.q = 8;
+    spec.c = 32;
+    spec.k = 1024;
+    return spec;
+}
+
+LayerSpec
+fig4Layer()
+{
+    LayerSpec spec;
+    spec.name = "fig4_1_16_256_1024_1";
+    spec.r = spec.s = 1;
+    spec.p = spec.q = 16;
+    spec.c = 256;
+    spec.k = 1024;
+    return spec;
+}
+
+LayerSpec
+fig8Layer()
+{
+    return LayerSpec::fromLabel("3_7_512_512_1");
+}
+
+LayerSpec
+listing1Layer()
+{
+    LayerSpec spec;
+    spec.name = "listing1";
+    spec.r = spec.s = 3;
+    spec.p = spec.q = 28;
+    spec.c = 8;
+    spec.k = 4;
+    spec.n = 3;
+    return spec;
+}
+
+} // namespace cosa::workloads

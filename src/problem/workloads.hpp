@@ -1,0 +1,58 @@
+#pragma once
+
+/**
+ * @file
+ * The DNN workload suites evaluated in the paper (§IV-C): AlexNet,
+ * ResNet-50, ResNeXt-50 (32x4d), and DeepBench (OCR + Face Recognition),
+ * plus the individual layers used in Figs. 1, 3, 4 and 8. Layer labels
+ * follow the paper's `R_P_C_K_Stride` convention with S = R and Q = P.
+ */
+
+#include <string>
+#include <vector>
+
+#include "problem/layer.hpp"
+
+namespace cosa {
+
+/** A named set of layers (one evaluated DNN). */
+struct Workload
+{
+    std::string name;
+    std::vector<LayerSpec> layers;
+};
+
+namespace workloads {
+
+/** AlexNet: 5 conv + 3 FC layers (Fig. 6 left). */
+Workload alexNet();
+
+/** ResNet-50: the 23 unique layer shapes of Fig. 6. */
+Workload resNet50();
+
+/** ResNeXt-50 (32x4d): the 25 unique layer shapes of Fig. 6. */
+Workload resNeXt50();
+
+/** DeepBench OCR + Face Recognition: the 9 conv shapes of Fig. 6. */
+Workload deepBench();
+
+/** All four suites in paper order. */
+std::vector<Workload> allSuites();
+
+/** Fig. 1 layer: 3x3 conv, 256 in/out channels, 14x14 output. */
+LayerSpec fig1Layer();
+
+/** Fig. 3 layer: R=S=3, P=Q=8, C=32, K=1024 (weight-heavy). */
+LayerSpec fig3Layer();
+
+/** Fig. 4 layer: R=S=1, P=Q=16, C=256, K=1024. */
+LayerSpec fig4Layer();
+
+/** Fig. 8 / §V-B layer: ResNet-50 3_7_512_512_1. */
+LayerSpec fig8Layer();
+
+/** Listing-1 example layer: R=S=3, P=Q=28, C=8, K=4, N=3. */
+LayerSpec listing1Layer();
+
+} // namespace workloads
+} // namespace cosa

@@ -1,0 +1,379 @@
+#include "solver/branch_and_bound.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+
+#include "common/logging.hpp"
+#include "common/rng.hpp"
+
+namespace cosa::solver {
+
+namespace {
+
+double
+now_seconds()
+{
+    using clock = std::chrono::steady_clock;
+    return std::chrono::duration<double>(clock::now().time_since_epoch())
+        .count();
+}
+
+} // namespace
+
+MipSolver::MipSolver(const Model& model, const MipParams& params)
+    : model_(model), params_(params)
+{
+    buildLp();
+}
+
+void
+MipSolver::buildLp()
+{
+    const int n = model_.numVars();
+    const int m = model_.numConstrs();
+    lp_.num_rows = m;
+    lp_.num_structural = n;
+    lp_.cols.assign(static_cast<std::size_t>(m) * n, 0.0);
+    lp_.rhs = model_.rhs_;
+    lp_.senses = model_.senses_;
+    lp_.lb = model_.lb_;
+    lp_.ub = model_.ub_;
+    lp_.obj.assign(n, 0.0);
+
+    sign_ = model_.obj_sense_ == ObjSense::Minimize ? 1.0 : -1.0;
+    for (int j = 0; j < n; ++j)
+        lp_.obj[j] = sign_ * model_.obj_[j];
+
+    for (int r = 0; r < m; ++r) {
+        for (const auto& [col, coef] : model_.rows_[r])
+            lp_.at(r, col) = coef;
+    }
+    for (int j = 0; j < n; ++j) {
+        if (model_.types_[j] != VarType::Continuous)
+            int_vars_.push_back(j);
+    }
+}
+
+bool
+MipSolver::isIntegral(const std::vector<double>& x) const
+{
+    for (int j : int_vars_) {
+        const double f = x[j] - std::floor(x[j] + 0.5);
+        if (std::abs(f) > params_.int_tol)
+            return false;
+    }
+    return true;
+}
+
+int
+MipSolver::selectBranchVar(const std::vector<double>& x) const
+{
+    // Highest branch priority first; most-fractional within a priority.
+    int best = -1;
+    int best_prio = 0;
+    double best_frac = params_.int_tol;
+    for (int j : int_vars_) {
+        const double v = x[j];
+        const double frac = std::abs(v - std::floor(v + 0.5));
+        if (frac <= params_.int_tol)
+            continue;
+        const int prio = model_.priorities_[j];
+        if (best < 0 || prio > best_prio ||
+            (prio == best_prio && frac > best_frac)) {
+            best = j;
+            best_prio = prio;
+            best_frac = frac;
+        }
+    }
+    return best;
+}
+
+/**
+ * Depth-first dive-and-backtrack search over one Simplex instance whose
+ * bounds (and possibly RINS fixings) are already applied and whose
+ * current basis is LP-optimal for them. Updates the shared incumbent.
+ * Returns true when the subtree was exhausted (proof, given no caps).
+ */
+bool
+MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
+               double deadline, double& incumbent_obj,
+               std::vector<double>& incumbent_x, std::int64_t& nodes,
+               std::int64_t& lp_iters)
+{
+    struct Frame
+    {
+        int var;
+        double saved_lb, saved_ub;
+        double second_lb, second_ub;
+        bool on_second;
+        double parent_obj;
+    };
+    std::vector<Frame> stack;
+
+    auto recover_cold = [&](LpStatus status) {
+        if (status == LpStatus::Optimal || status == LpStatus::Infeasible)
+            return status;
+        return splx.solvePrimal();
+    };
+    auto cutoff = [&]() {
+        return incumbent_obj -
+               params_.rel_gap * (std::abs(incumbent_obj) + 1e-9) - 1e-9;
+    };
+
+    bool exhausted = false;
+    std::int64_t local_nodes = 0;
+    LpStatus node_status = LpStatus::Optimal;
+
+    while (true) {
+        if (now_seconds() > deadline || local_nodes > node_cap ||
+            nodes > params_.node_limit)
+            break;
+
+        bool prune = node_status != LpStatus::Optimal;
+        if (!prune && std::isfinite(incumbent_obj) &&
+            splx.objective() >= cutoff())
+            prune = true;
+
+        if (!prune) {
+            std::vector<double> x = splx.solution();
+            int branch_var = selectBranchVar(x);
+            if (rng && branch_var >= 0) {
+                // Diversification: sometimes branch on another
+                // fractional variable of the same priority.
+                std::vector<int> pool;
+                const int prio = model_.priorities_[branch_var];
+                for (int j : int_vars_) {
+                    const double frac =
+                        std::abs(x[j] - std::floor(x[j] + 0.5));
+                    if (frac > params_.int_tol &&
+                        model_.priorities_[j] == prio)
+                        pool.push_back(j);
+                }
+                if (!pool.empty())
+                    branch_var = pool[rng->choiceIndex(pool)];
+            }
+            if (branch_var < 0) {
+                if (splx.objective() < incumbent_obj - 1e-12) {
+                    incumbent_obj = splx.objective();
+                    incumbent_x = x;
+                    if (incumbent_pool_) {
+                        incumbent_pool_->push_back(std::move(x));
+                        if (incumbent_pool_->size() > 8) {
+                            incumbent_pool_->erase(
+                                incumbent_pool_->begin());
+                        }
+                    }
+                    if (params_.verbose) {
+                        inform("mip: incumbent ", incumbent_obj, " after ",
+                               nodes, " nodes");
+                    }
+                }
+                prune = true;
+            } else {
+                Frame frame;
+                frame.var = branch_var;
+                frame.saved_lb = splx.varLb(branch_var);
+                frame.saved_ub = splx.varUb(branch_var);
+                frame.parent_obj = splx.objective();
+                frame.on_second = false;
+
+                const double v = x[branch_var];
+                const double floor_v = std::floor(v);
+                const double ceil_v = floor_v + 1.0;
+                bool down_first = (v - floor_v) < 0.5;
+                if (rng && rng->nextDouble() < 0.25)
+                    down_first = !down_first;
+                double first_lb, first_ub;
+                if (down_first) {
+                    first_lb = frame.saved_lb;
+                    first_ub = floor_v;
+                    frame.second_lb = ceil_v;
+                    frame.second_ub = frame.saved_ub;
+                } else {
+                    first_lb = ceil_v;
+                    first_ub = frame.saved_ub;
+                    frame.second_lb = frame.saved_lb;
+                    frame.second_ub = floor_v;
+                }
+                splx.setVarBounds(branch_var, first_lb, first_ub);
+                stack.push_back(std::move(frame));
+                ++nodes;
+                ++local_nodes;
+                node_status = recover_cold(splx.solveDualFromCurrent());
+                continue;
+            }
+        }
+
+        // Backtrack to the deepest frame with an untried sibling.
+        bool advanced = false;
+        while (!stack.empty()) {
+            Frame& frame = stack.back();
+            if (!frame.on_second) {
+                frame.on_second = true;
+                if (std::isfinite(incumbent_obj) &&
+                    frame.parent_obj >= cutoff()) {
+                    splx.setVarBounds(frame.var, frame.saved_lb,
+                                      frame.saved_ub);
+                    stack.pop_back();
+                    continue;
+                }
+                splx.setVarBounds(frame.var, frame.second_lb,
+                                  frame.second_ub);
+                ++nodes;
+                ++local_nodes;
+                // The current basis is dual feasible for any bound set
+                // (reduced costs do not depend on bounds), so the
+                // sibling re-solves warm from wherever the first
+                // child's subtree left the simplex — no basis reload.
+                node_status = recover_cold(splx.solveDualFromCurrent());
+                advanced = true;
+                break;
+            }
+            splx.setVarBounds(frame.var, frame.saved_lb, frame.saved_ub);
+            stack.pop_back();
+        }
+        if (!advanced && stack.empty()) {
+            exhausted = true;
+            break;
+        }
+    }
+
+    // Unwind any remaining frames so the caller sees original bounds.
+    while (!stack.empty()) {
+        Frame& frame = stack.back();
+        splx.setVarBounds(frame.var, frame.saved_lb, frame.saved_ub);
+        stack.pop_back();
+    }
+    lp_iters = splx.iterations();
+    return exhausted;
+}
+
+MipResult
+MipSolver::solve(bool relaxation_only)
+{
+    const double start = now_seconds();
+    const double deadline = start + params_.time_limit_sec;
+    MipResult result;
+
+    Simplex base(lp_);
+    LpStatus root = base.solvePrimal();
+    result.lp_iterations = base.iterations();
+
+    if (root == LpStatus::Infeasible) {
+        result.status = Status::Infeasible;
+        return result;
+    }
+    if (root == LpStatus::Unbounded) {
+        result.status = Status::Unbounded;
+        return result;
+    }
+    if (root != LpStatus::Optimal) {
+        result.status = Status::NumericalError;
+        return result;
+    }
+
+    const double obj_const = model_.obj_constant_;
+    auto to_model_obj = [&](double internal) {
+        return sign_ * internal + obj_const;
+    };
+    const double root_bound = base.objective();
+
+    if (relaxation_only) {
+        result.status = Status::Optimal;
+        result.objective = to_model_obj(base.objective());
+        result.best_bound = result.objective;
+        result.values = base.solution();
+        result.solve_time_sec = now_seconds() - start;
+        return result;
+    }
+
+    double incumbent_obj = kInf;
+    std::vector<double> incumbent_x;
+    std::int64_t nodes = 0;
+    std::int64_t lp_iters = 0;
+    Rng rng(params_.seed);
+    incumbent_pool_ = &result.incumbent_pool;
+
+    // Phase 0: repair the user-provided warm starts, if any — fix the
+    // integer components and solve the LP for the continuous part; the
+    // best feasible completion becomes the initial incumbent.
+    for (const auto& start : model_.start_) {
+        Simplex splx = base;
+        for (int j : int_vars_) {
+            const double v = std::clamp(std::floor(start[j] + 0.5),
+                                        splx.varLb(j), splx.varUb(j));
+            splx.setVarBounds(j, v, v);
+        }
+        // A cold primal solve is fast here: with every integer fixed,
+        // only the continuous completion remains.
+        const LpStatus st = splx.solvePrimal();
+        if (st == LpStatus::Optimal &&
+            splx.objective() < incumbent_obj) {
+            incumbent_obj = splx.objective();
+            incumbent_x = splx.solution();
+            if (params_.verbose)
+                inform("mip: warm start accepted at ", incumbent_obj);
+        } else if (st != LpStatus::Optimal && params_.verbose) {
+            warn("mip: warm start rejected (infeasible completion)");
+        }
+    }
+
+    // Phase 1: deterministic dive-and-backtrack. If it exhausts the
+    // tree within the budget, the incumbent is proven optimal.
+    bool proven = false;
+    {
+        Simplex splx = base;
+        proven = dfs(splx, nullptr, params_.node_limit, deadline,
+                     incumbent_obj, incumbent_x, nodes, lp_iters);
+    }
+
+    // Phase 2 (matheuristic): alternate RINS-style neighborhood solves
+    // (fix most integers at the incumbent, search the rest) with
+    // randomized restarts, sharing the global incumbent.
+    int round = 0;
+    while (!proven && now_seconds() < deadline &&
+           nodes < params_.node_limit) {
+        Simplex splx = base;
+        const bool rins = !incumbent_x.empty() && (round % 4 != 3);
+        if (rins) {
+            for (int j : int_vars_) {
+                if (rng.nextDouble() < 0.8) {
+                    const double v = std::floor(incumbent_x[j] + 0.5);
+                    splx.setVarBounds(j, v, v);
+                }
+            }
+        }
+        const LpStatus st = splx.solveDualFromCurrent();
+        if (st == LpStatus::Optimal) {
+            std::int64_t iters = 0;
+            dfs(splx, &rng, /*node_cap=*/400, deadline, incumbent_obj,
+                incumbent_x, nodes, iters);
+            lp_iters += iters;
+        }
+        ++round;
+    }
+
+    result.nodes = nodes;
+    incumbent_pool_ = nullptr;
+    result.lp_iterations += lp_iters;
+    result.solve_time_sec = now_seconds() - start;
+
+    if (!incumbent_x.empty()) {
+        for (int j : int_vars_)
+            incumbent_x[j] = std::floor(incumbent_x[j] + 0.5);
+        result.values = std::move(incumbent_x);
+        result.objective = to_model_obj(incumbent_obj);
+        result.best_bound = to_model_obj(proven ? incumbent_obj : root_bound);
+        result.status = proven ? Status::Optimal : Status::Feasible;
+        return result;
+    }
+    if (now_seconds() >= deadline || nodes >= params_.node_limit) {
+        result.status = Status::TimeLimit;
+        return result;
+    }
+    result.status = Status::Infeasible;
+    return result;
+}
+
+} // namespace cosa::solver

@@ -1,0 +1,55 @@
+#pragma once
+
+/**
+ * @file
+ * Depth-first branch and bound over the LP relaxation.
+ *
+ * Strategy: solve the root LP with the primal simplex; each descent fixes
+ * one fractional integer variable and re-solves with the warm-started
+ * dual simplex (bound changes keep the parent basis dual feasible).
+ * Backtracking restores the parent's bounds and basis snapshot. The dive
+ * direction follows the LP value, so the first leaf reached is already a
+ * good incumbent (built-in diving heuristic). Pruning uses the incumbent
+ * and a relative gap tolerance.
+ */
+
+#include <vector>
+
+#include "common/rng.hpp"
+#include "solver/model.hpp"
+#include "solver/simplex.hpp"
+
+namespace cosa::solver {
+
+using cosa::Rng;
+
+/** Branch-and-bound MIP solver over a Model. */
+class MipSolver
+{
+  public:
+    MipSolver(const Model& model, const MipParams& params);
+
+    /** Run the solve; with @p relaxation_only just the root LP. */
+    MipResult solve(bool relaxation_only);
+
+  private:
+    const Model& model_;
+    MipParams params_;
+    LpProblem lp_;
+    std::vector<int> int_vars_;  //!< columns with integral domains
+    double sign_ = 1.0;          //!< +1 minimize, -1 maximize
+    /** Sink for the improving-incumbent trajectory during solve(). */
+    std::vector<std::vector<double>>* incumbent_pool_ = nullptr;
+
+    void buildLp();
+    /** Pick the branching variable: most fractional integer column. */
+    int selectBranchVar(const std::vector<double>& x) const;
+    bool isIntegral(const std::vector<double>& x) const;
+    /** One depth-first dive-and-backtrack pass; see the .cpp comment. */
+    bool dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
+             double deadline, double& incumbent_obj,
+             std::vector<double>& incumbent_x, std::int64_t& nodes,
+             std::int64_t& lp_iters);
+};
+
+} // namespace cosa::solver

@@ -1,0 +1,125 @@
+#pragma once
+
+/**
+ * @file
+ * Sparse linear expression over model variables, with the usual operator
+ * sugar so constraints read like algebra:
+ *
+ *   LinExpr e;
+ *   e += 2.0 * x;
+ *   e += y;
+ *   model.addConstr(e, Sense::LessEqual, 5.0);
+ */
+
+#include <vector>
+
+#include "solver/types.hpp"
+
+namespace cosa::solver {
+
+/** A linear expression: sum of (coefficient, variable) terms + constant. */
+class LinExpr
+{
+  public:
+    struct Term
+    {
+        Var var;
+        double coef;
+    };
+
+    LinExpr() = default;
+
+    /** Implicit conversion from a single variable. */
+    LinExpr(Var v) { addTerm(v, 1.0); } // NOLINT: implicit by design
+
+    /** Implicit conversion from a constant. */
+    LinExpr(double c) : constant_(c) {} // NOLINT: implicit by design
+
+    /** Append @p coef * @p v. Duplicate variables are allowed and summed
+     *  when the model ingests the expression. */
+    void
+    addTerm(Var v, double coef)
+    {
+        if (coef != 0.0)
+            terms_.push_back({v, coef});
+    }
+
+    void addConstant(double c) { constant_ += c; }
+
+    const std::vector<Term>& terms() const { return terms_; }
+    double constant() const { return constant_; }
+
+    LinExpr&
+    operator+=(const LinExpr& rhs)
+    {
+        terms_.insert(terms_.end(), rhs.terms_.begin(), rhs.terms_.end());
+        constant_ += rhs.constant_;
+        return *this;
+    }
+
+    LinExpr&
+    operator-=(const LinExpr& rhs)
+    {
+        for (const Term& t : rhs.terms_)
+            terms_.push_back({t.var, -t.coef});
+        constant_ -= rhs.constant_;
+        return *this;
+    }
+
+    LinExpr&
+    operator*=(double s)
+    {
+        for (Term& t : terms_)
+            t.coef *= s;
+        constant_ *= s;
+        return *this;
+    }
+
+  private:
+    std::vector<Term> terms_;
+    double constant_ = 0.0;
+};
+
+inline LinExpr
+operator+(LinExpr lhs, const LinExpr& rhs)
+{
+    lhs += rhs;
+    return lhs;
+}
+
+inline LinExpr
+operator-(LinExpr lhs, const LinExpr& rhs)
+{
+    lhs -= rhs;
+    return lhs;
+}
+
+inline LinExpr
+operator*(double s, Var v)
+{
+    LinExpr e;
+    e.addTerm(v, s);
+    return e;
+}
+
+inline LinExpr
+operator*(Var v, double s)
+{
+    return s * v;
+}
+
+inline LinExpr
+operator*(LinExpr e, double s)
+{
+    e *= s;
+    return e;
+}
+
+inline LinExpr
+operator*(double s, LinExpr e)
+{
+    e *= s;
+    return e;
+}
+
+} // namespace cosa::solver

@@ -1,0 +1,126 @@
+#include "solver/model.hpp"
+
+#include <map>
+
+#include "common/logging.hpp"
+#include "solver/branch_and_bound.hpp"
+
+namespace cosa::solver {
+
+Var
+Model::addVar(double lb, double ub, VarType type, std::string name)
+{
+    COSA_ASSERT(lb <= ub, "variable `", name, "` has lb ", lb, " > ub ", ub);
+    if (type == VarType::Binary) {
+        lb = std::max(lb, 0.0);
+        ub = std::min(ub, 1.0);
+    }
+    Var v{static_cast<std::int32_t>(lb_.size())};
+    lb_.push_back(lb);
+    ub_.push_back(ub);
+    types_.push_back(type);
+    names_.push_back(std::move(name));
+    priorities_.push_back(0);
+    obj_.push_back(0.0);
+    return v;
+}
+
+int
+Model::addConstr(const LinExpr& expr, Sense sense, double rhs,
+                 std::string name)
+{
+    // Fold duplicate variables and move the expression constant to the rhs.
+    std::map<int, double> folded;
+    for (const auto& term : expr.terms()) {
+        COSA_ASSERT(term.var.valid() && term.var.index < numVars(),
+                    "constraint `", name, "` references an invalid variable");
+        folded[term.var.index] += term.coef;
+    }
+    std::vector<std::pair<int, double>> row;
+    row.reserve(folded.size());
+    for (auto [idx, coef] : folded) {
+        if (coef != 0.0)
+            row.emplace_back(idx, coef);
+    }
+    rows_.push_back(std::move(row));
+    senses_.push_back(sense);
+    rhs_.push_back(rhs - expr.constant());
+    row_names_.push_back(std::move(name));
+    return static_cast<int>(rows_.size()) - 1;
+}
+
+Var
+Model::addBinaryProduct(Var x, Var y, std::string name)
+{
+    COSA_ASSERT(types_[x.index] == VarType::Binary &&
+                    types_[y.index] == VarType::Binary,
+                "addBinaryProduct requires binary operands");
+    Var z = addContinuous(0.0, 1.0, name.empty() ? "prod" : name);
+    addConstr(LinExpr(z) - LinExpr(x), Sense::LessEqual, 0.0);
+    addConstr(LinExpr(z) - LinExpr(y), Sense::LessEqual, 0.0);
+    LinExpr lower;
+    lower += z;
+    lower -= x;
+    lower -= y;
+    addConstr(lower, Sense::GreaterEqual, -1.0);
+    return z;
+}
+
+void
+Model::setObjective(const LinExpr& expr, ObjSense sense)
+{
+    std::fill(obj_.begin(), obj_.end(), 0.0);
+    for (const auto& term : expr.terms())
+        obj_[term.var.index] += term.coef;
+    obj_constant_ = expr.constant();
+    obj_sense_ = sense;
+}
+
+void
+Model::setStart(std::vector<double> values)
+{
+    COSA_ASSERT(static_cast<int>(values.size()) == numVars(),
+                "start vector size mismatch");
+    start_.push_back(std::move(values));
+}
+
+void
+Model::setBranchPriority(Var v, int priority)
+{
+    COSA_ASSERT(v.valid() && v.index < numVars());
+    priorities_[v.index] = priority;
+}
+
+void
+Model::setBounds(Var v, double lb, double ub)
+{
+    COSA_ASSERT(v.valid() && v.index < numVars());
+    COSA_ASSERT(lb <= ub);
+    lb_[v.index] = lb;
+    ub_[v.index] = ub;
+}
+
+double
+Model::evalExpr(const LinExpr& expr, const std::vector<double>& values)
+{
+    double total = expr.constant();
+    for (const auto& term : expr.terms())
+        total += term.coef * values[term.var.index];
+    return total;
+}
+
+MipResult
+Model::optimize(const MipParams& params) const
+{
+    MipSolver solver(*this, params);
+    return solver.solve(/*relaxation_only=*/false);
+}
+
+MipResult
+Model::optimizeRelaxation() const
+{
+    MipSolver solver(*this, MipParams{});
+    return solver.solve(/*relaxation_only=*/true);
+}
+
+} // namespace cosa::solver

@@ -1,0 +1,674 @@
+#include "solver/simplex.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.hpp"
+
+namespace cosa::solver {
+
+namespace {
+
+constexpr int kRefactorInterval = 64;   // pivots between refactorizations
+constexpr int kStallLimit = 40;         // degenerate pivots before Bland
+constexpr std::int64_t kMaxIterations = 20000;  // cold primal solves
+constexpr std::int64_t kMaxDualIterations = 4000; // warm re-solves: fall
+    // back to a cold solve instead of grinding a degenerate dual run
+
+} // namespace
+
+Simplex::Simplex(const LpProblem& prob)
+{
+    m_ = prob.num_rows;
+    num_structural_ = prob.num_structural;
+    n_ = num_structural_ + m_;       // structural + one slack per row
+    total_ = n_ + m_;                // + one artificial per row
+
+    cols_.assign(static_cast<std::size_t>(m_) * total_, 0.0);
+    b_ = prob.rhs;
+    c_.assign(total_, 0.0);
+    lb_.assign(total_, 0.0);
+    ub_.assign(total_, 0.0);
+    art_sign_.assign(m_, 1.0);
+
+    for (int j = 0; j < num_structural_; ++j) {
+        for (int i = 0; i < m_; ++i)
+            cols_[static_cast<std::size_t>(j) * m_ + i] = prob.at(i, j);
+        c_[j] = prob.obj[j];
+        lb_[j] = prob.lb[j];
+        ub_[j] = prob.ub[j];
+        COSA_ASSERT(std::isfinite(lb_[j]) || std::isfinite(ub_[j]),
+                    "free variables are not supported (column ", j, ")");
+    }
+    // Slack columns encode the row sense: Ax + s = b.
+    for (int r = 0; r < m_; ++r) {
+        const int j = num_structural_ + r;
+        cols_[static_cast<std::size_t>(j) * m_ + r] = 1.0;
+        switch (prob.senses[r]) {
+          case Sense::LessEqual:
+            lb_[j] = 0.0;
+            ub_[j] = kInf;
+            break;
+          case Sense::GreaterEqual:
+            lb_[j] = -kInf;
+            ub_[j] = 0.0;
+            break;
+          case Sense::Equal:
+            lb_[j] = 0.0;
+            ub_[j] = 0.0;
+            break;
+        }
+    }
+    // Artificial columns start disabled (fixed at zero); phase 1 opens
+    // them and orients their sign toward the initial residual.
+    for (int r = 0; r < m_; ++r) {
+        const int j = n_ + r;
+        cols_[static_cast<std::size_t>(j) * m_ + r] = 1.0;
+        lb_[j] = 0.0;
+        ub_[j] = 0.0;
+    }
+
+    basic_.assign(m_, -1);
+    state_.assign(total_, kAtLower);
+    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    xb_.assign(m_, 0.0);
+    work_col_.assign(m_, 0.0);
+    work_row_.assign(total_, 0.0);
+    dual_y_.assign(m_, 0.0);
+    redcost_.assign(total_, 0.0);
+}
+
+void
+Simplex::setVarBounds(int structural_col, double lb, double ub)
+{
+    COSA_ASSERT(structural_col >= 0 && structural_col < num_structural_);
+    COSA_ASSERT(lb <= ub);
+    lb_[structural_col] = lb;
+    ub_[structural_col] = ub;
+    // Keep the nonbasic state meaningful under the new bounds.
+    if (state_[structural_col] == kAtLower && !std::isfinite(lb))
+        state_[structural_col] = kAtUpper;
+    if (state_[structural_col] == kAtUpper && !std::isfinite(ub))
+        state_[structural_col] = kAtLower;
+}
+
+double
+Simplex::colValue(int j) const
+{
+    if (state_[j] == kAtUpper)
+        return ub_[j];
+    return lb_[j];
+}
+
+void
+Simplex::computeXb()
+{
+    // r = b - N x_N over all nonbasic columns with nonzero value.
+    std::vector<double> r = b_;
+    for (int j = 0; j < total_; ++j) {
+        if (state_[j] == kBasic)
+            continue;
+        const double v = colValue(j);
+        if (v == 0.0)
+            continue;
+        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+        for (int i = 0; i < m_; ++i)
+            r[i] -= col[i] * v;
+    }
+    for (int i = 0; i < m_; ++i) {
+        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        double acc = 0.0;
+        for (int k = 0; k < m_; ++k)
+            acc += row[k] * r[k];
+        xb_[i] = acc;
+    }
+}
+
+bool
+Simplex::refactorize()
+{
+    // Build the basis matrix and invert it with Gauss-Jordan elimination
+    // and partial pivoting. Dense O(m^3); called sparingly.
+    std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
+    for (int col = 0; col < m_; ++col) {
+        const int j = basic_[col];
+        const double* src = &cols_[static_cast<std::size_t>(j) * m_];
+        for (int i = 0; i < m_; ++i)
+            mat[static_cast<std::size_t>(i) * m_ + col] = src[i];
+    }
+    // Initialize binv to identity.
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int i = 0; i < m_; ++i)
+        binv_[static_cast<std::size_t>(i) * m_ + i] = 1.0;
+
+    for (int col = 0; col < m_; ++col) {
+        int piv = col;
+        double best = std::abs(mat[static_cast<std::size_t>(col) * m_ + col]);
+        for (int i = col + 1; i < m_; ++i) {
+            const double v =
+                std::abs(mat[static_cast<std::size_t>(i) * m_ + col]);
+            if (v > best) {
+                best = v;
+                piv = i;
+            }
+        }
+        if (best < 1e-11)
+            return false; // singular basis
+        if (piv != col) {
+            for (int k = 0; k < m_; ++k) {
+                std::swap(mat[static_cast<std::size_t>(piv) * m_ + k],
+                          mat[static_cast<std::size_t>(col) * m_ + k]);
+                std::swap(binv_[static_cast<std::size_t>(piv) * m_ + k],
+                          binv_[static_cast<std::size_t>(col) * m_ + k]);
+            }
+        }
+        const double inv_p =
+            1.0 / mat[static_cast<std::size_t>(col) * m_ + col];
+        for (int k = 0; k < m_; ++k) {
+            mat[static_cast<std::size_t>(col) * m_ + k] *= inv_p;
+            binv_[static_cast<std::size_t>(col) * m_ + k] *= inv_p;
+        }
+        for (int i = 0; i < m_; ++i) {
+            if (i == col)
+                continue;
+            const double f = mat[static_cast<std::size_t>(i) * m_ + col];
+            if (f == 0.0)
+                continue;
+            for (int k = 0; k < m_; ++k) {
+                mat[static_cast<std::size_t>(i) * m_ + k] -=
+                    f * mat[static_cast<std::size_t>(col) * m_ + k];
+                binv_[static_cast<std::size_t>(i) * m_ + k] -=
+                    f * binv_[static_cast<std::size_t>(col) * m_ + k];
+            }
+        }
+    }
+    return true;
+}
+
+void
+Simplex::ftran(int j)
+{
+    const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+    for (int i = 0; i < m_; ++i) {
+        const double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        double acc = 0.0;
+        for (int k = 0; k < m_; ++k)
+            acc += row[k] * col[k];
+        work_col_[i] = acc;
+    }
+}
+
+void
+Simplex::btranRow(int r)
+{
+    // rho = e_r B^-1, then work_row_[j] = rho . A_j for every column.
+    const double* rho = &binv_[static_cast<std::size_t>(r) * m_];
+    for (int j = 0; j < total_; ++j) {
+        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+        double acc = 0.0;
+        for (int k = 0; k < m_; ++k)
+            acc += rho[k] * col[k];
+        work_row_[j] = acc;
+    }
+}
+
+void
+Simplex::computeDuals(const double* costs)
+{
+    for (int k = 0; k < m_; ++k) {
+        double acc = 0.0;
+        for (int i = 0; i < m_; ++i)
+            acc += costs[basic_[i]] * binv_[static_cast<std::size_t>(i) * m_ + k];
+        dual_y_[k] = acc;
+    }
+}
+
+void
+Simplex::computeReducedCosts(const double* costs)
+{
+    for (int j = 0; j < total_; ++j) {
+        if (state_[j] == kBasic || ub_[j] - lb_[j] < kTol) {
+            redcost_[j] = 0.0;
+            continue;
+        }
+        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+        double acc = 0.0;
+        for (int k = 0; k < m_; ++k)
+            acc += dual_y_[k] * col[k];
+        redcost_[j] = costs[j] - acc;
+    }
+}
+
+void
+Simplex::pivot(int entering, int leaving_row, double entering_value)
+{
+    // Update binv with the elementary transformation derived from the
+    // entering column (work_col_ must hold B^-1 A_entering).
+    const double alpha_r = work_col_[leaving_row];
+    COSA_ASSERT(std::abs(alpha_r) > kPivotTol, "pivot too small: ", alpha_r);
+    double* prow = &binv_[static_cast<std::size_t>(leaving_row) * m_];
+    const double inv_p = 1.0 / alpha_r;
+    for (int k = 0; k < m_; ++k)
+        prow[k] *= inv_p;
+    for (int i = 0; i < m_; ++i) {
+        if (i == leaving_row)
+            continue;
+        const double f = work_col_[i];
+        if (f == 0.0)
+            continue;
+        double* row = &binv_[static_cast<std::size_t>(i) * m_];
+        for (int k = 0; k < m_; ++k)
+            row[k] -= f * prow[k];
+    }
+    basic_[leaving_row] = entering;
+    state_[entering] = kBasic;
+    xb_[leaving_row] = entering_value;
+}
+
+double
+Simplex::currentObjective(const double* costs) const
+{
+    double obj = 0.0;
+    for (int i = 0; i < m_; ++i)
+        obj += costs[basic_[i]] * xb_[i];
+    for (int j = 0; j < total_; ++j) {
+        if (state_[j] != kBasic && costs[j] != 0.0)
+            obj += costs[j] * colValue(j);
+    }
+    return obj;
+}
+
+void
+Simplex::setupInitialArtificialBasis()
+{
+    // All structural and slack columns nonbasic at their closest finite
+    // bound; artificials basic holding the residual.
+    for (int j = 0; j < n_; ++j) {
+        const bool lb_fin = std::isfinite(lb_[j]);
+        const bool ub_fin = std::isfinite(ub_[j]);
+        if (lb_fin && ub_fin)
+            state_[j] = std::abs(lb_[j]) <= std::abs(ub_[j]) ? kAtLower
+                                                             : kAtUpper;
+        else
+            state_[j] = lb_fin ? kAtLower : kAtUpper;
+    }
+    std::vector<double> residual = b_;
+    for (int j = 0; j < n_; ++j) {
+        const double v = colValue(j);
+        if (v == 0.0)
+            continue;
+        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+        for (int i = 0; i < m_; ++i)
+            residual[i] -= col[i] * v;
+    }
+    for (int r = 0; r < m_; ++r) {
+        const int j = n_ + r;
+        const double sign = residual[r] < 0.0 ? -1.0 : 1.0;
+        art_sign_[r] = sign;
+        cols_[static_cast<std::size_t>(j) * m_ + r] = sign;
+        lb_[j] = 0.0;
+        ub_[j] = kInf; // opened for phase 1
+        basic_[r] = j;
+        state_[j] = kBasic;
+        xb_[r] = std::abs(residual[r]);
+    }
+    // binv of a signed-identity basis is the same signed identity.
+    std::fill(binv_.begin(), binv_.end(), 0.0);
+    for (int r = 0; r < m_; ++r)
+        binv_[static_cast<std::size_t>(r) * m_ + r] = art_sign_[r];
+}
+
+LpStatus
+Simplex::primalLoop(const double* costs, bool phase1)
+{
+    int since_refactor = 0;
+    int stall = 0;
+    bool bland = false;
+
+    for (std::int64_t iter = 0; iter < kMaxIterations; ++iter) {
+        ++iterations_;
+        if (++since_refactor >= kRefactorInterval) {
+            if (!refactorize())
+                return LpStatus::Numerical;
+            computeXb();
+            since_refactor = 0;
+        }
+        computeDuals(costs);
+        computeReducedCosts(costs);
+
+        // Entering column: Dantzig pricing, Bland fallback on stalls.
+        int q = -1;
+        double best_viol = kTol;
+        for (int j = 0; j < total_; ++j) {
+            if (state_[j] == kBasic || ub_[j] - lb_[j] < kTol)
+                continue;
+            const double d = redcost_[j];
+            double viol = 0.0;
+            if (state_[j] == kAtLower && d < -kTol)
+                viol = -d;
+            else if (state_[j] == kAtUpper && d > kTol)
+                viol = d;
+            else
+                continue;
+            if (bland) {
+                q = j;
+                break;
+            }
+            if (viol > best_viol) {
+                best_viol = viol;
+                q = j;
+            }
+        }
+        if (q < 0) {
+            if (phase1 && !phase1Feasible())
+                return LpStatus::Infeasible;
+            objective_ = currentObjective(costs);
+            return LpStatus::Optimal;
+        }
+
+        ftran(q);
+        const int dir = state_[q] == kAtLower ? 1 : -1;
+
+        // Ratio test: smallest step that drives a basic variable to a
+        // bound, or flips the entering variable to its opposite bound.
+        double t_best = ub_[q] - lb_[q]; // may be +inf
+        int leave = -1;
+        double leave_alpha = 0.0;
+        std::uint8_t leave_state = kAtLower;
+        for (int i = 0; i < m_; ++i) {
+            const double rate = -dir * work_col_[i];
+            if (std::abs(rate) <= kPivotTol)
+                continue;
+            const int bj = basic_[i];
+            double t_i;
+            std::uint8_t hit;
+            if (rate < 0.0) {
+                if (!std::isfinite(lb_[bj]))
+                    continue;
+                t_i = (xb_[i] - lb_[bj]) / (-rate);
+                hit = kAtLower;
+            } else {
+                if (!std::isfinite(ub_[bj]))
+                    continue;
+                t_i = (ub_[bj] - xb_[i]) / rate;
+                hit = kAtUpper;
+            }
+            t_i = std::max(t_i, 0.0);
+            const bool better =
+                t_i < t_best - 1e-12 ||
+                (t_i < t_best + 1e-12 &&
+                 std::abs(work_col_[i]) > std::abs(leave_alpha));
+            if (better) {
+                t_best = t_i;
+                leave = i;
+                leave_alpha = work_col_[i];
+                leave_state = hit;
+            }
+        }
+        if (!std::isfinite(t_best))
+            return phase1 ? LpStatus::Numerical : LpStatus::Unbounded;
+
+        if (t_best <= 1e-11)
+            ++stall;
+        else
+            stall = 0;
+        if (stall > kStallLimit)
+            bland = true;
+
+        if (leave < 0) {
+            // Bound flip: entering variable moves to its opposite bound.
+            for (int i = 0; i < m_; ++i)
+                xb_[i] += -dir * work_col_[i] * t_best;
+            state_[q] = state_[q] == kAtLower ? kAtUpper : kAtLower;
+            continue;
+        }
+
+        const double entering_value = colValue(q) + dir * t_best;
+        for (int i = 0; i < m_; ++i) {
+            if (i != leave)
+                xb_[i] += -dir * work_col_[i] * t_best;
+        }
+        const int leaving_var = basic_[leave];
+        pivot(q, leave, entering_value);
+        state_[leaving_var] = leave_state;
+    }
+    return LpStatus::IterLimit;
+}
+
+bool
+Simplex::phase1Feasible() const
+{
+    double infeas = 0.0;
+    for (int i = 0; i < m_; ++i) {
+        if (basic_[i] >= n_)
+            infeas += std::abs(xb_[i]);
+    }
+    for (int j = n_; j < total_; ++j) {
+        if (state_[j] == kAtUpper && std::isfinite(ub_[j]))
+            infeas += std::abs(ub_[j]);
+    }
+    return infeas < 1e-6;
+}
+
+LpStatus
+Simplex::solvePrimal()
+{
+    setupInitialArtificialBasis();
+
+    // Phase 1: minimize the sum of artificial variables.
+    std::vector<double> phase1_costs(total_, 0.0);
+    for (int j = n_; j < total_; ++j)
+        phase1_costs[j] = 1.0;
+    LpStatus st = primalLoop(phase1_costs.data(), /*phase1=*/true);
+    if (st != LpStatus::Optimal)
+        return st == LpStatus::Unbounded ? LpStatus::Numerical : st;
+    if (objective_ > 1e-6)
+        return LpStatus::Infeasible;
+
+    // Close the artificials and optimize the true objective.
+    for (int j = n_; j < total_; ++j)
+        ub_[j] = 0.0;
+    return primalLoop(c_.data(), /*phase1=*/false);
+}
+
+LpStatus
+Simplex::solveDual(const Basis& basis)
+{
+    COSA_ASSERT(static_cast<int>(basis.basic.size()) == m_ &&
+                static_cast<int>(basis.state.size()) == total_,
+                "warm basis has wrong shape");
+    basic_ = basis.basic;
+    state_ = basis.state;
+    // Artificials stay closed on warm solves.
+    for (int j = n_; j < total_; ++j)
+        ub_[j] = 0.0;
+    // Re-normalize nonbasic states against possibly-changed bounds.
+    for (int j = 0; j < n_; ++j) {
+        if (state_[j] == kAtLower && !std::isfinite(lb_[j]))
+            state_[j] = kAtUpper;
+        else if (state_[j] == kAtUpper && !std::isfinite(ub_[j]))
+            state_[j] = kAtLower;
+    }
+    // The loaded basis does not match the maintained inverse: rebuild.
+    if (!refactorize())
+        return LpStatus::Numerical;
+    computeXb();
+    return dualLoop();
+}
+
+LpStatus
+Simplex::solveDualFromCurrent()
+{
+    // The internal basis inverse is maintained across pivots and stays
+    // valid under pure bound changes (the branch-and-bound dive path),
+    // so no O(m^3) refactorization is needed here — only the basic
+    // values must be refreshed against the new bounds. The dual loop
+    // refactorizes periodically for numerical hygiene anyway.
+    computeXb();
+    return dualLoop();
+}
+
+LpStatus
+Simplex::dualLoop()
+{
+    int since_refactor = 0;
+    int stall = 0;
+    bool bland = false;
+    // Reduced costs are maintained incrementally across pivots (the
+    // pivot row needed for the update is computed anyway for the ratio
+    // test) and recomputed from scratch at every refactorization.
+    computeDuals(c_.data());
+    computeReducedCosts(c_.data());
+    // Bound relaxations (branch-and-bound backtracking) can leave a
+    // previously fixed nonbasic variable with a wrong-signed reduced
+    // cost for its state. Repair by flipping it to its other bound; if
+    // that bound is infinite the basis is beyond dual repair and the
+    // caller must fall back to a cold primal solve.
+    bool states_changed = false;
+    for (int j = 0; j < total_; ++j) {
+        if (state_[j] == kBasic || ub_[j] - lb_[j] < kTol)
+            continue;
+        if (state_[j] == kAtLower && redcost_[j] < -kTol) {
+            if (!std::isfinite(ub_[j]))
+                return LpStatus::Numerical;
+            state_[j] = kAtUpper;
+            states_changed = true;
+        } else if (state_[j] == kAtUpper && redcost_[j] > kTol) {
+            if (!std::isfinite(lb_[j]))
+                return LpStatus::Numerical;
+            state_[j] = kAtLower;
+            states_changed = true;
+        }
+    }
+    if (states_changed)
+        computeXb();
+    for (std::int64_t iter = 0; iter < kMaxDualIterations; ++iter) {
+        ++iterations_;
+        if (++since_refactor >= kRefactorInterval) {
+            if (!refactorize())
+                return LpStatus::Numerical;
+            computeXb();
+            computeDuals(c_.data());
+            computeReducedCosts(c_.data());
+            since_refactor = 0;
+        }
+
+        // Leaving row: most bound-violating basic variable (or the
+        // first violating row under the anti-cycling rule).
+        int r = -1;
+        double worst = 1e-7;
+        int s = 0;
+        for (int i = 0; i < m_; ++i) {
+            const int bj = basic_[i];
+            const double below = lb_[bj] - xb_[i];
+            const double above = xb_[i] - ub_[bj];
+            if (below > worst) {
+                worst = below;
+                r = i;
+                s = -1;
+            }
+            if (above > worst) {
+                worst = above;
+                r = i;
+                s = +1;
+            }
+            if (bland && r >= 0)
+                break;
+        }
+        if (r < 0) {
+            objective_ = currentObjective(c_.data());
+            return LpStatus::Optimal;
+        }
+
+        btranRow(r);
+
+        // Entering column: dual ratio test (lowest index under Bland).
+        int q = -1;
+        double best_theta = kInf;
+        double best_a = 0.0;
+        for (int j = 0; j < total_; ++j) {
+            if (state_[j] == kBasic || ub_[j] - lb_[j] < kTol)
+                continue;
+            const double a = s * work_row_[j];
+            const bool candidate =
+                (state_[j] == kAtLower && a > kPivotTol) ||
+                (state_[j] == kAtUpper && a < -kPivotTol);
+            if (!candidate)
+                continue;
+            const double theta = redcost_[j] / a;
+            if (bland) {
+                // Any candidate with (near-)zero ratio keeps dual
+                // feasibility; take the first to break cycles.
+                if (theta <= kTol) {
+                    q = j;
+                    best_a = a;
+                    break;
+                }
+            }
+            const bool better =
+                theta < best_theta - 1e-12 ||
+                (theta < best_theta + 1e-12 && std::abs(a) > std::abs(best_a));
+            if (better) {
+                best_theta = theta;
+                best_a = a;
+                q = j;
+            }
+        }
+        if (q < 0)
+            return LpStatus::Infeasible; // dual unbounded
+
+        ftran(q);
+        const int bj = basic_[r];
+        const double leave_val = s > 0 ? ub_[bj] : lb_[bj];
+        const double alpha_rq = work_col_[r];
+        if (std::abs(alpha_rq) <= kPivotTol)
+            return LpStatus::Numerical;
+        const double delta = (xb_[r] - leave_val) / alpha_rq;
+
+        if (std::abs(delta) <= 1e-11)
+            ++stall;
+        else
+            stall = 0;
+        if (stall > kStallLimit)
+            bland = true;
+
+        for (int i = 0; i < m_; ++i) {
+            if (i != r)
+                xb_[i] -= work_col_[i] * delta;
+        }
+        // Incremental dual update: d' = d - gamma * (row r of B^-1 A)
+        // with gamma chosen to zero the entering column's reduced cost.
+        const double gamma = redcost_[q] / work_row_[q];
+        for (int j = 0; j < total_; ++j)
+            redcost_[j] -= gamma * work_row_[j];
+        const double entering_value = colValue(q) + delta;
+        pivot(q, r, entering_value);
+        state_[bj] = s > 0 ? kAtUpper : kAtLower;
+        redcost_[q] = 0.0;
+        redcost_[bj] = -gamma;
+    }
+    return LpStatus::IterLimit;
+}
+
+std::vector<double>
+Simplex::solution() const
+{
+    std::vector<double> x(num_structural_, 0.0);
+    for (int j = 0; j < num_structural_; ++j) {
+        if (state_[j] != kBasic)
+            x[j] = colValue(j);
+    }
+    for (int i = 0; i < m_; ++i) {
+        if (basic_[i] < num_structural_)
+            x[basic_[i]] = xb_[i];
+    }
+    return x;
+}
+
+Basis
+Simplex::saveBasis() const
+{
+    return Basis{basic_, state_};
+}
+
+} // namespace cosa::solver

@@ -1,0 +1,159 @@
+#pragma once
+
+/**
+ * @file
+ * Bounded-variable revised simplex with an explicit basis inverse.
+ *
+ * Supports:
+ *  - primal simplex from scratch (phase 1 with artificial variables,
+ *    then phase 2),
+ *  - dual simplex warm-started from a previously optimal basis after
+ *    bound changes (the workhorse of branch-and-bound re-solves),
+ *  - bound flips for nonbasic variables (long-step handling of boxed
+ *    variables),
+ *  - periodic refactorization and a Bland's-rule anti-cycling fallback.
+ *
+ * The problem is held in computational standard form
+ *     min c'x   s.t.  A x + s = b,   l <= (x, s) <= u
+ * with one slack per row whose bounds encode the row sense.
+ */
+
+#include <cstdint>
+#include <vector>
+
+#include "solver/types.hpp"
+
+namespace cosa::solver {
+
+/** LP in computational standard form (columns = structural then slack). */
+struct LpProblem
+{
+    int num_rows = 0;
+    int num_structural = 0;
+    /** Column-major dense constraint matrix for structural columns. */
+    std::vector<double> cols; // num_rows * num_structural
+    std::vector<double> rhs;  // per row
+    std::vector<Sense> senses; // per row; encoded into slack bounds
+    std::vector<double> obj;  // structural objective coefficients
+    std::vector<double> lb, ub; // structural bounds
+
+    double&
+    at(int row, int col)
+    {
+        return cols[static_cast<std::size_t>(col) * num_rows + row];
+    }
+    double
+    at(int row, int col) const
+    {
+        return cols[static_cast<std::size_t>(col) * num_rows + row];
+    }
+};
+
+/** Result status of a single LP solve. */
+enum class LpStatus {
+    Optimal,
+    Infeasible,
+    Unbounded,
+    IterLimit,
+    Numerical,
+};
+
+/** Snapshot of a simplex basis, sufficient to warm-start a re-solve. */
+struct Basis
+{
+    std::vector<std::int32_t> basic;  //!< var index basic in each row
+    std::vector<std::uint8_t> state;  //!< per-column NonbasicState
+
+    bool empty() const { return basic.empty(); }
+};
+
+/** Dense bounded-variable simplex solver. */
+class Simplex
+{
+  public:
+    /** Load @p prob; slack and artificial columns are added internally. */
+    explicit Simplex(const LpProblem& prob);
+
+    /** Override bounds of a structural column (branch-and-bound). */
+    void setVarBounds(int structural_col, double lb, double ub);
+
+    /** Current bounds (structural columns only). */
+    double varLb(int structural_col) const { return lb_[structural_col]; }
+    double varUb(int structural_col) const { return ub_[structural_col]; }
+
+    /** Cold solve: phase 1 + phase 2 primal simplex. */
+    LpStatus solvePrimal();
+
+    /**
+     * Warm solve with the dual simplex starting from @p basis, which must
+     * have been optimal for some previous bound configuration of this
+     * problem (reduced costs are then still dual feasible).
+     */
+    LpStatus solveDual(const Basis& basis);
+
+    /** Re-solve with the dual simplex from the *current* internal basis. */
+    LpStatus solveDualFromCurrent();
+
+    /** Objective value of the last solve. */
+    double objective() const { return objective_; }
+
+    /** Primal values of the structural columns after a solve. */
+    std::vector<double> solution() const;
+
+    /** Basis snapshot after a successful solve. */
+    Basis saveBasis() const;
+
+    /** Total simplex iterations performed by this instance. */
+    std::int64_t iterations() const { return iterations_; }
+
+    static constexpr double kTol = 1e-7;     //!< feasibility tolerance
+    static constexpr double kPivotTol = 1e-8; //!< minimum pivot magnitude
+
+  private:
+    enum NonbasicState : std::uint8_t {
+        kAtLower = 0,
+        kAtUpper = 1,
+        kBasic = 2,
+    };
+
+    int m_ = 0;            //!< rows
+    int n_ = 0;            //!< structural + slack columns
+    int total_ = 0;        //!< n_ + m_ artificial columns
+    int num_structural_ = 0;
+
+    std::vector<double> cols_;   //!< column-major (m_ x total_)
+    std::vector<double> b_;
+    std::vector<double> c_;      //!< phase-2 costs (artificials: 0)
+    std::vector<double> lb_, ub_;
+    std::vector<double> art_sign_; //!< +-1 sign of each artificial column
+
+    std::vector<std::int32_t> basic_;   //!< size m_
+    std::vector<std::uint8_t> state_;   //!< size total_
+    std::vector<double> binv_;          //!< m_ x m_ row-major basis inverse
+    std::vector<double> xb_;            //!< basic variable values
+    std::vector<double> work_col_;      //!< scratch: B^-1 * A_j
+    std::vector<double> work_row_;      //!< scratch: row of B^-1 A
+    std::vector<double> dual_y_;        //!< scratch: simplex multipliers
+    std::vector<double> redcost_;       //!< scratch: reduced costs
+
+    double objective_ = 0.0;
+    std::int64_t iterations_ = 0;
+
+    double colValue(int j) const; //!< value of a nonbasic column
+    void computeXb();             //!< xb = B^-1 (b - N x_N)
+    bool refactorize();           //!< rebuild binv from basis; false if
+                                  //!< the basis matrix is singular
+    void ftran(int j);            //!< work_col_ = B^-1 * column j
+    void btranRow(int r);         //!< work_row_[j] = (e_r B^-1 A)_j
+    void computeDuals(const double* costs);
+    void computeReducedCosts(const double* costs);
+    void pivot(int entering, int leaving_row, double entering_value);
+    double currentObjective(const double* costs) const;
+
+    LpStatus primalLoop(const double* costs, bool phase1);
+    LpStatus dualLoop();
+    bool phase1Feasible() const;
+    void setupInitialArtificialBasis();
+};
+
+} // namespace cosa::solver

@@ -1,0 +1,51 @@
+#pragma once
+
+/**
+ * @file
+ * Shared enums and the lightweight variable handle for the MIP solver.
+ * The modeling layer mirrors the small subset of the Gurobi C++ API that
+ * CoSA needs: variables with bounds and types, linear constraints, a
+ * linear objective, and binary-product linearization.
+ */
+
+#include <cstdint>
+#include <limits>
+
+namespace cosa::solver {
+
+/** Variable domain. */
+enum class VarType { Continuous, Binary, Integer };
+
+/** Constraint comparison sense. */
+enum class Sense { LessEqual, GreaterEqual, Equal };
+
+/** Objective direction. */
+enum class ObjSense { Minimize, Maximize };
+
+/** Result status of an LP or MIP solve. */
+enum class Status {
+    Optimal,        //!< proven optimal (within gap tolerance for MIP)
+    Feasible,       //!< incumbent found but not proven optimal (limits hit)
+    Infeasible,     //!< no feasible solution exists
+    Unbounded,      //!< objective unbounded below/above
+    IterLimit,      //!< iteration limit without a feasible point
+    TimeLimit,      //!< time limit without a feasible point
+    NumericalError  //!< solver lost numerical consistency
+};
+
+/** Positive infinity used for unbounded variable bounds. */
+inline constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/**
+ * Opaque handle to a model variable. Cheap to copy; only valid for the
+ * Model that created it.
+ */
+struct Var
+{
+    std::int32_t index = -1;
+
+    bool valid() const { return index >= 0; }
+    bool operator==(const Var&) const = default;
+};
+
+} // namespace cosa::solver

@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "arch/arch_spec.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(ArchSpec, SimbaBaselineMatchesTableV)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    EXPECT_EQ(arch.noc_x, 4);
+    EXPECT_EQ(arch.noc_y, 4);
+    EXPECT_EQ(arch.numPEs(), 16);
+    EXPECT_EQ(arch.macs_per_pe, 64);
+    EXPECT_EQ(arch.weight_bits, 8);
+    EXPECT_EQ(arch.input_bits, 8);
+    EXPECT_EQ(arch.output_bits, 24);
+    ASSERT_EQ(arch.numLevels(), 6);
+    EXPECT_EQ(arch.levels[0].name, "Register");
+    EXPECT_EQ(arch.levels[0].capacity_bytes, 64);
+    EXPECT_EQ(arch.levels[1].capacity_bytes, 3 * 1024);  // AccBuf
+    EXPECT_EQ(arch.levels[2].capacity_bytes, 32 * 1024); // WBuf
+    EXPECT_EQ(arch.levels[3].capacity_bytes, 8 * 1024);  // InputBuf
+    EXPECT_EQ(arch.levels[4].capacity_bytes, 128 * 1024);
+    EXPECT_TRUE(arch.levels[5].unbounded());
+}
+
+TEST(ArchSpec, MatrixBMatchesPaperTableIV)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    // Register stores all three tensors.
+    for (Tensor t : kAllTensors)
+        EXPECT_TRUE(arch.levels[0].storesTensor(t));
+    // AccBuf only outputs, WBuf only weights, InputBuf only inputs.
+    EXPECT_TRUE(arch.levels[1].storesTensor(Tensor::Outputs));
+    EXPECT_FALSE(arch.levels[1].storesTensor(Tensor::Weights));
+    EXPECT_TRUE(arch.levels[2].storesTensor(Tensor::Weights));
+    EXPECT_FALSE(arch.levels[2].storesTensor(Tensor::Inputs));
+    EXPECT_TRUE(arch.levels[3].storesTensor(Tensor::Inputs));
+    // GlobalBuf holds inputs and outputs, not weights.
+    EXPECT_TRUE(arch.levels[4].storesTensor(Tensor::Inputs));
+    EXPECT_TRUE(arch.levels[4].storesTensor(Tensor::Outputs));
+    EXPECT_FALSE(arch.levels[4].storesTensor(Tensor::Weights));
+    // DRAM holds everything.
+    for (Tensor t : kAllTensors)
+        EXPECT_TRUE(arch.levels[5].storesTensor(t));
+}
+
+TEST(ArchSpec, HomeLevels)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    EXPECT_EQ(arch.homeLevel(Tensor::Outputs), 1); // AccBuf
+    EXPECT_EQ(arch.homeLevel(Tensor::Weights), 2); // WBuf
+    EXPECT_EQ(arch.homeLevel(Tensor::Inputs), 3);  // InputBuf
+}
+
+TEST(ArchSpec, SpatialGroups)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    ASSERT_EQ(arch.spatial_groups.size(), 2u);
+    const SpatialGroup* macs = arch.groupOfLevel(0);
+    ASSERT_NE(macs, nullptr);
+    EXPECT_EQ(macs->fanout, 64);
+    const SpatialGroup* pes = arch.groupOfLevel(4);
+    ASSERT_NE(pes, nullptr);
+    EXPECT_EQ(pes->fanout, 16);
+    EXPECT_EQ(arch.groupOfLevel(5), nullptr); // no spatial at DRAM
+    EXPECT_FALSE(arch.spatialAllowedAt(5));
+    EXPECT_TRUE(arch.spatialAllowedAt(2));
+}
+
+TEST(ArchSpec, TensorBytes)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    EXPECT_DOUBLE_EQ(arch.tensorBytes(Tensor::Weights), 1.0);
+    EXPECT_DOUBLE_EQ(arch.tensorBytes(Tensor::Inputs), 1.0);
+    EXPECT_DOUBLE_EQ(arch.tensorBytes(Tensor::Outputs), 3.0);
+}
+
+TEST(ArchSpec, Simba8x8Variant)
+{
+    const ArchSpec base = ArchSpec::simbaBaseline();
+    const ArchSpec big = ArchSpec::simba8x8();
+    EXPECT_EQ(big.numPEs(), 64);
+    EXPECT_DOUBLE_EQ(big.levels[4].bandwidth_bytes_per_cycle,
+                     2.0 * base.levels[4].bandwidth_bytes_per_cycle);
+    EXPECT_DOUBLE_EQ(big.levels[5].bandwidth_bytes_per_cycle,
+                     2.0 * base.levels[5].bandwidth_bytes_per_cycle);
+    const SpatialGroup* pes = big.groupOfLevel(4);
+    ASSERT_NE(pes, nullptr);
+    EXPECT_EQ(pes->fanout, 64);
+}
+
+TEST(ArchSpec, BigBufferVariant)
+{
+    const ArchSpec base = ArchSpec::simbaBaseline();
+    const ArchSpec big = ArchSpec::simbaBigBuffers();
+    EXPECT_EQ(big.levels[1].capacity_bytes, 2 * base.levels[1].capacity_bytes);
+    EXPECT_EQ(big.levels[2].capacity_bytes, 2 * base.levels[2].capacity_bytes);
+    EXPECT_EQ(big.levels[3].capacity_bytes, 2 * base.levels[3].capacity_bytes);
+    EXPECT_EQ(big.levels[4].capacity_bytes, 8 * base.levels[4].capacity_bytes);
+    EXPECT_EQ(big.numPEs(), base.numPEs());
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "common/math_utils.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(MathUtils, CeilDiv)
+{
+    EXPECT_EQ(ceilDiv(10, 3), 4);
+    EXPECT_EQ(ceilDiv(9, 3), 3);
+    EXPECT_EQ(ceilDiv(1, 5), 1);
+    EXPECT_EQ(ceilDiv(0, 5), 0);
+}
+
+TEST(MathUtils, IsPrime)
+{
+    EXPECT_FALSE(isPrime(0));
+    EXPECT_FALSE(isPrime(1));
+    EXPECT_TRUE(isPrime(2));
+    EXPECT_TRUE(isPrime(3));
+    EXPECT_FALSE(isPrime(4));
+    EXPECT_TRUE(isPrime(1009));
+    EXPECT_FALSE(isPrime(1001)); // 7 * 11 * 13
+}
+
+TEST(MathUtils, FactorizeBasics)
+{
+    EXPECT_TRUE(factorize(1).empty());
+    EXPECT_EQ(factorize(2), (std::vector<std::int64_t>{2}));
+    EXPECT_EQ(factorize(12), (std::vector<std::int64_t>{2, 2, 3}));
+    EXPECT_EQ(factorize(256), std::vector<std::int64_t>(8, 2));
+    EXPECT_EQ(factorize(1000), (std::vector<std::int64_t>{2, 2, 2, 5, 5, 5}));
+}
+
+TEST(MathUtils, FactorizeRoundTrips)
+{
+    for (std::int64_t n = 1; n <= 3000; ++n) {
+        std::int64_t prod = 1;
+        for (std::int64_t f : factorize(n)) {
+            EXPECT_TRUE(isPrime(f)) << "factor " << f << " of " << n;
+            prod *= f;
+        }
+        EXPECT_EQ(prod, n);
+    }
+}
+
+TEST(MathUtils, FactorCounts)
+{
+    auto counts = factorCounts(360); // 2^3 * 3^2 * 5
+    EXPECT_EQ(counts[2], 3);
+    EXPECT_EQ(counts[3], 2);
+    EXPECT_EQ(counts[5], 1);
+    EXPECT_EQ(counts.size(), 3u);
+}
+
+TEST(MathUtils, PadToSmoothBound)
+{
+    // 1009 is prime; the next 7-smooth number is 1024? No: 1010=2*5*101.
+    // Check the property rather than a hard-coded value.
+    const std::int64_t padded = padToSmoothBound(1009, 7);
+    EXPECT_GE(padded, 1009);
+    EXPECT_LE(factorize(padded).back(), 7);
+    // Already-smooth numbers are unchanged.
+    EXPECT_EQ(padToSmoothBound(64, 7), 64);
+    EXPECT_EQ(padToSmoothBound(1, 7), 1);
+}
+
+TEST(MathUtils, Divisors)
+{
+    EXPECT_EQ(divisors(1), (std::vector<std::int64_t>{1}));
+    EXPECT_EQ(divisors(12), (std::vector<std::int64_t>{1, 2, 3, 4, 6, 12}));
+    EXPECT_EQ(divisors(49), (std::vector<std::int64_t>{1, 7, 49}));
+}
+
+TEST(MathUtils, Geomean)
+{
+    EXPECT_DOUBLE_EQ(geomean({}), 0.0);
+    EXPECT_NEAR(geomean({4.0}), 4.0, 1e-12);
+    EXPECT_NEAR(geomean({1.0, 4.0}), 2.0, 1e-12);
+    EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(MathUtils, NextPow2)
+{
+    EXPECT_EQ(nextPow2(1), 1);
+    EXPECT_EQ(nextPow2(2), 2);
+    EXPECT_EQ(nextPow2(3), 4);
+    EXPECT_EQ(nextPow2(1000), 1024);
+}
+
+TEST(MathUtils, Ipow)
+{
+    EXPECT_EQ(ipow(2, 0), 1);
+    EXPECT_EQ(ipow(2, 10), 1024);
+    EXPECT_EQ(ipow(3, 4), 81);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,68 @@
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "common/table.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(TextTable, AlignsColumnsAndPrintsHeader)
+{
+    TextTable t("demo");
+    t.setHeader({"name", "value"});
+    t.addRow({"alpha", "1"});
+    t.addRow({"b", "22"});
+    std::ostringstream oss;
+    t.print(oss);
+    const std::string out = oss.str();
+    EXPECT_NE(out.find("demo"), std::string::npos);
+    EXPECT_NE(out.find("name"), std::string::npos);
+    EXPECT_NE(out.find("alpha"), std::string::npos);
+    EXPECT_EQ(t.numRows(), 2u);
+}
+
+TEST(TextTable, CsvOutput)
+{
+    TextTable t;
+    t.setHeader({"a", "b"});
+    t.addRow({"1", "2"});
+    std::ostringstream oss;
+    t.printCsv(oss);
+    EXPECT_EQ(oss.str(), "a,b\n1,2\n");
+}
+
+TEST(TextTable, FmtPrecision)
+{
+    EXPECT_EQ(TextTable::fmt(1.23456, 2), "1.23");
+    EXPECT_EQ(TextTable::fmt(2.0, 1), "2.0");
+}
+
+TEST(AsciiHistogram, CountsSumToInput)
+{
+    std::vector<double> vals{0.1, 0.2, 0.5, 0.9, 0.95, 0.99};
+    AsciiHistogram h(vals, 4);
+    std::size_t total = 0;
+    for (std::size_t c : h.counts())
+        total += c;
+    EXPECT_EQ(total, vals.size());
+}
+
+TEST(AsciiHistogram, ExtremesLandInFirstAndLastBin)
+{
+    std::vector<double> vals{0.0, 10.0, 5.0};
+    AsciiHistogram h(vals, 10);
+    EXPECT_GE(h.counts().front(), 1u);
+    EXPECT_GE(h.counts().back(), 1u);
+}
+
+TEST(AsciiHistogram, PrintsBars)
+{
+    AsciiHistogram h({1.0, 1.0, 2.0}, 2);
+    std::ostringstream oss;
+    h.print(oss);
+    EXPECT_NE(oss.str().find('#'), std::string::npos);
+}
+
+} // namespace
+} // namespace cosa

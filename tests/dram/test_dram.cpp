@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include "dram/dram_model.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(Dram, CompletesSingleRead)
+{
+    DramModel dram;
+    int completed = 0;
+    dram.setCallback([&](const DramRequest&) { ++completed; });
+    ASSERT_TRUE(dram.enqueue({0, false, 7}));
+    for (int i = 0; i < 100 && completed == 0; ++i)
+        dram.tick();
+    EXPECT_EQ(completed, 1);
+    EXPECT_EQ(dram.totalReads(), 1);
+    EXPECT_EQ(dram.totalWrites(), 0);
+}
+
+TEST(Dram, RowHitsFasterThanMisses)
+{
+    DramConfig config;
+    DramModel hit_dram(config), miss_dram(config);
+    int done = 0;
+    auto cb = [&](const DramRequest&) { ++done; };
+    hit_dram.setCallback(cb);
+    miss_dram.setCallback(cb);
+
+    // Same-row stream vs alternating far rows.
+    for (int i = 0; i < 8; ++i)
+        hit_dram.enqueue(
+            {static_cast<std::uint64_t>(i) * config.burst_bytes, false, 0});
+    for (int i = 0; i < 8; ++i)
+        miss_dram.enqueue({static_cast<std::uint64_t>(i) *
+                               config.row_bytes *
+                               static_cast<std::uint64_t>(
+                                   config.num_banks) * 2,
+                           false, 0});
+    int hit_cycles = 0, miss_cycles = 0;
+    done = 0;
+    while (done < 8 && hit_cycles < 10'000) {
+        hit_dram.tick();
+        ++hit_cycles;
+    }
+    done = 0;
+    while (done < 8 && miss_cycles < 10'000) {
+        miss_dram.tick();
+        ++miss_cycles;
+    }
+    EXPECT_LT(hit_cycles, miss_cycles);
+    EXPECT_GT(hit_dram.rowHits(), 0);
+    EXPECT_GT(miss_dram.rowMisses(), miss_dram.rowHits());
+}
+
+TEST(Dram, QueueDepthEnforced)
+{
+    DramConfig config;
+    config.queue_depth = 4;
+    DramModel dram(config);
+    int accepted = 0;
+    for (int i = 0; i < 10; ++i)
+        accepted += dram.enqueue({0, false, 0}); // same bank
+    EXPECT_EQ(accepted, 4);
+    EXPECT_FALSE(dram.canAccept(0));
+}
+
+TEST(Dram, BankParallelismImprovesThroughput)
+{
+    DramConfig config;
+    DramModel one_bank(config), many_banks(config);
+    int done = 0;
+    auto cb = [&](const DramRequest&) { ++done; };
+    one_bank.setCallback(cb);
+    many_banks.setCallback(cb);
+    const int n = 16;
+    for (int i = 0; i < n; ++i) {
+        // Same bank (same row group) vs striped across banks.
+        one_bank.enqueue({static_cast<std::uint64_t>(i) *
+                              config.row_bytes *
+                              static_cast<std::uint64_t>(config.num_banks),
+                          false, 0});
+        many_banks.enqueue(
+            {static_cast<std::uint64_t>(i) * config.row_bytes, false, 0});
+    }
+    int cycles_one = 0, cycles_many = 0;
+    done = 0;
+    while (done < n && cycles_one < 100'000) {
+        one_bank.tick();
+        ++cycles_one;
+    }
+    done = 0;
+    while (done < n && cycles_many < 100'000) {
+        many_banks.tick();
+        ++cycles_many;
+    }
+    EXPECT_LE(cycles_many, cycles_one);
+}
+
+TEST(Dram, WritesCounted)
+{
+    DramModel dram;
+    int done = 0;
+    dram.setCallback([&](const DramRequest&) { ++done; });
+    dram.enqueue({0, true, 0});
+    dram.enqueue({64, true, 0});
+    for (int i = 0; i < 200 && done < 2; ++i)
+        dram.tick();
+    EXPECT_EQ(dram.totalWrites(), 2);
+}
+
+TEST(Dram, PendingTracksQueue)
+{
+    DramModel dram;
+    EXPECT_EQ(dram.pending(), 0);
+    dram.enqueue({0, false, 0});
+    dram.enqueue({4096, false, 0});
+    EXPECT_EQ(dram.pending(), 2);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,81 @@
+#include <gtest/gtest.h>
+
+#include "cosa/scheduler.hpp"
+#include "gpu/gpu_arch.hpp"
+#include "gpu/tuner.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(GpuArch, K80SpecMatchesPaperSection5D)
+{
+    const ArchSpec arch = gpu::k80Like();
+    // 48KB shared memory, 64KB registers, 1.5MB L2, <=1024 threads.
+    EXPECT_EQ(arch.levels[1].capacity_bytes, 48 * 1024);
+    EXPECT_EQ(arch.levels[0].capacity_bytes, 64 * 1024);
+    EXPECT_EQ(arch.levels[2].capacity_bytes, 1536 * 1024);
+    const SpatialGroup* threads = arch.groupOfLevel(0);
+    ASSERT_NE(threads, nullptr);
+    EXPECT_EQ(threads->fanout, 1024);
+    EXPECT_TRUE(arch.levels.back().unbounded());
+}
+
+TEST(GpuTuner, FindsValidGpuSchedule)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_14_256_256_1");
+    const ArchSpec arch = gpu::k80Like();
+    gpu::IterativeTuner tuner;
+    const SearchResult result = tuner.schedule(layer, arch);
+    ASSERT_TRUE(result.found);
+    EXPECT_TRUE(validateMapping(result.mapping, layer, arch).valid);
+    EXPECT_LE(result.stats.samples, 50);
+}
+
+TEST(GpuTuner, MoreTrialsNeverHurt)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_14_256_256_1");
+    const ArchSpec arch = gpu::k80Like();
+    gpu::TunerConfig few_cfg;
+    few_cfg.trials = 10;
+    gpu::TunerConfig many_cfg;
+    many_cfg.trials = 80;
+    const SearchResult few = gpu::IterativeTuner(few_cfg)
+                                 .schedule(layer, arch);
+    const SearchResult many = gpu::IterativeTuner(many_cfg)
+                                  .schedule(layer, arch);
+    ASSERT_TRUE(many.found);
+    if (few.found)
+        EXPECT_LE(many.eval.cycles, few.eval.cycles * 1.0001);
+}
+
+TEST(GpuCosa, SchedulesResNetLayerOnGpu)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_14_256_256_1");
+    const ArchSpec arch = gpu::k80Like();
+    CosaConfig config;
+    config.mip.time_limit_sec = 3.0;
+    CosaScheduler scheduler(config);
+    const SearchResult result = scheduler.schedule(layer, arch);
+    ASSERT_TRUE(result.found);
+    EXPECT_TRUE(validateMapping(result.mapping, layer, arch).valid);
+    // Thread-block limit respected by construction.
+    const SpatialGroup* threads = arch.groupOfLevel(0);
+    EXPECT_LE(result.mapping.spatialProductInGroup(*threads), 1024);
+}
+
+TEST(GpuCosa, SolvesFasterThanManyTunerTrials)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_28_256_512_1");
+    const ArchSpec arch = gpu::k80Like();
+    CosaConfig config;
+    config.mip.time_limit_sec = 2.0;
+    CosaScheduler scheduler(config);
+    const SearchResult cosa_result = scheduler.schedule(layer, arch);
+    ASSERT_TRUE(cosa_result.found);
+    // One-shot property: a single sample, not a feedback loop.
+    EXPECT_EQ(cosa_result.stats.samples, 1);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,177 @@
+#include <gtest/gtest.h>
+
+#include "mapping/mapping.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+/** A small hand-built valid mapping for the Listing-1 layer on Simba. */
+Mapping
+listing1Mapping()
+{
+    // Layer: R=S=3, P=Q=28, C=8, K=4, N=3 (paper Listing 1).
+    Mapping m;
+    m.levels.resize(6);
+    // Register level: q0 = 2.
+    m.levels[0] = {{Dim::Q, 2, false}};
+    // AccBuf: s0 = 3, p0 = 2, spatial c0 = 8.
+    m.levels[1] = {{Dim::S, 3, false}, {Dim::P, 2, false}, {Dim::C, 8, true}};
+    // WBuf: c1 = 1 (merged into AccBuf spatial here), p1 = 2.
+    m.levels[2] = {{Dim::P, 2, false}};
+    // InputBuf: spatial k0 = 2.
+    m.levels[3] = {{Dim::K, 2, true}};
+    // GlobalBuf: p2 = 7, q1 = 7, n0 = 3, spatial r0 = 3, spatial k1 = 2.
+    m.levels[4] = {{Dim::P, 7, false}, {Dim::Q, 7, false},
+                   {Dim::N, 3, false}, {Dim::R, 3, true}, {Dim::K, 2, true}};
+    // DRAM: q2 = 2.
+    m.levels[5] = {{Dim::Q, 2, false}};
+    return m;
+}
+
+TEST(Mapping, TotalBoundsCoverLayer)
+{
+    const Mapping m = listing1Mapping();
+    const LayerSpec layer = workloads::listing1Layer();
+    for (Dim d : kAllDims)
+        EXPECT_EQ(m.totalBound(d), layer.bound(d)) << dimName(d);
+}
+
+TEST(Mapping, TemporalAndSpatialProducts)
+{
+    const Mapping m = listing1Mapping();
+    // Spatial: c0=8 (level 1), k0=2 (level 3), r0=3, k1=2 (level 4).
+    EXPECT_EQ(m.spatialProductAt(1), 8);
+    EXPECT_EQ(m.spatialProductAt(3), 2);
+    EXPECT_EQ(m.spatialProductAt(4), 6);
+    const LayerSpec layer = workloads::listing1Layer();
+    const std::int64_t all = layer.macs();
+    EXPECT_EQ(m.temporalProduct() * 8 * 2 * 6, all);
+}
+
+TEST(Mapping, InstancesOfLevel)
+{
+    const Mapping m = listing1Mapping();
+    // Instances of the register level: spatial above level 0 = 8*2*6.
+    EXPECT_EQ(m.instancesOfLevel(0), 96);
+    EXPECT_EQ(m.instancesOfLevel(3), 6);  // GB-level spatial only
+    EXPECT_EQ(m.instancesOfLevel(4), 1);
+    EXPECT_EQ(m.instancesOfLevel(5), 1);
+}
+
+TEST(Mapping, TileBounds)
+{
+    const Mapping m = listing1Mapping();
+    EXPECT_EQ(m.tileBound(Dim::Q, 0), 2);
+    EXPECT_EQ(m.tileBound(Dim::Q, 4), 14); // 2 * 7
+    EXPECT_EQ(m.tileBound(Dim::Q, 5), 28);
+    EXPECT_EQ(m.tileBound(Dim::C, 0), 1);
+    EXPECT_EQ(m.tileBound(Dim::C, 1), 8);
+    EXPECT_EQ(m.tileBound(Dim::K, 3), 2);
+    EXPECT_EQ(m.tileBound(Dim::K, 4), 4);
+}
+
+TEST(Mapping, ValidatesOnSimba)
+{
+    const Mapping m = listing1Mapping();
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const auto vr = validateMapping(m, layer, arch);
+    EXPECT_TRUE(vr.valid) << vr.reason;
+}
+
+TEST(Mapping, DetectsUnderCoverage)
+{
+    Mapping m = listing1Mapping();
+    m.levels[5].clear(); // drop q2=2: Q only covered to 14
+    const auto vr = validateMapping(m, workloads::listing1Layer(),
+                                    ArchSpec::simbaBaseline());
+    EXPECT_FALSE(vr.valid);
+    EXPECT_NE(vr.reason.find("Q"), std::string::npos);
+}
+
+TEST(Mapping, DetectsSpatialOverSubscription)
+{
+    Mapping m = listing1Mapping();
+    // Blow past the 16-PE fanout at the GlobalBuf level.
+    m.levels[4].push_back({Dim::C, 8, true});
+    m.levels[1][2].spatial = false; // keep C product correct overall
+    m.levels[1][2].bound = 1;
+    const auto vr = validateMapping(m, workloads::listing1Layer(),
+                                    ArchSpec::simbaBaseline());
+    EXPECT_FALSE(vr.valid);
+    EXPECT_NE(vr.reason.find("PEs"), std::string::npos);
+}
+
+TEST(Mapping, DetectsSpatialAtDram)
+{
+    Mapping m = listing1Mapping();
+    m.levels[5][0].spatial = true;
+    const auto vr = validateMapping(m, workloads::listing1Layer(),
+                                    ArchSpec::simbaBaseline());
+    EXPECT_FALSE(vr.valid);
+}
+
+TEST(Mapping, DetectsBufferOverflow)
+{
+    // Put the entire K and C at the register level: 64B registers
+    // cannot hold the resulting tiles.
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_256_512_1");
+    Mapping m;
+    m.levels.resize(6);
+    m.levels[0] = {{Dim::C, 256, false}, {Dim::K, 512, false},
+                   {Dim::R, 3, false}, {Dim::S, 3, false}};
+    m.levels[5] = {{Dim::P, 14, false}, {Dim::Q, 14, false}};
+    const auto vr = validateMapping(m, layer, ArchSpec::simbaBaseline());
+    EXPECT_FALSE(vr.valid);
+    EXPECT_NE(vr.reason.find("Register"), std::string::npos);
+}
+
+TEST(Mapping, PruneUnitLoops)
+{
+    Mapping m = listing1Mapping();
+    m.levels[2].push_back({Dim::C, 1, false});
+    const int before = m.numLoops();
+    m.pruneUnitLoops();
+    EXPECT_EQ(m.numLoops(), before - 1);
+}
+
+TEST(Mapping, ToStringMentionsLevelsAndSpatial)
+{
+    const Mapping m = listing1Mapping();
+    const std::string s = m.toString(ArchSpec::simbaBaseline());
+    EXPECT_NE(s.find("GlobalBuf"), std::string::npos);
+    EXPECT_NE(s.find("spatial_for"), std::string::npos);
+    EXPECT_NE(s.find("DRAM"), std::string::npos);
+}
+
+TEST(TileAnalysis, InputHaloTile)
+{
+    const Mapping m = listing1Mapping();
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    TileAnalysis tiles(m, layer, arch);
+    // At the InputBuf level (3): P tile = 2*2=4, Q tile = 2, R=S tile=3
+    // (R only appears spatially at level 4 -> tile R at 3 is 1!).
+    // Actually R appears only at level 4, so tileBound(R,3)=1.
+    EXPECT_EQ(m.tileBound(Dim::R, 3), 1);
+    const std::int64_t w = (m.tileBound(Dim::P, 3) - 1) * 1 + 1;
+    const std::int64_t h = (m.tileBound(Dim::Q, 3) - 1) * 1 +
+                           m.tileBound(Dim::S, 3);
+    EXPECT_EQ(tiles.tileElements(Tensor::Inputs, 3),
+              w * h * m.tileBound(Dim::C, 3) * m.tileBound(Dim::N, 3));
+}
+
+TEST(TileAnalysis, OutputBytesUsePartialSumPrecision)
+{
+    const Mapping m = listing1Mapping();
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    TileAnalysis tiles(m, layer, arch);
+    EXPECT_DOUBLE_EQ(
+        tiles.tileBytes(Tensor::Outputs, 1),
+        static_cast<double>(tiles.tileElements(Tensor::Outputs, 1)) * 3.0);
+}
+
+} // namespace
+} // namespace cosa

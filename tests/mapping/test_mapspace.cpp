@@ -1,0 +1,135 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "mapping/mapspace.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(Mapspace, BuildMappingCoversAllDims)
+{
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    FactorPool pool(layer);
+    FactorAssignment a;
+    a.level.assign(static_cast<std::size_t>(pool.size()), 5); // all at DRAM
+    a.spatial.assign(static_cast<std::size_t>(pool.size()), false);
+    const Mapping m = buildMapping(pool, a, arch);
+    for (Dim d : kAllDims)
+        EXPECT_EQ(m.totalBound(d), layer.bound(d));
+    // All loops must be at DRAM.
+    for (int i = 0; i < 5; ++i)
+        EXPECT_TRUE(m.levels[static_cast<std::size_t>(i)].empty());
+}
+
+TEST(Mapspace, BuildMappingMergesSameDimFactors)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_1_16_1_1"); // C = 2^4
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    FactorPool pool(layer);
+    ASSERT_EQ(pool.size(), 4);
+    FactorAssignment a;
+    a.level.assign(4, 2);
+    a.spatial.assign(4, false);
+    const Mapping m = buildMapping(pool, a, arch);
+    ASSERT_EQ(m.levels[2].size(), 1u); // merged into one C loop
+    EXPECT_EQ(m.levels[2][0].bound, 16);
+}
+
+TEST(Mapspace, SpatialAndTemporalFactorsStaySeparate)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_1_16_1_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    FactorPool pool(layer);
+    FactorAssignment a;
+    a.level.assign(4, 1);
+    a.spatial = {true, true, false, false};
+    const Mapping m = buildMapping(pool, a, arch);
+    ASSERT_EQ(m.levels[1].size(), 2u);
+    EXPECT_TRUE(m.levels[1][0].spatial); // spatial loop sorted first
+    EXPECT_EQ(m.levels[1][0].bound, 4);
+    EXPECT_FALSE(m.levels[1][1].spatial);
+    EXPECT_EQ(m.levels[1][1].bound, 4);
+}
+
+TEST(Mapspace, SampleAssignmentIsWellFormed)
+{
+    const LayerSpec layer = workloads::fig1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    FactorPool pool(layer);
+    Rng rng(17);
+    for (int trial = 0; trial < 100; ++trial) {
+        const FactorAssignment a = sampleAssignment(pool, arch, rng);
+        ASSERT_EQ(a.level.size(), static_cast<std::size_t>(pool.size()));
+        for (int f = 0; f < pool.size(); ++f) {
+            EXPECT_GE(a.level[f], 0);
+            EXPECT_LT(a.level[f], arch.numLevels());
+            if (a.spatial[f]) {
+                EXPECT_TRUE(arch.spatialAllowedAt(a.level[f]));
+            }
+        }
+        const Mapping m = buildMapping(pool, a, arch);
+        for (Dim d : kAllDims)
+            EXPECT_EQ(m.totalBound(d), pool.paddedBound(d));
+    }
+}
+
+TEST(Mapspace, SamplingExploresDifferentAssignments)
+{
+    const LayerSpec layer = workloads::fig1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    FactorPool pool(layer);
+    Rng rng(23);
+    std::set<std::vector<int>> seen;
+    for (int trial = 0; trial < 50; ++trial)
+        seen.insert(sampleAssignment(pool, arch, rng).level);
+    EXPECT_GT(seen.size(), 40u);
+}
+
+TEST(Mapspace, PermuteLevelEnumeratesOrders)
+{
+    Mapping m;
+    m.levels.resize(6);
+    m.levels[4] = {{Dim::P, 2, false}, {Dim::C, 3, false},
+                   {Dim::K, 5, false}};
+    const auto perms = permuteLevel(m, 4, 100);
+    EXPECT_EQ(perms.size(), 6u); // 3! orders
+    std::set<std::string> distinct;
+    for (const auto& pm : perms) {
+        std::string sig;
+        for (const Loop& l : pm.levels[4])
+            sig += dimName(l.dim);
+        distinct.insert(sig);
+    }
+    EXPECT_EQ(distinct.size(), 6u);
+}
+
+TEST(Mapspace, PermuteLevelRespectsCap)
+{
+    Mapping m;
+    m.levels.resize(6);
+    m.levels[4] = {{Dim::P, 2, false}, {Dim::C, 3, false},
+                   {Dim::K, 5, false}, {Dim::Q, 7, false}};
+    const auto perms = permuteLevel(m, 4, 10);
+    EXPECT_EQ(perms.size(), 10u);
+}
+
+TEST(Mapspace, ShuffleKeepsLoopMultiset)
+{
+    Mapping m;
+    m.levels.resize(6);
+    m.levels[4] = {{Dim::P, 2, false}, {Dim::C, 3, false},
+                   {Dim::K, 5, false}};
+    Mapping shuffled = m;
+    Rng rng(3);
+    shuffleLoopOrders(shuffled, rng);
+    EXPECT_EQ(shuffled.totalBound(Dim::P), 2);
+    EXPECT_EQ(shuffled.totalBound(Dim::C), 3);
+    EXPECT_EQ(shuffled.totalBound(Dim::K), 5);
+    EXPECT_EQ(shuffled.levels[4].size(), 3u);
+}
+
+} // namespace
+} // namespace cosa

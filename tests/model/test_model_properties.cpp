@@ -1,0 +1,119 @@
+#include <gtest/gtest.h>
+
+#include "cosa/greedy.hpp"
+#include "mapper/random_mapper.hpp"
+#include "model/analytical_model.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+/**
+ * Property sweep over every ResNet-50 layer: the analytical model must
+ * satisfy basic physical invariants for the greedy schedule.
+ */
+class ModelInvariants : public ::testing::TestWithParam<int>
+{
+  protected:
+    LayerSpec
+    layer() const
+    {
+        return workloads::resNet50()
+            .layers[static_cast<std::size_t>(GetParam())];
+    }
+};
+
+TEST_P(ModelInvariants, GreedyScheduleRespectsPhysicalBounds)
+{
+    const LayerSpec spec = layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    AnalyticalModel model(spec, arch);
+    const Mapping mapping = greedyMapping(spec, arch);
+    const Evaluation ev = model.evaluate(mapping);
+    ASSERT_TRUE(ev.valid) << ev.invalid_reason;
+
+    // Latency covers both compute and the slowest memory level.
+    EXPECT_GE(ev.cycles, ev.compute_cycles);
+    EXPECT_GE(ev.cycles, ev.memory_cycles);
+
+    // Compute cycles can never beat total MACs / peak parallelism.
+    const double peak = 16.0 * 64.0;
+    EXPECT_GE(ev.compute_cycles + 1e-9,
+              static_cast<double>(spec.macs()) / peak);
+
+    // Every tensor must cross DRAM at least once (cold start).
+    double min_dram = 0.0;
+    for (Tensor t : kAllTensors) {
+        min_dram += static_cast<double>(spec.tensorElements(t)) *
+                    arch.tensorBytes(t);
+    }
+    EXPECT_GE(ev.dram_bytes * 1.0001 + 1.0, min_dram * 0.5)
+        << "DRAM traffic below half the cold-start minimum";
+
+    // Energy decomposition adds up.
+    double level_sum = 0.0;
+    for (double e : ev.level_energy_pj)
+        level_sum += e;
+    EXPECT_NEAR(ev.energy_pj,
+                level_sum + ev.mac_energy_pj + ev.noc_energy_pj,
+                ev.energy_pj * 1e-9 + 1e-6);
+
+    // Utilization is a fraction.
+    EXPECT_GT(ev.spatial_utilization, 0.0);
+    EXPECT_LE(ev.spatial_utilization, 1.0);
+}
+
+TEST_P(ModelInvariants, ValidRandomSchedulesAlsoRespectBounds)
+{
+    const LayerSpec spec = layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    AnalyticalModel model(spec, arch);
+    RandomMapperConfig config;
+    config.seed = 17 + static_cast<std::uint64_t>(GetParam());
+    RandomMapper mapper(config);
+    const auto samples = mapper.sampleValid(spec, arch, 3, 50'000);
+    for (const auto& [mapping, ev] : samples) {
+        EXPECT_GE(ev.cycles, ev.compute_cycles);
+        EXPECT_GT(ev.energy_pj, 0.0);
+        EXPECT_GE(ev.total_macs, spec.macs()); // padding only grows it
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(ResNet50, ModelInvariants,
+                         ::testing::Range(0, 23));
+
+/**
+ * Cross-platform consistency: for schedules that differ only in how
+ * much they re-stream weights, the analytical model and the NoC
+ * simulator must agree on the *ordering*.
+ */
+TEST(ModelVsIntuition, MoreReuseNeverCostsEnergy)
+{
+    const LayerSpec spec = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    AnalyticalModel model(spec, arch);
+    auto make = [&](bool stationary) {
+        Mapping m;
+        m.levels.resize(6);
+        m.levels[1] = {{Dim::R, 3, false}, {Dim::S, 3, false}};
+        m.levels[2] = {{Dim::C, 32, false}};
+        m.levels[3] = {{Dim::C, 4, true}};
+        m.levels[4] = {{Dim::K, 16, true}};
+        if (stationary) {
+            m.levels[5] = {{Dim::K, 16, false}, {Dim::P, 14, false},
+                           {Dim::Q, 14, false}};
+        } else {
+            m.levels[5] = {{Dim::P, 14, false}, {Dim::Q, 14, false},
+                           {Dim::K, 16, false}};
+        }
+        return m;
+    };
+    const Evaluation good = model.evaluate(make(true));
+    const Evaluation bad = model.evaluate(make(false));
+    ASSERT_TRUE(good.valid && bad.valid);
+    EXPECT_LT(good.dram_bytes, bad.dram_bytes);
+    EXPECT_LE(good.energy_pj, bad.energy_pj);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,90 @@
+#include <gtest/gtest.h>
+
+#include "cosa/scheduler.hpp"
+#include "mapper/random_mapper.hpp"
+#include "noc/schedule_sim.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+/**
+ * End-to-end integration: CoSA's schedule for a real layer must run on
+ * the cycle-driven platform and respect the compute lower bound.
+ */
+TEST(Integration, CosaScheduleSimulatesOnNoc)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    CosaConfig config;
+    config.mip.time_limit_sec = 2.0;
+    CosaScheduler scheduler(config);
+    const SearchResult result = scheduler.schedule(layer, arch);
+    ASSERT_TRUE(result.found);
+
+    ScheduleSimulator sim(layer, arch);
+    const SimResult sr = sim.simulate(result.mapping);
+    ASSERT_TRUE(sr.ok) << sr.error;
+    EXPECT_GE(sr.cycles,
+              sr.outer_iterations * sr.compute_cycles_per_iter);
+    // The simulated latency should be within sanity range of the
+    // analytical estimate. The simulator adds real communication
+    // latency but does not charge intra-PE SRAM bandwidth, which the
+    // analytical model bounds pessimistically, so it may land well
+    // below the estimate.
+    EXPECT_GT(sr.cycles, 0.02 * result.eval.cycles);
+    EXPECT_LT(static_cast<double>(sr.cycles), 100.0 * result.eval.cycles);
+}
+
+/**
+ * The paper's Fig. 10 observation in miniature: on a memory-bound FC
+ * layer the schedulers' simulated latencies cluster, because DRAM
+ * bandwidth dominates regardless of the schedule.
+ */
+TEST(Integration, FcLayerSchedulesClusterOnNocSim)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("1_1_2048_1000_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    RandomMapper random;
+    CosaConfig config;
+    config.mip.time_limit_sec = 2.0;
+    CosaScheduler cosa_sched(config);
+    const SearchResult r_rnd = random.schedule(layer, arch);
+    const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
+    ASSERT_TRUE(r_rnd.found && r_cosa.found);
+
+    ScheduleSimulator sim(layer, arch);
+    const SimResult s_rnd = sim.simulate(r_rnd.mapping);
+    const SimResult s_cosa = sim.simulate(r_cosa.mapping);
+    ASSERT_TRUE(s_rnd.ok) << s_rnd.error;
+    ASSERT_TRUE(s_cosa.ok) << s_cosa.error;
+    // Within an order of magnitude of each other (paper: "no
+    // significant difference between the performance of FC layers").
+    const double ratio = static_cast<double>(s_rnd.cycles) /
+                         static_cast<double>(s_cosa.cycles);
+    EXPECT_GT(ratio, 0.1);
+    EXPECT_LT(ratio, 10.0);
+}
+
+/**
+ * Architecture scaling: the 8x8 variant must never be slower than the
+ * 4x4 baseline for the same CoSA-scheduled layer (more PEs + more
+ * bandwidth).
+ */
+TEST(Integration, BiggerArrayIsNotSlower)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_256_256_1");
+    CosaConfig config;
+    config.mip.time_limit_sec = 2.0;
+    const ArchSpec small = ArchSpec::simbaBaseline();
+    const ArchSpec big = ArchSpec::simba8x8();
+    CosaScheduler scheduler(config);
+    const SearchResult r_small = scheduler.schedule(layer, small);
+    const SearchResult r_big = scheduler.schedule(layer, big);
+    ASSERT_TRUE(r_small.found && r_big.found);
+    EXPECT_LE(r_big.eval.cycles, r_small.eval.cycles * 1.1);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,183 @@
+#include <gtest/gtest.h>
+
+#include "cosa/greedy.hpp"
+#include "noc/mesh_noc.hpp"
+#include "noc/schedule_sim.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+namespace {
+
+TEST(MeshNoc, DeliversUnicastPacket)
+{
+    MeshNoc noc;
+    int delivered_at = -1;
+    noc.setDeliverCallback([&](int node, const NocPacket&) {
+        delivered_at = node;
+    });
+    NocPacket p;
+    p.dest_mask = 1ULL << 15; // far corner of the 4x4 mesh
+    p.payload_flits = 4;
+    noc.injectFromIo(p);
+    for (int i = 0; i < 1000 && delivered_at < 0; ++i)
+        noc.tick();
+    EXPECT_EQ(delivered_at, 15);
+    EXPECT_TRUE(noc.idle());
+    EXPECT_GT(noc.stats().flit_hops, 0);
+}
+
+TEST(MeshNoc, MulticastReachesAllDestinations)
+{
+    MeshNoc noc;
+    std::uint64_t delivered_mask = 0;
+    noc.setDeliverCallback([&](int node, const NocPacket&) {
+        delivered_mask |= 1ULL << node;
+    });
+    NocPacket p;
+    p.dest_mask = 0b1000'0100'0010'0001; // one PE per row
+    p.payload_flits = 8;
+    noc.injectFromIo(p);
+    for (int i = 0; i < 2000 && delivered_mask != p.dest_mask; ++i)
+        noc.tick();
+    EXPECT_EQ(delivered_mask, p.dest_mask);
+    EXPECT_GT(noc.stats().multicast_forks, 0);
+}
+
+TEST(MeshNoc, MulticastCheaperThanUnicasts)
+{
+    // Hop count for one multicast must undercut equivalent unicasts.
+    auto run = [&](bool multicast) {
+        MeshNoc noc;
+        int deliveries = 0;
+        noc.setDeliverCallback(
+            [&](int, const NocPacket&) { ++deliveries; });
+        if (multicast) {
+            NocPacket p;
+            p.dest_mask = 0xFFFF;
+            p.payload_flits = 16;
+            noc.injectFromIo(p);
+        } else {
+            for (int d = 0; d < 16; ++d) {
+                for (int spin = 0; spin < 10'000 && !noc.ioCanAccept();
+                     ++spin)
+                    noc.tick();
+                NocPacket p;
+                p.dest_mask = 1ULL << d;
+                p.payload_flits = 16;
+                noc.injectFromIo(p);
+            }
+        }
+        for (int i = 0; i < 20'000 && deliveries < 16; ++i)
+            noc.tick();
+        EXPECT_EQ(deliveries, 16);
+        return noc.stats().flit_hops;
+    };
+    EXPECT_LT(run(true), run(false));
+}
+
+TEST(MeshNoc, PacketsToIoArrive)
+{
+    MeshNoc noc;
+    int io_arrivals = 0;
+    noc.setIoDeliverCallback([&](const NocPacket&) { ++io_arrivals; });
+    NocPacket p;
+    p.to_io = true;
+    p.payload_flits = 4;
+    noc.injectFromNode(10, p);
+    for (int i = 0; i < 1000 && io_arrivals == 0; ++i)
+        noc.tick();
+    EXPECT_EQ(io_arrivals, 1);
+}
+
+TEST(MeshNoc, FlowControlBlocksWhenFull)
+{
+    NocConfig config;
+    config.input_buffer_packets = 1;
+    MeshNoc noc(config);
+    NocPacket p;
+    p.dest_mask = 1ULL << 3;
+    p.payload_flits = 32;
+    ASSERT_TRUE(noc.ioCanAccept());
+    noc.injectFromIo(p);
+    EXPECT_FALSE(noc.ioCanAccept());
+}
+
+TEST(ScheduleSim, GreedyScheduleSimulates)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const Mapping m = greedyMapping(layer, arch);
+    ScheduleSimulator sim(layer, arch);
+    const SimResult r = sim.simulate(m);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.cycles, 0);
+    EXPECT_GT(r.noc.packets_injected, 0);
+    EXPECT_GT(r.pe_busy_fraction, 0.1);
+    // Latency can never undercut the pure compute time.
+    EXPECT_GE(r.cycles,
+              r.outer_iterations * r.compute_cycles_per_iter);
+}
+
+TEST(ScheduleSim, RejectsInvalidMapping)
+{
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    Mapping empty;
+    empty.levels.resize(6);
+    ScheduleSimulator sim(layer, arch);
+    const SimResult r = sim.simulate(empty);
+    EXPECT_FALSE(r.ok);
+    EXPECT_FALSE(r.error.empty());
+}
+
+TEST(ScheduleSim, CommunicationHeavyScheduleIsSlower)
+{
+    // Same layer: a schedule with weight refetch per output tile vs a
+    // weight-stationary one (K outermost at DRAM).
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_128_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    auto make = [&](bool weights_stationary) {
+        Mapping m;
+        m.levels.resize(6);
+        m.levels[1] = {{Dim::R, 3, false}, {Dim::S, 3, false}};
+        m.levels[2] = {{Dim::C, 32, false}};
+        m.levels[3] = {{Dim::C, 4, true}};
+        m.levels[4] = {{Dim::K, 16, true}};
+        if (weights_stationary) {
+            m.levels[5] = {{Dim::K, 16, false}, {Dim::P, 14, false},
+                           {Dim::Q, 14, false}};
+        } else {
+            m.levels[5] = {{Dim::P, 14, false}, {Dim::Q, 14, false},
+                           {Dim::K, 16, false}};
+        }
+        return m;
+    };
+    ScheduleSimulator sim(layer, arch);
+    const SimResult stationary = sim.simulate(make(true));
+    const SimResult thrashing = sim.simulate(make(false));
+    ASSERT_TRUE(stationary.ok) << stationary.error;
+    ASSERT_TRUE(thrashing.ok) << thrashing.error;
+    EXPECT_LT(stationary.cycles, thrashing.cycles);
+}
+
+TEST(ScheduleSim, HugeOuterNestIsExtrapolatedNotHung)
+{
+    // An all-at-DRAM schedule has an enormous outer nest; simulation
+    // must finish quickly via sampling extrapolation.
+    const LayerSpec layer = LayerSpec::fromLabel("3_14_256_256_1");
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    Mapping m;
+    m.levels.resize(6);
+    for (Dim d : kAllDims) {
+        if (layer.bound(d) > 1)
+            m.levels[5].push_back({d, layer.bound(d), false});
+    }
+    ScheduleSimulator sim(layer, arch);
+    const SimResult r = sim.simulate(m);
+    ASSERT_TRUE(r.ok) << r.error;
+    EXPECT_GT(r.outer_iterations, 1'000'000);
+    EXPECT_GT(r.cycles, r.outer_iterations); // at least 1 cycle/iter
+}
+
+} // namespace
+} // namespace cosa

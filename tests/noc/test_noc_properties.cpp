@@ -1,0 +1,125 @@
+#include <gtest/gtest.h>
+
+#include "common/rng.hpp"
+#include "noc/mesh_noc.hpp"
+
+namespace cosa {
+namespace {
+
+/**
+ * Conservation property: every injected unicast packet is delivered
+ * exactly once, for random traffic patterns and mesh sizes.
+ */
+class NocConservation : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(NocConservation, AllPacketsDeliveredExactlyOnce)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 37 + 5);
+    NocConfig config;
+    config.nx = 2 + static_cast<int>(rng.nextBelow(3));
+    config.ny = 2 + static_cast<int>(rng.nextBelow(3));
+    MeshNoc noc(config);
+    const int nodes = noc.numNodes();
+
+    std::vector<int> delivered(static_cast<std::size_t>(nodes), 0);
+    int io_delivered = 0;
+    noc.setDeliverCallback([&](int node, const NocPacket&) {
+        ++delivered[static_cast<std::size_t>(node)];
+    });
+    noc.setIoDeliverCallback([&](const NocPacket&) { ++io_delivered; });
+
+    const int to_send = 40;
+    int sent = 0, sent_to_io = 0;
+    std::vector<int> sent_to(static_cast<std::size_t>(nodes), 0);
+    int spins = 0;
+    while (sent < to_send && spins < 200'000) {
+        if (rng.nextDouble() < 0.5 && noc.ioCanAccept()) {
+            NocPacket p;
+            const int dest =
+                static_cast<int>(rng.nextBelow(
+                    static_cast<std::uint64_t>(nodes)));
+            p.dest_mask = 1ULL << dest;
+            p.payload_flits = 1 + static_cast<int>(rng.nextBelow(16));
+            noc.injectFromIo(p);
+            ++sent_to[static_cast<std::size_t>(dest)];
+            ++sent;
+        } else {
+            const int src = static_cast<int>(
+                rng.nextBelow(static_cast<std::uint64_t>(nodes)));
+            if (noc.nodeCanAccept(src)) {
+                NocPacket p;
+                p.to_io = true;
+                p.payload_flits =
+                    1 + static_cast<int>(rng.nextBelow(16));
+                noc.injectFromNode(src, p);
+                ++sent_to_io;
+                ++sent;
+            }
+        }
+        noc.tick();
+        ++spins;
+    }
+    for (int i = 0; i < 300'000 && !noc.idle(); ++i)
+        noc.tick();
+    ASSERT_TRUE(noc.idle());
+    for (int n = 0; n < nodes; ++n) {
+        EXPECT_EQ(delivered[static_cast<std::size_t>(n)],
+                  sent_to[static_cast<std::size_t>(n)])
+            << "node " << n;
+    }
+    EXPECT_EQ(io_delivered, sent_to_io);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, NocConservation, ::testing::Range(0, 12));
+
+TEST(NocProperties, BiggerPacketsOccupyLinksLonger)
+{
+    auto latency_of = [&](int flits) {
+        MeshNoc noc;
+        std::uint64_t done_at = 0;
+        noc.setDeliverCallback(
+            [&](int, const NocPacket&) { done_at = noc.now(); });
+        NocPacket p;
+        p.dest_mask = 1ULL << 15;
+        p.payload_flits = flits;
+        noc.injectFromIo(p);
+        for (int i = 0; i < 10'000 && done_at == 0; ++i)
+            noc.tick();
+        return done_at;
+    };
+    EXPECT_LT(latency_of(2), latency_of(32));
+}
+
+TEST(NocProperties, CongestionDelaysDelivery)
+{
+    // Many packets to one hotspot take longer per packet than spread
+    // traffic of the same total volume.
+    auto run = [&](bool hotspot) {
+        MeshNoc noc;
+        int delivered = 0;
+        noc.setDeliverCallback(
+            [&](int, const NocPacket&) { ++delivered; });
+        int sent = 0;
+        std::uint64_t cycles = 0;
+        while (delivered < 16 && cycles < 100'000) {
+            if (sent < 16 && noc.ioCanAccept()) {
+                NocPacket p;
+                p.dest_mask = hotspot ? (1ULL << 15)
+                                      : (1ULL << (sent % 16));
+                p.payload_flits = 16;
+                noc.injectFromIo(p);
+                ++sent;
+            }
+            noc.tick();
+            ++cycles;
+        }
+        return cycles;
+    };
+    EXPECT_GT(run(true), 0u);
+    EXPECT_LE(run(false), run(true));
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,67 @@
+#include <gtest/gtest.h>
+
+#include "solver/lin_expr.hpp"
+#include "solver/model.hpp"
+
+namespace cosa::solver {
+namespace {
+
+TEST(LinExpr, BuildsTermsAndConstant)
+{
+    Var x{0}, y{1};
+    LinExpr e = 2.0 * x + y - 3.0;
+    EXPECT_EQ(e.terms().size(), 2u);
+    EXPECT_DOUBLE_EQ(e.constant(), -3.0);
+}
+
+TEST(LinExpr, ScalarMultiplication)
+{
+    Var x{0};
+    LinExpr e = (x + 1.0) * 4.0;
+    ASSERT_EQ(e.terms().size(), 1u);
+    EXPECT_DOUBLE_EQ(e.terms()[0].coef, 4.0);
+    EXPECT_DOUBLE_EQ(e.constant(), 4.0);
+}
+
+TEST(LinExpr, ZeroCoefficientsDropped)
+{
+    Var x{0};
+    LinExpr e;
+    e.addTerm(x, 0.0);
+    EXPECT_TRUE(e.terms().empty());
+}
+
+TEST(LinExpr, EvalExpr)
+{
+    Model m;
+    Var x = m.addContinuous(0, 10, "x");
+    Var y = m.addContinuous(0, 10, "y");
+    LinExpr e = 2.0 * x - 0.5 * y + 7.0;
+    std::vector<double> vals{3.0, 4.0};
+    EXPECT_DOUBLE_EQ(Model::evalExpr(e, vals), 6.0 - 2.0 + 7.0);
+}
+
+TEST(Model, DuplicateTermsFoldInConstraints)
+{
+    Model m;
+    Var x = m.addContinuous(0, 10, "x");
+    LinExpr e;
+    e.addTerm(x, 1.0);
+    e.addTerm(x, 2.0); // folds to 3x
+    m.addConstr(e, Sense::LessEqual, 6.0);
+    m.setObjective(LinExpr(x), ObjSense::Maximize);
+    auto r = m.optimize();
+    ASSERT_TRUE(r.hasSolution());
+    EXPECT_NEAR(r.values[x.index], 2.0, 1e-6);
+}
+
+TEST(Model, BinaryBoundsClamped)
+{
+    Model m;
+    Var b = m.addVar(-5.0, 5.0, VarType::Binary, "b");
+    EXPECT_DOUBLE_EQ(m.lowerBound(b), 0.0);
+    EXPECT_DOUBLE_EQ(m.upperBound(b), 1.0);
+}
+
+} // namespace
+} // namespace cosa::solver

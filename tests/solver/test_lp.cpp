@@ -1,0 +1,184 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.hpp"
+#include "solver/model.hpp"
+
+namespace cosa::solver {
+namespace {
+
+/** Classic 2-variable LP with a known optimum at a vertex. */
+TEST(Lp, SimpleMaximization)
+{
+    // max 3x + 4y s.t. x + 2y <= 14, 3x - y >= 0, x - y <= 2, x,y >= 0
+    // Optimum at (6, 4) with objective 34.
+    Model m;
+    Var x = m.addContinuous(0, kInf, "x");
+    Var y = m.addContinuous(0, kInf, "y");
+    m.addConstr(x + 2.0 * y, Sense::LessEqual, 14.0);
+    m.addConstr(3.0 * x - y, Sense::GreaterEqual, 0.0);
+    m.addConstr(x - y, Sense::LessEqual, 2.0);
+    m.setObjective(3.0 * x + 4.0 * y, ObjSense::Maximize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, 34.0, 1e-6);
+    EXPECT_NEAR(r.values[x.index], 6.0, 1e-6);
+    EXPECT_NEAR(r.values[y.index], 4.0, 1e-6);
+}
+
+TEST(Lp, Minimization)
+{
+    // min x + y s.t. x + 2y >= 4, 3x + y >= 6, bounds [0, 10]
+    // Optimum at intersection: x = 8/5, y = 6/5, obj = 14/5.
+    Model m;
+    Var x = m.addContinuous(0, 10, "x");
+    Var y = m.addContinuous(0, 10, "y");
+    m.addConstr(x + 2.0 * y, Sense::GreaterEqual, 4.0);
+    m.addConstr(3.0 * x + y, Sense::GreaterEqual, 6.0);
+    m.setObjective(x + y, ObjSense::Minimize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, 14.0 / 5.0, 1e-6);
+}
+
+TEST(Lp, EqualityConstraint)
+{
+    // min x + 2y s.t. x + y == 5, x <= 3 -> x=3, y=2, obj=7.
+    Model m;
+    Var x = m.addContinuous(0, 3, "x");
+    Var y = m.addContinuous(0, kInf, "y");
+    m.addConstr(x + y, Sense::Equal, 5.0);
+    m.setObjective(x + 2.0 * y, ObjSense::Minimize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, 7.0, 1e-6);
+    EXPECT_NEAR(r.values[x.index], 3.0, 1e-6);
+}
+
+TEST(Lp, InfeasibleDetected)
+{
+    Model m;
+    Var x = m.addContinuous(0, 1, "x");
+    m.addConstr(LinExpr(x), Sense::GreaterEqual, 2.0);
+    auto r = m.optimizeRelaxation();
+    EXPECT_EQ(r.status, Status::Infeasible);
+}
+
+TEST(Lp, ContradictoryRowsInfeasible)
+{
+    Model m;
+    Var x = m.addContinuous(0, 10, "x");
+    Var y = m.addContinuous(0, 10, "y");
+    m.addConstr(x + y, Sense::GreaterEqual, 8.0);
+    m.addConstr(x + y, Sense::LessEqual, 3.0);
+    auto r = m.optimizeRelaxation();
+    EXPECT_EQ(r.status, Status::Infeasible);
+}
+
+TEST(Lp, UnboundedDetected)
+{
+    Model m;
+    Var x = m.addContinuous(0, kInf, "x");
+    m.setObjective(LinExpr(x), ObjSense::Maximize);
+    auto r = m.optimizeRelaxation();
+    EXPECT_EQ(r.status, Status::Unbounded);
+}
+
+TEST(Lp, VariableBoundsOnlyNoConstraints)
+{
+    Model m;
+    Var x = m.addContinuous(-3, 7, "x");
+    m.setObjective(LinExpr(x), ObjSense::Minimize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, -3.0, 1e-9);
+}
+
+TEST(Lp, DegenerateProblemTerminates)
+{
+    // Many redundant constraints through the same vertex; exercises the
+    // anti-cycling fallback.
+    Model m;
+    Var x = m.addContinuous(0, 10, "x");
+    Var y = m.addContinuous(0, 10, "y");
+    for (int k = 1; k <= 12; ++k)
+        m.addConstr(static_cast<double>(k) * x + static_cast<double>(k) * y,
+                    Sense::LessEqual, 10.0 * k);
+    m.setObjective(x + y, ObjSense::Maximize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, 10.0, 1e-6);
+}
+
+TEST(Lp, NegativeLowerBounds)
+{
+    // min x + y with x in [-5, -1], y in [-2, 3], x + y >= -4.
+    Model m;
+    Var x = m.addContinuous(-5, -1, "x");
+    Var y = m.addContinuous(-2, 3, "y");
+    m.addConstr(x + y, Sense::GreaterEqual, -4.0);
+    m.setObjective(x + y, ObjSense::Minimize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_NEAR(r.objective, -4.0, 1e-6);
+}
+
+/**
+ * Randomized property test: LP optimum of min c.x over a randomly
+ * generated feasible box-plus-rows problem must (a) satisfy every
+ * constraint and (b) never beat the trivially-computed lower bound
+ * sum_j min(c_j * lb_j, c_j * ub_j).
+ */
+class LpRandomized : public ::testing::TestWithParam<int>
+{
+};
+
+TEST_P(LpRandomized, OptimumIsFeasibleAndBounded)
+{
+    Rng rng(static_cast<std::uint64_t>(GetParam()) * 977 + 13);
+    Model m;
+    const int n = 3 + static_cast<int>(rng.nextBelow(6));
+    const int rows = 2 + static_cast<int>(rng.nextBelow(6));
+    std::vector<Var> vars;
+    double trivial_bound = 0.0;
+    LinExpr obj;
+    std::vector<double> coefs;
+    for (int j = 0; j < n; ++j) {
+        const double lb = -1.0 - rng.nextDouble() * 3.0;
+        const double ub = 1.0 + rng.nextDouble() * 3.0;
+        Var v = m.addContinuous(lb, ub);
+        vars.push_back(v);
+        const double c = rng.nextDouble() * 4.0 - 2.0;
+        coefs.push_back(c);
+        obj += c * v;
+        trivial_bound += std::min(c * lb, c * ub);
+    }
+    // Rows are all satisfied at x = 0, so the problem is feasible.
+    std::vector<LinExpr> row_exprs(rows);
+    std::vector<double> rhs(rows);
+    for (int r = 0; r < rows; ++r) {
+        for (int j = 0; j < n; ++j)
+            row_exprs[r] += (rng.nextDouble() * 2.0 - 1.0) * vars[j];
+        rhs[r] = rng.nextDouble() * 2.0 + 0.1;
+        m.addConstr(row_exprs[r], Sense::LessEqual, rhs[r]);
+    }
+    m.setObjective(obj, ObjSense::Minimize);
+    auto r = m.optimizeRelaxation();
+    ASSERT_EQ(r.status, Status::Optimal);
+    EXPECT_GE(r.objective, trivial_bound - 1e-6);
+    // Check primal feasibility of the reported point.
+    for (int row = 0; row < rows; ++row) {
+        EXPECT_LE(Model::evalExpr(row_exprs[row], r.values),
+                  rhs[row] + 1e-6);
+    }
+    for (int j = 0; j < n; ++j) {
+        EXPECT_GE(r.values[vars[j].index], m.lowerBound(vars[j]) - 1e-7);
+        EXPECT_LE(r.values[vars[j].index], m.upperBound(vars[j]) + 1e-7);
+    }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LpRandomized, ::testing::Range(0, 25));
+
+} // namespace
+} // namespace cosa::solver
