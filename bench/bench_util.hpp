@@ -21,6 +21,7 @@
 #include "common/math_utils.hpp"
 #include "common/table.hpp"
 #include "cosa/scheduler.hpp"
+#include "engine/scheduling_engine.hpp"
 #include "mapper/hybrid_mapper.hpp"
 #include "mapper/random_mapper.hpp"
 #include "problem/workloads.hpp"
@@ -77,6 +78,36 @@ layersOf(const Workload& workload)
     for (std::size_t i = 0; i < workload.layers.size(); i += 3)
         subset.push_back(workload.layers[i]);
     return subset;
+}
+
+/** The quick-mode subset of a workload, as a schedulable Workload. */
+inline Workload
+subsetOf(const Workload& workload)
+{
+    Workload subset;
+    subset.name = workload.name;
+    subset.layers = layersOf(workload);
+    return subset;
+}
+
+/**
+ * Engine configuration with the paper-default tunables of @p kind.
+ * Caching/dedup stay on: the figure benches compare schedule *quality*,
+ * which memoization cannot change. Benches that measure per-layer
+ * time-to-solution (Table VI) must disable both so every instance pays
+ * its real solve cost.
+ */
+inline EngineConfig
+defaultEngineConfig(SchedulerKind kind,
+                    SearchObjective objective = SearchObjective::Latency)
+{
+    EngineConfig config;
+    config.scheduler = kind;
+    config.objective = objective;
+    config.cosa = defaultCosaConfig();
+    config.random = defaultRandomConfig(objective);
+    config.hybrid = defaultHybridConfig(objective);
+    return config;
 }
 
 } // namespace cosa::bench

@@ -3,7 +3,9 @@
  * Fig. 6 reproduction: per-layer speedup of Timeloop-Hybrid and CoSA
  * schedules relative to Random search on the Timeloop-style analytical
  * platform, for all four DNN workloads, plus per-network and overall
- * geomeans (paper: CoSA 5.2x, TLH 3.5x overall).
+ * geomeans (paper: CoSA 5.2x, TLH 3.5x overall). Each scheduler runs
+ * as one engine over the whole suite batch, so shapes recurring across
+ * networks (e.g. the ResNet/ResNeXt stem) are solved once.
  */
 
 #include "bench_util.hpp"
@@ -14,29 +16,41 @@ main()
     using namespace cosa;
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
+    std::vector<Workload> suites;
+    for (const Workload& suite : workloads::allSuites())
+        suites.push_back(bench::subsetOf(suite));
+
+    const SchedulingEngine random_engine(
+        bench::defaultEngineConfig(SchedulerKind::Random));
+    const SchedulingEngine hybrid_engine(
+        bench::defaultEngineConfig(SchedulerKind::Hybrid));
+    const SchedulingEngine cosa_engine(
+        bench::defaultEngineConfig(SchedulerKind::Cosa));
+    const auto r_rnd = random_engine.scheduleNetworks(suites, arch);
+    const auto r_tlh = hybrid_engine.scheduleNetworks(suites, arch);
+    const auto r_cosa = cosa_engine.scheduleNetworks(suites, arch);
+
     std::vector<double> tlh_all, cosa_all;
-    for (const Workload& suite : workloads::allSuites()) {
-        TextTable table("Fig. 6 [" + suite.name +
+    for (std::size_t n = 0; n < suites.size(); ++n) {
+        TextTable table("Fig. 6 [" + suites[n].name +
                         "]: speedup over Random (Timeloop platform)");
         table.setHeader({"layer", "random_MCyc", "tlh_x", "cosa_x"});
         std::vector<double> tlh_net, cosa_net;
-        for (const LayerSpec& layer : bench::layersOf(suite)) {
-            RandomMapper random(bench::defaultRandomConfig());
-            HybridMapper hybrid(bench::defaultHybridConfig());
-            CosaScheduler cosa_sched(bench::defaultCosaConfig());
-            const SearchResult r_rnd = random.schedule(layer, arch);
-            const SearchResult r_tlh = hybrid.schedule(layer, arch);
-            const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
-            if (!r_rnd.found || !r_tlh.found || !r_cosa.found) {
-                table.addRow({layer.name, "scheduler failed"});
+        for (std::size_t l = 0; l < suites[n].layers.size(); ++l) {
+            const SearchResult& rnd = r_rnd[n].layers[l].result;
+            const SearchResult& tlh = r_tlh[n].layers[l].result;
+            const SearchResult& cosa = r_cosa[n].layers[l].result;
+            if (!rnd.found || !tlh.found || !cosa.found) {
+                table.addRow({suites[n].layers[l].name,
+                              "scheduler failed"});
                 continue;
             }
-            const double tlh_x = r_rnd.eval.cycles / r_tlh.eval.cycles;
-            const double cosa_x = r_rnd.eval.cycles / r_cosa.eval.cycles;
+            const double tlh_x = rnd.eval.cycles / tlh.eval.cycles;
+            const double cosa_x = rnd.eval.cycles / cosa.eval.cycles;
             tlh_net.push_back(tlh_x);
             cosa_net.push_back(cosa_x);
-            table.addRow({layer.name,
-                          TextTable::fmt(r_rnd.eval.cycles / 1e6, 3),
+            table.addRow({suites[n].layers[l].name,
+                          TextTable::fmt(rnd.eval.cycles / 1e6, 3),
                           TextTable::fmt(tlh_x, 2),
                           TextTable::fmt(cosa_x, 2)});
         }

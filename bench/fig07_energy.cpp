@@ -3,7 +3,8 @@
  * Fig. 7 reproduction: total-energy improvement of Timeloop-Hybrid and
  * CoSA schedules over Random search per network (all schedulers
  * optimizing for energy), normalized to Random, on the analytical
- * energy model (paper: TLH 2.7x, CoSA 3.3x overall).
+ * energy model (paper: TLH 2.7x, CoSA 3.3x overall). Each scheduler is
+ * one engine batch over all four suites.
  */
 
 #include "bench_util.hpp"
@@ -14,27 +15,35 @@ main()
     using namespace cosa;
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
+    std::vector<Workload> suites;
+    for (const Workload& suite : workloads::allSuites())
+        suites.push_back(bench::subsetOf(suite));
+
+    const SchedulingEngine random_engine(bench::defaultEngineConfig(
+        SchedulerKind::Random, SearchObjective::Energy));
+    const SchedulingEngine hybrid_engine(bench::defaultEngineConfig(
+        SchedulerKind::Hybrid, SearchObjective::Energy));
+    const SchedulingEngine cosa_engine(bench::defaultEngineConfig(
+        SchedulerKind::Cosa, SearchObjective::Energy));
+    const auto r_rnd = random_engine.scheduleNetworks(suites, arch);
+    const auto r_tlh = hybrid_engine.scheduleNetworks(suites, arch);
+    const auto r_cosa = cosa_engine.scheduleNetworks(suites, arch);
+
     TextTable table("Fig. 7: energy improvement over Random");
     table.setHeader({"network", "tlh_x", "cosa_x"});
     std::vector<double> tlh_all, cosa_all;
-    for (const Workload& suite : workloads::allSuites()) {
+    for (std::size_t n = 0; n < suites.size(); ++n) {
         std::vector<double> tlh_net, cosa_net;
-        for (const LayerSpec& layer : bench::layersOf(suite)) {
-            RandomMapper random(
-                bench::defaultRandomConfig(SearchObjective::Energy));
-            HybridMapper hybrid(
-                bench::defaultHybridConfig(SearchObjective::Energy));
-            CosaScheduler cosa_sched(bench::defaultCosaConfig());
-            const SearchResult r_rnd = random.schedule(layer, arch);
-            const SearchResult r_tlh = hybrid.schedule(layer, arch);
-            const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
-            if (!r_rnd.found || !r_tlh.found || !r_cosa.found)
+        for (std::size_t l = 0; l < suites[n].layers.size(); ++l) {
+            const SearchResult& rnd = r_rnd[n].layers[l].result;
+            const SearchResult& tlh = r_tlh[n].layers[l].result;
+            const SearchResult& cosa = r_cosa[n].layers[l].result;
+            if (!rnd.found || !tlh.found || !cosa.found)
                 continue;
-            tlh_net.push_back(r_rnd.eval.energy_pj / r_tlh.eval.energy_pj);
-            cosa_net.push_back(r_rnd.eval.energy_pj /
-                               r_cosa.eval.energy_pj);
+            tlh_net.push_back(rnd.eval.energy_pj / tlh.eval.energy_pj);
+            cosa_net.push_back(rnd.eval.energy_pj / cosa.eval.energy_pj);
         }
-        table.addRow({suite.name, TextTable::fmt(geomean(tlh_net), 2),
+        table.addRow({suites[n].name, TextTable::fmt(geomean(tlh_net), 2),
                       TextTable::fmt(geomean(cosa_net), 2)});
         tlh_all.insert(tlh_all.end(), tlh_net.begin(), tlh_net.end());
         cosa_all.insert(cosa_all.end(), cosa_net.begin(), cosa_net.end());

@@ -4,7 +4,9 @@
  * samples drawn and valid schedules evaluated per layer for CoSA,
  * Random (5x) and Timeloop-Hybrid search over a representative layer
  * set (paper: 4.2s / 4.6s / 379.9s per layer; 1 / 20K / 67M samples;
- * 1 / 5 / 16K+ evaluations).
+ * 1 / 5 / 16K+ evaluations). Runs through the engine with dedup and
+ * caching OFF: this bench measures per-layer solve cost, so every
+ * instance must pay its real solve.
  */
 
 #include "bench_util.hpp"
@@ -15,58 +17,51 @@ main()
     using namespace cosa;
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
-    std::vector<LayerSpec> layers;
+    Workload layers;
+    layers.name = "TableVI-subset";
     for (const Workload& suite : workloads::allSuites()) {
         const auto subset = bench::layersOf(suite);
         // A representative subset keeps this bench minutes-scale.
         for (std::size_t i = 0; i < subset.size();
              i += bench::quickMode() ? 3 : 2)
-            layers.push_back(subset[i]);
+            layers.layers.push_back(subset[i]);
     }
 
-    struct Row
-    {
-        double time = 0.0;
-        double samples = 0.0;
-        double evals = 0.0;
-        int runs = 0;
-    };
-    Row rows[3];
-    for (const LayerSpec& layer : layers) {
-        CosaScheduler cosa_sched(bench::defaultCosaConfig());
-        RandomMapper random(bench::defaultRandomConfig());
-        HybridMapper hybrid(bench::defaultHybridConfig());
-        const SearchResult results[3] = {cosa_sched.schedule(layer, arch),
-                                         random.schedule(layer, arch),
-                                         hybrid.schedule(layer, arch)};
-        for (int s = 0; s < 3; ++s) {
-            rows[s].time += results[s].stats.search_time_sec;
-            rows[s].samples +=
-                static_cast<double>(results[s].stats.samples);
-            rows[s].evals +=
-                static_cast<double>(results[s].stats.valid_evaluated);
-            ++rows[s].runs;
-        }
+    const SchedulerKind kinds[3] = {SchedulerKind::Cosa,
+                                    SchedulerKind::Random,
+                                    SchedulerKind::Hybrid};
+    NetworkResult results[3];
+    for (int s = 0; s < 3; ++s) {
+        EngineConfig config = bench::defaultEngineConfig(kinds[s]);
+        config.deduplicate = false; // every instance pays its solve
+        config.use_cache = false;
+        config.num_threads = 1; // sequential: times must be contention-free
+        const SchedulingEngine engine(config);
+        results[s] = engine.scheduleNetwork(layers, arch);
     }
 
     TextTable table("Table VI: time-to-solution over " +
-                    std::to_string(layers.size()) + " layers");
+                    std::to_string(layers.layers.size()) + " layers");
     table.setHeader({"", "CoSA", "Random(5x)", "TimeloopHybrid"});
-    auto avg = [&](int s, double Row::*field) {
-        return rows[s].*field / std::max(rows[s].runs, 1);
+    auto avg = [&](int s, auto field) {
+        const auto solved = std::max<std::int64_t>(results[s].num_solved, 1);
+        return field(results[s].search) / static_cast<double>(solved);
     };
-    table.addRow({"Avg. runtime / layer [s]",
-                  TextTable::fmt(avg(0, &Row::time), 2),
-                  TextTable::fmt(avg(1, &Row::time), 2),
-                  TextTable::fmt(avg(2, &Row::time), 2)});
-    table.addRow({"Avg. samples / layer",
-                  TextTable::fmt(avg(0, &Row::samples), 0),
-                  TextTable::fmt(avg(1, &Row::samples), 0),
-                  TextTable::fmt(avg(2, &Row::samples), 0)});
-    table.addRow({"Avg. evaluations / layer",
-                  TextTable::fmt(avg(0, &Row::evals), 0),
-                  TextTable::fmt(avg(1, &Row::evals), 0),
-                  TextTable::fmt(avg(2, &Row::evals), 0)});
+    auto row = [&](const char* label, auto field, int precision) {
+        table.addRow({label, TextTable::fmt(avg(0, field), precision),
+                      TextTable::fmt(avg(1, field), precision),
+                      TextTable::fmt(avg(2, field), precision)});
+    };
+    row("Avg. runtime / layer [s]",
+        [](const SearchStats& s) { return s.search_time_sec; }, 2);
+    row("Avg. samples / layer",
+        [](const SearchStats& s) { return static_cast<double>(s.samples); },
+        0);
+    row("Avg. evaluations / layer",
+        [](const SearchStats& s) {
+            return static_cast<double>(s.valid_evaluated);
+        },
+        0);
     table.print(std::cout);
     std::cout << "(paper: 4.2s/4.6s/379.9s; 1/20K/67M samples; "
                  "1/5/16K+ evaluations)\n";

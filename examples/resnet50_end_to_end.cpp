@@ -1,8 +1,11 @@
 /**
  * @file
- * End-to-end network scheduling: run CoSA and both baselines over every
- * ResNet-50 layer shape and report total network latency and energy —
- * the whole-network view behind the paper's per-layer Fig. 6 bars.
+ * End-to-end network scheduling through the batch engine: run CoSA and
+ * both baselines over the full 53-layer ResNet-50 and report total
+ * network latency and energy — the whole-network view behind the
+ * paper's per-layer Fig. 6 bars. The engine canonicalizes the 53 layer
+ * instances down to 23 unique scheduling problems, so each scheduler
+ * performs 23 solves, not 53.
  *
  *   ./examples/resnet50_end_to_end [time_limit_seconds]
  */
@@ -11,54 +14,70 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "cosa/scheduler.hpp"
-#include "mapper/hybrid_mapper.hpp"
-#include "mapper/random_mapper.hpp"
-#include "problem/workloads.hpp"
+#include "engine/scheduling_engine.hpp"
 
 int
 main(int argc, char** argv)
 {
     using namespace cosa;
     const ArchSpec arch = ArchSpec::simbaBaseline();
-    const Workload net = workloads::resNet50();
+    const Workload net = workloads::resNet50Full();
 
-    CosaConfig cosa_config;
-    if (argc > 1)
-        cosa_config.mip.time_limit_sec = std::atof(argv[1]);
+    const SchedulerKind kinds[3] = {SchedulerKind::Random,
+                                    SchedulerKind::Hybrid,
+                                    SchedulerKind::Cosa};
+    NetworkResult results[3];
+    for (int s = 0; s < 3; ++s) {
+        EngineConfig config;
+        config.scheduler = kinds[s];
+        if (argc > 1)
+            config.cosa.mip.time_limit_sec = std::atof(argv[1]);
+        const SchedulingEngine engine(config);
+        results[s] = engine.scheduleNetwork(net, arch);
+    }
 
-    double total_cycles[3] = {};
-    double total_energy[3] = {};
-    TextTable table("ResNet-50 end to end on " + arch.name);
-    table.setHeader({"layer", "random_MCyc", "tlh_MCyc", "cosa_MCyc"});
-    for (const LayerSpec& layer : net.layers) {
-        RandomMapper random;
-        HybridMapper hybrid;
-        CosaScheduler cosa_sched(cosa_config);
-        const SearchResult results[3] = {random.schedule(layer, arch),
-                                         hybrid.schedule(layer, arch),
-                                         cosa_sched.schedule(layer, arch)};
-        std::vector<std::string> row{layer.name};
+    TextTable table("ResNet-50 (53 layers) end to end on " + arch.name);
+    table.setHeader({"layer", "count", "random_MCyc", "tlh_MCyc",
+                     "cosa_MCyc"});
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        if (results[0].layers[l].deduplicated)
+            continue; // one row per unique shape
+        int count = 0;
+        for (const auto& other : results[0].layers) {
+            if (other.unique_index == results[0].layers[l].unique_index)
+                ++count;
+        }
+        std::vector<std::string> row{net.layers[l].name,
+                                     std::to_string(count)};
         for (int s = 0; s < 3; ++s) {
-            if (!results[s].found) {
-                row.push_back("-");
-                continue;
-            }
-            total_cycles[s] += results[s].eval.cycles;
-            total_energy[s] += results[s].eval.energy_pj;
-            row.push_back(TextTable::fmt(results[s].eval.cycles / 1e6, 3));
+            const SearchResult& r = results[s].layers[l].result;
+            row.push_back(
+                r.found ? TextTable::fmt(r.eval.cycles / 1e6, 3) : "-");
         }
         table.addRow(row);
     }
-    table.addRow({"TOTAL", TextTable::fmt(total_cycles[0] / 1e6, 2),
-                  TextTable::fmt(total_cycles[1] / 1e6, 2),
-                  TextTable::fmt(total_cycles[2] / 1e6, 2)});
+    table.addRow({"TOTAL", std::to_string(results[0].num_layers),
+                  TextTable::fmt(results[0].total_cycles / 1e6, 2),
+                  TextTable::fmt(results[1].total_cycles / 1e6, 2),
+                  TextTable::fmt(results[2].total_cycles / 1e6, 2)});
     table.print(std::cout);
+
     std::cout << "network energy [mJ]: random "
-              << total_energy[0] / 1e9 << ", hybrid "
-              << total_energy[1] / 1e9 << ", cosa "
-              << total_energy[2] / 1e9 << "\n";
+              << results[0].total_energy_pj / 1e9 << ", hybrid "
+              << results[1].total_energy_pj / 1e9 << ", cosa "
+              << results[2].total_energy_pj / 1e9 << "\n";
     std::cout << "network speedup of CoSA over Random: "
-              << total_cycles[0] / total_cycles[2] << "x\n";
+              << results[0].total_cycles / results[2].total_cycles
+              << "x\n";
+    for (int s = 0; s < 3; ++s) {
+        const NetworkResult& r = results[s];
+        std::cout << r.scheduler << ": " << r.num_layers
+                  << " layer instances -> " << r.num_unique
+                  << " unique problems, " << r.num_solved << " solved, "
+                  << r.num_cache_hits << " cache hits; solve time "
+                  << TextTable::fmt(r.search.search_time_sec, 1)
+                  << "s, wall "
+                  << TextTable::fmt(r.wall_time_sec, 1) << "s\n";
+    }
     return 0;
 }

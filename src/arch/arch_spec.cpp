@@ -1,5 +1,8 @@
 #include "arch/arch_spec.hpp"
 
+#include <limits>
+#include <sstream>
+
 #include "common/logging.hpp"
 
 namespace cosa {
@@ -70,6 +73,33 @@ ArchSpec::validate() const
     }
     if (numPEs() < 1)
         fatal("arch `", name, "` has an empty PE array");
+}
+
+std::string
+ArchSpec::fingerprint() const
+{
+    std::ostringstream oss;
+    // Full double precision: archs differing below the default 6
+    // significant digits must not collide into one cache entry.
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    for (const auto& level : levels) {
+        oss << "L(" << level.capacity_bytes << ",";
+        for (bool b : level.stores)
+            oss << (b ? '1' : '0');
+        oss << "," << level.energy_pj_per_byte << ","
+            << level.bandwidth_bytes_per_cycle << ")";
+    }
+    for (const auto& group : spatial_groups) {
+        oss << "G(" << group.fanout << ":";
+        for (int l : group.levels)
+            oss << l << ";";
+        oss << ")";
+    }
+    oss << "noc(" << noc_x << "x" << noc_y << "@" << noc_level << ","
+        << noc_hop_energy_pj_per_byte << ")mac(" << mac_energy_pj << ","
+        << macs_per_pe << ")bits(" << weight_bits << "," << input_bits
+        << "," << output_bits << ")";
+    return oss.str();
 }
 
 ArchSpec

@@ -123,6 +123,14 @@ struct ArchSpec
     void validate() const;
 
     /**
+     * Content fingerprint covering every field that influences schedule
+     * validity or evaluation (levels, spatial groups, NoC geometry,
+     * energy constants, datatype widths) — but not the display name, so
+     * renamed-but-identical variants share schedule cache entries.
+     */
+    std::string fingerprint() const;
+
+    /**
      * Baseline Simba-like accelerator of Table V: 4x4 PEs, 64 MACs/PE,
      * 64B registers, 3KB accumulation + 32KB weight + 8KB input buffers
      * per PE, 128KB shared global buffer.

@@ -13,6 +13,7 @@
 
 #include <cstdlib>
 #include <iostream>
+#include <mutex>
 #include <sstream>
 #include <string>
 
@@ -30,6 +31,25 @@ concatToString(Args&&... args)
     return oss.str();
 }
 
+/** The single mutex guarding the log sink (stderr). */
+inline std::mutex&
+logMutex()
+{
+    static std::mutex mutex;
+    return mutex;
+}
+
+/**
+ * Emit one fully-composed line under the sink mutex, so concurrent
+ * engine workers never interleave partial lines.
+ */
+inline void
+emitLine(const char* prefix, const std::string& message)
+{
+    std::lock_guard<std::mutex> lock(logMutex());
+    std::cerr << prefix << message << std::endl;
+}
+
 } // namespace detail
 
 /**
@@ -40,9 +60,8 @@ template <typename... Args>
 [[noreturn]] void
 fatal(Args&&... args)
 {
-    std::cerr << "fatal: "
-              << detail::concatToString(std::forward<Args>(args)...)
-              << std::endl;
+    detail::emitLine("fatal: ",
+                     detail::concatToString(std::forward<Args>(args)...));
     std::exit(1);
 }
 
@@ -54,9 +73,8 @@ template <typename... Args>
 [[noreturn]] void
 panic(Args&&... args)
 {
-    std::cerr << "panic: "
-              << detail::concatToString(std::forward<Args>(args)...)
-              << std::endl;
+    detail::emitLine("panic: ",
+                     detail::concatToString(std::forward<Args>(args)...));
     std::abort();
 }
 
@@ -65,9 +83,8 @@ template <typename... Args>
 void
 warn(Args&&... args)
 {
-    std::cerr << "warn: "
-              << detail::concatToString(std::forward<Args>(args)...)
-              << std::endl;
+    detail::emitLine("warn: ",
+                     detail::concatToString(std::forward<Args>(args)...));
 }
 
 /** Report normal operating status. */
@@ -75,9 +92,8 @@ template <typename... Args>
 void
 inform(Args&&... args)
 {
-    std::cerr << "info: "
-              << detail::concatToString(std::forward<Args>(args)...)
-              << std::endl;
+    detail::emitLine("info: ",
+                     detail::concatToString(std::forward<Args>(args)...));
 }
 
 /** panic() unless the stated invariant holds. */

@@ -1,0 +1,50 @@
+#include "engine/schedule_cache.hpp"
+
+namespace cosa {
+
+std::optional<SearchResult>
+ScheduleCache::lookup(const ScheduleCacheKey& key)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = entries_.find(key.flat());
+    if (it == entries_.end()) {
+        ++misses_;
+        return std::nullopt;
+    }
+    ++hits_;
+    return it->second;
+}
+
+void
+ScheduleCache::insert(const ScheduleCacheKey& key, const SearchResult& result)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_[key.flat()] = result;
+}
+
+bool
+ScheduleCache::contains(const ScheduleCacheKey& key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.find(key.flat()) != entries_.end();
+}
+
+ScheduleCacheStats
+ScheduleCache::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ScheduleCacheStats stats;
+    stats.hits = hits_;
+    stats.misses = misses_;
+    stats.entries = static_cast<std::int64_t>(entries_.size());
+    return stats;
+}
+
+void
+ScheduleCache::clear()
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    entries_.clear();
+}
+
+} // namespace cosa

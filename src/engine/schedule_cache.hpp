@@ -1,0 +1,88 @@
+#pragma once
+
+/**
+ * @file
+ * Memoization of scheduling results across engine queries.
+ *
+ * The cache key is the triple (canonical layer key, arch fingerprint,
+ * scheduler config key): two queries share an entry exactly when they
+ * pose the same mathematical scheduling problem to the same scheduler —
+ * layer names and arch display names do not matter. Arch sweeps over
+ * shared layer shapes and repeated network queries hit; any change to
+ * the arch constants or scheduler tunables misses.
+ *
+ * Thread-safe: a single mutex guards the map and the counters, which is
+ * ample because entries are whole-layer solve results (lookups are
+ * trivially cheap next to a solve).
+ */
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "mapper/mapper.hpp"
+
+namespace cosa {
+
+/** Composite key of one memoized scheduling problem. */
+struct ScheduleCacheKey
+{
+    std::string layer_key;     //!< LayerSpec::canonicalKey()
+    std::string arch_key;      //!< ArchSpec::fingerprint()
+    std::string scheduler_key; //!< engine-serialized scheduler config
+
+    /** Flat string form used as the map key. */
+    std::string flat() const
+    {
+        return layer_key + "|" + arch_key + "|" + scheduler_key;
+    }
+};
+
+/** Hit/miss counters of one cache (monotonic over its lifetime). */
+struct ScheduleCacheStats
+{
+    std::int64_t hits = 0;
+    std::int64_t misses = 0;
+    std::int64_t entries = 0;
+
+    double
+    hitRate() const
+    {
+        const std::int64_t total = hits + misses;
+        return total == 0 ? 0.0 : static_cast<double>(hits) / total;
+    }
+};
+
+/** Thread-safe (layer, arch, scheduler) -> SearchResult memo table. */
+class ScheduleCache
+{
+  public:
+    /**
+     * Look up @p key; counts a hit or a miss. The returned result's
+     * search_time_sec is the original solve's time (callers decide how
+     * to account cached time).
+     */
+    std::optional<SearchResult> lookup(const ScheduleCacheKey& key);
+
+    /** Insert (or overwrite) the result for @p key. */
+    void insert(const ScheduleCacheKey& key, const SearchResult& result);
+
+    /** True when @p key is present, without touching the counters. */
+    bool contains(const ScheduleCacheKey& key) const;
+
+    /** Snapshot of the counters. */
+    ScheduleCacheStats stats() const;
+
+    /** Drop every entry; counters keep their lifetime totals. */
+    void clear();
+
+  private:
+    mutable std::mutex mutex_;
+    std::unordered_map<std::string, SearchResult> entries_;
+    std::int64_t hits_ = 0;
+    std::int64_t misses_ = 0;
+};
+
+} // namespace cosa

@@ -1,0 +1,308 @@
+#include "engine/scheduling_engine.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace cosa {
+
+const char*
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Cosa: return "CoSA";
+      case SchedulerKind::Random: return "Random";
+      case SchedulerKind::Hybrid: return "TimeloopHybrid";
+      case SchedulerKind::Exhaustive: return "Exhaustive";
+      case SchedulerKind::Portfolio: return "Portfolio";
+    }
+    panic("invalid scheduler kind");
+}
+
+SchedulingEngine::SchedulingEngine(EngineConfig config,
+                                   std::shared_ptr<ScheduleCache> cache)
+    : config_(std::move(config)),
+      cache_(cache ? std::move(cache) : std::make_shared<ScheduleCache>())
+{
+    // The engine-level objective is authoritative for the baselines and
+    // for portfolio comparison, so one knob drives every scheduler.
+    config_.random.objective = config_.objective;
+    config_.hybrid.objective = config_.objective;
+    config_.exhaustive.objective = config_.objective;
+    if (config_.num_threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        int threads = hw == 0 ? 1 : static_cast<int>(hw);
+        // Hybrid solves spawn their own racing threads; divide the
+        // default pool width by that inner parallelism so the machine
+        // is not oversubscribed ~8x. (An explicit num_threads is taken
+        // as given; hybrid.num_threads itself is untouched because the
+        // per-thread seeds make it part of the result's identity.)
+        if (config_.scheduler == SchedulerKind::Hybrid ||
+            config_.scheduler == SchedulerKind::Portfolio) {
+            threads /= std::max(config_.hybrid.num_threads, 1);
+        }
+        config_.num_threads = std::max(threads, 1);
+    }
+}
+
+namespace {
+
+void
+appendCosaKey(std::ostringstream& oss, const CosaConfig& c)
+{
+    oss << "cosa(" << static_cast<int>(c.objective_mode) << ","
+        << c.w_util << "," << c.w_comp << "," << c.w_traf << ","
+        << c.tie_break << ",[";
+    for (const auto& level : c.capacity_fraction) {
+        for (double f : level)
+            oss << f << ";";
+        oss << "/";
+    }
+    oss << "]," << c.mip.time_limit_sec << "," << c.mip.rel_gap << ","
+        << c.mip.int_tol << "," << c.mip.node_limit << "," << c.mip.seed
+        << ")";
+}
+
+void
+appendRandomKey(std::ostringstream& oss, const RandomMapperConfig& c)
+{
+    oss << "rnd(" << c.max_samples << "," << c.target_valid << ","
+        << c.seed << ")";
+}
+
+void
+appendHybridKey(std::ostringstream& oss, const HybridMapperConfig& c)
+{
+    oss << "tlh(" << c.num_threads << "," << c.victory_condition << ","
+        << c.max_perms_per_factorization << ","
+        << c.max_samples_per_thread << "," << c.seed << ")";
+}
+
+void
+appendExhaustiveKey(std::ostringstream& oss, const ExhaustiveMapperConfig& c)
+{
+    oss << "exh(" << c.max_points << "," << c.permute_noc_level << ","
+        << c.max_perms << ")";
+}
+
+} // namespace
+
+std::string
+SchedulingEngine::schedulerKey() const
+{
+    std::ostringstream oss;
+    // Full double precision, matching ArchSpec::fingerprint(): configs
+    // differing in any weight or limit must key distinct cache entries.
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << schedulerKindName(config_.scheduler) << "/"
+        << static_cast<int>(config_.objective) << "/";
+    switch (config_.scheduler) {
+      case SchedulerKind::Cosa:
+        appendCosaKey(oss, config_.cosa);
+        break;
+      case SchedulerKind::Random:
+        appendRandomKey(oss, config_.random);
+        break;
+      case SchedulerKind::Hybrid:
+        appendHybridKey(oss, config_.hybrid);
+        break;
+      case SchedulerKind::Exhaustive:
+        appendExhaustiveKey(oss, config_.exhaustive);
+        break;
+      case SchedulerKind::Portfolio:
+        appendCosaKey(oss, config_.cosa);
+        appendRandomKey(oss, config_.random);
+        appendHybridKey(oss, config_.hybrid);
+        break;
+    }
+    return oss.str();
+}
+
+SearchResult
+SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    switch (config_.scheduler) {
+      case SchedulerKind::Cosa:
+        return CosaScheduler(config_.cosa).schedule(layer, arch);
+      case SchedulerKind::Random:
+        return RandomMapper(config_.random).schedule(layer, arch);
+      case SchedulerKind::Hybrid:
+        return HybridMapper(config_.hybrid).schedule(layer, arch);
+      case SchedulerKind::Exhaustive:
+        return ExhaustiveMapper(config_.exhaustive).schedule(layer, arch);
+      case SchedulerKind::Portfolio: {
+        const SearchResult members[3] = {
+            CosaScheduler(config_.cosa).schedule(layer, arch),
+            RandomMapper(config_.random).schedule(layer, arch),
+            HybridMapper(config_.hybrid).schedule(layer, arch),
+        };
+        SearchResult best;
+        best.scheduler = "Portfolio";
+        for (const SearchResult& member : members) {
+            best.stats.samples += member.stats.samples;
+            best.stats.valid_evaluated += member.stats.valid_evaluated;
+            best.stats.search_time_sec += member.stats.search_time_sec;
+            if (!member.found)
+                continue;
+            if (!best.found ||
+                objectiveValue(member.eval, config_.objective) <
+                    objectiveValue(best.eval, config_.objective)) {
+                best.found = true;
+                best.mapping = member.mapping;
+                best.eval = member.eval;
+                best.scheduler = "Portfolio[" + member.scheduler + "]";
+            }
+        }
+        return best;
+      }
+    }
+    panic("invalid scheduler kind");
+}
+
+std::vector<NetworkResult>
+SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
+                                   const ArchSpec& arch) const
+{
+    const double start = wallTimeSec();
+
+    // --- 1. canonicalize: flatten the batch and collapse duplicates. ---
+    struct Instance
+    {
+        int net;
+        int layer;
+        int unique;
+        bool deduplicated;
+    };
+    std::vector<Instance> instances;
+    std::vector<const LayerSpec*> unique_layers; // first occurrences
+    std::vector<int> first_net; // network owning the first occurrence
+    std::unordered_map<std::string, int> key_to_unique;
+    for (int n = 0; n < static_cast<int>(workloads.size()); ++n) {
+        const auto& layers = workloads[static_cast<std::size_t>(n)].layers;
+        for (int l = 0; l < static_cast<int>(layers.size()); ++l) {
+            const LayerSpec& layer = layers[static_cast<std::size_t>(l)];
+            int unique = -1;
+            bool deduplicated = false;
+            if (config_.deduplicate) {
+                const auto [it, inserted] = key_to_unique.try_emplace(
+                    layer.canonicalKey(),
+                    static_cast<int>(unique_layers.size()));
+                unique = it->second;
+                deduplicated = !inserted;
+            } else {
+                unique = static_cast<int>(unique_layers.size());
+            }
+            if (!deduplicated) {
+                unique_layers.push_back(&layer);
+                first_net.push_back(n);
+            }
+            instances.push_back({n, l, unique, deduplicated});
+        }
+    }
+
+    // --- 2. memoize: probe the cache once per unique problem. ---
+    const std::size_t num_unique = unique_layers.size();
+    const std::string arch_key = arch.fingerprint();
+    const std::string sched_key = schedulerKey();
+    auto keyOf = [&](std::size_t u) {
+        return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
+                                sched_key};
+    };
+    std::vector<SearchResult> solved(num_unique);
+    std::vector<char> from_cache(num_unique, 0);
+    std::vector<std::size_t> to_solve;
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        if (config_.use_cache) {
+            if (auto hit = cache_->lookup(keyOf(u))) {
+                solved[u] = std::move(*hit);
+                from_cache[u] = 1;
+                continue;
+            }
+        }
+        to_solve.push_back(u);
+    }
+
+    // --- 3. solve the misses on the work-stealing pool. Each task
+    // writes slot to_solve[t], so results are positionally deterministic
+    // for any worker count. ---
+    ThreadPool pool(config_.num_threads);
+    pool.run(to_solve.size(), [&](std::size_t t) {
+        const std::size_t u = to_solve[t];
+        solved[u] = solveOne(*unique_layers[u], arch);
+    });
+    if (config_.use_cache) {
+        for (std::size_t u : to_solve)
+            cache_->insert(keyOf(u), solved[u]);
+    }
+
+    // --- 4. scatter back to instances and aggregate per network. ---
+    const double wall = wallTimeSec() - start;
+    std::vector<NetworkResult> results(workloads.size());
+    for (std::size_t n = 0; n < workloads.size(); ++n) {
+        NetworkResult& net = results[n];
+        net.network = workloads[n].name;
+        net.arch = arch.name;
+        net.scheduler = schedulerKindName(config_.scheduler);
+        net.wall_time_sec = wall; // batch-wide; solves are shared
+        net.layers.reserve(workloads[n].layers.size());
+    }
+    for (const Instance& inst : instances) {
+        NetworkResult& net = results[static_cast<std::size_t>(inst.net)];
+        const auto u = static_cast<std::size_t>(inst.unique);
+        LayerScheduleResult lr;
+        lr.layer = workloads[static_cast<std::size_t>(inst.net)]
+                       .layers[static_cast<std::size_t>(inst.layer)];
+        lr.result = solved[u];
+        lr.from_cache = from_cache[u] != 0;
+        lr.deduplicated = inst.deduplicated;
+        lr.unique_index = inst.unique;
+        ++net.num_layers;
+        if (lr.result.found) {
+            net.total_cycles += lr.result.eval.cycles;
+            net.total_energy_pj += lr.result.eval.energy_pj;
+        } else {
+            net.all_found = false;
+        }
+        net.layers.push_back(std::move(lr));
+    }
+    // Unique-problem accounting goes to the network owning the first
+    // occurrence, so batch-wide sums match the work actually performed.
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        NetworkResult& net =
+            results[static_cast<std::size_t>(first_net[u])];
+        ++net.num_unique;
+        if (from_cache[u]) {
+            ++net.num_cache_hits;
+        } else {
+            ++net.num_solved;
+            net.search.samples += solved[u].stats.samples;
+            net.search.valid_evaluated += solved[u].stats.valid_evaluated;
+            net.search.search_time_sec += solved[u].stats.search_time_sec;
+        }
+    }
+    return results;
+}
+
+NetworkResult
+SchedulingEngine::scheduleNetwork(const Workload& workload,
+                                  const ArchSpec& arch) const
+{
+    return scheduleNetworks({workload}, arch).front();
+}
+
+SearchResult
+SchedulingEngine::scheduleLayer(const LayerSpec& layer,
+                                const ArchSpec& arch) const
+{
+    Workload single;
+    single.name = "layer:" + layer.name;
+    single.layers.push_back(layer);
+    return scheduleNetwork(single, arch).layers.front().result;
+}
+
+} // namespace cosa

@@ -1,0 +1,168 @@
+#pragma once
+
+/**
+ * @file
+ * The batch network scheduling engine — the single front door for
+ * scheduling whole DNNs (or batches of DNNs) that every example and
+ * bench drives instead of hand-rolling per-layer loops.
+ *
+ * Pipeline of one query:
+ *  1. canonicalize: every layer instance maps to its name-independent
+ *     canonical key (LayerSpec::canonicalKey), collapsing duplicate
+ *     shapes (ResNet-50's 53 layer instances -> 23 unique problems);
+ *  2. memoize: unique problems are looked up in a ScheduleCache keyed
+ *     by (canonical layer, arch fingerprint, scheduler config), so arch
+ *     sweeps and repeated queries skip solved problems entirely;
+ *  3. solve: remaining problems run on a work-stealing thread pool,
+ *     each task writing into a pre-sized slot so results are ordered
+ *     deterministically regardless of worker count;
+ *  4. scatter: per-layer results are replicated back to every instance
+ *     in workload order and aggregated into a NetworkResult.
+ *
+ * Determinism contract: for any fixed (workload, arch, config), runs
+ * with different `num_threads` produce identical mappings, evaluations
+ * and counters; only wall-clock fields vary. (The underlying scheduler
+ * must itself be deterministic — the seeded Random/Exhaustive baselines
+ * are; CoSA under a wall-clock MIP time limit and Hybrid's internal
+ * racing threads are deterministic only up to their own time limits.)
+ */
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cosa/scheduler.hpp"
+#include "engine/schedule_cache.hpp"
+#include "mapper/exhaustive_mapper.hpp"
+#include "mapper/hybrid_mapper.hpp"
+#include "mapper/random_mapper.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+
+/** Which scheduler the engine drives. */
+enum class SchedulerKind {
+    Cosa,       //!< one-shot MIP (the paper's contribution)
+    Random,     //!< random-search baseline
+    Hybrid,     //!< Timeloop-Hybrid baseline
+    Exhaustive, //!< brute-force oracle (tiny layers only)
+    Portfolio,  //!< race CoSA, Random and Hybrid; keep the best
+};
+
+/** Display name of a scheduler kind. */
+const char* schedulerKindName(SchedulerKind kind);
+
+/** Engine configuration: scheduler choice plus execution knobs. */
+struct EngineConfig
+{
+    SchedulerKind scheduler = SchedulerKind::Cosa;
+    /** Worker threads for the batch solve; 0 = hardware concurrency. */
+    int num_threads = 0;
+    /** Collapse identical layer shapes within one query. */
+    bool deduplicate = true;
+    /** Memoize results across queries in the ScheduleCache. */
+    bool use_cache = true;
+    /** Objective used to compare portfolio members and passed down to
+     *  the search baselines. */
+    SearchObjective objective = SearchObjective::Latency;
+
+    CosaConfig cosa;
+    RandomMapperConfig random;
+    HybridMapperConfig hybrid;
+    ExhaustiveMapperConfig exhaustive;
+};
+
+/** One layer instance's scheduling outcome within a network. */
+struct LayerScheduleResult
+{
+    LayerSpec layer;      //!< the instance, in workload order
+    SearchResult result;  //!< schedule + evaluation + original stats
+    /** Served from the cross-query ScheduleCache. */
+    bool from_cache = false;
+    /** Shape duplicate of an earlier instance in this same query. */
+    bool deduplicated = false;
+    /** Index of the instance's unique problem within this query. */
+    int unique_index = -1;
+};
+
+/** Whole-network scheduling outcome with engine accounting. */
+struct NetworkResult
+{
+    std::string network;   //!< workload name
+    std::string arch;      //!< arch display name
+    std::string scheduler; //!< scheduler kind name
+
+    std::vector<LayerScheduleResult> layers; //!< workload order
+    bool all_found = true; //!< every layer got a valid schedule
+
+    // Aggregates over layers with a schedule.
+    double total_cycles = 0.0;
+    double total_energy_pj = 0.0;
+    /** Network energy-delay product (aggregate energy x latency). */
+    double edp() const { return total_cycles * total_energy_pj; }
+
+    /** Summed search statistics of the solves this query performed
+     *  (cache hits contribute nothing here). */
+    SearchStats search;
+
+    // Engine accounting for this query.
+    std::int64_t num_layers = 0;     //!< layer instances requested
+    std::int64_t num_unique = 0;     //!< distinct canonical problems
+    std::int64_t num_solved = 0;     //!< problems solved right now
+    std::int64_t num_cache_hits = 0; //!< problems served from the cache
+    double wall_time_sec = 0.0;      //!< end-to-end query wall time
+};
+
+/**
+ * Batch scheduling engine. Thread-compatible: one engine may serve
+ * concurrent scheduleNetwork() calls (the cache is internally locked);
+ * a single call parallelizes internally via its thread pool.
+ */
+class SchedulingEngine
+{
+  public:
+    /**
+     * @param cache shared schedule cache; pass the same cache to several
+     *        engines (or keep one engine) to share memoized results
+     *        across arch sweeps and networks. A private cache is created
+     *        when omitted.
+     */
+    explicit SchedulingEngine(EngineConfig config = {},
+                              std::shared_ptr<ScheduleCache> cache = nullptr);
+
+    /** Schedule every layer of @p workload on @p arch. */
+    NetworkResult scheduleNetwork(const Workload& workload,
+                                  const ArchSpec& arch) const;
+
+    /**
+     * Schedule a batch of networks on one arch. The batch shares a
+     * single canonicalization pass and thread-pool run, so shapes
+     * recurring across networks are solved once.
+     */
+    std::vector<NetworkResult> scheduleNetworks(
+        const std::vector<Workload>& workloads, const ArchSpec& arch) const;
+
+    /** Schedule a single layer (cached like any network query). */
+    SearchResult scheduleLayer(const LayerSpec& layer,
+                               const ArchSpec& arch) const;
+
+    const EngineConfig& config() const { return config_; }
+    const std::shared_ptr<ScheduleCache>& cache() const { return cache_; }
+    ScheduleCacheStats cacheStats() const { return cache_->stats(); }
+
+    /**
+     * Serialization of every scheduler tunable that can change a solve's
+     * outcome — the third component of the cache key. Exposed so tests
+     * can assert config changes partition the cache.
+     */
+    std::string schedulerKey() const;
+
+  private:
+    /** Run the configured scheduler on one problem (no cache). */
+    SearchResult solveOne(const LayerSpec& layer, const ArchSpec& arch) const;
+
+    EngineConfig config_;
+    std::shared_ptr<ScheduleCache> cache_;
+};
+
+} // namespace cosa

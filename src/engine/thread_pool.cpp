@@ -1,0 +1,106 @@
+#include "engine/thread_pool.hpp"
+
+#include <algorithm>
+#include <mutex>
+#include <thread>
+
+namespace cosa {
+
+namespace {
+
+/**
+ * One worker's deque of pending task indices. A coarse per-deque mutex
+ * is ample here: engine tasks are whole-layer solves (milliseconds to
+ * seconds), so queue operations are nowhere near the critical path.
+ */
+struct WorkDeque
+{
+    std::mutex mutex;
+    std::deque<std::size_t> tasks;
+
+    bool
+    popBottom(std::size_t& out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.back();
+        tasks.pop_back();
+        return true;
+    }
+
+    bool
+    stealTop(std::size_t& out)
+    {
+        std::lock_guard<std::mutex> lock(mutex);
+        if (tasks.empty())
+            return false;
+        out = tasks.front();
+        tasks.pop_front();
+        return true;
+    }
+};
+
+} // namespace
+
+ThreadPool::ThreadPool(int num_threads)
+    : num_threads_(std::max(num_threads, 1))
+{
+}
+
+void
+ThreadPool::run(std::size_t num_tasks,
+                const std::function<void(std::size_t)>& task) const
+{
+    if (num_tasks == 0)
+        return;
+    const int workers =
+        static_cast<int>(std::min<std::size_t>(
+            static_cast<std::size_t>(num_threads_), num_tasks));
+    if (workers == 1) {
+        for (std::size_t i = 0; i < num_tasks; ++i)
+            task(i);
+        return;
+    }
+
+    // Deal task indices round-robin so every deque starts with a mix of
+    // early (often larger) and late problems; stealing corrects any
+    // remaining imbalance.
+    std::vector<WorkDeque> deques(static_cast<std::size_t>(workers));
+    for (std::size_t i = 0; i < num_tasks; ++i)
+        deques[i % static_cast<std::size_t>(workers)].tasks.push_back(i);
+
+    auto worker = [&](int id) {
+        const auto self = static_cast<std::size_t>(id);
+        std::size_t index = 0;
+        for (;;) {
+            if (deques[self].popBottom(index)) {
+                task(index);
+                continue;
+            }
+            bool stole = false;
+            for (int v = 1; v < workers && !stole; ++v) {
+                const auto victim =
+                    (self + static_cast<std::size_t>(v)) %
+                    static_cast<std::size_t>(workers);
+                stole = deques[victim].stealTop(index);
+            }
+            if (!stole) {
+                // Every deque is empty and no task is ever re-enqueued,
+                // so this worker can never receive more work: exit
+                // instead of spinning against the still-running solves.
+                return;
+            }
+            task(index);
+        }
+    };
+
+    std::vector<std::thread> threads;
+    threads.reserve(static_cast<std::size_t>(workers));
+    for (int t = 0; t < workers; ++t)
+        threads.emplace_back(worker, t);
+    for (auto& t : threads)
+        t.join();
+}
+
+} // namespace cosa

@@ -1,0 +1,48 @@
+#pragma once
+
+/**
+ * @file
+ * A work-stealing thread pool for the scheduling engine's batch solves.
+ *
+ * Tasks are indexed [0, n); each worker owns a deque seeded with a
+ * contiguous slice of the index range, pops from its own bottom, and
+ * steals from the top of a victim's deque when it runs dry — so a few
+ * slow solves (large layers) do not strand the remaining workers.
+ *
+ * Determinism contract: the pool only schedules *which worker runs which
+ * task when*; callers write task i's output into a pre-sized slot i, so
+ * results are identical for any worker count as long as each task is a
+ * pure function of its index.
+ */
+
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <vector>
+
+namespace cosa {
+
+/** Work-stealing executor for a fixed batch of indexed tasks. */
+class ThreadPool
+{
+  public:
+    /**
+     * @param num_threads worker count; values < 1 clamp to 1, and the
+     *        pool degrades to inline execution for a single worker.
+     */
+    explicit ThreadPool(int num_threads);
+
+    /**
+     * Run @p task(i) for every i in [0, num_tasks) across the workers.
+     * Blocks until all tasks complete. Tasks must not throw.
+     */
+    void run(std::size_t num_tasks,
+             const std::function<void(std::size_t)>& task) const;
+
+    int numThreads() const { return num_threads_; }
+
+  private:
+    int num_threads_ = 1;
+};
+
+} // namespace cosa

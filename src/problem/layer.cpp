@@ -50,14 +50,32 @@ LayerSpec::label() const
     return oss.str();
 }
 
+std::string
+LayerSpec::canonicalKey() const
+{
+    std::ostringstream oss;
+    oss << r << "." << s << "." << p << "." << q << "." << c << "." << k
+        << "." << n << "." << stride;
+    return oss.str();
+}
+
 LayerSpec
 LayerSpec::fromLabel(const std::string& label, std::int64_t batch)
 {
     std::vector<std::int64_t> parts;
     std::istringstream iss(label);
     std::string tok;
-    while (std::getline(iss, tok, '_'))
-        parts.push_back(std::stoll(tok));
+    while (std::getline(iss, tok, '_')) {
+        try {
+            std::size_t consumed = 0;
+            parts.push_back(std::stoll(tok, &consumed));
+            if (consumed != tok.size())
+                throw std::invalid_argument(tok);
+        } catch (const std::exception&) {
+            fatal("layer label `", label, "` has non-numeric field `",
+                  tok, "`");
+        }
+    }
     if (parts.size() != 5)
         fatal("layer label `", label, "` must be R_P_C_K_Stride");
     LayerSpec spec;
@@ -72,6 +90,8 @@ LayerSpec::fromLabel(const std::string& label, std::int64_t batch)
         if (spec.bound(d) < 1)
             fatal("layer label `", label, "` has non-positive bound");
     }
+    if (spec.stride < 1)
+        fatal("layer label `", label, "` has non-positive stride");
     return spec;
 }
 

@@ -56,6 +56,15 @@ struct LayerSpec
     std::string label() const;
 
     /**
+     * Name-independent identity of the scheduling problem: every loop
+     * bound plus the stride. Two layers with equal canonical keys have
+     * identical mapspaces and identical evaluations under any
+     * architecture, so the scheduling engine deduplicates and caches by
+     * this key (plus an arch fingerprint and scheduler config).
+     */
+    std::string canonicalKey() const;
+
+    /**
      * Construct from a paper-style label (e.g. "3_14_256_256_1"),
      * expanding S=R, Q=P, N=batch.
      */

@@ -30,6 +30,17 @@ Workload alexNet();
 /** ResNet-50: the 23 unique layer shapes of Fig. 6. */
 Workload resNet50();
 
+/**
+ * ResNet-50 with every layer *instance*: the full 53-layer network
+ * (stem + 16 bottleneck blocks + 4 projection shortcuts + classifier)
+ * whose shapes collapse to the 23 unique problems of resNet50().
+ * Repeated instances carry a `#i` name suffix; this is the engine's
+ * dedup/cache showcase and the network whose aggregate latency/energy
+ * reflects real inference (unique-shape sums under-weight repeated
+ * blocks).
+ */
+Workload resNet50Full();
+
 /** ResNeXt-50 (32x4d): the 25 unique layer shapes of Fig. 6. */
 Workload resNeXt50();
 

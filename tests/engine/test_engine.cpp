@@ -1,0 +1,303 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <set>
+#include <vector>
+
+#include "engine/scheduling_engine.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace cosa {
+namespace {
+
+/** Cheap deterministic engine config for fast tests. */
+EngineConfig
+fastRandomConfig(int num_threads)
+{
+    EngineConfig config;
+    config.scheduler = SchedulerKind::Random;
+    config.num_threads = num_threads;
+    config.random.max_samples = 500;
+    config.random.target_valid = 1;
+    return config;
+}
+
+TEST(ThreadPool, RunsEveryTaskExactlyOnce)
+{
+    for (int threads : {1, 2, 4, 7}) {
+        const std::size_t n = 100;
+        std::vector<std::atomic<int>> hits(n);
+        ThreadPool pool(threads);
+        pool.run(n, [&](std::size_t i) { ++hits[i]; });
+        for (std::size_t i = 0; i < n; ++i)
+            EXPECT_EQ(hits[i].load(), 1) << "task " << i << " with "
+                                         << threads << " threads";
+    }
+}
+
+TEST(ThreadPool, HandlesFewerTasksThanThreads)
+{
+    std::vector<std::atomic<int>> hits(2);
+    ThreadPool pool(8);
+    pool.run(2, [&](std::size_t i) { ++hits[i]; });
+    EXPECT_EQ(hits[0].load(), 1);
+    EXPECT_EQ(hits[1].load(), 1);
+    pool.run(0, [&](std::size_t) { FAIL() << "no tasks to run"; });
+}
+
+TEST(ScheduleCache, CountsHitsAndMisses)
+{
+    ScheduleCache cache;
+    const ScheduleCacheKey key{"layer", "arch", "sched"};
+    EXPECT_FALSE(cache.lookup(key).has_value());
+    SearchResult result;
+    result.found = true;
+    result.eval.cycles = 42.0;
+    cache.insert(key, result);
+    EXPECT_TRUE(cache.contains(key));
+    const auto hit = cache.lookup(key);
+    ASSERT_TRUE(hit.has_value());
+    EXPECT_EQ(hit->eval.cycles, 42.0);
+    const ScheduleCacheStats stats = cache.stats();
+    EXPECT_EQ(stats.hits, 1);
+    EXPECT_EQ(stats.misses, 1);
+    EXPECT_EQ(stats.entries, 1);
+    EXPECT_DOUBLE_EQ(stats.hitRate(), 0.5);
+    cache.clear();
+    EXPECT_FALSE(cache.contains(key));
+    EXPECT_EQ(cache.stats().entries, 0);
+    // Lifetime counters survive clear().
+    EXPECT_EQ(cache.stats().hits, 1);
+}
+
+TEST(ScheduleCache, KeySeparatesComponents)
+{
+    ScheduleCache cache;
+    SearchResult result;
+    cache.insert({"l1", "a1", "s1"}, result);
+    EXPECT_TRUE(cache.contains({"l1", "a1", "s1"}));
+    EXPECT_FALSE(cache.contains({"l2", "a1", "s1"}));
+    EXPECT_FALSE(cache.contains({"l1", "a2", "s1"}));
+    EXPECT_FALSE(cache.contains({"l1", "a1", "s2"}));
+}
+
+TEST(CanonicalKey, IgnoresNameButNotShape)
+{
+    LayerSpec a = LayerSpec::fromLabel("3_14_256_256_1");
+    LayerSpec b = a;
+    b.name = "renamed";
+    EXPECT_EQ(a.canonicalKey(), b.canonicalKey());
+
+    LayerSpec c = a;
+    c.stride = 2;
+    EXPECT_NE(a.canonicalKey(), c.canonicalKey());
+    LayerSpec d = a;
+    d.n = 4;
+    EXPECT_NE(a.canonicalKey(), d.canonicalKey());
+}
+
+TEST(ArchFingerprint, SeparatesVariantsIgnoresName)
+{
+    const ArchSpec base = ArchSpec::simbaBaseline();
+    ArchSpec renamed = base;
+    renamed.name = "other-name";
+    EXPECT_EQ(base.fingerprint(), renamed.fingerprint());
+    EXPECT_NE(base.fingerprint(), ArchSpec::simba8x8().fingerprint());
+    EXPECT_NE(base.fingerprint(),
+              ArchSpec::simbaBigBuffers().fingerprint());
+}
+
+TEST(Workloads, ResNet50FullHas53InstancesOf23Shapes)
+{
+    const Workload full = workloads::resNet50Full();
+    EXPECT_EQ(full.layers.size(), 53u);
+    std::set<std::string> unique_keys;
+    for (const LayerSpec& layer : full.layers)
+        unique_keys.insert(layer.canonicalKey());
+    EXPECT_EQ(unique_keys.size(), 23u);
+    // The unique shapes are exactly those of the 23-shape workload.
+    std::set<std::string> reference_keys;
+    for (const LayerSpec& layer : workloads::resNet50().layers)
+        reference_keys.insert(layer.canonicalKey());
+    EXPECT_EQ(unique_keys, reference_keys);
+}
+
+TEST(SchedulingEngine, DedupSolvesResNet50FullExactly23Times)
+{
+    const SchedulingEngine engine(fastRandomConfig(2));
+    const NetworkResult result = engine.scheduleNetwork(
+        workloads::resNet50Full(), ArchSpec::simbaBaseline());
+
+    EXPECT_EQ(result.num_layers, 53);
+    EXPECT_EQ(result.num_unique, 23);
+    EXPECT_EQ(result.num_solved, 23);
+    EXPECT_EQ(result.num_cache_hits, 0);
+    EXPECT_EQ(static_cast<int>(result.layers.size()), 53);
+
+    // The cache counters certify 23 solves: every unique shape missed
+    // once (then was inserted); no other lookups happened.
+    const ScheduleCacheStats stats = engine.cacheStats();
+    EXPECT_EQ(stats.misses, 23);
+    EXPECT_EQ(stats.hits, 0);
+    EXPECT_EQ(stats.entries, 23);
+
+    // Duplicate instances carry their first occurrence's result.
+    for (const LayerScheduleResult& lr : result.layers) {
+        ASSERT_GE(lr.unique_index, 0);
+        ASSERT_LT(lr.unique_index, 23);
+        const LayerScheduleResult& first =
+            *std::find_if(result.layers.begin(), result.layers.end(),
+                          [&](const LayerScheduleResult& other) {
+                              return other.unique_index ==
+                                     lr.unique_index;
+                          });
+        EXPECT_EQ(lr.result.mapping, first.result.mapping);
+        EXPECT_EQ(lr.deduplicated, &lr != &first);
+    }
+
+    // A repeated query is served entirely from the cache.
+    const NetworkResult again = engine.scheduleNetwork(
+        workloads::resNet50Full(), ArchSpec::simbaBaseline());
+    EXPECT_EQ(again.num_cache_hits, 23);
+    EXPECT_EQ(again.num_solved, 0);
+    EXPECT_EQ(engine.cacheStats().hits, 23);
+    for (std::size_t l = 0; l < again.layers.size(); ++l) {
+        EXPECT_TRUE(again.layers[l].from_cache ||
+                    again.layers[l].deduplicated);
+        EXPECT_EQ(again.layers[l].result.mapping,
+                  result.layers[l].result.mapping);
+    }
+    EXPECT_DOUBLE_EQ(again.total_cycles, result.total_cycles);
+    EXPECT_DOUBLE_EQ(again.total_energy_pj, result.total_energy_pj);
+}
+
+TEST(SchedulingEngine, DedupOffSolvesEveryInstance)
+{
+    EngineConfig config = fastRandomConfig(2);
+    config.deduplicate = false;
+    config.use_cache = false;
+    const SchedulingEngine engine(config);
+    const NetworkResult result = engine.scheduleNetwork(
+        workloads::resNet50Full(), ArchSpec::simbaBaseline());
+    EXPECT_EQ(result.num_layers, 53);
+    EXPECT_EQ(result.num_unique, 53);
+    EXPECT_EQ(result.num_solved, 53);
+    EXPECT_EQ(engine.cacheStats().misses, 0); // cache never touched
+}
+
+TEST(SchedulingEngine, NThreadRunMatchesOneThreadRunExactly)
+{
+    const Workload net = workloads::resNet50Full();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    const SchedulingEngine one(fastRandomConfig(1));
+    const SchedulingEngine many(fastRandomConfig(4));
+    const NetworkResult r1 = one.scheduleNetwork(net, arch);
+    const NetworkResult rn = many.scheduleNetwork(net, arch);
+
+    ASSERT_EQ(r1.layers.size(), rn.layers.size());
+    for (std::size_t l = 0; l < r1.layers.size(); ++l) {
+        EXPECT_EQ(r1.layers[l].result.mapping,
+                  rn.layers[l].result.mapping)
+            << "layer " << r1.layers[l].layer.name;
+        EXPECT_EQ(r1.layers[l].result.found, rn.layers[l].result.found);
+        // Evaluations must be byte-identical, not approximately equal:
+        // the same mapping through the same model is pure arithmetic.
+        EXPECT_EQ(r1.layers[l].result.eval.cycles,
+                  rn.layers[l].result.eval.cycles);
+        EXPECT_EQ(r1.layers[l].result.eval.energy_pj,
+                  rn.layers[l].result.eval.energy_pj);
+        EXPECT_EQ(r1.layers[l].unique_index, rn.layers[l].unique_index);
+        EXPECT_EQ(r1.layers[l].deduplicated, rn.layers[l].deduplicated);
+    }
+    EXPECT_EQ(r1.total_cycles, rn.total_cycles);
+    EXPECT_EQ(r1.total_energy_pj, rn.total_energy_pj);
+    EXPECT_EQ(r1.num_unique, rn.num_unique);
+    EXPECT_EQ(r1.num_solved, rn.num_solved);
+    EXPECT_EQ(r1.search.samples, rn.search.samples);
+    EXPECT_EQ(r1.search.valid_evaluated, rn.search.valid_evaluated);
+}
+
+TEST(SchedulingEngine, ArchSweepPartitionsAndReusesCache)
+{
+    // One shared cache across the sweep, as an arch exploration would.
+    auto cache = std::make_shared<ScheduleCache>();
+    const SchedulingEngine engine(fastRandomConfig(2), cache);
+    const Workload net = workloads::resNet50();
+
+    engine.scheduleNetwork(net, ArchSpec::simbaBaseline());
+    EXPECT_EQ(cache->stats().misses, 23);
+    EXPECT_EQ(cache->stats().hits, 0);
+
+    // A different arch fingerprint shares nothing: all misses again.
+    engine.scheduleNetwork(net, ArchSpec::simba8x8());
+    EXPECT_EQ(cache->stats().misses, 46);
+    EXPECT_EQ(cache->stats().hits, 0);
+    EXPECT_EQ(cache->stats().entries, 46);
+
+    // Revisiting a swept arch is free: all hits, no new entries.
+    const NetworkResult back =
+        engine.scheduleNetwork(net, ArchSpec::simbaBaseline());
+    EXPECT_EQ(back.num_cache_hits, 23);
+    EXPECT_EQ(back.num_solved, 0);
+    EXPECT_EQ(cache->stats().hits, 23);
+    EXPECT_EQ(cache->stats().misses, 46);
+    EXPECT_EQ(cache->stats().entries, 46);
+}
+
+TEST(SchedulingEngine, SchedulerConfigPartitionsCache)
+{
+    EngineConfig a = fastRandomConfig(1);
+    EngineConfig b = fastRandomConfig(1);
+    b.random.seed = a.random.seed + 1;
+    const SchedulingEngine ea(a);
+    const SchedulingEngine eb(b);
+    EXPECT_NE(ea.schedulerKey(), eb.schedulerKey());
+
+    auto cache = std::make_shared<ScheduleCache>();
+    const SchedulingEngine shared_a(a, cache);
+    const SchedulingEngine shared_b(b, cache);
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    shared_a.scheduleLayer(layer, arch);
+    shared_b.scheduleLayer(layer, arch);
+    EXPECT_EQ(cache->stats().misses, 2); // no false sharing
+    EXPECT_EQ(cache->stats().entries, 2);
+}
+
+TEST(SchedulingEngine, ScheduleLayerFindsValidSchedule)
+{
+    const SchedulingEngine engine(fastRandomConfig(1));
+    const SearchResult result = engine.scheduleLayer(
+        workloads::listing1Layer(), ArchSpec::simbaBaseline());
+    ASSERT_TRUE(result.found);
+    EXPECT_GT(result.eval.cycles, 0.0);
+    const ValidationResult valid =
+        validateMapping(result.mapping, workloads::listing1Layer(),
+                        ArchSpec::simbaBaseline());
+    EXPECT_TRUE(valid.valid) << valid.reason;
+}
+
+TEST(SchedulingEngine, PortfolioKeepsBestMemberAndMergesStats)
+{
+    EngineConfig config;
+    config.scheduler = SchedulerKind::Portfolio;
+    config.num_threads = 1;
+    config.cosa.mip.time_limit_sec = 2.0;
+    config.random.max_samples = 500;
+    config.random.target_valid = 1;
+    config.hybrid.num_threads = 2;
+    config.hybrid.victory_condition = 50;
+    const SchedulingEngine engine(config);
+    const SearchResult result = engine.scheduleLayer(
+        workloads::listing1Layer(), ArchSpec::simbaBaseline());
+    ASSERT_TRUE(result.found);
+    EXPECT_TRUE(result.scheduler.rfind("Portfolio[", 0) == 0)
+        << result.scheduler;
+    // Samples of all three members accumulate.
+    EXPECT_GT(result.stats.samples, 1);
+}
+
+} // namespace
+} // namespace cosa
