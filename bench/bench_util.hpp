@@ -46,7 +46,12 @@ inline CosaConfig
 defaultCosaConfig()
 {
     CosaConfig config;
-    config.mip.time_limit_sec = timeLimit();
+    // COSA_TIME_LIMIT expresses dense-core-equivalent seconds, mapped
+    // onto the deterministic work budget so bench results are machine-
+    // and load-independent; the wall clock stays as a safety net.
+    config.mip.work_limit = CosaConfig::workLimitFromSeconds(timeLimit());
+    config.mip.time_limit_sec =
+        CosaConfig::timeSafetyNetFromSeconds(timeLimit());
     return config;
 }
 

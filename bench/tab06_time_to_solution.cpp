@@ -7,14 +7,116 @@
  * 1 / 5 / 16K+ evaluations). Runs through the engine with dedup and
  * caching OFF: this bench measures per-layer solve cost, so every
  * instance must pay its real solve.
+ *
+ * Solver-core mode:
+ *   bench_tab06_time_to_solution --solver-json [path]
+ * runs CoSA alone over the 23 unique ResNet-50 layers, one engine
+ * query per layer so each solve can warm-start from the nearest
+ * previously solved shape, and writes machine-readable per-layer
+ * records (solve time, LP iterations, branch-and-bound nodes,
+ * warm-start hits, schedule metrics) plus the geomean solve time to
+ * @p path (default BENCH_solver.json). This is the solver's perf
+ * trajectory file: commit-over-commit comparisons diff its geomean at
+ * a fixed work budget.
  */
+
+#include <cmath>
+#include <cstring>
+#include <fstream>
 
 #include "bench_util.hpp"
 
+namespace {
+
+using namespace cosa;
+
 int
-main()
+solverJsonMode(const std::string& path)
+{
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const Workload net = workloads::resNet50();
+
+    EngineConfig config = bench::defaultEngineConfig(SchedulerKind::Cosa);
+    config.num_threads = 1; // sequential: times must be contention-free
+    const SchedulingEngine engine(config);
+
+    std::ofstream out(path);
+    if (!out) {
+        std::cerr << "cannot open " << path << " for writing\n";
+        return 1;
+    }
+    out.precision(17);
+    out << "{\n  \"bench\": \"tab06_solver_core\",\n";
+    out << "  \"arch\": \"" << arch.name << "\",\n";
+    out << "  \"work_limit\": " << config.cosa.mip.work_limit << ",\n";
+    out << "  \"presolve\": " << (config.cosa.mip.presolve ? "true" : "false")
+        << ",\n";
+    out << "  \"layers\": [\n";
+
+    double log_sum = 0.0;
+    double total_time = 0.0;
+    std::int64_t total_nodes = 0, total_iters = 0, total_warm_hits = 0;
+    int solved = 0;
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        const LayerSpec& layer = net.layers[l];
+        // One query per layer: later layers see the earlier schedules
+        // in the cache and warm-start from their nearest neighbor.
+        const SearchResult result = engine.scheduleLayer(layer, arch);
+        const SearchStats& st = result.stats;
+
+        out << "    {\"layer\": \"" << layer.name << "\""
+            << ", \"found\": " << (result.found ? "true" : "false")
+            << ", \"solve_time_sec\": " << st.search_time_sec
+            << ", \"lp_iterations\": " << st.lp_iterations
+            << ", \"mip_nodes\": " << st.mip_nodes
+            << ", \"warm_hint_installed\": " << st.warm_starts_installed
+            << ", \"warm_start_hits\": " << st.warm_start_hits
+            << ", \"cycles\": " << result.eval.cycles
+            << ", \"energy_pj\": " << result.eval.energy_pj << "}"
+            << (l + 1 < net.layers.size() ? "," : "") << "\n";
+
+        log_sum += std::log(std::max(st.search_time_sec, 1e-9));
+        total_time += st.search_time_sec;
+        total_nodes += st.mip_nodes;
+        total_iters += st.lp_iterations;
+        total_warm_hits += st.warm_start_hits;
+        solved += result.found ? 1 : 0;
+    }
+    const double geomean =
+        std::exp(log_sum / static_cast<double>(net.layers.size()));
+    out << "  ],\n";
+    out << "  \"num_layers\": " << net.layers.size() << ",\n";
+    out << "  \"num_found\": " << solved << ",\n";
+    out << "  \"geomean_solve_time_sec\": " << geomean << ",\n";
+    out << "  \"total_solve_time_sec\": " << total_time << ",\n";
+    out << "  \"total_lp_iterations\": " << total_iters << ",\n";
+    out << "  \"total_mip_nodes\": " << total_nodes << ",\n";
+    out << "  \"total_warm_start_hits\": " << total_warm_hits << "\n";
+    out << "}\n";
+
+    std::cout << "solver core over " << net.layers.size()
+              << " unique ResNet-50 layers: geomean "
+              << TextTable::fmt(geomean, 3) << "s/layer, total "
+              << TextTable::fmt(total_time, 1) << "s, " << total_nodes
+              << " nodes, " << total_warm_hits
+              << " warm-start hits -> " << path << "\n";
+    return 0;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
 {
     using namespace cosa;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--solver-json") == 0) {
+            const std::string path =
+                a + 1 < argc ? argv[a + 1] : "BENCH_solver.json";
+            return solverJsonMode(path);
+        }
+    }
+
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
     Workload layers;

@@ -7,10 +7,16 @@
  * instances down to 23 unique scheduling problems, so each scheduler
  * performs 23 solves, not 53.
  *
- *   ./examples/resnet50_end_to_end [time_limit_seconds]
+ *   ./examples/resnet50_end_to_end [time_limit_seconds] [--threads N]
+ *
+ * The time limit is expressed in dense-core-equivalent seconds: it maps
+ * onto CoSA's deterministic work budget (5000 simplex iterations per
+ * second) so results are machine-independent. --threads sets the
+ * engine's worker-pool width (0 = hardware concurrency).
  */
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "common/table.hpp"
@@ -20,6 +26,15 @@ int
 main(int argc, char** argv)
 {
     using namespace cosa;
+    double time_limit = 0.0;
+    int threads = 0;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+            threads = std::atoi(argv[++a]);
+        else
+            time_limit = std::atof(argv[a]);
+    }
+
     const ArchSpec arch = ArchSpec::simbaBaseline();
     const Workload net = workloads::resNet50Full();
 
@@ -30,8 +45,13 @@ main(int argc, char** argv)
     for (int s = 0; s < 3; ++s) {
         EngineConfig config;
         config.scheduler = kinds[s];
-        if (argc > 1)
-            config.cosa.mip.time_limit_sec = std::atof(argv[1]);
+        config.num_threads = threads;
+        if (time_limit > 0.0) {
+            config.cosa.mip.work_limit =
+                CosaConfig::workLimitFromSeconds(time_limit);
+            config.cosa.mip.time_limit_sec =
+                CosaConfig::timeSafetyNetFromSeconds(time_limit);
+        }
         const SchedulingEngine engine(config);
         results[s] = engine.scheduleNetwork(net, arch);
     }
@@ -74,7 +94,9 @@ main(int argc, char** argv)
         std::cout << r.scheduler << ": " << r.num_layers
                   << " layer instances -> " << r.num_unique
                   << " unique problems, " << r.num_solved << " solved, "
-                  << r.num_cache_hits << " cache hits; solve time "
+                  << r.num_cache_hits << " cache hits, "
+                  << r.num_warm_hints << " warm-started ("
+                  << r.num_warm_hits << " accepted); solve time "
                   << TextTable::fmt(r.search.search_time_sec, 1)
                   << "s, wall "
                   << TextTable::fmt(r.wall_time_sec, 1) << "s\n";

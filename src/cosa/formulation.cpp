@@ -782,6 +782,10 @@ CosaFormulation::encodeMapping(const Mapping& mapping) const
     std::vector<int> gb_rank_of_dim(kNumDims, -1);
     int next_rank = 0;
     for (int i = 0; i < static_cast<int>(mapping.levels.size()); ++i) {
+        // Mappings from a foreign architecture (cross-arch warm-start
+        // hints) may carry more memory levels than this formulation;
+        // fold the excess into the outermost (DRAM) level.
+        const int li = std::min(i, num_levels_ - 1);
         const auto& loops = mapping.levels[static_cast<std::size_t>(i)];
         for (auto it = loops.rbegin(); it != loops.rend(); ++it) {
             for (std::int64_t prime : factorize(it->bound)) {
@@ -789,13 +793,13 @@ CosaFormulation::encodeMapping(const Mapping& mapping) const
                     if (groups_[g].dim != it->dim ||
                         groups_[g].prime != prime || remaining[g] == 0)
                         continue;
-                    ++counts[g][static_cast<std::size_t>(i)]
+                    ++counts[g][static_cast<std::size_t>(li)]
                              [it->spatial ? 0 : 1];
                     --remaining[g];
                     break;
                 }
             }
-            if (i == noc_level_ && !it->spatial &&
+            if (li == noc_level_ && !it->spatial &&
                 gb_rank_of_dim[dimIndex(it->dim)] < 0) {
                 gb_rank_of_dim[dimIndex(it->dim)] =
                     std::min(next_rank++, num_ranks_ - 1);

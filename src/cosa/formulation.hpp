@@ -45,6 +45,8 @@
  *      min  -wU * Util + wC * Comp + wT * Traf.
  */
 
+#include <algorithm>
+#include <cstdint>
 #include <optional>
 #include <vector>
 
@@ -83,9 +85,39 @@ struct CosaConfig
     std::vector<std::vector<double>> capacity_fraction;
     solver::MipParams mip; //!< time limit, gap, verbosity
 
+    /**
+     * Deterministic work units equivalent to @p seconds of the
+     * historical dense-core throughput (5000 units/s) — the one
+     * conversion the examples and benches share when a user expresses
+     * the CoSA budget in "seconds". Never returns 0: a tiny budget
+     * must stay a tiny budget, not become unlimited.
+     */
+    static std::int64_t
+    workLimitFromSeconds(double seconds)
+    {
+        return std::max<std::int64_t>(
+            1, static_cast<std::int64_t>(seconds * 5000.0));
+    }
+
+    /** Wall-clock safety net paired with workLimitFromSeconds: wide
+     *  enough that the deterministic budget binds first on any sane
+     *  host. */
+    static double
+    timeSafetyNetFromSeconds(double seconds)
+    {
+        return std::max(30.0, seconds * 4.0);
+    }
+
     CosaConfig()
     {
-        mip.time_limit_sec = 5.0;
+        // Deterministic effort budget: ~ the LP work the pre-sparse
+        // dense core performed under its old 5-second wall limit, so
+        // default schedules stay at the established quality level while
+        // being reproducible on any machine. The wall clock is only a
+        // safety net (it binds alone when a host is pathologically
+        // slow, in which case determinism is forfeit anyway).
+        mip.work_limit = workLimitFromSeconds(5.0);
+        mip.time_limit_sec = timeSafetyNetFromSeconds(5.0);
         mip.rel_gap = 5e-3;
     }
 };

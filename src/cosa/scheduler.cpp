@@ -12,14 +12,48 @@ CosaScheduler::CosaScheduler(CosaConfig config) : config_(std::move(config))
 SearchResult
 CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch) const
 {
+    return schedule(layer, arch, {});
+}
+
+SearchResult
+CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
+                        const std::vector<Mapping>& warm_hints) const
+{
     const double start = wallTimeSec();
     SearchResult result;
     result.scheduler = "CoSA";
 
     CosaFormulation formulation(layer, arch, config_);
+
+    // Cross-layer warm starts: refit each hint to this layer's factor
+    // pool and keep the ones that survive the true (shared-buffer)
+    // validity check; the MIP's LP completion re-checks them against
+    // the formulation's own capacity splits.
+    // Hints install first, so they occupy the leading setStart() slots
+    // and mip.start_accepted[0 .. hints-1] reports their acceptance.
+    std::vector<Mapping> hint_schedules;
+    int hints_installed = 0;
+    for (const Mapping& hint : warm_hints) {
+        std::vector<double> values = formulation.encodeMapping(hint);
+        Mapping refit = formulation.extractMapping(values);
+        if (!validateMapping(refit, layer, arch).valid)
+            continue;
+        formulation.model().setStart(std::move(values));
+        hint_schedules.push_back(std::move(refit));
+        ++hints_installed;
+    }
+
     solver::MipResult mip;
     const auto mapping = formulation.solve(&mip);
     result.stats.samples = 1;
+    result.stats.mip_nodes = mip.nodes;
+    result.stats.lp_iterations = mip.lp_iterations;
+    result.stats.warm_starts_installed = hints_installed;
+    for (int h = 0; h < hints_installed; ++h) {
+        if (h < static_cast<int>(mip.start_accepted.size()) &&
+            mip.start_accepted[static_cast<std::size_t>(h)])
+            ++result.stats.warm_start_hits;
+    }
 
     // The solver's improving-incumbent trajectory consists entirely of
     // feasible schedules; evaluate them once each and keep the best
@@ -45,6 +79,11 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch) const
     // capacity split, and very tight time limits can leave the solver
     // without an incumbent, so score the greedy schedule directly).
     consider(greedyMapping(layer, arch));
+    // Valid neighbor hints compete directly too: on arch sweeps the
+    // refit of a neighboring layer's schedule is occasionally better
+    // under the full model than anything the budgeted MIP reached.
+    for (const Mapping& hint : hint_schedules)
+        consider(hint);
 
     result.stats.search_time_sec = wallTimeSec() - start;
     if (!result.found) {

@@ -8,6 +8,8 @@
  * and valid_evaluated = 1 in the Table VI statistics.
  */
 
+#include <vector>
+
 #include "cosa/formulation.hpp"
 #include "mapper/mapper.hpp"
 
@@ -21,6 +23,20 @@ class CosaScheduler
 
     /** Solve the MIP once and evaluate the extracted schedule. */
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
+
+    /**
+     * Solve with cross-layer warm-start hints: schedules of *similar*
+     * layers (e.g. the cache's nearest canonical neighbor on an arch
+     * sweep). Each hint is re-encoded against this layer's factor pool
+     * (surplus primes park at DRAM), validated against the layer's true
+     * capacity/spatial constraints, and installed as an extra MIP start
+     * alongside the greedy schedule; the solver's feasibility check
+     * decides acceptance (reported in SearchStats::warm_start_hits).
+     * Valid hints also compete directly in the final schedule pick, so
+     * effort spent on a neighboring layer is never wasted.
+     */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
+                          const std::vector<Mapping>& warm_hints) const;
 
     const CosaConfig& config() const { return config_; }
 

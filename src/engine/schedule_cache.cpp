@@ -1,6 +1,22 @@
 #include "engine/schedule_cache.hpp"
 
+#include <cmath>
+
 namespace cosa {
+
+double
+canonicalLayerDistance(const LayerSpec& a, const LayerSpec& b)
+{
+    const auto term = [](std::int64_t x, std::int64_t y) {
+        const double d = std::log2(static_cast<double>(x)) -
+                         std::log2(static_cast<double>(y));
+        return d * d;
+    };
+    const double sq = term(a.r, b.r) + term(a.s, b.s) + term(a.p, b.p) +
+                      term(a.q, b.q) + term(a.c, b.c) + term(a.k, b.k) +
+                      term(a.n, b.n) + term(a.stride, b.stride);
+    return std::sqrt(sq);
+}
 
 std::optional<SearchResult>
 ScheduleCache::lookup(const ScheduleCacheKey& key)
@@ -12,14 +28,56 @@ ScheduleCache::lookup(const ScheduleCacheKey& key)
         return std::nullopt;
     }
     ++hits_;
-    return it->second;
+    return it->second.result;
 }
 
 void
-ScheduleCache::insert(const ScheduleCacheKey& key, const SearchResult& result)
+ScheduleCache::insert(const ScheduleCacheKey& key, const SearchResult& result,
+                      const LayerSpec& layer)
 {
     std::lock_guard<std::mutex> lock(mutex_);
-    entries_[key.flat()] = result;
+    std::string flat = key.flat();
+    const auto [it, inserted] = entries_.try_emplace(flat);
+    it->second =
+        Entry{result, layer, key.arch_key, key.scheduler_key};
+    if (inserted)
+        insertion_order_.push_back(std::move(flat));
+}
+
+std::optional<SearchResult>
+ScheduleCache::nearestNeighbor(const std::string& arch_key,
+                               const std::string& scheduler_key,
+                               const LayerSpec& target)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const std::string target_key = target.canonicalKey();
+    const Entry* best = nullptr;
+    double best_dist = 0.0;
+    bool best_arch_match = false;
+    for (const std::string& flat : insertion_order_) {
+        const auto it = entries_.find(flat);
+        if (it == entries_.end())
+            continue; // cleared since insertion
+        const Entry& entry = it->second;
+        if (!entry.result.found || entry.scheduler_key != scheduler_key)
+            continue;
+        const bool arch_match = entry.arch_key == arch_key;
+        if (arch_match && entry.layer.canonicalKey() == target_key)
+            continue; // the exact problem: a hit, not a neighbor
+        const double dist = canonicalLayerDistance(entry.layer, target);
+        const bool better =
+            !best || dist < best_dist - 1e-12 ||
+            (dist < best_dist + 1e-12 && arch_match && !best_arch_match);
+        if (better) {
+            best = &entry;
+            best_dist = dist;
+            best_arch_match = arch_match;
+        }
+    }
+    if (!best)
+        return std::nullopt;
+    ++neighbor_hits_;
+    return best->result;
 }
 
 bool
@@ -37,6 +95,7 @@ ScheduleCache::stats() const
     stats.hits = hits_;
     stats.misses = misses_;
     stats.entries = static_cast<std::int64_t>(entries_.size());
+    stats.neighbor_hits = neighbor_hits_;
     return stats;
 }
 
@@ -45,6 +104,7 @@ ScheduleCache::clear()
 {
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
+    insertion_order_.clear();
 }
 
 } // namespace cosa

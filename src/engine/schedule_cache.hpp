@@ -11,6 +11,14 @@
  * shared layer shapes and repeated network queries hit; any change to
  * the arch constants or scheduler tunables misses.
  *
+ * Beyond exact hits, the cache answers nearest-neighbor queries: for a
+ * layer shape it has never seen, it returns the cached schedule of the
+ * closest *different* shape solved under the same arch and scheduler
+ * (distance on the log2 dimension vector). The engine refits that
+ * schedule as a MIP warm start, so effort spent on one layer primes
+ * branch-and-bound on its relatives — the cross-layer analogue of the
+ * per-node dual warm starts inside one solve.
+ *
  * Thread-safe: a single mutex guards the map and the counters, which is
  * ample because entries are whole-layer solve results (lookups are
  * trivially cheap next to a solve).
@@ -21,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "mapper/mapper.hpp"
 
@@ -46,6 +55,8 @@ struct ScheduleCacheStats
     std::int64_t hits = 0;
     std::int64_t misses = 0;
     std::int64_t entries = 0;
+    /** Nearest-neighbor lookups that returned a candidate schedule. */
+    std::int64_t neighbor_hits = 0;
 
     double
     hitRate() const
@@ -54,6 +65,13 @@ struct ScheduleCacheStats
         return total == 0 ? 0.0 : static_cast<double>(hits) / total;
     }
 };
+
+/**
+ * Distance between two scheduling problems: Euclidean distance of the
+ * log2 loop-bound vectors (r, s, p, q, c, k, n) plus the stride. Zero
+ * iff the canonical keys coincide.
+ */
+double canonicalLayerDistance(const LayerSpec& a, const LayerSpec& b);
 
 /** Thread-safe (layer, arch, scheduler) -> SearchResult memo table. */
 class ScheduleCache
@@ -66,8 +84,27 @@ class ScheduleCache
      */
     std::optional<SearchResult> lookup(const ScheduleCacheKey& key);
 
-    /** Insert (or overwrite) the result for @p key. */
-    void insert(const ScheduleCacheKey& key, const SearchResult& result);
+    /** Insert (or overwrite) the result for @p key. @p layer describes
+     *  the problem's shape for nearest-neighbor queries. */
+    void insert(const ScheduleCacheKey& key, const SearchResult& result,
+                const LayerSpec& layer);
+
+    /**
+     * The cached schedule nearest to (@p target, @p arch_key) under the
+     * same @p scheduler_key, or nullopt when none exists. Candidates
+     * are ranked by canonical layer distance first, then by whether
+     * their arch fingerprint matches (so an arch sweep seeds each
+     * variant with the same layer's schedule from a sibling arch, and
+     * a fresh layer seeds from its nearest shape on the same arch);
+     * remaining ties break toward the earliest-inserted entry, keeping
+     * the choice deterministic. The exact (layer, arch) pair itself is
+     * excluded — that is an exact hit, not a neighbor. Only entries
+     * with a found schedule qualify. Counts a neighbor_hit when a
+     * candidate is returned; exact hit/miss counters are untouched.
+     */
+    std::optional<SearchResult> nearestNeighbor(
+        const std::string& arch_key, const std::string& scheduler_key,
+        const LayerSpec& target);
 
     /** True when @p key is present, without touching the counters. */
     bool contains(const ScheduleCacheKey& key) const;
@@ -79,10 +116,21 @@ class ScheduleCache
     void clear();
 
   private:
+    struct Entry
+    {
+        SearchResult result;
+        LayerSpec layer;
+        std::string arch_key;
+        std::string scheduler_key;
+    };
+
     mutable std::mutex mutex_;
-    std::unordered_map<std::string, SearchResult> entries_;
+    std::unordered_map<std::string, Entry> entries_;
+    /** Flat keys in first-insertion order (deterministic NN scans). */
+    std::vector<std::string> insertion_order_;
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
+    std::int64_t neighbor_hits_ = 0;
 };
 
 } // namespace cosa

@@ -37,14 +37,17 @@ SchedulingEngine::SchedulingEngine(EngineConfig config,
     if (config_.num_threads <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         int threads = hw == 0 ? 1 : static_cast<int>(hw);
-        // Hybrid solves spawn their own racing threads; divide the
-        // default pool width by that inner parallelism so the machine
-        // is not oversubscribed ~8x. (An explicit num_threads is taken
-        // as given; hybrid.num_threads itself is untouched because the
-        // per-thread seeds make it part of the result's identity.)
-        if (config_.scheduler == SchedulerKind::Hybrid ||
-            config_.scheduler == SchedulerKind::Portfolio) {
+        // Hybrid solves spawn their own racing threads, and a portfolio
+        // slot additionally races CoSA and Random next to Hybrid;
+        // divide the default pool width by that inner parallelism so
+        // the machine is not oversubscribed ~8x. (An explicit
+        // num_threads is taken as given; hybrid.num_threads itself is
+        // untouched because the per-thread seeds make it part of the
+        // result's identity.)
+        if (config_.scheduler == SchedulerKind::Hybrid) {
             threads /= std::max(config_.hybrid.num_threads, 1);
+        } else if (config_.scheduler == SchedulerKind::Portfolio) {
+            threads /= std::max(config_.hybrid.num_threads + 2, 1);
         }
         config_.num_threads = std::max(threads, 1);
     }
@@ -63,9 +66,9 @@ appendCosaKey(std::ostringstream& oss, const CosaConfig& c)
             oss << f << ";";
         oss << "/";
     }
-    oss << "]," << c.mip.time_limit_sec << "," << c.mip.rel_gap << ","
-        << c.mip.int_tol << "," << c.mip.node_limit << "," << c.mip.seed
-        << ")";
+    oss << "]," << c.mip.time_limit_sec << "," << c.mip.work_limit << ","
+        << c.mip.rel_gap << "," << c.mip.int_tol << "," << c.mip.node_limit
+        << "," << (c.mip.presolve ? 1 : 0) << "," << c.mip.seed << ")";
 }
 
 void
@@ -100,7 +103,10 @@ SchedulingEngine::schedulerKey() const
     // differing in any weight or limit must key distinct cache entries.
     oss.precision(std::numeric_limits<double>::max_digits10);
     oss << schedulerKindName(config_.scheduler) << "/"
-        << static_cast<int>(config_.objective) << "/";
+        << static_cast<int>(config_.objective) << "/"
+        // Warm-start hints change what a budget-limited solve returns,
+        // so engines with and without them must not share entries.
+        << (config_.warm_start_hints ? "wh1" : "wh0") << "/";
     switch (config_.scheduler) {
       case SchedulerKind::Cosa:
         appendCosaKey(oss, config_.cosa);
@@ -124,11 +130,12 @@ SchedulingEngine::schedulerKey() const
 }
 
 SearchResult
-SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch) const
+SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch,
+                           const std::vector<Mapping>& warm_hints) const
 {
     switch (config_.scheduler) {
       case SchedulerKind::Cosa:
-        return CosaScheduler(config_.cosa).schedule(layer, arch);
+        return CosaScheduler(config_.cosa).schedule(layer, arch, warm_hints);
       case SchedulerKind::Random:
         return RandomMapper(config_.random).schedule(layer, arch);
       case SchedulerKind::Hybrid:
@@ -136,17 +143,33 @@ SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch) const
       case SchedulerKind::Exhaustive:
         return ExhaustiveMapper(config_.exhaustive).schedule(layer, arch);
       case SchedulerKind::Portfolio: {
-        const SearchResult members[3] = {
-            CosaScheduler(config_.cosa).schedule(layer, arch),
-            RandomMapper(config_.random).schedule(layer, arch),
-            HybridMapper(config_.hybrid).schedule(layer, arch),
-        };
+        // Race the members concurrently inside this one task slot: the
+        // slot's wall time is the slowest member, not their sum. Each
+        // member writes its own slot, so the aggregation below is
+        // order-deterministic regardless of finish order. Hybrid runs
+        // on the calling thread (it spawns its own racing threads).
+        SearchResult members[3];
+        std::thread cosa_thread([&] {
+            members[0] =
+                CosaScheduler(config_.cosa).schedule(layer, arch, warm_hints);
+        });
+        std::thread random_thread([&] {
+            members[1] = RandomMapper(config_.random).schedule(layer, arch);
+        });
+        members[2] = HybridMapper(config_.hybrid).schedule(layer, arch);
+        cosa_thread.join();
+        random_thread.join();
         SearchResult best;
         best.scheduler = "Portfolio";
         for (const SearchResult& member : members) {
             best.stats.samples += member.stats.samples;
             best.stats.valid_evaluated += member.stats.valid_evaluated;
             best.stats.search_time_sec += member.stats.search_time_sec;
+            best.stats.mip_nodes += member.stats.mip_nodes;
+            best.stats.lp_iterations += member.stats.lp_iterations;
+            best.stats.warm_starts_installed +=
+                member.stats.warm_starts_installed;
+            best.stats.warm_start_hits += member.stats.warm_start_hits;
             if (!member.found)
                 continue;
             if (!best.found ||
@@ -205,7 +228,10 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         }
     }
 
-    // --- 2. memoize: probe the cache once per unique problem. ---
+    // --- 2. memoize: probe the cache once per unique problem; misses
+    // additionally fetch the nearest-neighbor schedule as a warm-start
+    // hint. Both probes run in this sequential phase, so hint content is
+    // deterministic for a fixed query sequence at any thread count. ---
     const std::size_t num_unique = unique_layers.size();
     const std::string arch_key = arch.fingerprint();
     const std::string sched_key = schedulerKey();
@@ -213,8 +239,13 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
                                 sched_key};
     };
+    const bool want_hints =
+        config_.use_cache && config_.warm_start_hints &&
+        (config_.scheduler == SchedulerKind::Cosa ||
+         config_.scheduler == SchedulerKind::Portfolio);
     std::vector<SearchResult> solved(num_unique);
     std::vector<char> from_cache(num_unique, 0);
+    std::vector<std::vector<Mapping>> hints(num_unique);
     std::vector<std::size_t> to_solve;
     for (std::size_t u = 0; u < num_unique; ++u) {
         if (config_.use_cache) {
@@ -223,6 +254,11 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
                 from_cache[u] = 1;
                 continue;
             }
+        }
+        if (want_hints) {
+            if (auto nn = cache_->nearestNeighbor(arch_key, sched_key,
+                                                  *unique_layers[u]))
+                hints[u].push_back(std::move(nn->mapping));
         }
         to_solve.push_back(u);
     }
@@ -233,11 +269,11 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
     ThreadPool pool(config_.num_threads);
     pool.run(to_solve.size(), [&](std::size_t t) {
         const std::size_t u = to_solve[t];
-        solved[u] = solveOne(*unique_layers[u], arch);
+        solved[u] = solveOne(*unique_layers[u], arch, hints[u]);
     });
     if (config_.use_cache) {
         for (std::size_t u : to_solve)
-            cache_->insert(keyOf(u), solved[u]);
+            cache_->insert(keyOf(u), solved[u], *unique_layers[u]);
     }
 
     // --- 4. scatter back to instances and aggregate per network. ---
@@ -283,6 +319,24 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
             net.search.samples += solved[u].stats.samples;
             net.search.valid_evaluated += solved[u].stats.valid_evaluated;
             net.search.search_time_sec += solved[u].stats.search_time_sec;
+            net.search.mip_nodes += solved[u].stats.mip_nodes;
+            net.search.lp_iterations += solved[u].stats.lp_iterations;
+            net.search.warm_starts_installed +=
+                solved[u].stats.warm_starts_installed;
+            net.search.warm_start_hits += solved[u].stats.warm_start_hits;
+            if (solved[u].stats.warm_starts_installed > 0)
+                ++net.num_warm_hints;
+            if (solved[u].stats.warm_start_hits > 0)
+                ++net.num_warm_hits;
+            if (config_.scheduler == SchedulerKind::Portfolio) {
+                const std::string& who = solved[u].scheduler;
+                if (who == "Portfolio[CoSA]")
+                    ++net.portfolio_wins.cosa;
+                else if (who == "Portfolio[Random]")
+                    ++net.portfolio_wins.random;
+                else if (who == "Portfolio[TimeloopHybrid]")
+                    ++net.portfolio_wins.hybrid;
+            }
         }
     }
     return results;

@@ -62,6 +62,15 @@ struct EngineConfig
     bool deduplicate = true;
     /** Memoize results across queries in the ScheduleCache. */
     bool use_cache = true;
+    /**
+     * Seed cold CoSA solves with the cached schedule of the nearest
+     * canonical layer shape (same arch + scheduler config), refit and
+     * validated against the new layer before installation. Requires
+     * use_cache. Results stay deterministic for a fixed query sequence;
+     * across different cache histories the hint content — and thus a
+     * budget-limited solve's outcome — may differ.
+     */
+    bool warm_start_hints = true;
     /** Objective used to compare portfolio members and passed down to
      *  the search baselines. */
     SearchObjective objective = SearchObjective::Latency;
@@ -110,7 +119,22 @@ struct NetworkResult
     std::int64_t num_unique = 0;     //!< distinct canonical problems
     std::int64_t num_solved = 0;     //!< problems solved right now
     std::int64_t num_cache_hits = 0; //!< problems served from the cache
+    /** Solves seeded with a nearest-neighbor schedule from the cache. */
+    std::int64_t num_warm_hints = 0;
+    /** Seeded solves whose hint the MIP accepted as an incumbent. */
+    std::int64_t num_warm_hits = 0;
     double wall_time_sec = 0.0;      //!< end-to-end query wall time
+
+    /** Portfolio accounting: which member produced the kept schedule,
+     *  over the problems this query solved (ROADMAP win-rate item).
+     *  All zero for non-portfolio schedulers and pure cache hits. */
+    struct PortfolioWins
+    {
+        std::int64_t cosa = 0;
+        std::int64_t random = 0;
+        std::int64_t hybrid = 0;
+    };
+    PortfolioWins portfolio_wins;
 };
 
 /**
@@ -158,8 +182,12 @@ class SchedulingEngine
     std::string schedulerKey() const;
 
   private:
-    /** Run the configured scheduler on one problem (no cache). */
-    SearchResult solveOne(const LayerSpec& layer, const ArchSpec& arch) const;
+    /** Run the configured scheduler on one problem (no cache lookup);
+     *  @p warm_hints carry nearest-neighbor schedules into CoSA. The
+     *  portfolio scheduler races its members concurrently inside this
+     *  call's task slot. */
+    SearchResult solveOne(const LayerSpec& layer, const ArchSpec& arch,
+                          const std::vector<Mapping>& warm_hints) const;
 
     EngineConfig config_;
     std::shared_ptr<ScheduleCache> cache_;

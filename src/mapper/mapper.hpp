@@ -31,6 +31,13 @@ struct SearchStats
     std::int64_t samples = 0;          //!< mappings drawn/constructed
     std::int64_t valid_evaluated = 0;  //!< valid mappings evaluated
     double search_time_sec = 0.0;      //!< wall-clock time to solution
+    std::int64_t mip_nodes = 0;        //!< branch-and-bound nodes (CoSA)
+    std::int64_t lp_iterations = 0;    //!< simplex iterations (CoSA)
+    /** Cross-layer warm-start hints that survived validation and were
+     *  installed as MIP starts. */
+    std::int64_t warm_starts_installed = 0;
+    /** Installed hints the MIP accepted as incumbents. */
+    std::int64_t warm_start_hits = 0;
 };
 
 /** Outcome of one scheduling run. */

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <chrono>
 #include <cmath>
+#include <limits>
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
@@ -19,6 +20,11 @@ now_seconds()
         .count();
 }
 
+/** Nodes between deadline polls: now_seconds() is a syscall-backed
+ *  chrono read, and at microsecond-scale warm re-solves per node it was
+ *  measurable in profiles. Node/iteration caps still apply every node. */
+constexpr std::int64_t kDeadlineCheckMask = 63;
+
 } // namespace
 
 MipSolver::MipSolver(const Model& model, const MipParams& params)
@@ -32,27 +38,69 @@ MipSolver::buildLp()
 {
     const int n = model_.numVars();
     const int m = model_.numConstrs();
-    lp_.num_rows = m;
-    lp_.num_structural = n;
-    lp_.cols.assign(static_cast<std::size_t>(m) * n, 0.0);
-    lp_.rhs = model_.rhs_;
-    lp_.senses = model_.senses_;
-    lp_.lb = model_.lb_;
-    lp_.ub = model_.ub_;
-    lp_.obj.assign(n, 0.0);
+
+    LpProblem orig;
+    orig.num_rows = m;
+    orig.num_structural = n;
+    orig.rhs = model_.rhs_;
+    orig.senses = model_.senses_;
+    orig.lb = model_.lb_;
+    orig.ub = model_.ub_;
+    orig.obj.assign(static_cast<std::size_t>(n), 0.0);
 
     sign_ = model_.obj_sense_ == ObjSense::Minimize ? 1.0 : -1.0;
     for (int j = 0; j < n; ++j)
-        lp_.obj[j] = sign_ * model_.obj_[j];
+        orig.obj[static_cast<std::size_t>(j)] = sign_ * model_.obj_[j];
 
+    std::vector<Triplet> triplets;
     for (int r = 0; r < m; ++r) {
-        for (const auto& [col, coef] : model_.rows_[r])
-            lp_.at(r, col) = coef;
+        for (const auto& [col, coef] : model_.rows_[static_cast<std::size_t>(r)])
+            triplets.push_back({r, col, coef});
     }
-    for (int j = 0; j < n; ++j) {
-        if (model_.types_[j] != VarType::Continuous)
+    orig.matrix = SparseMatrix(m, n, triplets);
+
+    if (params_.presolve) {
+        auto pre = std::make_unique<Presolve>(orig, model_.types_);
+        if (pre->infeasible()) {
+            presolve_infeasible_ = true;
+            lp_ = std::move(orig);
+        } else {
+            fixed_obj_ = pre->fixedObjective();
+            lp_ = pre->reduced();
+            presolve_ = std::move(pre);
+        }
+    } else {
+        lp_ = std::move(orig);
+    }
+
+    // One work unit = one simplex iteration on a ~300-row reference
+    // model. Larger models charge proportionally more per iteration
+    // (m^3/64 amortized refactorization + m^2 kernels + m*n pricing,
+    // the dense tableau's historical cost model), so a fixed
+    // work_limit buys comparable solve effort — and comparable
+    // schedule quality — across layer sizes, deterministically.
+    {
+        const double mr = lp_.num_rows;
+        const double nr = lp_.num_structural;
+        work_per_iter_ = std::max<std::int64_t>(
+            1, std::llround((mr * mr * (mr / 64.0 + 5.0) + mr * nr) /
+                            1.2e6));
+    }
+
+    int_vars_.clear();
+    priorities_.assign(static_cast<std::size_t>(lp_.num_structural), 0);
+    for (int j = 0; j < lp_.num_structural; ++j) {
+        const int orig_col = presolve_ ? presolve_->origCol(j) : j;
+        priorities_[static_cast<std::size_t>(j)] = model_.priorities_[orig_col];
+        if (model_.types_[orig_col] != VarType::Continuous)
             int_vars_.push_back(j);
     }
+}
+
+std::vector<double>
+MipSolver::toModelSpace(std::vector<double> x) const
+{
+    return presolve_ ? presolve_->postsolve(x) : x;
 }
 
 bool
@@ -78,7 +126,7 @@ MipSolver::selectBranchVar(const std::vector<double>& x) const
         const double frac = std::abs(v - std::floor(v + 0.5));
         if (frac <= params_.int_tol)
             continue;
-        const int prio = model_.priorities_[j];
+        const int prio = priorities_[static_cast<std::size_t>(j)];
         if (best < 0 || prio > best_prio ||
             (prio == best_prio && frac > best_frac)) {
             best = j;
@@ -95,11 +143,21 @@ MipSolver::selectBranchVar(const std::vector<double>& x) const
  * current basis is LP-optimal for them. Updates the shared incumbent.
  * Returns true when the subtree was exhausted (proof, given no caps).
  */
+std::int64_t
+MipSolver::workDeadline(const Simplex& splx) const
+{
+    if (params_.work_limit <= 0)
+        return std::numeric_limits<std::int64_t>::max();
+    return splx.iterations() +
+           std::max<std::int64_t>(0, params_.work_limit - work_used_) /
+               work_per_iter_;
+}
+
 bool
 MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
-               double deadline, double& incumbent_obj,
-               std::vector<double>& incumbent_x, std::int64_t& nodes,
-               std::int64_t& lp_iters)
+               double deadline, std::int64_t work_deadline,
+               double& incumbent_obj, std::vector<double>& incumbent_x,
+               std::int64_t& nodes)
 {
     struct Frame
     {
@@ -123,11 +181,15 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
 
     bool exhausted = false;
     std::int64_t local_nodes = 0;
+    std::int64_t ticks = 0;
     LpStatus node_status = LpStatus::Optimal;
 
     while (true) {
-        if (now_seconds() > deadline || local_nodes > node_cap ||
-            nodes > params_.node_limit)
+        if (local_nodes > node_cap || nodes > params_.node_limit ||
+            splx.iterations() > work_deadline)
+            break;
+        if ((ticks++ & kDeadlineCheckMask) == 0 &&
+            now_seconds() > deadline)
             break;
 
         bool prune = node_status != LpStatus::Optimal;
@@ -142,12 +204,12 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
                 // Diversification: sometimes branch on another
                 // fractional variable of the same priority.
                 std::vector<int> pool;
-                const int prio = model_.priorities_[branch_var];
+                const int prio = priorities_[static_cast<std::size_t>(branch_var)];
                 for (int j : int_vars_) {
                     const double frac =
                         std::abs(x[j] - std::floor(x[j] + 0.5));
                     if (frac > params_.int_tol &&
-                        model_.priorities_[j] == prio)
+                        priorities_[static_cast<std::size_t>(j)] == prio)
                         pool.push_back(j);
                 }
                 if (!pool.empty())
@@ -158,7 +220,8 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
                     incumbent_obj = splx.objective();
                     incumbent_x = x;
                     if (incumbent_pool_) {
-                        incumbent_pool_->push_back(std::move(x));
+                        incumbent_pool_->push_back(
+                            toModelSpace(std::move(x)));
                         if (incumbent_pool_->size() > 8) {
                             incumbent_pool_->erase(
                                 incumbent_pool_->begin());
@@ -245,7 +308,6 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
         splx.setVarBounds(frame.var, frame.saved_lb, frame.saved_ub);
         stack.pop_back();
     }
-    lp_iters = splx.iterations();
     return exhausted;
 }
 
@@ -255,10 +317,25 @@ MipSolver::solve(bool relaxation_only)
     const double start = now_seconds();
     const double deadline = start + params_.time_limit_sec;
     MipResult result;
+    result.start_accepted.assign(model_.start_.size(), 0);
+    if (presolve_) {
+        result.presolve_rows_removed = presolve_->stats().rowsRemoved();
+        result.presolve_cols_eliminated = presolve_->stats().cols_eliminated;
+        result.presolve_bounds_tightened =
+            presolve_->stats().bounds_tightened;
+    }
+
+    if (presolve_infeasible_) {
+        result.status = Status::Infeasible;
+        result.solve_time_sec = now_seconds() - start;
+        return result;
+    }
 
     Simplex base(lp_);
     LpStatus root = base.solvePrimal();
-    result.lp_iterations = base.iterations();
+    iters_used_ = base.iterations();
+    work_used_ = base.iterations() * work_per_iter_;
+    result.lp_iterations = iters_used_;
 
     if (root == LpStatus::Infeasible) {
         result.status = Status::Infeasible;
@@ -275,7 +352,7 @@ MipSolver::solve(bool relaxation_only)
 
     const double obj_const = model_.obj_constant_;
     auto to_model_obj = [&](double internal) {
-        return sign_ * internal + obj_const;
+        return sign_ * (internal + fixed_obj_) + obj_const;
     };
     const double root_bound = base.objective();
 
@@ -283,7 +360,8 @@ MipSolver::solve(bool relaxation_only)
         result.status = Status::Optimal;
         result.objective = to_model_obj(base.objective());
         result.best_bound = result.objective;
-        result.values = base.solution();
+        result.values = toModelSpace(base.solution());
+        result.lp_iterations = iters_used_;
         result.solve_time_sec = now_seconds() - start;
         return result;
     }
@@ -291,30 +369,41 @@ MipSolver::solve(bool relaxation_only)
     double incumbent_obj = kInf;
     std::vector<double> incumbent_x;
     std::int64_t nodes = 0;
-    std::int64_t lp_iters = 0;
     Rng rng(params_.seed);
     incumbent_pool_ = &result.incumbent_pool;
 
     // Phase 0: repair the user-provided warm starts, if any — fix the
     // integer components and solve the LP for the continuous part; the
     // best feasible completion becomes the initial incumbent.
-    for (const auto& start : model_.start_) {
+    // The starts run even with the budget already exhausted (a large
+    // root LP can eat a small work_limit): each is a cheap fixed-
+    // integer completion, and they are the incumbent floor the caller
+    // relies on — the budget cuts the tree search, not the repairs.
+    for (std::size_t s = 0; s < model_.start_.size(); ++s) {
+        const auto& start_values = model_.start_[s];
         Simplex splx = base;
+        const std::int64_t entry_iters = splx.iterations();
         for (int j : int_vars_) {
-            const double v = std::clamp(std::floor(start[j] + 0.5),
-                                        splx.varLb(j), splx.varUb(j));
+            const int orig_col = presolve_ ? presolve_->origCol(j) : j;
+            const double v =
+                std::clamp(std::floor(start_values[orig_col] + 0.5),
+                           splx.varLb(j), splx.varUb(j));
             splx.setVarBounds(j, v, v);
         }
         // A cold primal solve is fast here: with every integer fixed,
         // only the continuous completion remains.
         const LpStatus st = splx.solvePrimal();
-        if (st == LpStatus::Optimal &&
-            splx.objective() < incumbent_obj) {
-            incumbent_obj = splx.objective();
-            incumbent_x = splx.solution();
-            if (params_.verbose)
-                inform("mip: warm start accepted at ", incumbent_obj);
-        } else if (st != LpStatus::Optimal && params_.verbose) {
+        iters_used_ += splx.iterations() - entry_iters;
+        work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
+        if (st == LpStatus::Optimal) {
+            result.start_accepted[s] = 1;
+            if (splx.objective() < incumbent_obj) {
+                incumbent_obj = splx.objective();
+                incumbent_x = splx.solution();
+                if (params_.verbose)
+                    inform("mip: warm start accepted at ", incumbent_obj);
+            }
+        } else if (params_.verbose) {
             warn("mip: warm start rejected (infeasible completion)");
         }
     }
@@ -324,17 +413,22 @@ MipSolver::solve(bool relaxation_only)
     bool proven = false;
     {
         Simplex splx = base;
+        const std::int64_t entry_iters = splx.iterations();
         proven = dfs(splx, nullptr, params_.node_limit, deadline,
-                     incumbent_obj, incumbent_x, nodes, lp_iters);
+                     workDeadline(splx), incumbent_obj, incumbent_x,
+                     nodes);
+        iters_used_ += splx.iterations() - entry_iters;
+        work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
     }
 
     // Phase 2 (matheuristic): alternate RINS-style neighborhood solves
     // (fix most integers at the incumbent, search the rest) with
     // randomized restarts, sharing the global incumbent.
     int round = 0;
-    while (!proven && now_seconds() < deadline &&
+    while (!proven && !workExhausted() && now_seconds() < deadline &&
            nodes < params_.node_limit) {
         Simplex splx = base;
+        const std::int64_t entry_iters = splx.iterations();
         const bool rins = !incumbent_x.empty() && (round % 4 != 3);
         if (rins) {
             for (int j : int_vars_) {
@@ -346,29 +440,35 @@ MipSolver::solve(bool relaxation_only)
         }
         const LpStatus st = splx.solveDualFromCurrent();
         if (st == LpStatus::Optimal) {
-            std::int64_t iters = 0;
-            dfs(splx, &rng, /*node_cap=*/400, deadline, incumbent_obj,
-                incumbent_x, nodes, iters);
-            lp_iters += iters;
+            dfs(splx, &rng, /*node_cap=*/400, deadline, workDeadline(splx),
+                incumbent_obj, incumbent_x, nodes);
         }
+        iters_used_ += splx.iterations() - entry_iters;
+        work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
         ++round;
     }
 
     result.nodes = nodes;
     incumbent_pool_ = nullptr;
-    result.lp_iterations += lp_iters;
+    result.lp_iterations = iters_used_;
     result.solve_time_sec = now_seconds() - start;
 
     if (!incumbent_x.empty()) {
-        for (int j : int_vars_)
-            incumbent_x[j] = std::floor(incumbent_x[j] + 0.5);
-        result.values = std::move(incumbent_x);
+        result.values = toModelSpace(std::move(incumbent_x));
+        for (int j = 0; j < model_.numVars(); ++j) {
+            if (model_.types_[static_cast<std::size_t>(j)] !=
+                VarType::Continuous)
+                result.values[static_cast<std::size_t>(j)] =
+                    std::floor(result.values[static_cast<std::size_t>(j)] +
+                               0.5);
+        }
         result.objective = to_model_obj(incumbent_obj);
         result.best_bound = to_model_obj(proven ? incumbent_obj : root_bound);
         result.status = proven ? Status::Optimal : Status::Feasible;
         return result;
     }
-    if (now_seconds() >= deadline || nodes >= params_.node_limit) {
+    if (now_seconds() >= deadline || nodes >= params_.node_limit ||
+        workExhausted()) {
         result.status = Status::TimeLimit;
         return result;
     }

@@ -19,9 +19,25 @@ namespace cosa::solver {
 struct MipParams
 {
     double time_limit_sec = 30.0;   //!< wall-clock budget
+    /**
+     * Deterministic work budget; 0 = unlimited. One unit is a simplex
+     * iteration on a ~300-row reference model; larger models charge
+     * proportionally more per iteration, so a budget buys comparable
+     * effort at any problem size. When set, the search is cut off by
+     * accumulated LP work instead of the wall clock, so the solve
+     * performs an identical pivot sequence — and returns identical
+     * schedules — on any machine at any load; time_limit_sec remains
+     * as a wall-clock safety net. The budget is checked between LP
+     * solves, so the final node or matheuristic round may overshoot it
+     * by one re-solve — deterministically. CoSA solves set this by
+     * default (reproducible paper tables); plain LP/MIP users keep the
+     * wall-clock semantics.
+     */
+    std::int64_t work_limit = 0;
     double rel_gap = 1e-4;          //!< relative optimality gap to stop at
     double int_tol = 1e-6;          //!< integrality tolerance
     std::int64_t node_limit = 2'000'000; //!< max branch-and-bound nodes
+    bool presolve = true;           //!< row/bound presolve before the solve
     bool verbose = false;           //!< log node progress to stderr
     std::uint64_t seed = 1;         //!< diving-heuristic tie-break seed
 };
@@ -39,6 +55,12 @@ struct MipResult
     std::int64_t nodes = 0;     //!< branch-and-bound nodes explored
     std::int64_t lp_iterations = 0; //!< total simplex iterations
     double solve_time_sec = 0.0;
+    /** Per-setStart() flag: 1 when that start's integer fixing had a
+     *  feasible LP completion (it was installed as an incumbent). */
+    std::vector<std::uint8_t> start_accepted;
+    std::int32_t presolve_rows_removed = 0;   //!< rows dropped by presolve
+    std::int32_t presolve_cols_eliminated = 0; //!< fixed columns removed
+    std::int32_t presolve_bounds_tightened = 0; //!< lb/ub improvements
 
     bool
     hasSolution() const
@@ -118,6 +140,16 @@ class Model
 
     int numVars() const { return static_cast<int>(lb_.size()); }
     int numConstrs() const { return static_cast<int>(rhs_.size()); }
+    /** Read-only row inspection: folded (column, coefficient) terms. */
+    const std::vector<std::pair<int, double>>& rowTerms(int r) const
+    {
+        return rows_[static_cast<std::size_t>(r)];
+    }
+    Sense rowSense(int r) const { return senses_[static_cast<std::size_t>(r)]; }
+    double rowRhs(int r) const { return rhs_[static_cast<std::size_t>(r)]; }
+    /** Objective coefficient of @p v (model sense). */
+    double objCoef(Var v) const { return obj_[v.index]; }
+    ObjSense objSense() const { return obj_sense_; }
     const std::string& varName(Var v) const { return names_[v.index]; }
     VarType varType(Var v) const { return types_[v.index]; }
     double lowerBound(Var v) const { return lb_[v.index]; }

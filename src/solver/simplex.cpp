@@ -24,7 +24,10 @@ Simplex::Simplex(const LpProblem& prob)
     n_ = num_structural_ + m_;       // structural + one slack per row
     total_ = n_ + m_;                // + one artificial per row
 
-    cols_.assign(static_cast<std::size_t>(m_) * total_, 0.0);
+    // The structural matrix is immutable for the lifetime of the solve
+    // tree; share one compressed copy across all Simplex clones instead
+    // of duplicating a dense m x n block per branch-and-bound restart.
+    matrix_ = std::make_shared<SparseMatrix>(prob.matrix);
     b_ = prob.rhs;
     c_.assign(total_, 0.0);
     lb_.assign(total_, 0.0);
@@ -32,18 +35,16 @@ Simplex::Simplex(const LpProblem& prob)
     art_sign_.assign(m_, 1.0);
 
     for (int j = 0; j < num_structural_; ++j) {
-        for (int i = 0; i < m_; ++i)
-            cols_[static_cast<std::size_t>(j) * m_ + i] = prob.at(i, j);
         c_[j] = prob.obj[j];
         lb_[j] = prob.lb[j];
         ub_[j] = prob.ub[j];
         COSA_ASSERT(std::isfinite(lb_[j]) || std::isfinite(ub_[j]),
                     "free variables are not supported (column ", j, ")");
     }
-    // Slack columns encode the row sense: Ax + s = b.
+    // Slack columns encode the row sense: Ax + s = b. They are unit
+    // vectors and stay implicit; only their bounds are stored.
     for (int r = 0; r < m_; ++r) {
         const int j = num_structural_ + r;
-        cols_[static_cast<std::size_t>(j) * m_ + r] = 1.0;
         switch (prob.senses[r]) {
           case Sense::LessEqual:
             lb_[j] = 0.0;
@@ -59,11 +60,11 @@ Simplex::Simplex(const LpProblem& prob)
             break;
         }
     }
-    // Artificial columns start disabled (fixed at zero); phase 1 opens
-    // them and orients their sign toward the initial residual.
+    // Artificial columns (also implicit unit vectors) start disabled
+    // (fixed at zero); phase 1 opens them and orients their sign toward
+    // the initial residual.
     for (int r = 0; r < m_; ++r) {
         const int j = n_ + r;
-        cols_[static_cast<std::size_t>(j) * m_ + r] = 1.0;
         lb_[j] = 0.0;
         ub_[j] = 0.0;
     }
@@ -101,6 +102,19 @@ Simplex::colValue(int j) const
 }
 
 void
+Simplex::subtractColumn(int j, double value, double* r) const
+{
+    if (j < num_structural_) {
+        for (const SparseMatrix::Entry& e : matrix_->column(j))
+            r[e.index] -= e.value * value;
+    } else if (j < n_) {
+        r[j - num_structural_] -= value; // slack: +1 at its row
+    } else {
+        r[j - n_] -= art_sign_[j - n_] * value;
+    }
+}
+
+void
 Simplex::computeXb()
 {
     // r = b - N x_N over all nonbasic columns with nonzero value.
@@ -111,9 +125,7 @@ Simplex::computeXb()
         const double v = colValue(j);
         if (v == 0.0)
             continue;
-        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
-        for (int i = 0; i < m_; ++i)
-            r[i] -= col[i] * v;
+        subtractColumn(j, v, r.data());
     }
     for (int i = 0; i < m_; ++i) {
         const double* row = &binv_[static_cast<std::size_t>(i) * m_];
@@ -127,14 +139,22 @@ Simplex::computeXb()
 bool
 Simplex::refactorize()
 {
-    // Build the basis matrix and invert it with Gauss-Jordan elimination
-    // and partial pivoting. Dense O(m^3); called sparingly.
+    // Scatter the (sparse) basis columns into a dense matrix and invert
+    // with Gauss-Jordan elimination and partial pivoting. Dense O(m^3);
+    // called sparingly.
     std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
     for (int col = 0; col < m_; ++col) {
         const int j = basic_[col];
-        const double* src = &cols_[static_cast<std::size_t>(j) * m_];
-        for (int i = 0; i < m_; ++i)
-            mat[static_cast<std::size_t>(i) * m_ + col] = src[i];
+        if (j < num_structural_) {
+            for (const SparseMatrix::Entry& e : matrix_->column(j))
+                mat[static_cast<std::size_t>(e.index) * m_ + col] = e.value;
+        } else if (j < n_) {
+            mat[static_cast<std::size_t>(j - num_structural_) * m_ + col] =
+                1.0;
+        } else {
+            mat[static_cast<std::size_t>(j - n_) * m_ + col] =
+                art_sign_[j - n_];
+        }
     }
     // Initialize binv to identity.
     std::fill(binv_.begin(), binv_.end(), 0.0);
@@ -188,12 +208,21 @@ Simplex::refactorize()
 void
 Simplex::ftran(int j)
 {
-    const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+    if (j >= num_structural_) {
+        // Unit column: B^-1 e_r (scaled by the artificial's sign).
+        const bool artificial = j >= n_;
+        const int r = artificial ? j - n_ : j - num_structural_;
+        const double sign = artificial ? art_sign_[r] : 1.0;
+        for (int i = 0; i < m_; ++i)
+            work_col_[i] = sign * binv_[static_cast<std::size_t>(i) * m_ + r];
+        return;
+    }
+    const auto column = matrix_->column(j);
     for (int i = 0; i < m_; ++i) {
         const double* row = &binv_[static_cast<std::size_t>(i) * m_];
         double acc = 0.0;
-        for (int k = 0; k < m_; ++k)
-            acc += row[k] * col[k];
+        for (const SparseMatrix::Entry& e : column)
+            acc += row[e.index] * e.value;
         work_col_[i] = acc;
     }
 }
@@ -202,13 +231,18 @@ void
 Simplex::btranRow(int r)
 {
     // rho = e_r B^-1, then work_row_[j] = rho . A_j for every column.
+    // Structural columns iterate their nonzeros; slack and artificial
+    // columns are unit vectors, so their entry is a single rho element.
     const double* rho = &binv_[static_cast<std::size_t>(r) * m_];
-    for (int j = 0; j < total_; ++j) {
-        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
+    for (int j = 0; j < num_structural_; ++j) {
         double acc = 0.0;
-        for (int k = 0; k < m_; ++k)
-            acc += rho[k] * col[k];
+        for (const SparseMatrix::Entry& e : matrix_->column(j))
+            acc += rho[e.index] * e.value;
         work_row_[j] = acc;
+    }
+    for (int k = 0; k < m_; ++k) {
+        work_row_[num_structural_ + k] = rho[k];
+        work_row_[n_ + k] = art_sign_[k] * rho[k];
     }
 }
 
@@ -231,10 +265,15 @@ Simplex::computeReducedCosts(const double* costs)
             redcost_[j] = 0.0;
             continue;
         }
-        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
         double acc = 0.0;
-        for (int k = 0; k < m_; ++k)
-            acc += dual_y_[k] * col[k];
+        if (j < num_structural_) {
+            for (const SparseMatrix::Entry& e : matrix_->column(j))
+                acc += dual_y_[e.index] * e.value;
+        } else if (j < n_) {
+            acc = dual_y_[j - num_structural_];
+        } else {
+            acc = art_sign_[j - n_] * dual_y_[j - n_];
+        }
         redcost_[j] = costs[j] - acc;
     }
 }
@@ -297,15 +336,12 @@ Simplex::setupInitialArtificialBasis()
         const double v = colValue(j);
         if (v == 0.0)
             continue;
-        const double* col = &cols_[static_cast<std::size_t>(j) * m_];
-        for (int i = 0; i < m_; ++i)
-            residual[i] -= col[i] * v;
+        subtractColumn(j, v, residual.data());
     }
     for (int r = 0; r < m_; ++r) {
         const int j = n_ + r;
         const double sign = residual[r] < 0.0 ? -1.0 : 1.0;
         art_sign_[r] = sign;
-        cols_[static_cast<std::size_t>(j) * m_ + r] = sign;
         lb_[j] = 0.0;
         ub_[j] = kInf; // opened for phase 1
         basic_[r] = j;

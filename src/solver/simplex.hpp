@@ -2,7 +2,8 @@
 
 /**
  * @file
- * Bounded-variable revised simplex with an explicit basis inverse.
+ * Bounded-variable revised simplex over a sparse constraint matrix with
+ * an explicit basis inverse.
  *
  * Supports:
  *  - primal simplex from scratch (phase 1 with artificial variables,
@@ -16,11 +17,21 @@
  * The problem is held in computational standard form
  *     min c'x   s.t.  A x + s = b,   l <= (x, s) <= u
  * with one slack per row whose bounds encode the row sense.
+ *
+ * Storage: the structural matrix A is CSC+CSR compressed (CoSA models
+ * are >95% zeros) and shared, not copied, across the branch-and-bound
+ * tree's Simplex clones. Slack and artificial columns are unit vectors
+ * and are never materialized — every kernel (pricing, btran row, ftran,
+ * reduced costs) special-cases them in O(1). Nonzeros iterate in row
+ * order within a column, so the pivot sequence is identical to the
+ * dense tableau this solver replaced.
  */
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
+#include "solver/sparse_matrix.hpp"
 #include "solver/types.hpp"
 
 namespace cosa::solver {
@@ -30,23 +41,12 @@ struct LpProblem
 {
     int num_rows = 0;
     int num_structural = 0;
-    /** Column-major dense constraint matrix for structural columns. */
-    std::vector<double> cols; // num_rows * num_structural
+    /** Sparse structural matrix (num_rows x num_structural). */
+    SparseMatrix matrix;
     std::vector<double> rhs;  // per row
     std::vector<Sense> senses; // per row; encoded into slack bounds
     std::vector<double> obj;  // structural objective coefficients
     std::vector<double> lb, ub; // structural bounds
-
-    double&
-    at(int row, int col)
-    {
-        return cols[static_cast<std::size_t>(col) * num_rows + row];
-    }
-    double
-    at(int row, int col) const
-    {
-        return cols[static_cast<std::size_t>(col) * num_rows + row];
-    }
 };
 
 /** Result status of a single LP solve. */
@@ -67,11 +67,12 @@ struct Basis
     bool empty() const { return basic.empty(); }
 };
 
-/** Dense bounded-variable simplex solver. */
+/** Sparse bounded-variable revised simplex solver. */
 class Simplex
 {
   public:
-    /** Load @p prob; slack and artificial columns are added internally. */
+    /** Load @p prob; slack and artificial columns are added implicitly.
+     *  The structural matrix is shared (not copied) by Simplex copies. */
     explicit Simplex(const LpProblem& prob);
 
     /** Override bounds of a structural column (branch-and-bound). */
@@ -121,7 +122,8 @@ class Simplex
     int total_ = 0;        //!< n_ + m_ artificial columns
     int num_structural_ = 0;
 
-    std::vector<double> cols_;   //!< column-major (m_ x total_)
+    /** Shared immutable structural matrix (slack/artificials implicit). */
+    std::shared_ptr<const SparseMatrix> matrix_;
     std::vector<double> b_;
     std::vector<double> c_;      //!< phase-2 costs (artificials: 0)
     std::vector<double> lb_, ub_;
@@ -140,6 +142,8 @@ class Simplex
     std::int64_t iterations_ = 0;
 
     double colValue(int j) const; //!< value of a nonbasic column
+    /** r -= value * (column j), iterating column j's nonzeros only. */
+    void subtractColumn(int j, double value, double* r) const;
     void computeXb();             //!< xb = B^-1 (b - N x_N)
     bool refactorize();           //!< rebuild binv from basis; false if
                                   //!< the basis matrix is singular

@@ -1,0 +1,187 @@
+#pragma once
+
+/**
+ * @file
+ * Compressed sparse storage for the LP constraint matrix.
+ *
+ * CoSA formulations are >95% zeros: every constraint touches one
+ * dimension's count variables, one reuse chain, or one rank column, so a
+ * row sees a handful of the model's hundreds of variables. The solver
+ * therefore keeps the structural matrix in compressed form and iterates
+ * nonzeros only. Both orientations are materialized once at load time:
+ *  - CSC (column spans) drives pricing, ftran and reduced costs,
+ *  - CSR (row spans) drives the dual simplex's btran row and presolve's
+ *    activity scans.
+ *
+ * Entries within a column are ordered by row index (and within a row by
+ * column index), so sparse dot products accumulate in exactly the order
+ * a dense loop would visit the nonzeros — the revised solver reproduces
+ * the dense tableau's pivot sequence bit for bit.
+ */
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace cosa::solver {
+
+/** One (row, col, value) coefficient during matrix assembly. */
+struct Triplet
+{
+    std::int32_t row = 0;
+    std::int32_t col = 0;
+    double value = 0.0;
+};
+
+/** Immutable CSC+CSR matrix built once from assembly triplets. */
+class SparseMatrix
+{
+  public:
+    /** One stored coefficient: the opposite-axis index and the value. */
+    struct Entry
+    {
+        std::int32_t index = 0; //!< row index in a column span, and vice versa
+        double value = 0.0;
+    };
+
+    SparseMatrix() = default;
+
+    /**
+     * Build an @p num_rows x @p num_cols matrix. Duplicate (row, col)
+     * triplets are summed; entries that fold to exactly zero are kept
+     * (they preserve dense-loop accumulation order and are harmless).
+     */
+    SparseMatrix(int num_rows, int num_cols, const std::vector<Triplet>& entries)
+        : rows_(num_rows), cols_(num_cols)
+    {
+        // Counting sort into column-major order, rows ascending within a
+        // column (triplet producers emit rows in order; std::stable_sort
+        // would also work but the two-pass scatter is O(nnz)).
+        col_start_.assign(static_cast<std::size_t>(cols_) + 1, 0);
+        for (const Triplet& t : entries)
+            ++col_start_[static_cast<std::size_t>(t.col) + 1];
+        for (int j = 0; j < cols_; ++j)
+            col_start_[static_cast<std::size_t>(j) + 1] +=
+                col_start_[static_cast<std::size_t>(j)];
+        col_entries_.assign(
+            static_cast<std::size_t>(col_start_[static_cast<std::size_t>(cols_)]),
+            Entry{});
+        std::vector<std::int64_t> cursor(col_start_.begin(),
+                                         col_start_.end() - 1);
+        for (const Triplet& t : entries) {
+            col_entries_[static_cast<std::size_t>(
+                cursor[static_cast<std::size_t>(t.col)]++)] = {t.row, t.value};
+        }
+        sortSpansAndFoldDuplicates(col_start_, col_entries_);
+        buildTranspose();
+    }
+
+    int numRows() const { return rows_; }
+    int numCols() const { return cols_; }
+    std::int64_t numNonZeros() const
+    {
+        return static_cast<std::int64_t>(col_entries_.size());
+    }
+
+    /** Fraction of stored entries over the dense m*n footprint. */
+    double density() const
+    {
+        const double cells = static_cast<double>(rows_) * cols_;
+        return cells > 0.0 ? static_cast<double>(numNonZeros()) / cells : 0.0;
+    }
+
+    /** Nonzeros of column @p j, row indices ascending. */
+    std::span<const Entry> column(int j) const
+    {
+        const auto b = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(j)]);
+        const auto e = static_cast<std::size_t>(col_start_[static_cast<std::size_t>(j) + 1]);
+        return {col_entries_.data() + b, e - b};
+    }
+
+    /** Nonzeros of row @p i, column indices ascending. */
+    std::span<const Entry> row(int i) const
+    {
+        const auto b = static_cast<std::size_t>(row_start_[static_cast<std::size_t>(i)]);
+        const auto e = static_cast<std::size_t>(row_start_[static_cast<std::size_t>(i) + 1]);
+        return {row_entries_.data() + b, e - b};
+    }
+
+    /** Coefficient at (@p i, @p j); zero when unstored. O(log nnz_j). */
+    double at(int i, int j) const
+    {
+        const auto span = column(j);
+        std::size_t lo = 0, hi = span.size();
+        while (lo < hi) {
+            const std::size_t mid = (lo + hi) / 2;
+            if (span[mid].index < i)
+                lo = mid + 1;
+            else
+                hi = mid;
+        }
+        return (lo < span.size() && span[lo].index == i) ? span[lo].value
+                                                         : 0.0;
+    }
+
+  private:
+    static void sortSpansAndFoldDuplicates(std::vector<std::int64_t>& start,
+                                           std::vector<Entry>& entries)
+    {
+        // Insertion sort per span (spans are short and nearly sorted)
+        // followed by in-place duplicate folding.
+        std::vector<Entry> folded;
+        folded.reserve(entries.size());
+        std::vector<std::int64_t> new_start(start.size(), 0);
+        for (std::size_t s = 0; s + 1 < start.size(); ++s) {
+            const auto b = static_cast<std::size_t>(start[s]);
+            const auto e = static_cast<std::size_t>(start[s + 1]);
+            for (std::size_t i = b + 1; i < e; ++i) {
+                Entry key = entries[i];
+                std::size_t k = i;
+                while (k > b && entries[k - 1].index > key.index) {
+                    entries[k] = entries[k - 1];
+                    --k;
+                }
+                entries[k] = key;
+            }
+            for (std::size_t i = b; i < e; ++i) {
+                if (!folded.empty() &&
+                    static_cast<std::int64_t>(folded.size()) > new_start[s] &&
+                    folded.back().index == entries[i].index)
+                    folded.back().value += entries[i].value;
+                else
+                    folded.push_back(entries[i]);
+            }
+            new_start[s + 1] = static_cast<std::int64_t>(folded.size());
+        }
+        start = std::move(new_start);
+        entries = std::move(folded);
+    }
+
+    void buildTranspose()
+    {
+        row_start_.assign(static_cast<std::size_t>(rows_) + 1, 0);
+        for (const Entry& e : col_entries_)
+            ++row_start_[static_cast<std::size_t>(e.index) + 1];
+        for (int i = 0; i < rows_; ++i)
+            row_start_[static_cast<std::size_t>(i) + 1] +=
+                row_start_[static_cast<std::size_t>(i)];
+        row_entries_.assign(col_entries_.size(), Entry{});
+        std::vector<std::int64_t> cursor(row_start_.begin(),
+                                         row_start_.end() - 1);
+        for (int j = 0; j < cols_; ++j) {
+            for (const Entry& e : column(j)) {
+                row_entries_[static_cast<std::size_t>(
+                    cursor[static_cast<std::size_t>(e.index)]++)] = {j, e.value};
+            }
+        }
+    }
+
+    int rows_ = 0;
+    int cols_ = 0;
+    std::vector<std::int64_t> col_start_; //!< size cols_ + 1
+    std::vector<Entry> col_entries_;      //!< rows ascending per column
+    std::vector<std::int64_t> row_start_; //!< size rows_ + 1
+    std::vector<Entry> row_entries_;      //!< cols ascending per row
+};
+
+} // namespace cosa::solver

@@ -54,7 +54,7 @@ TEST(ScheduleCache, CountsHitsAndMisses)
     SearchResult result;
     result.found = true;
     result.eval.cycles = 42.0;
-    cache.insert(key, result);
+    cache.insert(key, result, LayerSpec::fromLabel("3_14_256_256_1"));
     EXPECT_TRUE(cache.contains(key));
     const auto hit = cache.lookup(key);
     ASSERT_TRUE(hit.has_value());
@@ -75,7 +75,7 @@ TEST(ScheduleCache, KeySeparatesComponents)
 {
     ScheduleCache cache;
     SearchResult result;
-    cache.insert({"l1", "a1", "s1"}, result);
+    cache.insert({"l1", "a1", "s1"}, result, LayerSpec{});
     EXPECT_TRUE(cache.contains({"l1", "a1", "s1"}));
     EXPECT_FALSE(cache.contains({"l2", "a1", "s1"}));
     EXPECT_FALSE(cache.contains({"l1", "a2", "s1"}));
@@ -284,7 +284,7 @@ TEST(SchedulingEngine, PortfolioKeepsBestMemberAndMergesStats)
     EngineConfig config;
     config.scheduler = SchedulerKind::Portfolio;
     config.num_threads = 1;
-    config.cosa.mip.time_limit_sec = 2.0;
+    config.cosa.mip.work_limit = 2000;
     config.random.max_samples = 500;
     config.random.target_valid = 1;
     config.hybrid.num_threads = 2;
@@ -297,6 +297,109 @@ TEST(SchedulingEngine, PortfolioKeepsBestMemberAndMergesStats)
         << result.scheduler;
     // Samples of all three members accumulate.
     EXPECT_GT(result.stats.samples, 1);
+}
+
+TEST(SchedulingEngine, PortfolioRecordsPerMemberWinCounts)
+{
+    EngineConfig config;
+    config.scheduler = SchedulerKind::Portfolio;
+    config.num_threads = 1;
+    config.cosa.mip.work_limit = 2000;
+    config.random.max_samples = 500;
+    config.random.target_valid = 1;
+    config.hybrid.num_threads = 2;
+    config.hybrid.victory_condition = 50;
+    const SchedulingEngine engine(config);
+    Workload net;
+    net.name = "portfolio-wins";
+    net.layers.push_back(workloads::listing1Layer());
+    net.layers.push_back(LayerSpec::fromLabel("1_7_32_16_1"));
+    const NetworkResult result =
+        engine.scheduleNetwork(net, ArchSpec::simbaBaseline());
+    // Every solved problem has exactly one winning member.
+    EXPECT_EQ(result.portfolio_wins.cosa + result.portfolio_wins.random +
+                  result.portfolio_wins.hybrid,
+              result.num_solved);
+    EXPECT_EQ(result.num_solved, 2);
+}
+
+TEST(ScheduleCache, NearestNeighborRanksByShapeThenArch)
+{
+    ScheduleCache cache;
+    SearchResult found;
+    found.found = true;
+    const LayerSpec a = LayerSpec::fromLabel("3_14_256_256_1");
+    const LayerSpec b = LayerSpec::fromLabel("3_14_256_512_1"); // near a
+    const LayerSpec c = LayerSpec::fromLabel("7_112_3_64_2");   // far
+    cache.insert({c.canonicalKey(), "arch1", "s"}, found, c);
+    cache.insert({b.canonicalKey(), "arch1", "s"}, found, b);
+
+    // Nearest shape wins regardless of insertion order.
+    found.eval.cycles = 1.0;
+    const auto nn = cache.nearestNeighbor("arch1", "s", a);
+    ASSERT_TRUE(nn.has_value());
+    // Distinguish entries via a marker on b's result.
+    SearchResult marked = found;
+    marked.eval.cycles = 123.0;
+    cache.insert({b.canonicalKey(), "arch1", "s"}, marked, b);
+    const auto nn2 = cache.nearestNeighbor("arch1", "s", a);
+    ASSERT_TRUE(nn2.has_value());
+    EXPECT_EQ(nn2->eval.cycles, 123.0);
+
+    // The same layer on another arch (distance 0) beats a different
+    // shape on the same arch — the arch-sweep seeding case.
+    SearchResult other_arch = found;
+    other_arch.eval.cycles = 77.0;
+    cache.insert({a.canonicalKey(), "arch2", "s"}, other_arch, a);
+    const auto nn3 = cache.nearestNeighbor("arch1", "s", a);
+    ASSERT_TRUE(nn3.has_value());
+    EXPECT_EQ(nn3->eval.cycles, 77.0);
+
+    // The exact (layer, arch) pair is never its own neighbor, and a
+    // different scheduler key shares nothing.
+    cache.insert({a.canonicalKey(), "arch1", "s"}, marked, a);
+    const auto nn4 = cache.nearestNeighbor("arch1", "s", a);
+    ASSERT_TRUE(nn4.has_value());
+    EXPECT_EQ(nn4->eval.cycles, 77.0); // still the arch2 twin, not self
+    EXPECT_FALSE(cache.nearestNeighbor("arch1", "other", a).has_value());
+    EXPECT_EQ(cache.stats().neighbor_hits, 4);
+}
+
+TEST(SchedulingEngine, CosaArchSweepInstallsAndCountsWarmStarts)
+{
+    EngineConfig config; // CoSA with warm hints on by default
+    config.num_threads = 1;
+    config.cosa.mip.work_limit = 4000; // keep the test fast
+    const SchedulingEngine engine(config);
+    const LayerSpec layer = LayerSpec::fromLabel("1_7_64_32_1");
+
+    const SearchResult first =
+        engine.scheduleLayer(layer, ArchSpec::simbaBaseline());
+    ASSERT_TRUE(first.found);
+    EXPECT_EQ(engine.cacheStats().neighbor_hits, 0); // cold cache
+
+    // Second arch: the baseline schedule is the nearest neighbor
+    // (distance 0, different fingerprint) and big buffers can only
+    // relax capacity, so the refit start must be accepted.
+    const SearchResult second =
+        engine.scheduleLayer(layer, ArchSpec::simbaBigBuffers());
+    ASSERT_TRUE(second.found);
+    EXPECT_EQ(engine.cacheStats().neighbor_hits, 1);
+    EXPECT_GE(second.stats.warm_start_hits, 1);
+
+    // A similar shape on the first arch warm-starts from the original.
+    const SearchResult sibling = engine.scheduleLayer(
+        LayerSpec::fromLabel("1_7_64_64_1"), ArchSpec::simbaBaseline());
+    ASSERT_TRUE(sibling.found);
+    EXPECT_EQ(engine.cacheStats().neighbor_hits, 2);
+
+    // Warm hints off: no neighbor lookups happen.
+    EngineConfig off = config;
+    off.warm_start_hints = false;
+    const SchedulingEngine engine_off(off);
+    engine_off.scheduleLayer(layer, ArchSpec::simbaBaseline());
+    engine_off.scheduleLayer(layer, ArchSpec::simbaBigBuffers());
+    EXPECT_EQ(engine_off.cacheStats().neighbor_hits, 0);
 }
 
 } // namespace

@@ -21,7 +21,6 @@ randomLp(Rng& rng, int n, int m)
     LpProblem lp;
     lp.num_rows = m;
     lp.num_structural = n;
-    lp.cols.assign(static_cast<std::size_t>(m) * n, 0.0);
     lp.rhs.assign(static_cast<std::size_t>(m), 0.0);
     lp.senses.assign(static_cast<std::size_t>(m), Sense::LessEqual);
     lp.obj.assign(static_cast<std::size_t>(n), 0.0);
@@ -35,11 +34,12 @@ randomLp(Rng& rng, int n, int m)
         anchor[static_cast<std::size_t>(j)] =
             lp.lb[j] + (lp.ub[j] - lp.lb[j]) * rng.nextDouble();
     }
+    std::vector<Triplet> triplets;
     for (int r = 0; r < m; ++r) {
         double row_at_anchor = 0.0;
         for (int j = 0; j < n; ++j) {
             const double a = rng.nextDouble() * 2.0 - 1.0;
-            lp.at(r, j) = a;
+            triplets.push_back({r, j, a});
             row_at_anchor += a * anchor[static_cast<std::size_t>(j)];
         }
         const double roll = rng.nextDouble();
@@ -54,6 +54,7 @@ randomLp(Rng& rng, int n, int m)
             lp.rhs[r] = row_at_anchor;
         }
     }
+    lp.matrix = SparseMatrix(m, n, triplets);
     return lp;
 }
 

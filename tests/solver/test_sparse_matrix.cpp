@@ -1,0 +1,72 @@
+#include <gtest/gtest.h>
+
+#include "solver/sparse_matrix.hpp"
+
+namespace cosa::solver {
+namespace {
+
+TEST(SparseMatrix, BuildsCscAndCsrViews)
+{
+    // 3x4:  [ 1 0 2 0
+    //         0 3 0 0
+    //         4 0 5 6 ]
+    const std::vector<Triplet> entries = {
+        {0, 0, 1.0}, {2, 0, 4.0}, {1, 1, 3.0},
+        {0, 2, 2.0}, {2, 2, 5.0}, {2, 3, 6.0},
+    };
+    const SparseMatrix m(3, 4, entries);
+    EXPECT_EQ(m.numRows(), 3);
+    EXPECT_EQ(m.numCols(), 4);
+    EXPECT_EQ(m.numNonZeros(), 6);
+    EXPECT_NEAR(m.density(), 0.5, 1e-12);
+
+    ASSERT_EQ(m.column(0).size(), 2u);
+    EXPECT_EQ(m.column(0)[0].index, 0);
+    EXPECT_EQ(m.column(0)[1].index, 2);
+    EXPECT_EQ(m.column(1).size(), 1u);
+    EXPECT_EQ(m.column(3)[0].value, 6.0);
+
+    ASSERT_EQ(m.row(2).size(), 3u);
+    EXPECT_EQ(m.row(2)[0].index, 0); // columns ascending within a row
+    EXPECT_EQ(m.row(2)[1].index, 2);
+    EXPECT_EQ(m.row(2)[2].index, 3);
+    EXPECT_EQ(m.row(1).size(), 1u);
+
+    EXPECT_EQ(m.at(0, 0), 1.0);
+    EXPECT_EQ(m.at(1, 0), 0.0);
+    EXPECT_EQ(m.at(2, 3), 6.0);
+}
+
+TEST(SparseMatrix, UnorderedTripletsSortAndDuplicatesFold)
+{
+    // Rows arrive out of order within a column; (1,0) arrives twice.
+    const std::vector<Triplet> entries = {
+        {2, 0, 1.0}, {0, 0, 2.0}, {1, 0, 3.0}, {1, 0, 4.0},
+    };
+    const SparseMatrix m(3, 1, entries);
+    ASSERT_EQ(m.column(0).size(), 3u);
+    EXPECT_EQ(m.column(0)[0].index, 0);
+    EXPECT_EQ(m.column(0)[1].index, 1);
+    EXPECT_EQ(m.column(0)[2].index, 2);
+    EXPECT_EQ(m.at(1, 0), 7.0); // 3 + 4 folded
+    // The CSR view folds identically.
+    ASSERT_EQ(m.row(1).size(), 1u);
+    EXPECT_EQ(m.row(1)[0].value, 7.0);
+}
+
+TEST(SparseMatrix, EmptyMatrixAndEmptyColumns)
+{
+    const SparseMatrix empty(0, 0, {});
+    EXPECT_EQ(empty.numNonZeros(), 0);
+    EXPECT_EQ(empty.density(), 0.0);
+
+    const SparseMatrix gaps(2, 3, {{1, 1, 5.0}});
+    EXPECT_EQ(gaps.column(0).size(), 0u);
+    EXPECT_EQ(gaps.column(2).size(), 0u);
+    EXPECT_EQ(gaps.row(0).size(), 0u);
+    ASSERT_EQ(gaps.column(1).size(), 1u);
+    EXPECT_EQ(gaps.at(1, 1), 5.0);
+}
+
+} // namespace
+} // namespace cosa::solver
