@@ -96,6 +96,24 @@ subsetOf(const Workload& workload)
 }
 
 /**
+ * Submit @p workloads as an async engine job, stream per-problem
+ * progress lines to stderr under @p tag (long bench runs would
+ * otherwise sit silent for minutes), and block for the results.
+ */
+inline std::vector<NetworkResult>
+runWithProgress(const std::string& tag, const SchedulingEngine& engine,
+                const std::vector<Workload>& workloads, const ArchSpec& arch)
+{
+    ScheduleJob job = engine.submit(workloads, arch);
+    job.onProgress([tag](const JobProgress& p) {
+        std::cerr << "[" << tag << "] " << p.completed << "/" << p.total
+                  << " " << p.layer << (p.from_cache ? " (cached)" : "")
+                  << "\n";
+    });
+    return job.wait();
+}
+
+/**
  * Engine configuration with the paper-default tunables of @p kind.
  * Caching/dedup stay on: the figure benches compare schedule *quality*,
  * which memoization cannot change. Benches that measure per-layer

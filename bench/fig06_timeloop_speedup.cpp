@@ -26,9 +26,12 @@ main()
         bench::defaultEngineConfig(SchedulerKind::Hybrid));
     const SchedulingEngine cosa_engine(
         bench::defaultEngineConfig(SchedulerKind::Cosa));
-    const auto r_rnd = random_engine.scheduleNetworks(suites, arch);
-    const auto r_tlh = hybrid_engine.scheduleNetworks(suites, arch);
-    const auto r_cosa = cosa_engine.scheduleNetworks(suites, arch);
+    const auto r_rnd =
+        bench::runWithProgress("fig06/Random", random_engine, suites, arch);
+    const auto r_tlh =
+        bench::runWithProgress("fig06/TLH", hybrid_engine, suites, arch);
+    const auto r_cosa =
+        bench::runWithProgress("fig06/CoSA", cosa_engine, suites, arch);
 
     std::vector<double> tlh_all, cosa_all;
     for (std::size_t n = 0; n < suites.size(); ++n) {

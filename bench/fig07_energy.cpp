@@ -25,9 +25,12 @@ main()
         SchedulerKind::Hybrid, SearchObjective::Energy));
     const SchedulingEngine cosa_engine(bench::defaultEngineConfig(
         SchedulerKind::Cosa, SearchObjective::Energy));
-    const auto r_rnd = random_engine.scheduleNetworks(suites, arch);
-    const auto r_tlh = hybrid_engine.scheduleNetworks(suites, arch);
-    const auto r_cosa = cosa_engine.scheduleNetworks(suites, arch);
+    const auto r_rnd =
+        bench::runWithProgress("fig07/Random", random_engine, suites, arch);
+    const auto r_tlh =
+        bench::runWithProgress("fig07/TLH", hybrid_engine, suites, arch);
+    const auto r_cosa =
+        bench::runWithProgress("fig07/CoSA", cosa_engine, suites, arch);
 
     TextTable table("Fig. 7: energy improvement over Random");
     table.setHeader({"network", "tlh_x", "cosa_x"});

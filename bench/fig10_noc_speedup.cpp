@@ -6,10 +6,16 @@
  * latency, congestion and DRAM timing (paper: CoSA 3.3x, TLH 1.3x
  * overall, with TLH sometimes *below* Random on conv layers and FC
  * layers showing little differentiation).
+ *
+ * Runs entirely through the scheduling engine with a NocSimEvaluator
+ * backend: each scheduler searches against the analytical model
+ * exactly as the historical hand-rolled loop did, and the engine
+ * re-scores every winner with one full ScheduleSimulator run — same
+ * per-layer simulated cycles, but with batch dedup, async submission
+ * and live progress instead of a bespoke per-layer loop.
  */
 
 #include "bench_util.hpp"
-#include "noc/schedule_sim.hpp"
 
 int
 main()
@@ -17,39 +23,48 @@ main()
     using namespace cosa;
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
+    std::vector<Workload> suites;
+    for (const Workload& suite : workloads::allSuites())
+        suites.push_back(bench::subsetOf(suite));
+
+    // One simulator backend shared by the three engines.
+    const auto noc_sim = std::make_shared<NocSimEvaluator>();
+    auto scheduleAll = [&](SchedulerKind kind) {
+        EngineConfig config = bench::defaultEngineConfig(kind);
+        config.evaluator = noc_sim;
+        // Parity with the historical direct per-layer loop (and the
+        // paper's protocol): every solve is cold, no cross-layer seeds.
+        config.warm_start_hints = false;
+        const SchedulingEngine engine(config);
+        return bench::runWithProgress(
+            std::string("fig10/") + schedulerKindName(kind), engine,
+            suites, arch);
+    };
+    const auto r_rnd = scheduleAll(SchedulerKind::Random);
+    const auto r_tlh = scheduleAll(SchedulerKind::Hybrid);
+    const auto r_cosa = scheduleAll(SchedulerKind::Cosa);
+
     std::vector<double> tlh_all, cosa_all;
-    for (const Workload& suite : workloads::allSuites()) {
-        TextTable table("Fig. 10 [" + suite.name +
+    for (std::size_t n = 0; n < suites.size(); ++n) {
+        TextTable table("Fig. 10 [" + suites[n].name +
                         "]: speedup over Random (NoC simulator)");
         table.setHeader({"layer", "random_MCyc", "tlh_x", "cosa_x"});
         std::vector<double> tlh_net, cosa_net;
-        for (const LayerSpec& layer : bench::layersOf(suite)) {
-            RandomMapper random(bench::defaultRandomConfig());
-            HybridMapper hybrid(bench::defaultHybridConfig());
-            CosaScheduler cosa_sched(bench::defaultCosaConfig());
-            const SearchResult r_rnd = random.schedule(layer, arch);
-            const SearchResult r_tlh = hybrid.schedule(layer, arch);
-            const SearchResult r_cosa = cosa_sched.schedule(layer, arch);
-            if (!r_rnd.found || !r_tlh.found || !r_cosa.found) {
-                table.addRow({layer.name, "scheduler failed"});
+        for (std::size_t l = 0; l < suites[n].layers.size(); ++l) {
+            const SearchResult& rnd = r_rnd[n].layers[l].result;
+            const SearchResult& tlh = r_tlh[n].layers[l].result;
+            const SearchResult& cosa = r_cosa[n].layers[l].result;
+            if (!rnd.found || !tlh.found || !cosa.found) {
+                table.addRow({suites[n].layers[l].name,
+                              "schedule/simulation failed"});
                 continue;
             }
-            ScheduleSimulator sim(layer, arch);
-            const SimResult s_rnd = sim.simulate(r_rnd.mapping);
-            const SimResult s_tlh = sim.simulate(r_tlh.mapping);
-            const SimResult s_cosa = sim.simulate(r_cosa.mapping);
-            if (!s_rnd.ok || !s_tlh.ok || !s_cosa.ok) {
-                table.addRow({layer.name, "simulation failed"});
-                continue;
-            }
-            const double tlh_x =
-                static_cast<double>(s_rnd.cycles) / s_tlh.cycles;
-            const double cosa_x =
-                static_cast<double>(s_rnd.cycles) / s_cosa.cycles;
+            const double tlh_x = rnd.eval.cycles / tlh.eval.cycles;
+            const double cosa_x = rnd.eval.cycles / cosa.eval.cycles;
             tlh_net.push_back(tlh_x);
             cosa_net.push_back(cosa_x);
-            table.addRow({layer.name,
-                          TextTable::fmt(s_rnd.cycles / 1e6, 3),
+            table.addRow({suites[n].layers[l].name,
+                          TextTable::fmt(rnd.eval.cycles / 1e6, 3),
                           TextTable::fmt(tlh_x, 2),
                           TextTable::fmt(cosa_x, 2)});
         }

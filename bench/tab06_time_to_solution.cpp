@@ -31,12 +31,13 @@ namespace {
 using namespace cosa;
 
 int
-solverJsonMode(const std::string& path)
+solverJsonMode(const std::string& path, SearchObjective objective)
 {
     const ArchSpec arch = ArchSpec::simbaBaseline();
     const Workload net = workloads::resNet50();
 
-    EngineConfig config = bench::defaultEngineConfig(SchedulerKind::Cosa);
+    EngineConfig config =
+        bench::defaultEngineConfig(SchedulerKind::Cosa, objective);
     config.num_threads = 1; // sequential: times must be contention-free
     const SchedulingEngine engine(config);
 
@@ -109,13 +110,20 @@ int
 main(int argc, char** argv)
 {
     using namespace cosa;
+    SearchObjective objective = SearchObjective::Latency;
+    bool solver_json = false;
+    std::string solver_json_path = "BENCH_solver.json";
     for (int a = 1; a < argc; ++a) {
+        if (parseObjectiveFlag(argc, argv, &a, &objective))
+            continue;
         if (std::strcmp(argv[a], "--solver-json") == 0) {
-            const std::string path =
-                a + 1 < argc ? argv[a + 1] : "BENCH_solver.json";
-            return solverJsonMode(path);
+            solver_json = true;
+            if (a + 1 < argc && std::strncmp(argv[a + 1], "--", 2) != 0)
+                solver_json_path = argv[++a];
         }
     }
+    if (solver_json)
+        return solverJsonMode(solver_json_path, objective);
 
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
@@ -134,7 +142,7 @@ main(int argc, char** argv)
                                     SchedulerKind::Hybrid};
     NetworkResult results[3];
     for (int s = 0; s < 3; ++s) {
-        EngineConfig config = bench::defaultEngineConfig(kinds[s]);
+        EngineConfig config = bench::defaultEngineConfig(kinds[s], objective);
         config.deduplicate = false; // every instance pays its solve
         config.use_cache = false;
         config.num_threads = 1; // sequential: times must be contention-free

@@ -10,6 +10,11 @@
  * after the first seeds its MIP with the nearest cached schedule.
  *
  *   ./examples/arch_exploration [R_P_C_K_Stride] [--threads N]
+ *       [--objective {latency,energy,edp}] [--cache-file PATH]
+ *
+ * --cache-file loads a schedule-cache snapshot before the sweep and
+ * saves the merged cache after it, so a repeated exploration reuses
+ * every prior solve and warm-starts the rest.
  */
 
 #include <cstdlib>
@@ -26,17 +31,37 @@ main(int argc, char** argv)
     using namespace cosa;
     std::string label = "3_14_256_256_2";
     int threads = 0;
+    SearchObjective objective = SearchObjective::Latency;
+    std::string cache_file;
     for (int a = 1; a < argc; ++a) {
-        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
             threads = std::atoi(argv[++a]);
-        else
+        } else if (parseObjectiveFlag(argc, argv, &a, &objective)) {
+            continue;
+        } else if (std::strcmp(argv[a], "--cache-file") == 0 &&
+                   a + 1 < argc) {
+            cache_file = argv[++a];
+        } else {
             label = argv[a];
+        }
     }
     const LayerSpec layer = LayerSpec::fromLabel(label);
 
+    auto cache = std::make_shared<ScheduleCache>();
+    if (!cache_file.empty()) {
+        const auto io = cache->load(cache_file);
+        if (io.ok)
+            std::cout << "schedule cache: loaded " << io.entries
+                      << " entries from " << cache_file << "\n";
+        else
+            std::cout << "schedule cache: starting cold (" << io.error
+                      << ")\n";
+    }
+
     EngineConfig config; // CoSA, cached, warm-start hints on
     config.num_threads = threads;
-    const SchedulingEngine engine(config);
+    config.objective = objective;
+    const SchedulingEngine engine(config, cache);
     std::int64_t warm_installed = 0;
     std::int64_t warm_hits = 0;
     TextTable table("CoSA across architectures, layer " + layer.name);
@@ -70,6 +95,16 @@ main(int argc, char** argv)
     std::cout << "nearest-neighbor warm starts: " << stats.neighbor_hits
               << " candidates, " << warm_installed << " installed, "
               << warm_hits << " accepted as MIP incumbents\n";
+
+    if (!cache_file.empty()) {
+        const auto io = cache->save(cache_file);
+        if (io.ok)
+            std::cout << "schedule cache: saved " << io.entries
+                      << " entries to " << cache_file << "\n";
+        else
+            std::cerr << "schedule cache: save failed: " << io.error
+                      << "\n";
+    }
 
     std::cout << "\nGreedy reference schedule on the baseline:\n"
               << greedyMapping(layer, ArchSpec::simbaBaseline())

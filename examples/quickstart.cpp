@@ -6,8 +6,13 @@
  * the cycle-driven NoC simulator.
  *
  *   ./examples/quickstart [R_P_C_K_Stride]
+ *       [--objective {latency,energy,edp}]
+ *
+ * --objective picks the metric CoSA uses to choose among the solver's
+ * feasible schedules (MIP incumbents, greedy floor).
  */
 
+#include <cstring>
 #include <iostream>
 
 #include "cosa/scheduler.hpp"
@@ -19,7 +24,12 @@ main(int argc, char** argv)
 {
     using namespace cosa;
 
-    const std::string label = argc > 1 ? argv[1] : "3_14_256_256_1";
+    std::string label = "3_14_256_256_1";
+    SearchObjective objective = SearchObjective::Latency;
+    for (int a = 1; a < argc; ++a) {
+        if (!parseObjectiveFlag(argc, argv, &a, &objective))
+            label = argv[a];
+    }
     const LayerSpec layer = LayerSpec::fromLabel(label);
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
@@ -29,14 +39,15 @@ main(int argc, char** argv)
     std::cout << "Architecture: " << arch.name << " (" << arch.numPEs()
               << " PEs x " << arch.macs_per_pe << " MACs)\n\n";
 
-    CosaScheduler scheduler;
+    const CosaScheduler scheduler({}, objective);
     const SearchResult result = scheduler.schedule(layer, arch);
     if (!result.found) {
         std::cerr << "no schedule found\n";
         return 1;
     }
 
-    std::cout << "CoSA schedule (solved in "
+    std::cout << "CoSA schedule (objective "
+              << searchObjectiveName(objective) << ", solved in "
               << result.stats.search_time_sec << "s):\n"
               << result.mapping.toString(arch) << "\n";
     std::cout << "Analytical model:\n"

@@ -8,11 +8,16 @@
  * performs 23 solves, not 53.
  *
  *   ./examples/resnet50_end_to_end [time_limit_seconds] [--threads N]
+ *       [--objective {latency,energy,edp}] [--cache-file PATH]
  *
  * The time limit is expressed in dense-core-equivalent seconds: it maps
  * onto CoSA's deterministic work budget (5000 simplex iterations per
  * second) so results are machine-independent. --threads sets the
- * engine's worker-pool width (0 = hardware concurrency).
+ * engine's worker-pool width (0 = hardware concurrency). --objective
+ * picks the search metric of every scheduler. --cache-file loads a
+ * schedule-cache snapshot before the run (reviving prior solves and
+ * cross-layer warm starts) and saves the merged cache after it, so
+ * repeated runs only pay for problems they have never seen.
  */
 
 #include <cstdlib>
@@ -28,15 +33,36 @@ main(int argc, char** argv)
     using namespace cosa;
     double time_limit = 0.0;
     int threads = 0;
+    SearchObjective objective = SearchObjective::Latency;
+    std::string cache_file;
     for (int a = 1; a < argc; ++a) {
-        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc)
+        if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
             threads = std::atoi(argv[++a]);
-        else
+        } else if (parseObjectiveFlag(argc, argv, &a, &objective)) {
+            continue;
+        } else if (std::strcmp(argv[a], "--cache-file") == 0 &&
+                   a + 1 < argc) {
+            cache_file = argv[++a];
+        } else {
             time_limit = std::atof(argv[a]);
+        }
     }
 
     const ArchSpec arch = ArchSpec::simbaBaseline();
     const Workload net = workloads::resNet50Full();
+
+    // One cache shared by the three engines (their scheduler keys keep
+    // the entries apart), persisted across runs when requested.
+    auto cache = std::make_shared<ScheduleCache>();
+    if (!cache_file.empty()) {
+        const auto io = cache->load(cache_file);
+        if (io.ok)
+            std::cout << "schedule cache: loaded " << io.entries
+                      << " entries from " << cache_file << "\n";
+        else
+            std::cout << "schedule cache: starting cold (" << io.error
+                      << ")\n";
+    }
 
     const SchedulerKind kinds[3] = {SchedulerKind::Random,
                                     SchedulerKind::Hybrid,
@@ -46,14 +72,22 @@ main(int argc, char** argv)
         EngineConfig config;
         config.scheduler = kinds[s];
         config.num_threads = threads;
+        config.objective = objective;
         if (time_limit > 0.0) {
             config.cosa.mip.work_limit =
                 CosaConfig::workLimitFromSeconds(time_limit);
             config.cosa.mip.time_limit_sec =
                 CosaConfig::timeSafetyNetFromSeconds(time_limit);
         }
-        const SchedulingEngine engine(config);
-        results[s] = engine.scheduleNetwork(net, arch);
+        const SchedulingEngine engine(config, cache);
+        // Async front door: submit, watch per-problem progress, collect.
+        ScheduleJob job = engine.submit(net, arch);
+        job.onProgress([&](const JobProgress& p) {
+            std::cerr << "[" << schedulerKindName(kinds[s]) << "] "
+                      << p.completed << "/" << p.total << " " << p.layer
+                      << (p.from_cache ? " (cached)" : "") << "\n";
+        });
+        results[s] = job.wait().front();
     }
 
     TextTable table("ResNet-50 (53 layers) end to end on " + arch.name);
@@ -82,6 +116,7 @@ main(int argc, char** argv)
                   TextTable::fmt(results[2].total_cycles / 1e6, 2)});
     table.print(std::cout);
 
+    std::cout << "objective: " << searchObjectiveName(objective) << "\n";
     std::cout << "network energy [mJ]: random "
               << results[0].total_energy_pj / 1e9 << ", hybrid "
               << results[1].total_energy_pj / 1e9 << ", cosa "
@@ -100,6 +135,15 @@ main(int argc, char** argv)
                   << TextTable::fmt(r.search.search_time_sec, 1)
                   << "s, wall "
                   << TextTable::fmt(r.wall_time_sec, 1) << "s\n";
+    }
+    if (!cache_file.empty()) {
+        const auto io = cache->save(cache_file);
+        if (io.ok)
+            std::cout << "schedule cache: saved " << io.entries
+                      << " entries to " << cache_file << "\n";
+        else
+            std::cerr << "schedule cache: save failed: " << io.error
+                      << "\n";
     }
     return 0;
 }

@@ -5,7 +5,8 @@
 
 namespace cosa {
 
-CosaScheduler::CosaScheduler(CosaConfig config) : config_(std::move(config))
+CosaScheduler::CosaScheduler(CosaConfig config, SearchObjective objective)
+    : config_(std::move(config)), objective_(objective)
 {
 }
 
@@ -18,6 +19,14 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch) const
 SearchResult
 CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
                         const std::vector<Mapping>& warm_hints) const
+{
+    return schedule(layer, arch, warm_hints, defaultEvaluator());
+}
+
+SearchResult
+CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
+                        const std::vector<Mapping>& warm_hints,
+                        const Evaluator& evaluator) const
 {
     const double start = wallTimeSec();
     SearchResult result;
@@ -58,17 +67,14 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
     // The solver's improving-incumbent trajectory consists entirely of
     // feasible schedules; evaluate them once each and keep the best
     // (the MIP objective is a proxy, so the newest incumbent is not
-    // always the fastest schedule under the full analytical model).
-    AnalyticalModel model(layer, arch);
+    // always the best schedule under the full evaluation platform).
+    const auto bound = evaluator.bind(layer, arch);
+    CandidateSelector select(evaluator, *bound, objective_);
     auto consider = [&](const Mapping& candidate) {
-        const Evaluation ev = model.evaluate(candidate);
+        const Evaluation ev = bound->searchEvaluate(candidate);
         if (!ev.valid)
             return;
-        if (!result.found || ev.cycles < result.eval.cycles) {
-            result.found = true;
-            result.mapping = candidate;
-            result.eval = ev;
-        }
+        select.offer(candidate, ev);
     };
     if (mapping)
         consider(*mapping);
@@ -85,6 +91,11 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
     for (const Mapping& hint : hint_schedules)
         consider(hint);
 
+    if (auto winner = select.finalize()) {
+        result.found = true;
+        result.mapping = std::move(winner->mapping);
+        result.eval = std::move(winner->eval);
+    }
     result.stats.search_time_sec = wallTimeSec() - start;
     if (!result.found) {
         warn("CoSA: extracted schedules failed validation for layer ",

@@ -19,7 +19,14 @@ namespace cosa {
 class CosaScheduler
 {
   public:
-    explicit CosaScheduler(CosaConfig config = {});
+    /**
+     * @param objective metric used to pick among the solver's feasible
+     *        schedules (MIP incumbents, greedy floor, warm hints) — the
+     *        MIP's own proxy objective is configured via @p config.
+     */
+    explicit CosaScheduler(
+        CosaConfig config = {},
+        SearchObjective objective = SearchObjective::Latency);
 
     /** Solve the MIP once and evaluate the extracted schedule. */
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
@@ -38,10 +45,17 @@ class CosaScheduler
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
                           const std::vector<Mapping>& warm_hints) const;
 
+    /** Same solve, with the candidate pick and the reported metrics
+     *  coming from @p evaluator (see Evaluator). */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
+                          const std::vector<Mapping>& warm_hints,
+                          const Evaluator& evaluator) const;
+
     const CosaConfig& config() const { return config_; }
 
   private:
     CosaConfig config_;
+    SearchObjective objective_;
 };
 
 } // namespace cosa

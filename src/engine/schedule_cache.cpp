@@ -1,6 +1,9 @@
 #include "engine/schedule_cache.hpp"
 
 #include <cmath>
+#include <fstream>
+#include <limits>
+#include <sstream>
 
 namespace cosa {
 
@@ -36,10 +39,18 @@ ScheduleCache::insert(const ScheduleCacheKey& key, const SearchResult& result,
                       const LayerSpec& layer)
 {
     std::lock_guard<std::mutex> lock(mutex_);
+    insertLocked(key, result, layer);
+}
+
+void
+ScheduleCache::insertLocked(const ScheduleCacheKey& key,
+                            const SearchResult& result,
+                            const LayerSpec& layer)
+{
     std::string flat = key.flat();
     const auto [it, inserted] = entries_.try_emplace(flat);
-    it->second =
-        Entry{result, layer, key.arch_key, key.scheduler_key};
+    it->second = Entry{result, layer, key.layer_key, key.arch_key,
+                       key.scheduler_key, key.evaluator_key};
     if (inserted)
         insertion_order_.push_back(std::move(flat));
 }
@@ -47,6 +58,7 @@ ScheduleCache::insert(const ScheduleCacheKey& key, const SearchResult& result,
 std::optional<SearchResult>
 ScheduleCache::nearestNeighbor(const std::string& arch_key,
                                const std::string& scheduler_key,
+                               const std::string& evaluator_key,
                                const LayerSpec& target)
 {
     std::lock_guard<std::mutex> lock(mutex_);
@@ -59,7 +71,8 @@ ScheduleCache::nearestNeighbor(const std::string& arch_key,
         if (it == entries_.end())
             continue; // cleared since insertion
         const Entry& entry = it->second;
-        if (!entry.result.found || entry.scheduler_key != scheduler_key)
+        if (!entry.result.found || entry.scheduler_key != scheduler_key ||
+            entry.evaluator_key != evaluator_key)
             continue;
         const bool arch_match = entry.arch_key == arch_key;
         if (arch_match && entry.layer.canonicalKey() == target_key)
@@ -105,6 +118,285 @@ ScheduleCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     insertion_order_.clear();
+}
+
+// --- persistence ---------------------------------------------------------
+//
+// Line-oriented text format (see README "Schedule-cache files"):
+//   cosa-schedule-cache v1
+//   entry
+//   key.layer/key.arch/key.sched/key.eval  <rest-of-line string>
+//   layer.name <string> / layer.dims <8 ints>
+//   result.found / result.scheduler / result.stats
+//   eval.valid / eval.reason / eval.scalars / eval.levels (4 vectors)
+//   mapping.levels L, then L x mapping.level lines
+//   end
+// Doubles are written at max_digits10 so a round trip is bit-exact.
+
+namespace {
+
+constexpr const char* kCacheFormatHeader = "cosa-schedule-cache v1";
+
+void
+writeDoubles(std::ostream& out, const std::vector<double>& values)
+{
+    out << values.size();
+    for (double v : values)
+        out << " " << v;
+}
+
+bool
+readDoubles(std::istringstream& in, std::vector<double>* values)
+{
+    std::size_t n = 0;
+    if (!(in >> n) || n > (1u << 20))
+        return false;
+    values->resize(n);
+    for (double& v : *values) {
+        if (!(in >> v))
+            return false;
+    }
+    return true;
+}
+
+/** "prefix rest-of-line" accessor; empty nullopt when prefix missing. */
+std::optional<std::string>
+valueOf(const std::string& line, const std::string& prefix)
+{
+    if (line.rfind(prefix, 0) != 0)
+        return std::nullopt;
+    if (line.size() == prefix.size())
+        return std::string();
+    if (line[prefix.size()] != ' ')
+        return std::nullopt;
+    return line.substr(prefix.size() + 1);
+}
+
+} // namespace
+
+ScheduleCache::IoResult
+ScheduleCache::save(const std::string& path) const
+{
+    std::ofstream out(path);
+    IoResult io;
+    if (!out) {
+        io.error = "cannot open " + path + " for writing";
+        return io;
+    }
+    out.precision(std::numeric_limits<double>::max_digits10);
+    out << kCacheFormatHeader << "\n";
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (const std::string& flat : insertion_order_) {
+        const auto it = entries_.find(flat);
+        if (it == entries_.end())
+            continue; // cleared since insertion
+        const Entry& e = it->second;
+        const SearchResult& r = e.result;
+        const Evaluation& ev = r.eval;
+        out << "entry\n";
+        out << "key.layer " << e.layer_key << "\n";
+        out << "key.arch " << e.arch_key << "\n";
+        out << "key.sched " << e.scheduler_key << "\n";
+        out << "key.eval " << e.evaluator_key << "\n";
+        out << "layer.name " << e.layer.name << "\n";
+        out << "layer.dims " << e.layer.r << " " << e.layer.s << " "
+            << e.layer.p << " " << e.layer.q << " " << e.layer.c << " "
+            << e.layer.k << " " << e.layer.n << " " << e.layer.stride
+            << "\n";
+        out << "result.found " << (r.found ? 1 : 0) << "\n";
+        out << "result.scheduler " << r.scheduler << "\n";
+        out << "result.stats " << r.stats.samples << " "
+            << r.stats.valid_evaluated << " " << r.stats.search_time_sec
+            << " " << r.stats.mip_nodes << " " << r.stats.lp_iterations
+            << " " << r.stats.warm_starts_installed << " "
+            << r.stats.warm_start_hits << "\n";
+        out << "eval.valid " << (ev.valid ? 1 : 0) << "\n";
+        out << "eval.reason " << ev.invalid_reason << "\n";
+        out << "eval.scalars " << ev.compute_cycles << " "
+            << ev.memory_cycles << " " << ev.cycles << " " << ev.energy_pj
+            << " " << ev.mac_energy_pj << " " << ev.noc_energy_pj << " "
+            << ev.noc_bytes << " " << ev.dram_bytes << " "
+            << ev.spatial_utilization << " " << ev.total_macs << "\n";
+        out << "eval.reads ";
+        writeDoubles(out, ev.reads_bytes);
+        out << "\neval.writes ";
+        writeDoubles(out, ev.writes_bytes);
+        out << "\neval.cycles ";
+        writeDoubles(out, ev.level_cycles);
+        out << "\neval.energy ";
+        writeDoubles(out, ev.level_energy_pj);
+        out << "\n";
+        out << "mapping.levels " << r.mapping.levels.size() << "\n";
+        for (const auto& level : r.mapping.levels) {
+            out << "mapping.level " << level.size();
+            for (const Loop& loop : level) {
+                out << " " << static_cast<int>(loop.dim) << " "
+                    << loop.bound << " " << (loop.spatial ? 1 : 0);
+            }
+            out << "\n";
+        }
+        out << "end\n";
+        ++io.entries;
+    }
+    out.flush();
+    if (!out) {
+        io.entries = 0;
+        io.error = "write to " + path + " failed";
+        return io;
+    }
+    io.ok = true;
+    return io;
+}
+
+ScheduleCache::IoResult
+ScheduleCache::load(const std::string& path)
+{
+    std::ifstream in(path);
+    IoResult io;
+    if (!in) {
+        io.error = "cannot open " + path;
+        return io;
+    }
+    std::string line;
+    if (!std::getline(in, line) || line != kCacheFormatHeader) {
+        io.error = path + ": not a " + std::string(kCacheFormatHeader) +
+                   " file (got \"" + line + "\")";
+        return io;
+    }
+
+    auto fail = [&](const std::string& what) {
+        io.ok = false;
+        io.error = path + ": malformed entry (" + what + ") after " +
+                   std::to_string(io.entries) + " entries";
+        return io;
+    };
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    while (std::getline(in, line)) {
+        if (line.empty())
+            continue;
+        if (line != "entry")
+            return fail("expected 'entry', got \"" + line + "\"");
+
+        ScheduleCacheKey key;
+        Entry entry;
+        SearchResult& r = entry.result;
+        Evaluation& ev = r.eval;
+
+        // The per-entry lines, in the fixed order save() writes them.
+        auto expect = [&](const char* prefix,
+                          std::string* out_value) -> bool {
+            if (!std::getline(in, line))
+                return false;
+            const auto value = valueOf(line, prefix);
+            if (!value)
+                return false;
+            *out_value = *value;
+            return true;
+        };
+        std::string value;
+        if (!expect("key.layer", &key.layer_key))
+            return fail("key.layer");
+        if (!expect("key.arch", &key.arch_key))
+            return fail("key.arch");
+        if (!expect("key.sched", &key.scheduler_key))
+            return fail("key.sched");
+        if (!expect("key.eval", &key.evaluator_key))
+            return fail("key.eval");
+        if (!expect("layer.name", &entry.layer.name))
+            return fail("layer.name");
+        if (!expect("layer.dims", &value))
+            return fail("layer.dims");
+        {
+            std::istringstream iss(value);
+            LayerSpec& l = entry.layer;
+            if (!(iss >> l.r >> l.s >> l.p >> l.q >> l.c >> l.k >> l.n >>
+                  l.stride))
+                return fail("layer.dims values");
+        }
+        if (!expect("result.found", &value))
+            return fail("result.found");
+        r.found = value == "1";
+        if (!expect("result.scheduler", &r.scheduler))
+            return fail("result.scheduler");
+        if (!expect("result.stats", &value))
+            return fail("result.stats");
+        {
+            std::istringstream iss(value);
+            SearchStats& s = r.stats;
+            if (!(iss >> s.samples >> s.valid_evaluated >>
+                  s.search_time_sec >> s.mip_nodes >> s.lp_iterations >>
+                  s.warm_starts_installed >> s.warm_start_hits))
+                return fail("result.stats values");
+        }
+        if (!expect("eval.valid", &value))
+            return fail("eval.valid");
+        ev.valid = value == "1";
+        if (!expect("eval.reason", &ev.invalid_reason))
+            return fail("eval.reason");
+        if (!expect("eval.scalars", &value))
+            return fail("eval.scalars");
+        {
+            std::istringstream iss(value);
+            if (!(iss >> ev.compute_cycles >> ev.memory_cycles >>
+                  ev.cycles >> ev.energy_pj >> ev.mac_energy_pj >>
+                  ev.noc_energy_pj >> ev.noc_bytes >> ev.dram_bytes >>
+                  ev.spatial_utilization >> ev.total_macs))
+                return fail("eval.scalars values");
+        }
+        const struct
+        {
+            const char* prefix;
+            std::vector<double>* target;
+        } vectors[] = {
+            {"eval.reads", &ev.reads_bytes},
+            {"eval.writes", &ev.writes_bytes},
+            {"eval.cycles", &ev.level_cycles},
+            {"eval.energy", &ev.level_energy_pj},
+        };
+        for (const auto& spec : vectors) {
+            if (!expect(spec.prefix, &value))
+                return fail(spec.prefix);
+            std::istringstream iss(value);
+            if (!readDoubles(iss, spec.target))
+                return fail(std::string(spec.prefix) + " values");
+        }
+        if (!expect("mapping.levels", &value))
+            return fail("mapping.levels");
+        std::size_t num_levels = 0;
+        {
+            std::istringstream iss(value);
+            if (!(iss >> num_levels) || num_levels > 64)
+                return fail("mapping.levels value");
+        }
+        r.mapping.levels.assign(num_levels, {});
+        for (std::size_t l = 0; l < num_levels; ++l) {
+            if (!expect("mapping.level", &value))
+                return fail("mapping.level");
+            std::istringstream iss(value);
+            std::size_t num_loops = 0;
+            if (!(iss >> num_loops) || num_loops > 4096)
+                return fail("mapping.level count");
+            auto& loops = r.mapping.levels[l];
+            loops.resize(num_loops);
+            for (Loop& loop : loops) {
+                int dim = 0, spatial = 0;
+                if (!(iss >> dim >> loop.bound >> spatial) || dim < 0 ||
+                    dim >= kNumDims)
+                    return fail("mapping.level loop");
+                loop.dim = static_cast<Dim>(dim);
+                loop.spatial = spatial != 0;
+            }
+        }
+        if (!std::getline(in, line) || line != "end")
+            return fail("expected 'end'");
+
+        insertLocked(key, r, entry.layer);
+        ++io.entries;
+    }
+    io.ok = true;
+    return io;
 }
 
 } // namespace cosa

@@ -4,12 +4,15 @@
  * @file
  * Memoization of scheduling results across engine queries.
  *
- * The cache key is the triple (canonical layer key, arch fingerprint,
- * scheduler config key): two queries share an entry exactly when they
- * pose the same mathematical scheduling problem to the same scheduler —
- * layer names and arch display names do not matter. Arch sweeps over
- * shared layer shapes and repeated network queries hit; any change to
- * the arch constants or scheduler tunables misses.
+ * The cache key is the quadruple (canonical layer key, arch
+ * fingerprint, scheduler config key, evaluator fingerprint): two
+ * queries share an entry exactly when they pose the same mathematical
+ * scheduling problem to the same scheduler *scored on the same
+ * evaluation backend* — layer names and arch display names do not
+ * matter. Arch sweeps over shared layer shapes and repeated network
+ * queries hit; any change to the arch constants, scheduler tunables or
+ * evaluator configuration misses, so analytical and NoC-simulated
+ * results never alias.
  *
  * Beyond exact hits, the cache answers nearest-neighbor queries: for a
  * layer shape it has never seen, it returns the cached schedule of the
@@ -18,6 +21,11 @@
  * schedule as a MIP warm start, so effort spent on one layer primes
  * branch-and-bound on its relatives — the cross-layer analogue of the
  * per-node dual warm starts inside one solve.
+ *
+ * The cache also persists across processes: save() writes a versioned
+ * text snapshot (bit-exact doubles) and load() merges one back, so
+ * repeated CLI runs and CI jobs reuse solves and revive cross-layer
+ * warm starts (see the README for the format schema).
  *
  * Thread-safe: a single mutex guards the map and the counters, which is
  * ample because entries are whole-layer solve results (lookups are
@@ -41,11 +49,13 @@ struct ScheduleCacheKey
     std::string layer_key;     //!< LayerSpec::canonicalKey()
     std::string arch_key;      //!< ArchSpec::fingerprint()
     std::string scheduler_key; //!< engine-serialized scheduler config
+    std::string evaluator_key; //!< Evaluator::fingerprint()
 
     /** Flat string form used as the map key. */
     std::string flat() const
     {
-        return layer_key + "|" + arch_key + "|" + scheduler_key;
+        return layer_key + "|" + arch_key + "|" + scheduler_key + "|" +
+               evaluator_key;
     }
 };
 
@@ -91,7 +101,8 @@ class ScheduleCache
 
     /**
      * The cached schedule nearest to (@p target, @p arch_key) under the
-     * same @p scheduler_key, or nullopt when none exists. Candidates
+     * same @p scheduler_key and @p evaluator_key, or nullopt when none
+     * exists. Candidates
      * are ranked by canonical layer distance first, then by whether
      * their arch fingerprint matches (so an arch sweep seeds each
      * variant with the same layer's schedule from a sibling arch, and
@@ -104,7 +115,7 @@ class ScheduleCache
      */
     std::optional<SearchResult> nearestNeighbor(
         const std::string& arch_key, const std::string& scheduler_key,
-        const LayerSpec& target);
+        const std::string& evaluator_key, const LayerSpec& target);
 
     /** True when @p key is present, without touching the counters. */
     bool contains(const ScheduleCacheKey& key) const;
@@ -115,14 +126,44 @@ class ScheduleCache
     /** Drop every entry; counters keep their lifetime totals. */
     void clear();
 
+    /** Outcome of a save() or load(). */
+    struct IoResult
+    {
+        bool ok = false;
+        std::string error;   //!< empty on success
+        std::int64_t entries = 0; //!< written / merged
+    };
+
+    /**
+     * Write every entry to @p path in the versioned text format
+     * (header `cosa-schedule-cache v1`; doubles at max_digits10, so a
+     * round trip is bit-exact). Counters are not persisted.
+     */
+    IoResult save(const std::string& path) const;
+
+    /**
+     * Merge a snapshot written by save() into this cache: entries keep
+     * insertion order from the file, existing keys are overwritten. A
+     * version or format mismatch fails without touching the cache;
+     * a truncated file keeps the entries read so far and reports the
+     * error. Hit/miss counters are untouched.
+     */
+    IoResult load(const std::string& path);
+
   private:
     struct Entry
     {
         SearchResult result;
         LayerSpec layer;
+        std::string layer_key;
         std::string arch_key;
         std::string scheduler_key;
+        std::string evaluator_key;
     };
+
+    /** insert() body; the caller holds mutex_. */
+    void insertLocked(const ScheduleCacheKey& key, const SearchResult& result,
+                      const LayerSpec& layer);
 
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Entry> entries_;

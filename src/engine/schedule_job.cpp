@@ -1,0 +1,67 @@
+#include "engine/schedule_job.hpp"
+
+namespace cosa {
+
+ScheduleJob::~ScheduleJob()
+{
+    if (state_)
+        wait(); // never leak the runner thread or its pool work
+}
+
+ScheduleJob&
+ScheduleJob::operator=(ScheduleJob&& other)
+{
+    if (this != &other) {
+        if (state_)
+            wait();
+        state_ = std::move(other.state_);
+    }
+    return *this;
+}
+
+std::vector<NetworkResult>
+ScheduleJob::wait()
+{
+    if (!state_)
+        return {};
+    {
+        std::lock_guard<std::mutex> lock(state_->join_mutex);
+        if (state_->runner.joinable())
+            state_->runner.join();
+    }
+    return state_->results;
+}
+
+void
+ScheduleJob::cancel()
+{
+    if (state_)
+        state_->cancel.store(true, std::memory_order_relaxed);
+}
+
+bool
+ScheduleJob::done() const
+{
+    return state_ && state_->finished.load(std::memory_order_acquire);
+}
+
+bool
+ScheduleJob::cancelled() const
+{
+    return state_ && state_->cancel.load(std::memory_order_relaxed);
+}
+
+void
+ScheduleJob::onProgress(ProgressCallback callback)
+{
+    if (!state_ || !callback)
+        return;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    // Replay under the same lock that emits, so the subscriber sees
+    // every event exactly once, in order.
+    for (const JobProgress& event : state_->events)
+        callback(event);
+    state_->listeners.push_back(std::move(callback));
+}
+
+} // namespace cosa

@@ -1,0 +1,149 @@
+#pragma once
+
+/**
+ * @file
+ * The asynchronous job front door of the scheduling engine (the
+ * session-style submit -> observe -> cancel -> collect protocol).
+ *
+ * `SchedulingEngine::submit()` returns immediately with a ScheduleJob
+ * handle; the batch runs on a background runner thread (which drives
+ * the engine's usual work-stealing pool). The handle exposes:
+ *
+ *  - wait()        block until the batch finishes (or has been
+ *                  cancelled) and collect the results;
+ *  - cancel()      cooperative cancellation, honored between per-layer
+ *                  tasks — tasks already executing complete, every
+ *                  not-yet-started task is skipped;
+ *  - onProgress()  subscribe to per-unique-problem progress events.
+ *
+ * Progress determinism: events are emitted in unique-problem index
+ * order — event i always reports problem i, carrying the cumulative
+ * completed count — regardless of which worker finishes which solve
+ * when. For a fixed (workloads, arch, config) an uncancelled job
+ * therefore produces an identical event sequence at any thread count
+ * (only wall_time_sec varies); a cancelled job produces a prefix of
+ * that sequence. A subscriber attached after events already fired
+ * receives them first (replayed, in order), so registration timing
+ * cannot drop events.
+ *
+ * Callbacks run on engine worker threads with the job lock held:
+ * calling cancel() from a callback is supported (that is how tests
+ * cancel deterministically mid-batch); calling wait() or onProgress()
+ * from a callback deadlocks.
+ */
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/network_result.hpp"
+
+namespace cosa {
+
+/** One per-unique-problem progress event of a ScheduleJob. */
+struct JobProgress
+{
+    std::int64_t completed = 0; //!< problems finished, this one included
+    std::int64_t total = 0;     //!< unique problems in the batch
+    int unique_index = -1;      //!< the problem this event reports
+    std::string layer;          //!< its first occurrence's layer name
+    bool from_cache = false;    //!< served by the ScheduleCache
+    bool found = false;         //!< a valid schedule exists
+    /** Wall seconds since submit; the only nondeterministic field. */
+    double wall_time_sec = 0.0;
+
+    /**
+     * Cancel the emitting job from inside a progress callback — the
+     * same cooperative request as ScheduleJob::cancel(), available
+     * before the caller even holds the handle (a callback passed to
+     * submit() sees every event live, so "cancel after the Nth
+     * problem" is deterministic). No-op after the job's state is gone.
+     */
+    void requestCancel() const
+    {
+        if (cancel_hook)
+            cancel_hook();
+    }
+
+    /** Engine-bound cancellation hook behind requestCancel(). */
+    std::function<void()> cancel_hook;
+};
+
+/**
+ * Handle to one submitted batch. Move-only; the destructor waits for
+ * the batch (like std::future from std::async), so dropping a handle
+ * never leaks the runner thread or its pool work. The engine must
+ * outlive every job submitted on it.
+ */
+class ScheduleJob
+{
+  public:
+    using ProgressCallback = std::function<void(const JobProgress&)>;
+
+    ScheduleJob() = default;
+    ~ScheduleJob();
+    ScheduleJob(ScheduleJob&&) = default;
+    /** Waits for the currently held job (like the destructor) before
+     *  adopting @p other — dropping a live job must never leave its
+     *  runner thread unjoined. */
+    ScheduleJob& operator=(ScheduleJob&& other);
+    ScheduleJob(const ScheduleJob&) = delete;
+    ScheduleJob& operator=(const ScheduleJob&) = delete;
+
+    /** Block until the batch finishes and return its results, one
+     *  NetworkResult per submitted workload. Idempotent. */
+    std::vector<NetworkResult> wait();
+
+    /**
+     * Request cooperative cancellation: checked between per-layer
+     * tasks, so the job stops within one task per worker. Problems
+     * already solved keep their results (and cache entries); skipped
+     * problems report found=false with LayerScheduleResult::cancelled.
+     * Safe from any thread, including a progress callback.
+     */
+    void cancel();
+
+    /** True once the batch finished (normally or cancelled). */
+    bool done() const;
+
+    /** True when cancel() was requested. */
+    bool cancelled() const;
+
+    /**
+     * Subscribe to progress events. Events that already fired are
+     * replayed synchronously (in order) before the call returns, so a
+     * late subscriber still observes the full deterministic sequence.
+     */
+    void onProgress(ProgressCallback callback);
+
+    /** Shared state between the handle and the engine's runner thread
+     *  (engine-internal; use the member functions). */
+    struct State
+    {
+        std::mutex mutex;
+        std::atomic<bool> cancel{false};
+        std::atomic<bool> finished{false};
+        std::vector<NetworkResult> results;  //!< set before `finished`
+        std::vector<JobProgress> events;     //!< replay buffer
+        std::vector<ProgressCallback> listeners;
+        std::thread runner;
+        std::mutex join_mutex; //!< serializes the one-time join
+    };
+
+  private:
+    friend class SchedulingEngine;
+    explicit ScheduleJob(std::shared_ptr<State> state)
+        : state_(std::move(state))
+    {
+    }
+
+    std::shared_ptr<State> state_;
+};
+
+} // namespace cosa

@@ -34,6 +34,8 @@ SchedulingEngine::SchedulingEngine(EngineConfig config,
     config_.random.objective = config_.objective;
     config_.hybrid.objective = config_.objective;
     config_.exhaustive.objective = config_.objective;
+    if (!config_.evaluator)
+        config_.evaluator = std::make_shared<AnalyticalEvaluator>();
     if (config_.num_threads <= 0) {
         const unsigned hw = std::thread::hardware_concurrency();
         int threads = hw == 0 ? 1 : static_cast<int>(hw);
@@ -133,15 +135,18 @@ SearchResult
 SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch,
                            const std::vector<Mapping>& warm_hints) const
 {
+    const Evaluator& evaluator = *config_.evaluator;
     switch (config_.scheduler) {
       case SchedulerKind::Cosa:
-        return CosaScheduler(config_.cosa).schedule(layer, arch, warm_hints);
+        return CosaScheduler(config_.cosa, config_.objective)
+            .schedule(layer, arch, warm_hints, evaluator);
       case SchedulerKind::Random:
-        return RandomMapper(config_.random).schedule(layer, arch);
+        return RandomMapper(config_.random).schedule(layer, arch, evaluator);
       case SchedulerKind::Hybrid:
-        return HybridMapper(config_.hybrid).schedule(layer, arch);
+        return HybridMapper(config_.hybrid).schedule(layer, arch, evaluator);
       case SchedulerKind::Exhaustive:
-        return ExhaustiveMapper(config_.exhaustive).schedule(layer, arch);
+        return ExhaustiveMapper(config_.exhaustive)
+            .schedule(layer, arch, evaluator);
       case SchedulerKind::Portfolio: {
         // Race the members concurrently inside this one task slot: the
         // slot's wall time is the slowest member, not their sum. Each
@@ -150,13 +155,15 @@ SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch,
         // on the calling thread (it spawns its own racing threads).
         SearchResult members[3];
         std::thread cosa_thread([&] {
-            members[0] =
-                CosaScheduler(config_.cosa).schedule(layer, arch, warm_hints);
+            members[0] = CosaScheduler(config_.cosa, config_.objective)
+                             .schedule(layer, arch, warm_hints, evaluator);
         });
         std::thread random_thread([&] {
-            members[1] = RandomMapper(config_.random).schedule(layer, arch);
+            members[1] =
+                RandomMapper(config_.random).schedule(layer, arch, evaluator);
         });
-        members[2] = HybridMapper(config_.hybrid).schedule(layer, arch);
+        members[2] =
+            HybridMapper(config_.hybrid).schedule(layer, arch, evaluator);
         cosa_thread.join();
         random_thread.join();
         SearchResult best;
@@ -187,9 +194,31 @@ SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch,
     panic("invalid scheduler kind");
 }
 
-std::vector<NetworkResult>
-SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
-                                   const ArchSpec& arch) const
+ScheduleJob
+SchedulingEngine::submit(std::vector<Workload> workloads, const ArchSpec& arch,
+                         ScheduleJob::ProgressCallback on_progress) const
+{
+    auto state = std::make_shared<ScheduleJob::State>();
+    if (on_progress)
+        state->listeners.push_back(std::move(on_progress));
+    state->runner = std::thread(
+        [this, state, workloads = std::move(workloads), arch]() mutable {
+            runJob(state, std::move(workloads), std::move(arch));
+        });
+    return ScheduleJob(std::move(state));
+}
+
+ScheduleJob
+SchedulingEngine::submit(const Workload& workload, const ArchSpec& arch,
+                         ScheduleJob::ProgressCallback on_progress) const
+{
+    return submit(std::vector<Workload>{workload}, arch,
+                  std::move(on_progress));
+}
+
+void
+SchedulingEngine::runJob(std::shared_ptr<ScheduleJob::State> state,
+                         std::vector<Workload> workloads, ArchSpec arch) const
 {
     const double start = wallTimeSec();
 
@@ -235,9 +264,10 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
     const std::size_t num_unique = unique_layers.size();
     const std::string arch_key = arch.fingerprint();
     const std::string sched_key = schedulerKey();
+    const std::string eval_key = config_.evaluator->fingerprint();
     auto keyOf = [&](std::size_t u) {
         return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
-                                sched_key};
+                                sched_key, eval_key};
     };
     const bool want_hints =
         config_.use_cache && config_.warm_start_hints &&
@@ -257,26 +287,77 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         }
         if (want_hints) {
             if (auto nn = cache_->nearestNeighbor(arch_key, sched_key,
+                                                  eval_key,
                                                   *unique_layers[u]))
                 hints[u].push_back(std::move(nn->mapping));
         }
         to_solve.push_back(u);
     }
 
+    // --- progress frontier: events are emitted strictly in unique-
+    // problem index order — a problem's event fires once it and every
+    // problem before it completed — so the event sequence (and each
+    // event's cumulative counters) is identical at any thread count.
+    // Cancel-skipped problems never complete: the stream is a prefix. --
+    std::vector<char> completed(num_unique, 0);
+    std::vector<char> skipped(num_unique, 0);
+    std::size_t frontier = 0;
+    std::int64_t cum_completed = 0;
+    auto completeProblem = [&](std::size_t u) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        completed[u] = 1;
+        while (frontier < num_unique && completed[frontier]) {
+            JobProgress event;
+            event.completed = ++cum_completed;
+            event.total = static_cast<std::int64_t>(num_unique);
+            event.unique_index = static_cast<int>(frontier);
+            event.layer = unique_layers[frontier]->name;
+            event.from_cache = from_cache[frontier] != 0;
+            event.found = solved[frontier].found;
+            event.wall_time_sec = wallTimeSec() - start;
+            // weak_ptr: replayed events may be copied out and outlive
+            // the job state; cancelling then is a silent no-op.
+            event.cancel_hook =
+                [weak = std::weak_ptr<ScheduleJob::State>(state)] {
+                    if (auto s = weak.lock())
+                        s->cancel.store(true, std::memory_order_relaxed);
+                };
+            state->events.push_back(event);
+            for (const auto& listener : state->listeners)
+                listener(state->events.back());
+            ++frontier;
+        }
+    };
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        if (from_cache[u])
+            completeProblem(u);
+    }
+
     // --- 3. solve the misses on the work-stealing pool. Each task
     // writes slot to_solve[t], so results are positionally deterministic
-    // for any worker count. ---
+    // for any worker count. Cancellation is honored between tasks: a
+    // worker picking up a task after cancel() skips it immediately, so
+    // the pool always drains and no work leaks past wait(). ---
     ThreadPool pool(config_.num_threads);
     pool.run(to_solve.size(), [&](std::size_t t) {
         const std::size_t u = to_solve[t];
+        if (state->cancel.load(std::memory_order_relaxed)) {
+            skipped[u] = 1; // no event: the frontier stream stays a prefix
+            return;
+        }
         solved[u] = solveOne(*unique_layers[u], arch, hints[u]);
+        completeProblem(u);
     });
     if (config_.use_cache) {
-        for (std::size_t u : to_solve)
-            cache_->insert(keyOf(u), solved[u], *unique_layers[u]);
+        for (std::size_t u : to_solve) {
+            if (!skipped[u])
+                cache_->insert(keyOf(u), solved[u], *unique_layers[u]);
+        }
     }
 
     // --- 4. scatter back to instances and aggregate per network. ---
+    const bool was_cancelled =
+        state->cancel.load(std::memory_order_relaxed);
     const double wall = wallTimeSec() - start;
     std::vector<NetworkResult> results(workloads.size());
     for (std::size_t n = 0; n < workloads.size(); ++n) {
@@ -285,6 +366,7 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         net.arch = arch.name;
         net.scheduler = schedulerKindName(config_.scheduler);
         net.wall_time_sec = wall; // batch-wide; solves are shared
+        net.cancelled = was_cancelled;
         net.layers.reserve(workloads[n].layers.size());
     }
     for (const Instance& inst : instances) {
@@ -296,6 +378,7 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         lr.result = solved[u];
         lr.from_cache = from_cache[u] != 0;
         lr.deduplicated = inst.deduplicated;
+        lr.cancelled = skipped[u] != 0;
         lr.unique_index = inst.unique;
         ++net.num_layers;
         if (lr.result.found) {
@@ -314,6 +397,8 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
         ++net.num_unique;
         if (from_cache[u]) {
             ++net.num_cache_hits;
+        } else if (skipped[u]) {
+            ++net.num_cancelled;
         } else {
             ++net.num_solved;
             net.search.samples += solved[u].stats.samples;
@@ -339,14 +424,26 @@ SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
             }
         }
     }
-    return results;
+
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->results = std::move(results);
+    }
+    state->finished.store(true, std::memory_order_release);
+}
+
+std::vector<NetworkResult>
+SchedulingEngine::scheduleNetworks(const std::vector<Workload>& workloads,
+                                   const ArchSpec& arch) const
+{
+    return submit(workloads, arch).wait();
 }
 
 NetworkResult
 SchedulingEngine::scheduleNetwork(const Workload& workload,
                                   const ArchSpec& arch) const
 {
-    return scheduleNetworks({workload}, arch).front();
+    return submit(workload, arch).wait().front();
 }
 
 SearchResult

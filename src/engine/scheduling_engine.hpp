@@ -11,20 +11,32 @@
  *     canonical key (LayerSpec::canonicalKey), collapsing duplicate
  *     shapes (ResNet-50's 53 layer instances -> 23 unique problems);
  *  2. memoize: unique problems are looked up in a ScheduleCache keyed
- *     by (canonical layer, arch fingerprint, scheduler config), so arch
- *     sweeps and repeated queries skip solved problems entirely;
+ *     by (canonical layer, arch fingerprint, scheduler config,
+ *     evaluator fingerprint), so arch sweeps and repeated queries skip
+ *     solved problems entirely;
  *  3. solve: remaining problems run on a work-stealing thread pool,
  *     each task writing into a pre-sized slot so results are ordered
  *     deterministically regardless of worker count;
  *  4. scatter: per-layer results are replicated back to every instance
  *     in workload order and aggregated into a NetworkResult.
  *
+ * Every query enters through the asynchronous job front door:
+ * submit() returns a ScheduleJob immediately (progress events,
+ * cooperative cancellation, wait-to-collect); the blocking
+ * scheduleNetwork / scheduleNetworks / scheduleLayer signatures are
+ * thin submit(...).wait() wrappers kept for incremental migration.
+ *
+ * Which platform scores the schedules is pluggable via
+ * EngineConfig::evaluator (analytical model, NoC/DRAM simulator, or
+ * the analytical->simulator cascade — see model/evaluator.hpp).
+ *
  * Determinism contract: for any fixed (workload, arch, config), runs
- * with different `num_threads` produce identical mappings, evaluations
- * and counters; only wall-clock fields vary. (The underlying scheduler
- * must itself be deterministic — the seeded Random/Exhaustive baselines
- * are; CoSA under a wall-clock MIP time limit and Hybrid's internal
- * racing threads are deterministic only up to their own time limits.)
+ * with different `num_threads` produce identical mappings, evaluations,
+ * counters and progress-event sequences; only wall-clock fields vary.
+ * (The underlying scheduler must itself be deterministic — the seeded
+ * Random/Exhaustive baselines are; CoSA under a wall-clock MIP time
+ * limit and Hybrid's internal racing threads are deterministic only up
+ * to their own time limits.)
  */
 
 #include <memory>
@@ -32,7 +44,9 @@
 #include <vector>
 
 #include "cosa/scheduler.hpp"
+#include "engine/network_result.hpp"
 #include "engine/schedule_cache.hpp"
+#include "engine/schedule_job.hpp"
 #include "mapper/exhaustive_mapper.hpp"
 #include "mapper/hybrid_mapper.hpp"
 #include "mapper/random_mapper.hpp"
@@ -72,8 +86,15 @@ struct EngineConfig
      */
     bool warm_start_hints = true;
     /** Objective used to compare portfolio members and passed down to
-     *  the search baselines. */
+     *  the search baselines (and CoSA's final candidate pick). */
     SearchObjective objective = SearchObjective::Latency;
+    /**
+     * Evaluation backend scoring every schedule (see
+     * model/evaluator.hpp); null selects the analytical model. Share
+     * one instance across engines — it is stateless and its
+     * fingerprint partitions the cache.
+     */
+    std::shared_ptr<const Evaluator> evaluator;
 
     CosaConfig cosa;
     RandomMapperConfig random;
@@ -81,66 +102,11 @@ struct EngineConfig
     ExhaustiveMapperConfig exhaustive;
 };
 
-/** One layer instance's scheduling outcome within a network. */
-struct LayerScheduleResult
-{
-    LayerSpec layer;      //!< the instance, in workload order
-    SearchResult result;  //!< schedule + evaluation + original stats
-    /** Served from the cross-query ScheduleCache. */
-    bool from_cache = false;
-    /** Shape duplicate of an earlier instance in this same query. */
-    bool deduplicated = false;
-    /** Index of the instance's unique problem within this query. */
-    int unique_index = -1;
-};
-
-/** Whole-network scheduling outcome with engine accounting. */
-struct NetworkResult
-{
-    std::string network;   //!< workload name
-    std::string arch;      //!< arch display name
-    std::string scheduler; //!< scheduler kind name
-
-    std::vector<LayerScheduleResult> layers; //!< workload order
-    bool all_found = true; //!< every layer got a valid schedule
-
-    // Aggregates over layers with a schedule.
-    double total_cycles = 0.0;
-    double total_energy_pj = 0.0;
-    /** Network energy-delay product (aggregate energy x latency). */
-    double edp() const { return total_cycles * total_energy_pj; }
-
-    /** Summed search statistics of the solves this query performed
-     *  (cache hits contribute nothing here). */
-    SearchStats search;
-
-    // Engine accounting for this query.
-    std::int64_t num_layers = 0;     //!< layer instances requested
-    std::int64_t num_unique = 0;     //!< distinct canonical problems
-    std::int64_t num_solved = 0;     //!< problems solved right now
-    std::int64_t num_cache_hits = 0; //!< problems served from the cache
-    /** Solves seeded with a nearest-neighbor schedule from the cache. */
-    std::int64_t num_warm_hints = 0;
-    /** Seeded solves whose hint the MIP accepted as an incumbent. */
-    std::int64_t num_warm_hits = 0;
-    double wall_time_sec = 0.0;      //!< end-to-end query wall time
-
-    /** Portfolio accounting: which member produced the kept schedule,
-     *  over the problems this query solved (ROADMAP win-rate item).
-     *  All zero for non-portfolio schedulers and pure cache hits. */
-    struct PortfolioWins
-    {
-        std::int64_t cosa = 0;
-        std::int64_t random = 0;
-        std::int64_t hybrid = 0;
-    };
-    PortfolioWins portfolio_wins;
-};
-
 /**
  * Batch scheduling engine. Thread-compatible: one engine may serve
- * concurrent scheduleNetwork() calls (the cache is internally locked);
- * a single call parallelizes internally via its thread pool.
+ * concurrent queries (the cache is internally locked); a single query
+ * parallelizes internally via its thread pool. The engine must outlive
+ * every ScheduleJob submitted on it.
  */
 class SchedulingEngine
 {
@@ -154,15 +120,30 @@ class SchedulingEngine
     explicit SchedulingEngine(EngineConfig config = {},
                               std::shared_ptr<ScheduleCache> cache = nullptr);
 
-    /** Schedule every layer of @p workload on @p arch. */
+    /**
+     * Asynchronously schedule a batch of networks on one arch. Returns
+     * immediately; the batch shares a single canonicalization pass and
+     * thread-pool run, so shapes recurring across networks are solved
+     * once. See ScheduleJob for wait/cancel/progress semantics.
+     *
+     * @param on_progress optional progress subscriber installed before
+     *        the job starts — unlike a post-submit onProgress() call it
+     *        observes every event live, which makes callback-driven
+     *        cancellation (e.g. "cancel after the third problem")
+     *        deterministic.
+     */
+    ScheduleJob submit(std::vector<Workload> workloads, const ArchSpec& arch,
+                       ScheduleJob::ProgressCallback on_progress = {}) const;
+
+    /** Asynchronously schedule one network. */
+    ScheduleJob submit(const Workload& workload, const ArchSpec& arch,
+                       ScheduleJob::ProgressCallback on_progress = {}) const;
+
+    /** Blocking wrapper: submit(workload).wait(). */
     NetworkResult scheduleNetwork(const Workload& workload,
                                   const ArchSpec& arch) const;
 
-    /**
-     * Schedule a batch of networks on one arch. The batch shares a
-     * single canonicalization pass and thread-pool run, so shapes
-     * recurring across networks are solved once.
-     */
+    /** Blocking wrapper: submit(workloads).wait(). */
     std::vector<NetworkResult> scheduleNetworks(
         const std::vector<Workload>& workloads, const ArchSpec& arch) const;
 
@@ -173,6 +154,9 @@ class SchedulingEngine
     const EngineConfig& config() const { return config_; }
     const std::shared_ptr<ScheduleCache>& cache() const { return cache_; }
     ScheduleCacheStats cacheStats() const { return cache_->stats(); }
+
+    /** The evaluation backend this engine scores schedules with. */
+    const Evaluator& evaluator() const { return *config_.evaluator; }
 
     /**
      * Serialization of every scheduler tunable that can change a solve's
@@ -188,6 +172,11 @@ class SchedulingEngine
      *  call's task slot. */
     SearchResult solveOne(const LayerSpec& layer, const ArchSpec& arch,
                           const std::vector<Mapping>& warm_hints) const;
+
+    /** The job body: the four pipeline phases, run on the job's runner
+     *  thread, publishing progress/results into @p state. */
+    void runJob(std::shared_ptr<ScheduleJob::State> state,
+                std::vector<Workload> workloads, ArchSpec arch) const;
 
     EngineConfig config_;
     std::shared_ptr<ScheduleCache> cache_;

@@ -13,11 +13,19 @@ ExhaustiveMapper::ExhaustiveMapper(ExhaustiveMapperConfig config)
 SearchResult
 ExhaustiveMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
 {
+    return schedule(layer, arch, defaultEvaluator());
+}
+
+SearchResult
+ExhaustiveMapper::schedule(const LayerSpec& layer, const ArchSpec& arch,
+                           const Evaluator& evaluator) const
+{
     const double start = wallTimeSec();
     SearchResult result;
     result.scheduler = "Exhaustive";
 
-    AnalyticalModel model(layer, arch);
+    const auto bound = evaluator.bind(layer, arch);
+    CandidateSelector select(evaluator, *bound, config_.objective);
     FactorPool pool(layer);
 
     // Per-factor slot alphabet: (level, temporal) always; (level,
@@ -43,7 +51,6 @@ ExhaustiveMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
     assignment.spatial.assign(static_cast<std::size_t>(pool.size()), false);
     std::vector<int> code(static_cast<std::size_t>(pool.size()), 0);
 
-    double best_metric = 0.0;
     bool done = pool.size() == 0;
     while (!done) {
         for (int f = 0; f < pool.size(); ++f) {
@@ -60,17 +67,11 @@ ExhaustiveMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
         }
         for (const Mapping& candidate : candidates) {
             ++result.stats.samples;
-            const Evaluation ev = model.evaluate(candidate);
+            const Evaluation ev = bound->searchEvaluate(candidate);
             if (!ev.valid)
                 continue;
             ++result.stats.valid_evaluated;
-            const double metric = objectiveValue(ev, config_.objective);
-            if (!result.found || metric < best_metric) {
-                result.found = true;
-                best_metric = metric;
-                result.mapping = candidate;
-                result.eval = ev;
-            }
+            select.offer(candidate, ev);
         }
         // Odometer increment over the per-factor slot codes.
         done = true;
@@ -81,6 +82,11 @@ ExhaustiveMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
             }
             code[f] = 0;
         }
+    }
+    if (auto winner = select.finalize()) {
+        result.found = true;
+        result.mapping = std::move(winner->mapping);
+        result.eval = std::move(winner->eval);
     }
     result.stats.search_time_sec = wallTimeSec() - start;
     return result;

@@ -32,6 +32,10 @@ class ExhaustiveMapper
 
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
 
+    /** Same enumeration, scored by @p evaluator (see Evaluator). */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
+                          const Evaluator& evaluator) const;
+
   private:
     ExhaustiveMapperConfig config_;
 };

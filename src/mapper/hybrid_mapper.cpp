@@ -16,23 +16,33 @@ HybridMapper::HybridMapper(HybridMapperConfig config)
 SearchResult
 HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
 {
+    return schedule(layer, arch, defaultEvaluator());
+}
+
+SearchResult
+HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch,
+                       const Evaluator& evaluator) const
+{
     const double start = wallTimeSec();
     SearchResult result;
     result.scheduler = "TimeloopHybrid";
 
-    AnalyticalModel model(layer, arch);
+    const auto bound = evaluator.bind(layer, arch);
     FactorPool pool(layer);
 
+    // Per-thread candidate funnels, merged in thread-id order after the
+    // join so the kept top-k (and thus the winner on tie) is
+    // deterministic regardless of completion order.
+    std::vector<CandidateSelector> locals(
+        static_cast<std::size_t>(config_.num_threads),
+        CandidateSelector(evaluator, *bound, config_.objective));
     std::mutex merge_mutex;
-    double best_metric = 0.0;
 
     auto worker = [&](int thread_id) {
         Rng rng(config_.seed + 0x9e37 * static_cast<std::uint64_t>(thread_id));
         SearchStats stats;
-        bool local_found = false;
-        Mapping local_best;
-        Evaluation local_eval;
-        double local_metric = 0.0;
+        CandidateSelector& select =
+            locals[static_cast<std::size_t>(thread_id)];
         int consecutive_suboptimal = 0;
 
         while (consecutive_suboptimal < config_.victory_condition &&
@@ -49,7 +59,7 @@ HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
             // Early validity probe: if the factorization itself violates
             // capacity, one evaluation suffices (tiling-identical perms
             // share validity).
-            const Evaluation probe = model.evaluate(candidates.front());
+            const Evaluation probe = bound->searchEvaluate(candidates.front());
             ++stats.samples;
             if (!probe.valid) {
                 continue;
@@ -57,18 +67,12 @@ HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
             for (std::size_t ci = 0; ci < candidates.size(); ++ci) {
                 const Mapping& candidate = candidates[ci];
                 const Evaluation ev =
-                    ci == 0 ? probe : model.evaluate(candidate);
+                    ci == 0 ? probe : bound->searchEvaluate(candidate);
                 stats.samples += ci == 0 ? 0 : 1;
                 if (!ev.valid)
                     continue;
                 ++stats.valid_evaluated;
-                const double metric =
-                    objectiveValue(ev, config_.objective);
-                if (!local_found || metric < local_metric) {
-                    local_found = true;
-                    local_metric = metric;
-                    local_best = candidate;
-                    local_eval = ev;
+                if (select.offer(candidate, ev)) {
                     consecutive_suboptimal = 0;
                 } else {
                     ++consecutive_suboptimal;
@@ -82,12 +86,6 @@ HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
         std::lock_guard<std::mutex> lock(merge_mutex);
         result.stats.samples += stats.samples;
         result.stats.valid_evaluated += stats.valid_evaluated;
-        if (local_found && (!result.found || local_metric < best_metric)) {
-            result.found = true;
-            best_metric = local_metric;
-            result.mapping = local_best;
-            result.eval = local_eval;
-        }
     };
 
     std::vector<std::thread> threads;
@@ -96,6 +94,17 @@ HybridMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
         threads.emplace_back(worker, t);
     for (auto& t : threads)
         t.join();
+
+    // Deterministic merge: every thread's kept candidates, in thread
+    // order, flow into one funnel which then re-scores the top-k.
+    CandidateSelector merged(evaluator, *bound, config_.objective);
+    for (const CandidateSelector& local : locals)
+        local.drainInto(merged);
+    if (auto winner = merged.finalize()) {
+        result.found = true;
+        result.mapping = std::move(winner->mapping);
+        result.eval = std::move(winner->eval);
+    }
 
     result.stats.search_time_sec = wallTimeSec() - start;
     return result;

@@ -37,6 +37,12 @@ class HybridMapper
 
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
 
+    /** Same search, scored by @p evaluator (see Evaluator): threads
+     *  prune with searchEvaluate(); the merged per-thread top
+     *  candidates are re-scored on the full platform. */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
+                          const Evaluator& evaluator) const;
+
   private:
     HybridMapperConfig config_;
 };

@@ -11,19 +11,13 @@
 #include <cstdint>
 #include <string>
 
-#include "model/analytical_model.hpp"
+// SearchObjective, objectiveValue() and the pluggable evaluation
+// backends live with the models; mappers re-export them because every
+// scheduler config embeds an objective and every schedule() call can
+// take an Evaluator.
+#include "model/evaluator.hpp"
 
 namespace cosa {
-
-/** Optimization target for search-based mappers. */
-enum class SearchObjective {
-    Latency, //!< minimize model cycles
-    Energy,  //!< minimize model energy
-    Edp,     //!< minimize energy-delay product
-};
-
-/** Metric value of an evaluation under an objective. */
-double objectiveValue(const Evaluation& ev, SearchObjective objective);
 
 /** Statistics of one scheduling run (Table VI columns). */
 struct SearchStats

@@ -12,17 +12,6 @@ wallTimeSec()
         .count();
 }
 
-double
-objectiveValue(const Evaluation& ev, SearchObjective objective)
-{
-    switch (objective) {
-      case SearchObjective::Latency: return ev.cycles;
-      case SearchObjective::Energy: return ev.energy_pj;
-      case SearchObjective::Edp: return ev.edp();
-    }
-    return ev.cycles;
-}
-
 RandomMapper::RandomMapper(RandomMapperConfig config)
     : config_(std::move(config))
 {
@@ -31,16 +20,23 @@ RandomMapper::RandomMapper(RandomMapperConfig config)
 SearchResult
 RandomMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
 {
+    return schedule(layer, arch, defaultEvaluator());
+}
+
+SearchResult
+RandomMapper::schedule(const LayerSpec& layer, const ArchSpec& arch,
+                       const Evaluator& evaluator) const
+{
     const double start = wallTimeSec();
     SearchResult result;
     result.scheduler = "Random";
 
-    AnalyticalModel model(layer, arch);
+    const auto bound = evaluator.bind(layer, arch);
+    CandidateSelector select(evaluator, *bound, config_.objective);
     FactorPool pool(layer);
     Rng rng(config_.seed);
 
     int valid_found = 0;
-    double best_metric = 0.0;
     for (std::int64_t s = 0;
          s < config_.max_samples && valid_found < config_.target_valid;
          ++s) {
@@ -48,18 +44,17 @@ RandomMapper::schedule(const LayerSpec& layer, const ArchSpec& arch) const
         FactorAssignment assignment = sampleAssignment(pool, arch, rng);
         Mapping mapping = buildMapping(pool, assignment, arch);
         shuffleLoopOrders(mapping, rng);
-        const Evaluation ev = model.evaluate(mapping);
+        const Evaluation ev = bound->searchEvaluate(mapping);
         if (!ev.valid)
             continue;
         ++result.stats.valid_evaluated;
         ++valid_found;
-        const double metric = objectiveValue(ev, config_.objective);
-        if (!result.found || metric < best_metric) {
-            result.found = true;
-            best_metric = metric;
-            result.mapping = std::move(mapping);
-            result.eval = ev;
-        }
+        select.offer(mapping, ev);
+    }
+    if (auto winner = select.finalize()) {
+        result.found = true;
+        result.mapping = std::move(winner->mapping);
+        result.eval = std::move(winner->eval);
     }
     result.stats.search_time_sec = wallTimeSec() - start;
     return result;

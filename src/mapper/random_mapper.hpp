@@ -30,8 +30,15 @@ class RandomMapper
   public:
     explicit RandomMapper(RandomMapperConfig config = {});
 
-    /** Search for the best of the first few valid schedules. */
+    /** Search for the best of the first few valid schedules on the
+     *  default (analytical) evaluation backend. */
     SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch) const;
+
+    /** Same search, scored by @p evaluator: candidates are pruned with
+     *  its searchEvaluate() and the winner re-scored by its full
+     *  platform (see Evaluator). */
+    SearchResult schedule(const LayerSpec& layer, const ArchSpec& arch,
+                          const Evaluator& evaluator) const;
 
     /**
      * Draw valid mappings until @p count are found (or the try budget is

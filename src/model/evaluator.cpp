@@ -1,0 +1,265 @@
+#include "model/evaluator.hpp"
+
+#include <algorithm>
+#include <cstring>
+#include <limits>
+#include <sstream>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+double
+objectiveValue(const Evaluation& ev, SearchObjective objective)
+{
+    switch (objective) {
+      case SearchObjective::Latency: return ev.cycles;
+      case SearchObjective::Energy: return ev.energy_pj;
+      case SearchObjective::Edp: return ev.edp();
+    }
+    return ev.cycles;
+}
+
+const char*
+searchObjectiveName(SearchObjective objective)
+{
+    switch (objective) {
+      case SearchObjective::Latency: return "latency";
+      case SearchObjective::Energy: return "energy";
+      case SearchObjective::Edp: return "edp";
+    }
+    return "latency";
+}
+
+bool
+parseSearchObjective(const std::string& text, SearchObjective* out)
+{
+    for (SearchObjective objective :
+         {SearchObjective::Latency, SearchObjective::Energy,
+          SearchObjective::Edp}) {
+        if (text == searchObjectiveName(objective)) {
+            *out = objective;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parseObjectiveFlag(int argc, char** argv, int* a,
+                   SearchObjective* objective)
+{
+    if (std::strcmp(argv[*a], "--objective") != 0)
+        return false;
+    if (*a + 1 >= argc || !parseSearchObjective(argv[*a + 1], objective)) {
+        fatal("--objective expects one of: latency, energy, edp");
+    }
+    ++*a;
+    return true;
+}
+
+const Evaluator&
+defaultEvaluator()
+{
+    static const AnalyticalEvaluator instance;
+    return instance;
+}
+
+namespace {
+
+/** Analytical backend bound to one problem. */
+class AnalyticalBound final : public BoundEvaluator
+{
+  public:
+    AnalyticalBound(const LayerSpec& layer, const ArchSpec& arch)
+        : model_(layer, arch)
+    {
+    }
+
+    Evaluation evaluate(const Mapping& mapping) const override
+    {
+        return model_.evaluate(mapping);
+    }
+
+  private:
+    AnalyticalModel model_;
+};
+
+/**
+ * Simulator-backed bound evaluator shared by NocSim and Cascade:
+ * analytical model for search pruning, ScheduleSimulator for the full
+ * evaluation (analytical energy/breakdown, simulated cycles).
+ */
+class NocSimBound final : public BoundEvaluator
+{
+  public:
+    NocSimBound(const LayerSpec& layer, const ArchSpec& arch,
+                const ScheduleSimConfig& config)
+        : model_(layer, arch), sim_(layer, arch, config)
+    {
+    }
+
+    Evaluation searchEvaluate(const Mapping& mapping) const override
+    {
+        return model_.evaluate(mapping);
+    }
+
+    Evaluation evaluate(const Mapping& mapping) const override
+    {
+        Evaluation ev = model_.evaluate(mapping);
+        if (!ev.valid)
+            return ev;
+        const SimResult sim = sim_.simulate(mapping);
+        if (!sim.ok) {
+            ev.valid = false;
+            ev.invalid_reason = "noc-sim: " + sim.error;
+            return ev;
+        }
+        ev.cycles = static_cast<double>(sim.cycles);
+        return ev;
+    }
+
+  private:
+    AnalyticalModel model_;
+    ScheduleSimulator sim_;
+};
+
+void
+appendSimConfigKey(std::ostringstream& oss, const ScheduleSimConfig& c)
+{
+    oss << "noc(" << c.noc.nx << "," << c.noc.ny << "," << c.noc.flit_bytes
+        << "," << c.noc.max_packet_flits << "," << c.noc.input_buffer_packets
+        << "," << c.noc.router_latency << "),dram(" << c.dram.num_banks << ","
+        << c.dram.row_bytes << "," << c.dram.t_cas << "," << c.dram.t_rcd
+        << "," << c.dram.t_rp << "," << c.dram.burst_bytes << ","
+        << c.dram.burst_cycles << "," << c.dram.queue_depth << "),sim("
+        << c.prefetch_window << "," << c.max_cycles << ","
+        << c.sample_iterations << "," << c.progress_timeout << ")";
+}
+
+} // namespace
+
+std::unique_ptr<BoundEvaluator>
+AnalyticalEvaluator::bind(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    return std::make_unique<AnalyticalBound>(layer, arch);
+}
+
+std::string
+AnalyticalEvaluator::fingerprint() const
+{
+    return "analytical/v1";
+}
+
+NocSimEvaluator::NocSimEvaluator(ScheduleSimConfig config)
+    : config_(config)
+{
+}
+
+std::unique_ptr<BoundEvaluator>
+NocSimEvaluator::bind(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    return std::make_unique<NocSimBound>(layer, arch, config_);
+}
+
+std::string
+NocSimEvaluator::fingerprint() const
+{
+    std::ostringstream oss;
+    oss << "nocsim/v1[";
+    appendSimConfigKey(oss, config_);
+    oss << "]";
+    return oss.str();
+}
+
+CascadeEvaluator::CascadeEvaluator(int top_k, ScheduleSimConfig config)
+    : top_k_(std::max(top_k, 1)), config_(config)
+{
+}
+
+std::unique_ptr<BoundEvaluator>
+CascadeEvaluator::bind(const LayerSpec& layer, const ArchSpec& arch) const
+{
+    return std::make_unique<NocSimBound>(layer, arch, config_);
+}
+
+std::string
+CascadeEvaluator::fingerprint() const
+{
+    std::ostringstream oss;
+    oss << "cascade/v1[k=" << top_k_ << ";";
+    appendSimConfigKey(oss, config_);
+    oss << "]";
+    return oss.str();
+}
+
+CandidateSelector::CandidateSelector(const Evaluator& evaluator,
+                                     const BoundEvaluator& bound,
+                                     SearchObjective objective)
+    : evaluator_(evaluator), bound_(bound), objective_(objective),
+      top_k_(std::max(evaluator.rescoreTopK(), 1))
+{
+}
+
+bool
+CandidateSelector::offer(const Mapping& mapping,
+                         const Evaluation& search_eval)
+{
+    const double metric = objectiveValue(search_eval, objective_);
+    const bool new_best = kept_.empty() || metric < kept_.front().metric;
+    if (static_cast<int>(kept_.size()) >= top_k_ &&
+        metric >= kept_.back().metric)
+        return false; // not better than any kept candidate
+    // Duplicate mappings would waste cascade simulations.
+    for (const Candidate& kept : kept_) {
+        if (kept.mapping == mapping)
+            return false;
+    }
+    // Insert after equal metrics: ties keep the earlier offer first.
+    auto pos = std::upper_bound(
+        kept_.begin(), kept_.end(), metric,
+        [](double m, const Candidate& c) { return m < c.metric; });
+    kept_.insert(pos, Candidate{mapping, search_eval, metric});
+    if (static_cast<int>(kept_.size()) > top_k_)
+        kept_.pop_back();
+    return new_best;
+}
+
+void
+CandidateSelector::drainInto(CandidateSelector& other) const
+{
+    for (const Candidate& candidate : kept_)
+        other.offer(candidate.mapping, candidate.eval);
+}
+
+double
+CandidateSelector::bestSearchMetric() const
+{
+    return kept_.empty() ? 0.0 : kept_.front().metric;
+}
+
+std::optional<CandidateSelector::Winner>
+CandidateSelector::finalize() const
+{
+    if (kept_.empty())
+        return std::nullopt;
+    if (evaluator_.searchIsExact())
+        return Winner{kept_.front().mapping, kept_.front().eval};
+    // Re-score on the full platform; the full metric picks the winner,
+    // search order (= kept_ order) breaks ties deterministically.
+    std::optional<Winner> best;
+    double best_metric = 0.0;
+    for (const Candidate& candidate : kept_) {
+        Evaluation full = bound_.evaluate(candidate.mapping);
+        if (!full.valid)
+            continue;
+        const double metric = objectiveValue(full, objective_);
+        if (!best || metric < best_metric) {
+            best_metric = metric;
+            best = Winner{candidate.mapping, std::move(full)};
+        }
+    }
+    return best;
+}
+
+} // namespace cosa

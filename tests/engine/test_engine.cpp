@@ -75,11 +75,34 @@ TEST(ScheduleCache, KeySeparatesComponents)
 {
     ScheduleCache cache;
     SearchResult result;
-    cache.insert({"l1", "a1", "s1"}, result, LayerSpec{});
-    EXPECT_TRUE(cache.contains({"l1", "a1", "s1"}));
-    EXPECT_FALSE(cache.contains({"l2", "a1", "s1"}));
-    EXPECT_FALSE(cache.contains({"l1", "a2", "s1"}));
-    EXPECT_FALSE(cache.contains({"l1", "a1", "s2"}));
+    cache.insert({"l1", "a1", "s1", "e1"}, result, LayerSpec{});
+    EXPECT_TRUE(cache.contains({"l1", "a1", "s1", "e1"}));
+    EXPECT_FALSE(cache.contains({"l2", "a1", "s1", "e1"}));
+    EXPECT_FALSE(cache.contains({"l1", "a2", "s1", "e1"}));
+    EXPECT_FALSE(cache.contains({"l1", "a1", "s2", "e1"}));
+    EXPECT_FALSE(cache.contains({"l1", "a1", "s1", "e2"}));
+    EXPECT_FALSE(cache.contains({"l1", "a1", "s1"})); // "" evaluator
+}
+
+TEST(ScheduleCache, NearestNeighborFiltersByEvaluator)
+{
+    ScheduleCache cache;
+    SearchResult found;
+    found.found = true;
+    found.eval.cycles = 11.0;
+    const LayerSpec near = LayerSpec::fromLabel("3_14_256_512_1");
+    cache.insert({near.canonicalKey(), "arch", "s", "analytical/v1"},
+                 found, near);
+
+    const LayerSpec target = LayerSpec::fromLabel("3_14_256_256_1");
+    EXPECT_TRUE(
+        cache.nearestNeighbor("arch", "s", "analytical/v1", target)
+            .has_value());
+    // A different evaluation backend shares nothing — an analytical
+    // schedule must never seed (or answer) a simulator-backed query.
+    EXPECT_FALSE(
+        cache.nearestNeighbor("arch", "s", "nocsim/v1", target)
+            .has_value());
 }
 
 TEST(CanonicalKey, IgnoresNameButNotShape)
@@ -266,6 +289,47 @@ TEST(SchedulingEngine, SchedulerConfigPartitionsCache)
     EXPECT_EQ(cache->stats().entries, 2);
 }
 
+TEST(SchedulingEngine, EvaluatorFingerprintPartitionsCache)
+{
+    // Same layer, arch and scheduler config — only the evaluation
+    // backend differs. The shared cache must keep the results apart:
+    // an entry solved under the analytical model is never served to a
+    // simulator-backed engine (whose cycles mean something else).
+    auto cache = std::make_shared<ScheduleCache>();
+    EngineConfig config = fastRandomConfig(1);
+    EngineConfig sim_config = config;
+    sim_config.evaluator = std::make_shared<NocSimEvaluator>();
+    const SchedulingEngine analytical(config, cache);
+    const SchedulingEngine simulated(sim_config, cache);
+    ASSERT_EQ(analytical.schedulerKey(), simulated.schedulerKey());
+    EXPECT_NE(analytical.evaluator().fingerprint(),
+              simulated.evaluator().fingerprint());
+
+    const LayerSpec layer = workloads::listing1Layer();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const SearchResult a1 = analytical.scheduleLayer(layer, arch);
+    EXPECT_EQ(cache->stats().misses, 1);
+    const SearchResult s1 = simulated.scheduleLayer(layer, arch);
+    EXPECT_EQ(cache->stats().misses, 2); // no false hit across backends
+    EXPECT_EQ(cache->stats().entries, 2);
+
+    // Each engine re-queries its own entry.
+    analytical.scheduleLayer(layer, arch);
+    simulated.scheduleLayer(layer, arch);
+    EXPECT_EQ(cache->stats().hits, 2);
+    EXPECT_EQ(cache->stats().entries, 2);
+
+    // Same search, different platforms: the winning mapping coincides
+    // (both searches prune analytically) but the simulated cycles are
+    // the simulator's, not the model's.
+    ASSERT_TRUE(a1.found);
+    ASSERT_TRUE(s1.found);
+    EXPECT_EQ(a1.mapping, s1.mapping);
+    const SimResult sim = ScheduleSimulator(layer, arch).simulate(s1.mapping);
+    ASSERT_TRUE(sim.ok);
+    EXPECT_EQ(s1.eval.cycles, static_cast<double>(sim.cycles));
+}
+
 TEST(SchedulingEngine, ScheduleLayerFindsValidSchedule)
 {
     const SchedulingEngine engine(fastRandomConfig(1));
@@ -336,13 +400,13 @@ TEST(ScheduleCache, NearestNeighborRanksByShapeThenArch)
 
     // Nearest shape wins regardless of insertion order.
     found.eval.cycles = 1.0;
-    const auto nn = cache.nearestNeighbor("arch1", "s", a);
+    const auto nn = cache.nearestNeighbor("arch1", "s", "", a);
     ASSERT_TRUE(nn.has_value());
     // Distinguish entries via a marker on b's result.
     SearchResult marked = found;
     marked.eval.cycles = 123.0;
     cache.insert({b.canonicalKey(), "arch1", "s"}, marked, b);
-    const auto nn2 = cache.nearestNeighbor("arch1", "s", a);
+    const auto nn2 = cache.nearestNeighbor("arch1", "s", "", a);
     ASSERT_TRUE(nn2.has_value());
     EXPECT_EQ(nn2->eval.cycles, 123.0);
 
@@ -351,17 +415,17 @@ TEST(ScheduleCache, NearestNeighborRanksByShapeThenArch)
     SearchResult other_arch = found;
     other_arch.eval.cycles = 77.0;
     cache.insert({a.canonicalKey(), "arch2", "s"}, other_arch, a);
-    const auto nn3 = cache.nearestNeighbor("arch1", "s", a);
+    const auto nn3 = cache.nearestNeighbor("arch1", "s", "", a);
     ASSERT_TRUE(nn3.has_value());
     EXPECT_EQ(nn3->eval.cycles, 77.0);
 
     // The exact (layer, arch) pair is never its own neighbor, and a
     // different scheduler key shares nothing.
     cache.insert({a.canonicalKey(), "arch1", "s"}, marked, a);
-    const auto nn4 = cache.nearestNeighbor("arch1", "s", a);
+    const auto nn4 = cache.nearestNeighbor("arch1", "s", "", a);
     ASSERT_TRUE(nn4.has_value());
     EXPECT_EQ(nn4->eval.cycles, 77.0); // still the arch2 twin, not self
-    EXPECT_FALSE(cache.nearestNeighbor("arch1", "other", a).has_value());
+    EXPECT_FALSE(cache.nearestNeighbor("arch1", "other", "", a).has_value());
     EXPECT_EQ(cache.stats().neighbor_hits, 4);
 }
 
