@@ -7,47 +7,98 @@
  * overall, with TLH sometimes *below* Random on conv layers and FC
  * layers showing little differentiation).
  *
- * Runs entirely through the scheduling engine with a NocSimEvaluator
- * backend: each scheduler searches against the analytical model
- * exactly as the historical hand-rolled loop did, and the engine
- * re-scores every winner with one full ScheduleSimulator run — same
- * per-layer simulated cycles, but with batch dedup, async submission
- * and live progress instead of a bespoke per-layer loop.
+ *   ./bench_fig10_noc_speedup [--pick {analytical,cascade}]
+ *
+ * --pick analytical (default): each search's winner is the best
+ * *analytical* candidate, re-scored once by the simulator
+ * (NocSimEvaluator) — the paper's protocol and the historical
+ * behavior, byte-identical output.
+ *
+ * --pick cascade: the simulator re-scores the top-k analytical
+ * candidates and picks among them (CascadeEvaluator), so simulation
+ * can overturn the analytical ranking. The bench then runs *both*
+ * backends and reports, per scheduler, how often the cascade's pick
+ * differs from the analytical pick and what the simulated cycles
+ * gained — quantifying how often the two platforms disagree about
+ * which schedule is best.
+ *
+ * Runs entirely through the scheduling engine: each scheduler searches
+ * against the analytical model exactly as the historical hand-rolled
+ * loop did, and the engine re-scores winners with full
+ * ScheduleSimulator runs — with batch dedup, async submission and live
+ * progress instead of a bespoke per-layer loop.
  */
 
+#include <cstring>
+
 #include "bench_util.hpp"
+#include "common/logging.hpp"
 
 int
-main()
+main(int argc, char** argv)
 {
     using namespace cosa;
+    bool cascade_pick = false;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--pick") == 0 && a + 1 < argc) {
+            const std::string value = argv[++a];
+            if (value == "cascade")
+                cascade_pick = true;
+            else if (value != "analytical")
+                fatal("unknown --pick \"", value,
+                      "\" (expected analytical or cascade)");
+        } else {
+            fatal("unknown argument \"", argv[a], "\"");
+        }
+    }
+
     const ArchSpec arch = ArchSpec::simbaBaseline();
 
     std::vector<Workload> suites;
     for (const Workload& suite : workloads::allSuites())
         suites.push_back(bench::subsetOf(suite));
 
-    // One simulator backend shared by the three engines.
+    // One backend instance per platform, shared by the engines.
     const auto noc_sim = std::make_shared<NocSimEvaluator>();
-    auto scheduleAll = [&](SchedulerKind kind) {
+    const auto cascade = std::make_shared<CascadeEvaluator>();
+    auto scheduleAll = [&](SchedulerKind kind,
+                           std::shared_ptr<const Evaluator> evaluator,
+                           const char* tag) {
         EngineConfig config = bench::defaultEngineConfig(kind);
-        config.evaluator = noc_sim;
+        config.evaluator = std::move(evaluator);
         // Parity with the historical direct per-layer loop (and the
         // paper's protocol): every solve is cold, no cross-layer seeds.
         config.warm_start_hints = false;
         const SchedulingEngine engine(config);
         return bench::runWithProgress(
-            std::string("fig10/") + schedulerKindName(kind), engine,
+            std::string("fig10/") + tag + schedulerKindName(kind), engine,
             suites, arch);
     };
-    const auto r_rnd = scheduleAll(SchedulerKind::Random);
-    const auto r_tlh = scheduleAll(SchedulerKind::Hybrid);
-    const auto r_cosa = scheduleAll(SchedulerKind::Cosa);
+    const SchedulerKind kinds[3] = {SchedulerKind::Random,
+                                    SchedulerKind::Hybrid,
+                                    SchedulerKind::Cosa};
+    std::vector<NetworkResult> analytical_pick[3];
+    for (int s = 0; s < 3; ++s)
+        analytical_pick[s] = scheduleAll(kinds[s], noc_sim, "");
+    std::vector<NetworkResult> cascade_results[3];
+    if (cascade_pick) {
+        for (int s = 0; s < 3; ++s)
+            cascade_results[s] =
+                scheduleAll(kinds[s], cascade, "cascade/");
+    }
+    // The speedup tables report the requested pick's schedules.
+    const auto& r_rnd = cascade_pick ? cascade_results[0]
+                                     : analytical_pick[0];
+    const auto& r_tlh = cascade_pick ? cascade_results[1]
+                                     : analytical_pick[1];
+    const auto& r_cosa = cascade_pick ? cascade_results[2]
+                                      : analytical_pick[2];
 
     std::vector<double> tlh_all, cosa_all;
     for (std::size_t n = 0; n < suites.size(); ++n) {
         TextTable table("Fig. 10 [" + suites[n].name +
-                        "]: speedup over Random (NoC simulator)");
+                        "]: speedup over Random (NoC simulator" +
+                        (cascade_pick ? ", cascade pick)" : ")"));
         table.setHeader({"layer", "random_MCyc", "tlh_x", "cosa_x"});
         std::vector<double> tlh_net, cosa_net;
         for (std::size_t l = 0; l < suites[n].layers.size(); ++l) {
@@ -80,5 +131,53 @@ main()
               << "TimeloopHybrid " << TextTable::fmt(geomean(tlh_all), 2)
               << "x   CoSA " << TextTable::fmt(geomean(cosa_all), 2)
               << "x   (paper: 1.3x / 3.3x)\n";
+
+    if (cascade_pick) {
+        // How often does simulating the top-k candidates overturn the
+        // analytical ranking — i.e. the cascade keeps a different
+        // schedule than "best analytical candidate, then simulate"?
+        TextTable table("Cascade vs analytical pick (per scheduler)");
+        table.setHeader({"scheduler", "layers", "overturned", "share",
+                         "sim_speedup_all", "sim_speedup_overturned"});
+        for (int s = 0; s < 3; ++s) {
+            int layers = 0;
+            int overturned = 0;
+            std::vector<double> gain_all, gain_overturned;
+            for (std::size_t n = 0; n < suites.size(); ++n) {
+                for (std::size_t l = 0; l < suites[n].layers.size();
+                     ++l) {
+                    const SearchResult& ana =
+                        analytical_pick[s][n].layers[l].result;
+                    const SearchResult& cas =
+                        cascade_results[s][n].layers[l].result;
+                    if (!ana.found || !cas.found)
+                        continue;
+                    ++layers;
+                    const double gain = ana.eval.cycles / cas.eval.cycles;
+                    gain_all.push_back(gain);
+                    if (!(cas.mapping == ana.mapping)) {
+                        ++overturned;
+                        gain_overturned.push_back(gain);
+                    }
+                }
+            }
+            table.addRow(
+                {schedulerKindName(kinds[s]), std::to_string(layers),
+                 std::to_string(overturned),
+                 TextTable::fmt(layers == 0
+                                    ? 0.0
+                                    : 100.0 * overturned / layers,
+                                1) + "%",
+                 TextTable::fmt(geomean(gain_all), 3) + "x",
+                 gain_overturned.empty()
+                     ? std::string("-")
+                     : TextTable::fmt(geomean(gain_overturned), 3) + "x"});
+        }
+        table.print(std::cout);
+        std::cout << "(overturned = the simulator kept a different "
+                     "top-k candidate than the analytical ranking; "
+                     "speedups are simulated cycles, analytical pick / "
+                     "cascade pick)\n";
+    }
     return 0;
 }

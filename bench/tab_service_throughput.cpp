@@ -1,0 +1,297 @@
+/**
+ * @file
+ * Serving throughput of the multi-tenant SchedulerService: mixed-
+ * priority ResNet-50 traffic from 1/2/4/8 concurrent tenants, shared
+ * one-crew service versus the pre-service baseline where every job
+ * spins up its own full-width pool (which is how N tenants used to
+ * oversubscribe the machine N-fold).
+ *
+ *   ./bench_tab_service_throughput [--tenants 1,2,4,8] [--jobs N]
+ *       [--samples S] [--threads T] [--skip-isolation]
+ *
+ * Per tenant count the bench reports aggregate jobs/sec and p50/p99
+ * job latency for both modes. Jobs are Random-scheduler ResNet-50
+ * batches (53 instances -> 23 unique solve tasks, caching off so every
+ * job pays its real solve cost) — the short-job serving regime where
+ * per-job pool spin-up and oversubscription hurt most. Tenant 0
+ * submits Interactive jobs, odd tenants Batch, the rest Normal.
+ *
+ * A second phase measures priority isolation on the shared service:
+ * p50/p99 of an Interactive tenant running alone, then again while
+ * saturating Batch flooders occupy every worker — strict tiers should
+ * keep the interactive tail (p99) within ~1.1x of solo.
+ *
+ * COSA_BENCH_QUICK=1 shrinks jobs and repetition for a smoke run.
+ */
+
+#include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/logging.hpp"
+#include "engine/scheduler_service.hpp"
+
+namespace {
+
+using namespace cosa;
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(values.size()) - 1.0,
+                         q * static_cast<double>(values.size())));
+    return values[rank];
+}
+
+JobPriority
+tenantPriority(int tenant)
+{
+    if (tenant == 0)
+        return JobPriority::Interactive;
+    return tenant % 2 == 1 ? JobPriority::Batch : JobPriority::Normal;
+}
+
+struct TrafficResult
+{
+    double wall_sec = 0.0;
+    std::vector<double> latencies_sec; //!< all jobs
+    std::vector<double> interactive_sec;
+};
+
+/** One scheduling query of the traffic mix. */
+ScheduleRequest
+makeJobRequest(const Workload& net, const ArchSpec& arch, int samples,
+               JobPriority priority)
+{
+    ScheduleRequest request;
+    request.workloads.push_back(net);
+    request.arch = arch;
+    request.scheduler = SchedulerKind::Random;
+    request.random.max_samples = samples;
+    request.random.target_valid = 4;
+    request.use_cache = false; // every job pays its real solve cost
+    request.priority = priority;
+    return request;
+}
+
+/**
+ * Drive @p tenants concurrent tenant threads, each submitting
+ * @p jobs_per_tenant jobs back to back through @p runJob (which blocks
+ * until the job's results are in and returns its latency).
+ */
+template <typename RunJob>
+TrafficResult
+driveTenants(int tenants, int jobs_per_tenant, const Workload& net,
+             const ArchSpec& arch, int samples, const RunJob& runJob)
+{
+    TrafficResult result;
+    std::mutex mutex;
+    std::vector<std::thread> threads;
+    const double start = wallTimeSec();
+    for (int t = 0; t < tenants; ++t) {
+        threads.emplace_back([&, t] {
+            for (int j = 0; j < jobs_per_tenant; ++j) {
+                const JobPriority priority = tenantPriority(t);
+                const double latency =
+                    runJob(makeJobRequest(net, arch, samples, priority));
+                std::lock_guard<std::mutex> lock(mutex);
+                result.latencies_sec.push_back(latency);
+                if (priority == JobPriority::Interactive)
+                    result.interactive_sec.push_back(latency);
+            }
+        });
+    }
+    for (std::thread& thread : threads)
+        thread.join();
+    result.wall_sec = wallTimeSec() - start;
+    return result;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cosa;
+    std::vector<int> tenant_counts = {1, 2, 4, 8};
+    int jobs_per_tenant = bench::quickMode() ? 3 : 8;
+    int samples = bench::quickMode() ? 400 : 1500;
+    int threads = 0;
+    bool skip_isolation = false;
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--tenants") == 0 && a + 1 < argc) {
+            tenant_counts.clear();
+            std::istringstream iss(argv[++a]);
+            std::string item;
+            while (std::getline(iss, item, ','))
+                tenant_counts.push_back(std::atoi(item.c_str()));
+        } else if (std::strcmp(argv[a], "--jobs") == 0 && a + 1 < argc) {
+            jobs_per_tenant = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--samples") == 0 &&
+                   a + 1 < argc) {
+            samples = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--threads") == 0 &&
+                   a + 1 < argc) {
+            threads = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--skip-isolation") == 0) {
+            skip_isolation = true;
+        } else {
+            fatal("unknown argument \"", argv[a], "\"");
+        }
+    }
+    if (threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const Workload net = bench::subsetOf(workloads::resNet50Full());
+
+    std::cout << "core budget: " << threads
+              << " worker threads; jobs: ResNet-50 ("
+              << net.layers.size() << " instances), Random scheduler, "
+              << samples << " samples/layer, caching off\n\n";
+
+    TextTable table("Service throughput: shared executor vs per-job pools");
+    table.setHeader({"tenants", "mode", "jobs", "wall_s", "jobs_per_s",
+                     "p50_ms", "p99_ms"});
+    for (int tenants : tenant_counts) {
+        if (tenants <= 0)
+            continue;
+        const int total_jobs = tenants * jobs_per_tenant;
+
+        // Shared mode: one service, one worker crew for everyone.
+        ServiceConfig shared_config;
+        shared_config.num_threads = threads;
+        double shared_rate = 0.0;
+        {
+            SchedulerService service(shared_config);
+            const TrafficResult shared = driveTenants(
+                tenants, jobs_per_tenant, net, arch, samples,
+                [&](ScheduleRequest request) {
+                    const double t0 = wallTimeSec();
+                    SubmitResult submitted =
+                        service.submit(std::move(request));
+                    COSA_ASSERT(submitted.accepted(),
+                                "unlimited service rejected a job");
+                    submitted.job().wait();
+                    return wallTimeSec() - t0;
+                });
+            shared_rate = total_jobs / shared.wall_sec;
+            table.addRow(
+                {std::to_string(tenants), "shared",
+                 std::to_string(total_jobs),
+                 TextTable::fmt(shared.wall_sec, 2),
+                 TextTable::fmt(shared_rate, 2),
+                 TextTable::fmt(percentile(shared.latencies_sec, 0.50) *
+                                    1e3, 1),
+                 TextTable::fmt(percentile(shared.latencies_sec, 0.99) *
+                                    1e3, 1)});
+        }
+
+        // Baseline: the pre-service behavior — every job constructs its
+        // own full-width worker crew (so concurrent tenants
+        // oversubscribe the same core budget tenants-fold and every job
+        // pays pool spin-up).
+        const TrafficResult perjob = driveTenants(
+            tenants, jobs_per_tenant, net, arch, samples,
+            [&](ScheduleRequest request) {
+                const double t0 = wallTimeSec();
+                SchedulerService private_service(shared_config);
+                private_service.submit(std::move(request)).job().wait();
+                return wallTimeSec() - t0;
+            });
+        const double perjob_rate = total_jobs / perjob.wall_sec;
+        table.addRow(
+            {std::to_string(tenants), "per-job pools",
+             std::to_string(total_jobs),
+             TextTable::fmt(perjob.wall_sec, 2),
+             TextTable::fmt(perjob_rate, 2),
+             TextTable::fmt(percentile(perjob.latencies_sec, 0.50) * 1e3,
+                            1),
+             TextTable::fmt(percentile(perjob.latencies_sec, 0.99) * 1e3,
+                            1)});
+        std::cout << "tenants=" << tenants
+                  << ": shared/per-job aggregate jobs/sec = "
+                  << TextTable::fmt(shared_rate / perjob_rate, 2)
+                  << "x\n";
+    }
+    std::cout << "\n";
+    table.print(std::cout);
+
+    if (!skip_isolation) {
+        // Priority isolation: interactive p99 solo vs under a
+        // saturating batch flood on the same shared service.
+        std::cout << "\n";
+        ServiceConfig config;
+        config.num_threads = threads;
+        SchedulerService service(config);
+        auto interactiveJob = [&] {
+            const double t0 = wallTimeSec();
+            service
+                .submit(makeJobRequest(net, arch, samples,
+                                       JobPriority::Interactive))
+                .job()
+                .wait();
+            return wallTimeSec() - t0;
+        };
+        const int probes =
+            std::max(4, jobs_per_tenant * 2);
+        std::vector<double> solo;
+        for (int j = 0; j < probes; ++j)
+            solo.push_back(interactiveJob());
+
+        std::atomic<bool> stop{false};
+        const int flooders = std::max(threads, 2);
+        std::vector<std::thread> flood_threads;
+        for (int f = 0; f < flooders; ++f) {
+            flood_threads.emplace_back([&] {
+                while (!stop.load(std::memory_order_relaxed)) {
+                    service
+                        .submit(makeJobRequest(net, arch, samples,
+                                               JobPriority::Batch))
+                        .job()
+                        .wait();
+                }
+            });
+        }
+        std::vector<double> flooded;
+        for (int j = 0; j < probes; ++j)
+            flooded.push_back(interactiveJob());
+        stop.store(true, std::memory_order_relaxed);
+        for (std::thread& thread : flood_threads)
+            thread.join();
+
+        TextTable isolation("Interactive latency under saturating batch "
+                            "load (shared service)");
+        isolation.setHeader({"scenario", "jobs", "p50_ms", "p99_ms"});
+        isolation.addRow({"solo", std::to_string(probes),
+                          TextTable::fmt(percentile(solo, 0.50) * 1e3, 1),
+                          TextTable::fmt(percentile(solo, 0.99) * 1e3,
+                                         1)});
+        isolation.addRow(
+            {"batch-flooded", std::to_string(probes),
+             TextTable::fmt(percentile(flooded, 0.50) * 1e3, 1),
+             TextTable::fmt(percentile(flooded, 0.99) * 1e3, 1)});
+        isolation.print(std::cout);
+        const double p99_ratio =
+            percentile(flooded, 0.99) /
+            std::max(percentile(solo, 0.99), 1e-9);
+        std::cout << "interactive p99 flooded/solo = "
+                  << TextTable::fmt(p99_ratio, 2)
+                  << "x (target <= 1.1x: strict tiers preempt at task "
+                     "boundaries)\n";
+    }
+    return 0;
+}

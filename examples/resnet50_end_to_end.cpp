@@ -1,23 +1,30 @@
 /**
  * @file
- * End-to-end network scheduling through the batch engine: run CoSA and
- * both baselines over the full 53-layer ResNet-50 and report total
- * network latency and energy — the whole-network view behind the
- * paper's per-layer Fig. 6 bars. The engine canonicalizes the 53 layer
- * instances down to 23 unique scheduling problems, so each scheduler
- * performs 23 solves, not 53.
+ * End-to-end network scheduling through the multi-tenant service: run
+ * CoSA and both baselines over the full 53-layer ResNet-50 and report
+ * total network latency and energy — the whole-network view behind the
+ * paper's per-layer Fig. 6 bars. The three schedulers are submitted as
+ * three *concurrent jobs* on one SchedulerService, sharing its
+ * executor crew (and one schedule cache, which their scheduler keys
+ * partition); each job canonicalizes the 53 layer instances down to 23
+ * unique scheduling problems, so each scheduler performs 23 solves,
+ * not 53.
  *
  *   ./examples/resnet50_end_to_end [time_limit_seconds] [--threads N]
  *       [--objective {latency,energy,edp}] [--cache-file PATH]
+ *       [--priority {interactive,normal,batch}] [--deadline-ms N]
  *
  * The time limit is expressed in dense-core-equivalent seconds: it maps
  * onto CoSA's deterministic work budget (5000 simplex iterations per
  * second) so results are machine-independent. --threads sets the
- * engine's worker-pool width (0 = hardware concurrency). --objective
- * picks the search metric of every scheduler. --cache-file loads a
- * schedule-cache snapshot before the run (reviving prior solves and
- * cross-layer warm starts) and saves the merged cache after it, so
- * repeated runs only pay for problems they have never seen.
+ * service's shared executor width (0 = hardware concurrency).
+ * --objective picks the search metric of every scheduler. --cache-file
+ * loads a schedule-cache snapshot before the run (reviving prior
+ * solves and cross-layer warm starts) and saves the merged cache after
+ * it, so repeated runs only pay for problems they have never seen.
+ * --priority and --deadline-ms apply to all three jobs: the strict
+ * tier they run at, and an auto-cancel budget after which unfinished
+ * solves are skipped (solved layers keep their results).
  */
 
 #include <cstdlib>
@@ -25,7 +32,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
-#include "engine/scheduling_engine.hpp"
+#include "engine/scheduler_service.hpp"
 
 int
 main(int argc, char** argv)
@@ -34,12 +41,18 @@ main(int argc, char** argv)
     double time_limit = 0.0;
     int threads = 0;
     SearchObjective objective = SearchObjective::Latency;
+    JobPriority priority = JobPriority::Normal;
+    double deadline_ms = 0.0;
     std::string cache_file;
     for (int a = 1; a < argc; ++a) {
         if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
             threads = std::atoi(argv[++a]);
-        } else if (parseObjectiveFlag(argc, argv, &a, &objective)) {
+        } else if (parseObjectiveFlag(argc, argv, &a, &objective) ||
+                   parsePriorityFlag(argc, argv, &a, &priority)) {
             continue;
+        } else if (std::strcmp(argv[a], "--deadline-ms") == 0 &&
+                   a + 1 < argc) {
+            deadline_ms = std::atof(argv[++a]);
         } else if (std::strcmp(argv[a], "--cache-file") == 0 &&
                    a + 1 < argc) {
             cache_file = argv[++a];
@@ -51,8 +64,8 @@ main(int argc, char** argv)
     const ArchSpec arch = ArchSpec::simbaBaseline();
     const Workload net = workloads::resNet50Full();
 
-    // One cache shared by the three engines (their scheduler keys keep
-    // the entries apart), persisted across runs when requested.
+    // One cache shared by the three jobs (their scheduler keys keep the
+    // entries apart), persisted across runs when requested.
     auto cache = std::make_shared<ScheduleCache>();
     if (!cache_file.empty()) {
         const auto io = cache->load(cache_file);
@@ -64,31 +77,50 @@ main(int argc, char** argv)
                       << ")\n";
     }
 
+    ServiceConfig service_config;
+    service_config.num_threads = threads;
+    SchedulerService service(service_config);
+
     const SchedulerKind kinds[3] = {SchedulerKind::Random,
                                     SchedulerKind::Hybrid,
                                     SchedulerKind::Cosa};
-    NetworkResult results[3];
+    // Multi-tenant front door: all three schedulers are submitted up
+    // front and run concurrently on the shared executor; per-problem
+    // progress streams live from each job.
+    ScheduleJob jobs[3];
     for (int s = 0; s < 3; ++s) {
-        EngineConfig config;
-        config.scheduler = kinds[s];
-        config.num_threads = threads;
-        config.objective = objective;
+        ScheduleRequest request;
+        request.workloads.push_back(net);
+        request.arch = arch;
+        request.scheduler = kinds[s];
+        request.objective = objective;
+        request.cache = cache;
+        request.priority = priority;
+        request.deadline_sec = deadline_ms / 1000.0;
+        request.tag = std::string("resnet50/") + schedulerKindName(kinds[s]);
         if (time_limit > 0.0) {
-            config.cosa.mip.work_limit =
+            request.cosa.mip.work_limit =
                 CosaConfig::workLimitFromSeconds(time_limit);
-            config.cosa.mip.time_limit_sec =
+            request.cosa.mip.time_limit_sec =
                 CosaConfig::timeSafetyNetFromSeconds(time_limit);
         }
-        const SchedulingEngine engine(config, cache);
-        // Async front door: submit, watch per-problem progress, collect.
-        ScheduleJob job = engine.submit(net, arch);
-        job.onProgress([&](const JobProgress& p) {
-            std::cerr << "[" << schedulerKindName(kinds[s]) << "] "
-                      << p.completed << "/" << p.total << " " << p.layer
-                      << (p.from_cache ? " (cached)" : "") << "\n";
-        });
-        results[s] = job.wait().front();
+        SubmitResult submitted = service.submit(
+            std::move(request), [s, &kinds](const JobProgress& p) {
+                std::cerr << "[" << schedulerKindName(kinds[s]) << "] "
+                          << p.completed << "/" << p.total << " "
+                          << p.layer << (p.from_cache ? " (cached)" : "")
+                          << "\n";
+            });
+        if (!submitted) {
+            std::cerr << "rejected: " << submitted.rejection().message
+                      << "\n";
+            return 1;
+        }
+        jobs[s] = submitted.takeJob();
     }
+    NetworkResult results[3];
+    for (int s = 0; s < 3; ++s)
+        results[s] = jobs[s].wait().front();
 
     TextTable table("ResNet-50 (53 layers) end to end on " + arch.name);
     table.setHeader({"layer", "count", "random_MCyc", "tlh_MCyc",
@@ -134,8 +166,21 @@ main(int argc, char** argv)
                   << r.num_warm_hits << " accepted); solve time "
                   << TextTable::fmt(r.search.search_time_sec, 1)
                   << "s, wall "
-                  << TextTable::fmt(r.wall_time_sec, 1) << "s\n";
+                  << TextTable::fmt(r.wall_time_sec, 1) << "s"
+                  << (r.deadline_expired
+                          ? " [deadline expired: " +
+                                std::to_string(r.num_cancelled) +
+                                " problems skipped]"
+                          : "")
+                  << "\n";
     }
+    const ServiceStats service_stats = service.stats();
+    std::cout << "service: " << service_stats.completed
+              << " jobs completed, "
+              << service_stats.executor.tasks_executed
+              << " solve tasks on " << service.config().num_threads
+              << " shared workers, " << service_stats.executor.steals
+              << " cross-job steals\n";
     if (!cache_file.empty()) {
         const auto io = cache->save(cache_file);
         if (io.ok)

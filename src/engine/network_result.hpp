@@ -65,6 +65,9 @@ struct NetworkResult
     double wall_time_sec = 0.0;      //!< end-to-end query wall time
     /** The query's job was cancelled before this network completed. */
     bool cancelled = false;
+    /** The cancellation came from the request's deadline elapsing
+     *  (SchedulerService auto-cancel), not an explicit cancel(). */
+    bool deadline_expired = false;
 
     /** Portfolio accounting: which member produced the kept schedule,
      *  over the problems this query solved (ROADMAP win-rate item).

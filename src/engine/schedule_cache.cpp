@@ -1,5 +1,6 @@
 #include "engine/schedule_cache.hpp"
 
+#include <algorithm>
 #include <cmath>
 #include <fstream>
 #include <limits>
@@ -21,6 +22,11 @@ canonicalLayerDistance(const LayerSpec& a, const LayerSpec& b)
     return std::sqrt(sq);
 }
 
+ScheduleCache::ScheduleCache(std::int64_t capacity)
+    : capacity_(std::max<std::int64_t>(capacity, 0))
+{
+}
+
 std::optional<SearchResult>
 ScheduleCache::lookup(const ScheduleCacheKey& key)
 {
@@ -31,6 +37,8 @@ ScheduleCache::lookup(const ScheduleCacheKey& key)
         return std::nullopt;
     }
     ++hits_;
+    // Refresh recency: an exact hit is the strongest reuse signal.
+    lru_.splice(lru_.end(), lru_, it->second.lru_it);
     return it->second.result;
 }
 
@@ -49,10 +57,60 @@ ScheduleCache::insertLocked(const ScheduleCacheKey& key,
 {
     std::string flat = key.flat();
     const auto [it, inserted] = entries_.try_emplace(flat);
-    it->second = Entry{result, layer, key.layer_key, key.arch_key,
-                       key.scheduler_key, key.evaluator_key};
-    if (inserted)
+    Entry& entry = it->second;
+    entry.result = result;
+    entry.layer = layer;
+    entry.layer_key = key.layer_key;
+    entry.arch_key = key.arch_key;
+    entry.scheduler_key = key.scheduler_key;
+    entry.evaluator_key = key.evaluator_key;
+    if (inserted) {
+        entry.lru_it = lru_.insert(lru_.end(), flat);
+        entry.order_index = insertion_order_.size();
         insertion_order_.push_back(std::move(flat));
+        enforceCapacityLocked();
+    } else {
+        // An overwrite refreshes recency like a hit would.
+        lru_.splice(lru_.end(), lru_, entry.lru_it);
+    }
+}
+
+void
+ScheduleCache::evictOneLocked()
+{
+    const std::string victim = lru_.front();
+    lru_.pop_front();
+    const auto it = entries_.find(victim);
+    insertion_order_[it->second.order_index].clear(); // tombstone, O(1)
+    ++order_tombstones_;
+    entries_.erase(it);
+    ++evictions_;
+    if (order_tombstones_ > entries_.size() + 16)
+        compactOrderLocked();
+}
+
+void
+ScheduleCache::compactOrderLocked()
+{
+    std::vector<std::string> live;
+    live.reserve(entries_.size());
+    for (std::string& flat : insertion_order_) {
+        if (flat.empty())
+            continue;
+        entries_.find(flat)->second.order_index = live.size();
+        live.push_back(std::move(flat));
+    }
+    insertion_order_ = std::move(live);
+    order_tombstones_ = 0;
+}
+
+void
+ScheduleCache::enforceCapacityLocked()
+{
+    if (capacity_ <= 0)
+        return;
+    while (static_cast<std::int64_t>(entries_.size()) > capacity_)
+        evictOneLocked();
 }
 
 std::optional<SearchResult>
@@ -67,6 +125,8 @@ ScheduleCache::nearestNeighbor(const std::string& arch_key,
     double best_dist = 0.0;
     bool best_arch_match = false;
     for (const std::string& flat : insertion_order_) {
+        if (flat.empty())
+            continue; // eviction tombstone
         const auto it = entries_.find(flat);
         if (it == entries_.end())
             continue; // cleared since insertion
@@ -100,6 +160,28 @@ ScheduleCache::contains(const ScheduleCacheKey& key) const
     return entries_.find(key.flat()) != entries_.end();
 }
 
+std::size_t
+ScheduleCache::size() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return entries_.size();
+}
+
+std::int64_t
+ScheduleCache::capacity() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return capacity_;
+}
+
+void
+ScheduleCache::setCapacity(std::int64_t capacity)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    capacity_ = std::max<std::int64_t>(capacity, 0);
+    enforceCapacityLocked();
+}
+
 ScheduleCacheStats
 ScheduleCache::stats() const
 {
@@ -109,6 +191,7 @@ ScheduleCache::stats() const
     stats.misses = misses_;
     stats.entries = static_cast<std::int64_t>(entries_.size());
     stats.neighbor_hits = neighbor_hits_;
+    stats.evictions = evictions_;
     return stats;
 }
 
@@ -118,6 +201,8 @@ ScheduleCache::clear()
     std::lock_guard<std::mutex> lock(mutex_);
     entries_.clear();
     insertion_order_.clear();
+    order_tombstones_ = 0;
+    lru_.clear();
 }
 
 // --- persistence ---------------------------------------------------------
@@ -188,6 +273,8 @@ ScheduleCache::save(const std::string& path) const
 
     std::lock_guard<std::mutex> lock(mutex_);
     for (const std::string& flat : insertion_order_) {
+        if (flat.empty())
+            continue; // eviction tombstone
         const auto it = entries_.find(flat);
         if (it == entries_.end())
             continue; // cleared since insertion

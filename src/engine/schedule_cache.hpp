@@ -27,12 +27,19 @@
  * repeated CLI runs and CI jobs reuse solves and revive cross-layer
  * warm starts (see the README for the format schema).
  *
+ * Long-lived services can bound the cache with an optional LRU
+ * capacity (entries, not bytes): when set, inserting beyond it evicts
+ * the least-recently-used entry (exact lookup hits and overwrites
+ * refresh recency; nearest-neighbor scans do not). Evictions are
+ * counted in the stats, so a serving deployment can watch its churn.
+ *
  * Thread-safe: a single mutex guards the map and the counters, which is
  * ample because entries are whole-layer solve results (lookups are
  * trivially cheap next to a solve).
  */
 
 #include <cstdint>
+#include <list>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -67,6 +74,8 @@ struct ScheduleCacheStats
     std::int64_t entries = 0;
     /** Nearest-neighbor lookups that returned a candidate schedule. */
     std::int64_t neighbor_hits = 0;
+    /** Entries dropped by the LRU capacity bound (lifetime total). */
+    std::int64_t evictions = 0;
 
     double
     hitRate() const
@@ -88,7 +97,14 @@ class ScheduleCache
 {
   public:
     /**
-     * Look up @p key; counts a hit or a miss. The returned result's
+     * @param capacity optional LRU entry bound; 0 (the default) keeps
+     *        the cache unbounded.
+     */
+    explicit ScheduleCache(std::int64_t capacity = 0);
+
+    /**
+     * Look up @p key; counts a hit or a miss (a hit refreshes the
+     * entry's LRU recency). The returned result's
      * search_time_sec is the original solve's time (callers decide how
      * to account cached time).
      */
@@ -117,8 +133,22 @@ class ScheduleCache
         const std::string& arch_key, const std::string& scheduler_key,
         const std::string& evaluator_key, const LayerSpec& target);
 
-    /** True when @p key is present, without touching the counters. */
+    /** True when @p key is present, without touching the counters
+     *  (or the LRU recency). */
     bool contains(const ScheduleCacheKey& key) const;
+
+    /** Live entry count (same number stats().entries reports). */
+    std::size_t size() const;
+
+    /** The LRU entry bound; 0 = unbounded. */
+    std::int64_t capacity() const;
+
+    /**
+     * Change the LRU entry bound (0 = unbounded). Shrinking below the
+     * current size evicts least-recently-used entries immediately
+     * (counted in stats().evictions).
+     */
+    void setCapacity(std::int64_t capacity);
 
     /** Snapshot of the counters. */
     ScheduleCacheStats stats() const;
@@ -159,19 +189,44 @@ class ScheduleCache
         std::string arch_key;
         std::string scheduler_key;
         std::string evaluator_key;
+        /** Position in lru_ (stable across list mutations). */
+        std::list<std::string>::iterator lru_it;
+        /** This entry's slot in insertion_order_ (O(1) eviction). */
+        std::size_t order_index = 0;
     };
 
     /** insert() body; the caller holds mutex_. */
     void insertLocked(const ScheduleCacheKey& key, const SearchResult& result,
                       const LayerSpec& layer);
 
+    /** Drop the least-recently-used entry; the caller holds mutex_. */
+    void evictOneLocked();
+
+    /** Evict down to capacity_ (when bounded); caller holds mutex_. */
+    void enforceCapacityLocked();
+
+    /** Rebuild insertion_order_ without tombstones once they dominate;
+     *  caller holds mutex_. */
+    void compactOrderLocked();
+
     mutable std::mutex mutex_;
     std::unordered_map<std::string, Entry> entries_;
-    /** Flat keys in first-insertion order (deterministic NN scans). */
+    /**
+     * Flat keys in first-insertion order (deterministic NN scans and
+     * save() order). Eviction tombstones its slot (empty string, O(1))
+     * instead of erasing; compactOrderLocked() reclaims the slots once
+     * tombstones outnumber live entries, so sustained churn on a
+     * bounded cache stays amortized O(1) per eviction.
+     */
     std::vector<std::string> insertion_order_;
+    std::size_t order_tombstones_ = 0;
+    /** Flat keys by recency, least recent first. */
+    std::list<std::string> lru_;
+    std::int64_t capacity_ = 0; //!< 0 = unbounded
     std::int64_t hits_ = 0;
     std::int64_t misses_ = 0;
     std::int64_t neighbor_hits_ = 0;
+    std::int64_t evictions_ = 0;
 };
 
 } // namespace cosa

@@ -24,6 +24,15 @@ ScheduleJob::wait()
 {
     if (!state_)
         return {};
+    // A queued service job has no runner thread yet, so completion is
+    // signaled on done_cv (set by the body under the state mutex), not
+    // by thread exit; the join below merely reaps the body's thread.
+    if (!state_->finished.load(std::memory_order_acquire)) {
+        std::unique_lock<std::mutex> lock(state_->mutex);
+        state_->done_cv.wait(lock, [&] {
+            return state_->finished.load(std::memory_order_acquire);
+        });
+    }
     {
         std::lock_guard<std::mutex> lock(state_->join_mutex);
         if (state_->runner.joinable())

@@ -5,9 +5,11 @@
  * The asynchronous job front door of the scheduling engine (the
  * session-style submit -> observe -> cancel -> collect protocol).
  *
- * `SchedulingEngine::submit()` returns immediately with a ScheduleJob
- * handle; the batch runs on a background runner thread (which drives
- * the engine's usual work-stealing pool). The handle exposes:
+ * `SchedulerService::submit()` (and the `SchedulingEngine::submit()`
+ * compatibility wrappers over the default service) return immediately
+ * with a ScheduleJob handle; the batch runs on a background runner
+ * thread which drives the service's shared work-stealing executor.
+ * The handle exposes:
  *
  *  - wait()        block until the batch finishes (or has been
  *                  cancelled) and collect the results;
@@ -122,22 +124,32 @@ class ScheduleJob
      */
     void onProgress(ProgressCallback callback);
 
-    /** Shared state between the handle and the engine's runner thread
-     *  (engine-internal; use the member functions). */
+    /** Shared state between the handle and the service's runner thread
+     *  (engine/service-internal; use the member functions). */
     struct State
     {
         std::mutex mutex;
         std::atomic<bool> cancel{false};
         std::atomic<bool> finished{false};
+        std::condition_variable done_cv; //!< signaled (under mutex) at finish
         std::vector<NetworkResult> results;  //!< set before `finished`
         std::vector<JobProgress> events;     //!< replay buffer
         std::vector<ProgressCallback> listeners;
+        /** Unique problems in the batch; -1 until canonicalization ran.
+         *  Service introspection (SchedulerService::listJobs). */
+        std::atomic<std::int64_t> total_unique{-1};
+        /** Problems completed so far (frontier order). */
+        std::atomic<std::int64_t> completed_unique{0};
+        /** The job body's thread. Assigned under join_mutex when the
+         *  service starts the job — a queued job has none yet (wait()
+         *  then blocks on done_cv, not on the join). */
         std::thread runner;
-        std::mutex join_mutex; //!< serializes the one-time join
+        std::mutex join_mutex; //!< serializes assignment + one-time join
     };
 
   private:
     friend class SchedulingEngine;
+    friend class SchedulerService;
     explicit ScheduleJob(std::shared_ptr<State> state)
         : state_(std::move(state))
     {

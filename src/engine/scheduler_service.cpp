@@ -1,0 +1,742 @@
+#include "engine/scheduler_service.hpp"
+
+#include <algorithm>
+#include <atomic>
+#include <cstring>
+#include <limits>
+#include <sstream>
+#include <thread>
+#include <unordered_map>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+
+const char*
+schedulerKindName(SchedulerKind kind)
+{
+    switch (kind) {
+      case SchedulerKind::Cosa: return "CoSA";
+      case SchedulerKind::Random: return "Random";
+      case SchedulerKind::Hybrid: return "TimeloopHybrid";
+      case SchedulerKind::Exhaustive: return "Exhaustive";
+      case SchedulerKind::Portfolio: return "Portfolio";
+    }
+    panic("invalid scheduler kind");
+}
+
+const char*
+jobPriorityName(JobPriority priority)
+{
+    switch (priority) {
+      case JobPriority::Interactive: return "interactive";
+      case JobPriority::Normal: return "normal";
+      case JobPriority::Batch: return "batch";
+    }
+    panic("invalid job priority");
+}
+
+bool
+parseJobPriority(const std::string& text, JobPriority* out)
+{
+    for (JobPriority p : {JobPriority::Interactive, JobPriority::Normal,
+                          JobPriority::Batch}) {
+        if (text == jobPriorityName(p)) {
+            *out = p;
+            return true;
+        }
+    }
+    return false;
+}
+
+bool
+parsePriorityFlag(int argc, char** argv, int* a, JobPriority* priority)
+{
+    if (std::strcmp(argv[*a], "--priority") != 0)
+        return false;
+    if (*a + 1 >= argc)
+        fatal("--priority needs a value (interactive, normal, batch)");
+    const std::string value = argv[++*a];
+    if (!parseJobPriority(value, priority))
+        fatal("unknown --priority \"", value,
+              "\" (expected interactive, normal or batch)");
+    return true;
+}
+
+// --- scheduler config key ------------------------------------------------
+// Byte-compatible with the historical SchedulingEngine::schedulerKey()
+// so existing ScheduleCache snapshots keep hitting.
+
+namespace {
+
+void
+appendCosaKey(std::ostringstream& oss, const CosaConfig& c)
+{
+    oss << "cosa(" << static_cast<int>(c.objective_mode) << ","
+        << c.w_util << "," << c.w_comp << "," << c.w_traf << ","
+        << c.tie_break << ",[";
+    for (const auto& level : c.capacity_fraction) {
+        for (double f : level)
+            oss << f << ";";
+        oss << "/";
+    }
+    oss << "]," << c.mip.time_limit_sec << "," << c.mip.work_limit << ","
+        << c.mip.rel_gap << "," << c.mip.int_tol << "," << c.mip.node_limit
+        << "," << (c.mip.presolve ? 1 : 0) << "," << c.mip.seed;
+    // Appended only when on, so default-config keys stay byte-identical
+    // to pre-probing cache snapshots.
+    if (c.mip.enable_probing)
+        oss << ",probe1";
+    oss << ")";
+}
+
+void
+appendRandomKey(std::ostringstream& oss, const RandomMapperConfig& c)
+{
+    oss << "rnd(" << c.max_samples << "," << c.target_valid << ","
+        << c.seed << ")";
+}
+
+void
+appendHybridKey(std::ostringstream& oss, const HybridMapperConfig& c)
+{
+    oss << "tlh(" << c.num_threads << "," << c.victory_condition << ","
+        << c.max_perms_per_factorization << ","
+        << c.max_samples_per_thread << "," << c.seed << ")";
+}
+
+void
+appendExhaustiveKey(std::ostringstream& oss, const ExhaustiveMapperConfig& c)
+{
+    oss << "exh(" << c.max_points << "," << c.permute_noc_level << ","
+        << c.max_perms << ")";
+}
+
+} // namespace
+
+std::string
+schedulerConfigKey(const ScheduleRequest& request)
+{
+    std::ostringstream oss;
+    // Full double precision, matching ArchSpec::fingerprint(): configs
+    // differing in any weight or limit must key distinct cache entries.
+    oss.precision(std::numeric_limits<double>::max_digits10);
+    oss << schedulerKindName(request.scheduler) << "/"
+        << static_cast<int>(request.objective) << "/"
+        // Warm-start hints change what a budget-limited solve returns,
+        // so requests with and without them must not share entries.
+        << (request.warm_start_hints ? "wh1" : "wh0") << "/";
+    switch (request.scheduler) {
+      case SchedulerKind::Cosa:
+        appendCosaKey(oss, request.cosa);
+        break;
+      case SchedulerKind::Random:
+        appendRandomKey(oss, request.random);
+        break;
+      case SchedulerKind::Hybrid:
+        appendHybridKey(oss, request.hybrid);
+        break;
+      case SchedulerKind::Exhaustive:
+        appendExhaustiveKey(oss, request.exhaustive);
+        break;
+      case SchedulerKind::Portfolio:
+        appendCosaKey(oss, request.cosa);
+        appendRandomKey(oss, request.random);
+        appendHybridKey(oss, request.hybrid);
+        break;
+    }
+    return oss.str();
+}
+
+// --- one solve -----------------------------------------------------------
+
+namespace {
+
+SearchResult
+solveOne(const ScheduleRequest& req, const LayerSpec& layer,
+         const ArchSpec& arch, const std::vector<Mapping>& warm_hints)
+{
+    const Evaluator& evaluator = *req.evaluator;
+    switch (req.scheduler) {
+      case SchedulerKind::Cosa:
+        return CosaScheduler(req.cosa, req.objective)
+            .schedule(layer, arch, warm_hints, evaluator);
+      case SchedulerKind::Random:
+        return RandomMapper(req.random).schedule(layer, arch, evaluator);
+      case SchedulerKind::Hybrid:
+        return HybridMapper(req.hybrid).schedule(layer, arch, evaluator);
+      case SchedulerKind::Exhaustive:
+        return ExhaustiveMapper(req.exhaustive)
+            .schedule(layer, arch, evaluator);
+      case SchedulerKind::Portfolio: {
+        // Race the members concurrently inside this one task slot: the
+        // slot's wall time is the slowest member, not their sum. Each
+        // member writes its own slot, so the aggregation below is
+        // order-deterministic regardless of finish order. Hybrid runs
+        // on the calling thread (it spawns its own racing threads).
+        SearchResult members[3];
+        std::thread cosa_thread([&] {
+            members[0] = CosaScheduler(req.cosa, req.objective)
+                             .schedule(layer, arch, warm_hints, evaluator);
+        });
+        std::thread random_thread([&] {
+            members[1] =
+                RandomMapper(req.random).schedule(layer, arch, evaluator);
+        });
+        members[2] =
+            HybridMapper(req.hybrid).schedule(layer, arch, evaluator);
+        cosa_thread.join();
+        random_thread.join();
+        SearchResult best;
+        best.scheduler = "Portfolio";
+        for (const SearchResult& member : members) {
+            best.stats.samples += member.stats.samples;
+            best.stats.valid_evaluated += member.stats.valid_evaluated;
+            best.stats.search_time_sec += member.stats.search_time_sec;
+            best.stats.mip_nodes += member.stats.mip_nodes;
+            best.stats.lp_iterations += member.stats.lp_iterations;
+            best.stats.warm_starts_installed +=
+                member.stats.warm_starts_installed;
+            best.stats.warm_start_hits += member.stats.warm_start_hits;
+            if (!member.found)
+                continue;
+            if (!best.found ||
+                objectiveValue(member.eval, req.objective) <
+                    objectiveValue(best.eval, req.objective)) {
+                best.found = true;
+                best.mapping = member.mapping;
+                best.eval = member.eval;
+                best.scheduler = "Portfolio[" + member.scheduler + "]";
+            }
+        }
+        return best;
+      }
+    }
+    panic("invalid scheduler kind");
+}
+
+} // namespace
+
+// --- service -------------------------------------------------------------
+
+struct SchedulerService::JobRecord
+{
+    std::uint64_t id = 0;
+    ScheduleRequest request;
+    std::shared_ptr<ScheduleJob::State> state;
+    double submit_time = 0.0;
+    double start_time = 0.0;
+    std::atomic<bool> deadline_expired{false};
+    bool running = false;
+};
+
+SchedulerService::SchedulerService(ServiceConfig config)
+    : config_(config)
+{
+    if (config_.num_threads <= 0) {
+        const unsigned hw = std::thread::hardware_concurrency();
+        config_.num_threads = hw == 0 ? 1 : static_cast<int>(hw);
+    }
+    if (config_.max_inflight_jobs == 0)
+        config_.max_inflight_jobs = 1; // a service that can run nothing
+                                       // would queue jobs forever
+    executor_ = std::make_unique<Executor>(config_.num_threads,
+                                           kNumJobPriorities);
+}
+
+SchedulerService::~SchedulerService()
+{
+    std::unique_lock<std::mutex> lock(mutex_);
+    shutting_down_ = true;
+    // Cooperative shutdown, per the header contract: queued jobs are
+    // cancelled (they still start, observe the flag and skip their
+    // solves, so their handles resolve), running jobs finish normally
+    // and keep their full results; the service waits for the last
+    // runner to report in.
+    for (auto& tier : queued_) {
+        for (const auto& record : tier)
+            record->state->cancel.store(true, std::memory_order_relaxed);
+    }
+    drained_cv_.wait(lock, [&] {
+        if (!running_.empty())
+            return false;
+        for (const auto& tier : queued_) {
+            if (!tier.empty())
+                return false;
+        }
+        return true;
+    });
+    lock.unlock();
+    executor_.reset(); // nothing pending; joins the worker crew
+}
+
+void
+SchedulerService::normalize(ScheduleRequest& request) const
+{
+    if (!request.evaluator)
+        request.evaluator = std::make_shared<AnalyticalEvaluator>();
+    // The request-level objective is authoritative for the baselines
+    // and the portfolio comparison, so one knob drives every scheduler.
+    request.random.objective = request.objective;
+    request.hybrid.objective = request.objective;
+    request.exhaustive.objective = request.objective;
+    // Deterministic default: a private cache (see the header contract).
+    if (!request.cache)
+        request.cache = std::make_shared<ScheduleCache>();
+    if (!(request.weight > 0.0))
+        request.weight = 1.0;
+    if (request.max_parallelism < 0)
+        request.max_parallelism = 0;
+    if (request.deadline_sec < 0.0)
+        request.deadline_sec = 0.0;
+    if (request.tag.empty()) {
+        request.tag = request.workloads.empty()
+                          ? "empty"
+                          : request.workloads.front().name;
+    }
+    // Hybrid solves spawn their own racing threads (and a portfolio
+    // slot races CoSA and Random next to Hybrid); cap the job's task
+    // concurrency so one job cannot oversubscribe the shared crew ~8x.
+    if (request.max_parallelism == 0 &&
+        (request.scheduler == SchedulerKind::Hybrid ||
+         request.scheduler == SchedulerKind::Portfolio)) {
+        const int inner =
+            request.scheduler == SchedulerKind::Hybrid
+                ? std::max(request.hybrid.num_threads, 1)
+                : std::max(request.hybrid.num_threads + 2, 1);
+        request.max_parallelism =
+            std::max(executor_->numThreads() / inner, 1);
+    }
+}
+
+SubmitResult
+SchedulerService::submit(ScheduleRequest request,
+                         ScheduleJob::ProgressCallback on_progress)
+{
+    normalize(request);
+    auto record = std::make_shared<JobRecord>();
+    record->request = std::move(request);
+    record->state = std::make_shared<ScheduleJob::State>();
+    if (on_progress)
+        record->state->listeners.push_back(std::move(on_progress));
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto tier = static_cast<std::size_t>(record->request.priority);
+    std::int64_t queued_now = 0;
+    for (const auto& q : queued_)
+        queued_now += static_cast<std::int64_t>(q.size());
+    const auto inflight_now = static_cast<std::int64_t>(running_.size());
+    if (shutting_down_) {
+        ++rejected_;
+        Rejected rejected;
+        rejected.reason = Rejected::Reason::ShuttingDown;
+        rejected.queued_jobs = queued_now;
+        rejected.inflight_jobs = inflight_now;
+        rejected.message = "service is shutting down";
+        return rejected;
+    }
+    const bool slot_free = config_.max_inflight_jobs < 0 ||
+                           inflight_now < config_.max_inflight_jobs;
+    if (!slot_free && config_.max_queued_jobs >= 0 &&
+        queued_now >= config_.max_queued_jobs) {
+        ++rejected_;
+        Rejected rejected;
+        rejected.reason = Rejected::Reason::QueueFull;
+        rejected.queued_jobs = queued_now;
+        rejected.inflight_jobs = inflight_now;
+        std::ostringstream oss;
+        oss << "admission queue full (" << queued_now << " queued, "
+            << inflight_now << " inflight, max_queued_jobs="
+            << config_.max_queued_jobs << ")";
+        rejected.message = oss.str();
+        return rejected;
+    }
+
+    record->id = next_job_id_++;
+    record->submit_time = wallTimeSec();
+    ++submitted_;
+    ++tier_counters_[tier].submitted;
+    if (slot_free)
+        startLocked(record);
+    else
+        queued_[tier].push_back(record);
+    return ScheduleJob(record->state);
+}
+
+void
+SchedulerService::startLocked(const std::shared_ptr<JobRecord>& record)
+{
+    record->running = true;
+    record->start_time = wallTimeSec();
+    const auto tier = static_cast<std::size_t>(record->request.priority);
+    const double wait = record->start_time - record->submit_time;
+    tier_counters_[tier].total_queue_wait_sec += wait;
+    tier_counters_[tier].max_queue_wait_sec =
+        std::max(tier_counters_[tier].max_queue_wait_sec, wait);
+    running_.push_back(record);
+    // The runner assignment races the handle's join path (the body can
+    // finish before the std::thread lands in the state), so both sides
+    // serialize on join_mutex.
+    std::lock_guard<std::mutex> join_lock(record->state->join_mutex);
+    record->state->runner = std::thread([this, record] {
+        runJobBody(record);
+        onJobFinished(record);
+    });
+}
+
+void
+SchedulerService::onJobFinished(const std::shared_ptr<JobRecord>& record)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    running_.erase(std::find(running_.begin(), running_.end(), record));
+    ++completed_;
+    const auto tier = static_cast<std::size_t>(record->request.priority);
+    ++tier_counters_[tier].completed;
+    if (record->state->cancel.load(std::memory_order_relaxed))
+        ++cancelled_;
+    if (record->deadline_expired.load(std::memory_order_relaxed))
+        ++deadline_expired_;
+    // Admission is FIFO within the best nonempty tier: start the next
+    // queued job in the slot this one vacated.
+    if (config_.max_inflight_jobs < 0 ||
+        static_cast<std::int64_t>(running_.size()) <
+            config_.max_inflight_jobs) {
+        for (auto& queue : queued_) {
+            if (!queue.empty()) {
+                std::shared_ptr<JobRecord> next = queue.front();
+                queue.pop_front();
+                startLocked(next);
+                break;
+            }
+        }
+    }
+    drained_cv_.notify_all();
+}
+
+std::vector<JobInfo>
+SchedulerService::listJobs() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    const double now = wallTimeSec();
+    std::vector<JobInfo> jobs;
+    auto add = [&](const std::shared_ptr<JobRecord>& record) {
+        JobInfo info;
+        info.id = record->id;
+        info.tag = record->request.tag;
+        info.priority = record->request.priority;
+        info.weight = record->request.weight;
+        info.running = record->running;
+        info.queued_sec =
+            (record->running ? record->start_time : now) -
+            record->submit_time;
+        info.running_sec =
+            record->running ? now - record->start_time : 0.0;
+        info.total_unique =
+            record->state->total_unique.load(std::memory_order_relaxed);
+        info.completed_unique =
+            record->state->completed_unique.load(std::memory_order_relaxed);
+        info.deadline_sec = record->request.deadline_sec;
+        info.cancel_requested =
+            record->state->cancel.load(std::memory_order_relaxed);
+        jobs.push_back(std::move(info));
+    };
+    for (const auto& record : running_)
+        add(record);
+    for (const auto& queue : queued_) {
+        for (const auto& record : queue)
+            add(record);
+    }
+    std::sort(jobs.begin(), jobs.end(),
+              [](const JobInfo& a, const JobInfo& b) { return a.id < b.id; });
+    return jobs;
+}
+
+ServiceStats
+SchedulerService::stats() const
+{
+    ServiceStats stats;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        stats.submitted = submitted_;
+        stats.rejected = rejected_;
+        stats.completed = completed_;
+        stats.cancelled = cancelled_;
+        stats.deadline_expired = deadline_expired_;
+        stats.inflight_now = static_cast<std::int64_t>(running_.size());
+        for (int t = 0; t < kNumJobPriorities; ++t) {
+            const auto tier = static_cast<std::size_t>(t);
+            stats.tiers[tier].submitted = tier_counters_[tier].submitted;
+            stats.tiers[tier].completed = tier_counters_[tier].completed;
+            stats.tiers[tier].queued_now =
+                static_cast<std::int64_t>(queued_[tier].size());
+            stats.tiers[tier].total_queue_wait_sec =
+                tier_counters_[tier].total_queue_wait_sec;
+            stats.tiers[tier].max_queue_wait_sec =
+                tier_counters_[tier].max_queue_wait_sec;
+            stats.queued_now += stats.tiers[tier].queued_now;
+        }
+    }
+    stats.executor = executor_->stats();
+    for (int t = 0; t < kNumJobPriorities; ++t) {
+        const auto tier = static_cast<std::size_t>(t);
+        if (tier < stats.executor.queue_depth.size())
+            stats.tiers[tier].pending_tasks =
+                stats.executor.queue_depth[tier];
+    }
+    return stats;
+}
+
+SchedulerService&
+SchedulerService::defaultService()
+{
+    static SchedulerService service;
+    return service;
+}
+
+// --- the job body --------------------------------------------------------
+
+void
+SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
+{
+    const ScheduleRequest& req = record->request;
+    const ArchSpec& arch = req.arch;
+    const std::vector<Workload>& workloads = req.workloads;
+    const std::shared_ptr<ScheduleJob::State>& state = record->state;
+    const double start = wallTimeSec();
+    const double deadline_at =
+        req.deadline_sec > 0.0 ? record->submit_time + req.deadline_sec
+                               : 0.0;
+
+    // --- 1. canonicalize: flatten the batch and collapse duplicates. ---
+    struct Instance
+    {
+        int net;
+        int layer;
+        int unique;
+        bool deduplicated;
+    };
+    std::vector<Instance> instances;
+    std::vector<const LayerSpec*> unique_layers; // first occurrences
+    std::vector<int> first_net; // network owning the first occurrence
+    std::unordered_map<std::string, int> key_to_unique;
+    for (int n = 0; n < static_cast<int>(workloads.size()); ++n) {
+        const auto& layers = workloads[static_cast<std::size_t>(n)].layers;
+        for (int l = 0; l < static_cast<int>(layers.size()); ++l) {
+            const LayerSpec& layer = layers[static_cast<std::size_t>(l)];
+            int unique = -1;
+            bool deduplicated = false;
+            if (req.deduplicate) {
+                const auto [it, inserted] = key_to_unique.try_emplace(
+                    layer.canonicalKey(),
+                    static_cast<int>(unique_layers.size()));
+                unique = it->second;
+                deduplicated = !inserted;
+            } else {
+                unique = static_cast<int>(unique_layers.size());
+            }
+            if (!deduplicated) {
+                unique_layers.push_back(&layer);
+                first_net.push_back(n);
+            }
+            instances.push_back({n, l, unique, deduplicated});
+        }
+    }
+    state->total_unique.store(
+        static_cast<std::int64_t>(unique_layers.size()),
+        std::memory_order_relaxed);
+
+    // --- 2. memoize: probe the cache once per unique problem; misses
+    // additionally fetch the nearest-neighbor schedule as a warm-start
+    // hint. Both probes run in this sequential phase, so hint content is
+    // deterministic for a fixed query sequence at any thread count. ---
+    const std::size_t num_unique = unique_layers.size();
+    ScheduleCache& cache = *req.cache;
+    const std::string arch_key = arch.fingerprint();
+    const std::string sched_key = schedulerConfigKey(req);
+    const std::string eval_key = req.evaluator->fingerprint();
+    auto keyOf = [&](std::size_t u) {
+        return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
+                                sched_key, eval_key};
+    };
+    const bool want_hints =
+        req.use_cache && req.warm_start_hints &&
+        (req.scheduler == SchedulerKind::Cosa ||
+         req.scheduler == SchedulerKind::Portfolio);
+    std::vector<SearchResult> solved(num_unique);
+    std::vector<char> from_cache(num_unique, 0);
+    std::vector<std::vector<Mapping>> hints(num_unique);
+    std::vector<std::size_t> to_solve;
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        if (req.use_cache) {
+            if (auto hit = cache.lookup(keyOf(u))) {
+                solved[u] = std::move(*hit);
+                from_cache[u] = 1;
+                continue;
+            }
+        }
+        if (want_hints) {
+            if (auto nn = cache.nearestNeighbor(arch_key, sched_key,
+                                                eval_key,
+                                                *unique_layers[u]))
+                hints[u].push_back(std::move(nn->mapping));
+        }
+        to_solve.push_back(u);
+    }
+
+    // --- progress frontier: events are emitted strictly in unique-
+    // problem index order — a problem's event fires once it and every
+    // problem before it completed — so the event sequence (and each
+    // event's cumulative counters) is identical at any thread count.
+    // Cancel-skipped problems never complete: the stream is a prefix. --
+    std::vector<char> completed(num_unique, 0);
+    std::vector<char> skipped(num_unique, 0);
+    std::size_t frontier = 0;
+    std::int64_t cum_completed = 0;
+    auto completeProblem = [&](std::size_t u) {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        completed[u] = 1;
+        while (frontier < num_unique && completed[frontier]) {
+            JobProgress event;
+            event.completed = ++cum_completed;
+            event.total = static_cast<std::int64_t>(num_unique);
+            event.unique_index = static_cast<int>(frontier);
+            event.layer = unique_layers[frontier]->name;
+            event.from_cache = from_cache[frontier] != 0;
+            event.found = solved[frontier].found;
+            event.wall_time_sec = wallTimeSec() - start;
+            // weak_ptr: replayed events may be copied out and outlive
+            // the job state; cancelling then is a silent no-op.
+            event.cancel_hook =
+                [weak = std::weak_ptr<ScheduleJob::State>(state)] {
+                    if (auto s = weak.lock())
+                        s->cancel.store(true, std::memory_order_relaxed);
+                };
+            state->events.push_back(event);
+            state->completed_unique.store(cum_completed,
+                                          std::memory_order_relaxed);
+            for (const auto& listener : state->listeners)
+                listener(state->events.back());
+            ++frontier;
+        }
+    };
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        if (from_cache[u])
+            completeProblem(u);
+    }
+
+    // --- 3. solve the misses on the service's shared executor. Each
+    // task writes slot to_solve[t], so results are positionally
+    // deterministic for any worker count and co-tenant mix.
+    // Cancellation (and the deadline, which is just a self-inflicted
+    // cancel) is honored between tasks: a worker picking up a task
+    // after cancel() skips it immediately, so the set always drains
+    // and no work leaks past wait(). ---
+    auto solveTask = [&](std::size_t t) {
+        const std::size_t u = to_solve[t];
+        if (deadline_at > 0.0 &&
+            !state->cancel.load(std::memory_order_relaxed) &&
+            wallTimeSec() >= deadline_at) {
+            record->deadline_expired.store(true, std::memory_order_relaxed);
+            state->cancel.store(true, std::memory_order_relaxed);
+        }
+        if (state->cancel.load(std::memory_order_relaxed)) {
+            skipped[u] = 1; // no event: the frontier stream stays a prefix
+            return;
+        }
+        solved[u] = solveOne(req, *unique_layers[u], arch, hints[u]);
+        completeProblem(u);
+    };
+    Executor::TaskSetOptions options;
+    options.tier = static_cast<int>(req.priority);
+    options.weight = req.weight;
+    options.max_parallelism = req.max_parallelism;
+    executor_->submit(to_solve.size(), solveTask, options)->wait();
+    if (req.use_cache) {
+        for (std::size_t u : to_solve) {
+            if (!skipped[u])
+                cache.insert(keyOf(u), solved[u], *unique_layers[u]);
+        }
+    }
+
+    // --- 4. scatter back to instances and aggregate per network. ---
+    const bool was_cancelled =
+        state->cancel.load(std::memory_order_relaxed);
+    const bool deadline_hit =
+        record->deadline_expired.load(std::memory_order_relaxed);
+    const double wall = wallTimeSec() - start;
+    std::vector<NetworkResult> results(workloads.size());
+    for (std::size_t n = 0; n < workloads.size(); ++n) {
+        NetworkResult& net = results[n];
+        net.network = workloads[n].name;
+        net.arch = arch.name;
+        net.scheduler = schedulerKindName(req.scheduler);
+        net.wall_time_sec = wall; // batch-wide; solves are shared
+        net.cancelled = was_cancelled;
+        net.deadline_expired = deadline_hit;
+        net.layers.reserve(workloads[n].layers.size());
+    }
+    for (const Instance& inst : instances) {
+        NetworkResult& net = results[static_cast<std::size_t>(inst.net)];
+        const auto u = static_cast<std::size_t>(inst.unique);
+        LayerScheduleResult lr;
+        lr.layer = workloads[static_cast<std::size_t>(inst.net)]
+                       .layers[static_cast<std::size_t>(inst.layer)];
+        lr.result = solved[u];
+        lr.from_cache = from_cache[u] != 0;
+        lr.deduplicated = inst.deduplicated;
+        lr.cancelled = skipped[u] != 0;
+        lr.unique_index = inst.unique;
+        ++net.num_layers;
+        if (lr.result.found) {
+            net.total_cycles += lr.result.eval.cycles;
+            net.total_energy_pj += lr.result.eval.energy_pj;
+        } else {
+            net.all_found = false;
+        }
+        net.layers.push_back(std::move(lr));
+    }
+    // Unique-problem accounting goes to the network owning the first
+    // occurrence, so batch-wide sums match the work actually performed.
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        NetworkResult& net =
+            results[static_cast<std::size_t>(first_net[u])];
+        ++net.num_unique;
+        if (from_cache[u]) {
+            ++net.num_cache_hits;
+        } else if (skipped[u]) {
+            ++net.num_cancelled;
+        } else {
+            ++net.num_solved;
+            net.search.samples += solved[u].stats.samples;
+            net.search.valid_evaluated += solved[u].stats.valid_evaluated;
+            net.search.search_time_sec += solved[u].stats.search_time_sec;
+            net.search.mip_nodes += solved[u].stats.mip_nodes;
+            net.search.lp_iterations += solved[u].stats.lp_iterations;
+            net.search.warm_starts_installed +=
+                solved[u].stats.warm_starts_installed;
+            net.search.warm_start_hits += solved[u].stats.warm_start_hits;
+            if (solved[u].stats.warm_starts_installed > 0)
+                ++net.num_warm_hints;
+            if (solved[u].stats.warm_start_hits > 0)
+                ++net.num_warm_hits;
+            if (req.scheduler == SchedulerKind::Portfolio) {
+                const std::string& who = solved[u].scheduler;
+                if (who == "Portfolio[CoSA]")
+                    ++net.portfolio_wins.cosa;
+                else if (who == "Portfolio[Random]")
+                    ++net.portfolio_wins.random;
+                else if (who == "Portfolio[TimeloopHybrid]")
+                    ++net.portfolio_wins.hybrid;
+            }
+        }
+    }
+
+    {
+        std::lock_guard<std::mutex> lock(state->mutex);
+        state->results = std::move(results);
+        state->finished.store(true, std::memory_order_release);
+        state->done_cv.notify_all();
+    }
+}
+
+} // namespace cosa

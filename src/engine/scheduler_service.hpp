@@ -1,0 +1,371 @@
+#pragma once
+
+/**
+ * @file
+ * SchedulerService — the process-wide multi-tenant front door for
+ * scheduling queries.
+ *
+ * One service owns one shared work-stealing `Executor`; every job
+ * submitted by every tenant runs its per-layer solve tasks on that one
+ * crew of workers instead of spinning a private pool (N tenants no
+ * longer oversubscribe the machine N-fold). The whole query is one
+ * value type, `ScheduleRequest` — workloads, arch, scheduler kind and
+ * tunables, evaluation backend, objective, budgets, priority, fair-
+ * share weight, optional deadline — and `submit(ScheduleRequest)` is
+ * the one entry point. `SchedulingEngine::submit/scheduleNetwork*`
+ * remain as thin compatibility wrappers over `defaultService()`.
+ *
+ * Scheduling semantics:
+ *  - strict priority tiers (`JobPriority`): no Batch task is
+ *    dispatched while an Interactive job has a claimable task;
+ *    running solves always finish (preemption at task boundaries);
+ *  - FIFO within a tier for *admission*: when `max_inflight_jobs`
+ *    bounds concurrency, queued jobs start in submit order within the
+ *    best nonempty tier;
+ *  - weighted fair share across running same-tier jobs at per-layer-
+ *    task granularity (`ScheduleRequest::weight`, stride scheduling);
+ *  - admission control: beyond `max_inflight_jobs` jobs queue, beyond
+ *    `max_queued_jobs` submissions are rejected with a typed
+ *    `Rejected` outcome instead of a handle;
+ *  - deadlines: a job whose `deadline_sec` elapses (measured from
+ *    submit, queue wait included) is auto-cancelled cooperatively —
+ *    exactly like `ScheduleJob::cancel()`, the solved prefix keeps its
+ *    results and the rest is flagged.
+ *
+ * Determinism under multi-tenancy: a fixed `ScheduleRequest` produces
+ * a bit-identical `NetworkResult` (mappings, evaluations, counters) at
+ * any executor width and under any co-tenant mix, because tasks are
+ * pure functions of their index and the executor only permutes
+ * execution order. The one sharing channel that could leak co-tenant
+ * state — the cross-query `ScheduleCache` — is therefore *opt-in* per
+ * request: a null `ScheduleRequest::cache` gives the job a private
+ * cache (dedup still collapses duplicates within the batch). Passing a
+ * shared cache (e.g. an engine's, or one shared by an arch sweep)
+ * trades that guarantee for cross-query memoization and cross-layer
+ * warm starts, whose outcome then depends on cache history — the same
+ * contract the engine has always documented. Deadlines are inherently
+ * wall-clock: an expired job's result is a *prefix* of the
+ * deterministic one.
+ *
+ * Introspection: `listJobs()` snapshots every queued/running job;
+ * `stats()` reports queue depths, per-priority queue-wait times and
+ * the executor's task/steal counters.
+ */
+
+#include <array>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "cosa/scheduler.hpp"
+#include "engine/network_result.hpp"
+#include "engine/schedule_cache.hpp"
+#include "engine/schedule_job.hpp"
+#include "engine/thread_pool.hpp"
+#include "mapper/exhaustive_mapper.hpp"
+#include "mapper/hybrid_mapper.hpp"
+#include "mapper/random_mapper.hpp"
+#include "problem/workloads.hpp"
+
+namespace cosa {
+
+/** Which scheduler a request drives. */
+enum class SchedulerKind {
+    Cosa,       //!< one-shot MIP (the paper's contribution)
+    Random,     //!< random-search baseline
+    Hybrid,     //!< Timeloop-Hybrid baseline
+    Exhaustive, //!< brute-force oracle (tiny layers only)
+    Portfolio,  //!< race CoSA, Random and Hybrid; keep the best
+};
+
+/** Display name of a scheduler kind. */
+const char* schedulerKindName(SchedulerKind kind);
+
+/** Strict priority tier of a job; lower tiers always run first. */
+enum class JobPriority {
+    Interactive = 0, //!< latency-sensitive user queries
+    Normal = 1,      //!< default traffic
+    Batch = 2,       //!< arch sweeps, offline exploration
+};
+
+inline constexpr int kNumJobPriorities = 3;
+
+/** Display name ("interactive" / "normal" / "batch"). */
+const char* jobPriorityName(JobPriority priority);
+
+/** Parse a priority name; false (and @p out untouched) on unknown. */
+bool parseJobPriority(const std::string& text, JobPriority* out);
+
+/**
+ * CLI helper shared by the examples: consumes "--priority <name>"
+ * (advancing @p a) like parseObjectiveFlag; a missing or unknown value
+ * is fatal.
+ */
+bool parsePriorityFlag(int argc, char** argv, int* a, JobPriority* priority);
+
+/**
+ * One scheduling query, self-contained: everything that was spread
+ * over `EngineConfig` + three submit()/scheduleNetwork* overloads.
+ * Value type — copy it, stash it, replay it; a fixed request is the
+ * unit of the determinism contract above.
+ */
+struct ScheduleRequest
+{
+    /** The batch: one or more networks scheduled as a single query
+     *  (shared canonicalization, dedup and task set). */
+    std::vector<Workload> workloads;
+    ArchSpec arch;
+
+    SchedulerKind scheduler = SchedulerKind::Cosa;
+    /** Objective for the search baselines, the portfolio comparison
+     *  and CoSA's final candidate pick. */
+    SearchObjective objective = SearchObjective::Latency;
+    /** Evaluation backend scoring every schedule; null selects the
+     *  shared analytical model. */
+    std::shared_ptr<const Evaluator> evaluator;
+
+    // Per-scheduler tunables (budgets live in cosa.mip).
+    CosaConfig cosa;
+    RandomMapperConfig random;
+    HybridMapperConfig hybrid;
+    ExhaustiveMapperConfig exhaustive;
+
+    /** Collapse identical layer shapes within this query. */
+    bool deduplicate = true;
+    /**
+     * Cross-query memoization: null keeps the job on a private cache
+     * (the deterministic default); pass a shared ScheduleCache to
+     * reuse solves across queries and tenants.
+     */
+    std::shared_ptr<ScheduleCache> cache;
+    /** Probe @p cache for exact hits (and insert solves). */
+    bool use_cache = true;
+    /** Seed cold CoSA solves with the cache's nearest-neighbor
+     *  schedule (requires use_cache and a warm shared cache). */
+    bool warm_start_hints = true;
+
+    /** Strict scheduling tier of this job. */
+    JobPriority priority = JobPriority::Normal;
+    /** Fair-share weight against running same-tier jobs (> 0): a
+     *  weight-2 job receives twice the task slots of a weight-1 one. */
+    double weight = 1.0;
+    /**
+     * Auto-cancel deadline in seconds from submit (queue wait
+     * included); 0 = none. Checked cooperatively before each task:
+     * solves already finished keep their results, the rest is flagged
+     * cancelled and `NetworkResult::deadline_expired` is set.
+     */
+    double deadline_sec = 0.0;
+    /** Max concurrently running tasks of this job on the shared
+     *  executor; 0 = unlimited. 1 solves in unique-problem order
+     *  (the historical single-thread engine semantics). */
+    int max_parallelism = 0;
+    /** Display label for listJobs(); defaults to the first workload's
+     *  name. */
+    std::string tag;
+};
+
+/**
+ * Serialization of every scheduler tunable of @p request that can
+ * change a solve's outcome — the third component of the cache key
+ * (byte-compatible with the historical engine key, so cache snapshots
+ * stay valid).
+ */
+std::string schedulerConfigKey(const ScheduleRequest& request);
+
+/** Why a submission was not admitted. */
+struct Rejected
+{
+    enum class Reason {
+        QueueFull,    //!< max_queued_jobs reached
+        ShuttingDown, //!< service is being destroyed
+    };
+    Reason reason = Reason::QueueFull;
+    std::int64_t queued_jobs = 0;   //!< queue depth at rejection
+    std::int64_t inflight_jobs = 0; //!< running jobs at rejection
+    std::string message;
+};
+
+/**
+ * Outcome of SchedulerService::submit(): an admitted job handle or a
+ * typed rejection. Move-only (it may own the job).
+ */
+class SubmitResult
+{
+  public:
+    /*implicit*/ SubmitResult(ScheduleJob job) : job_(std::move(job)) {}
+    /*implicit*/ SubmitResult(Rejected rejected)
+        : rejected_(std::move(rejected))
+    {
+    }
+
+    bool accepted() const { return job_.has_value(); }
+    explicit operator bool() const { return accepted(); }
+
+    /** The admitted job (valid only when accepted()). */
+    ScheduleJob& job() { return *job_; }
+    /** Move the admitted job out (valid only when accepted()). */
+    ScheduleJob takeJob() { return std::move(*job_); }
+
+    /** The rejection (valid only when !accepted()). */
+    const Rejected& rejection() const { return *rejected_; }
+
+  private:
+    std::optional<ScheduleJob> job_;
+    std::optional<Rejected> rejected_;
+};
+
+/** Service-wide limits and executor sizing. */
+struct ServiceConfig
+{
+    /** Shared executor width; 0 = hardware concurrency. */
+    int num_threads = 0;
+    /** Jobs allowed to wait for an inflight slot; < 0 = unlimited.
+     *  Submissions beyond it are rejected (QueueFull). */
+    std::int64_t max_queued_jobs = -1;
+    /** Jobs running concurrently; < 0 = unlimited. Excess queues. */
+    std::int64_t max_inflight_jobs = -1;
+};
+
+/** One live (queued or running) job, as listJobs() reports it. */
+struct JobInfo
+{
+    std::uint64_t id = 0;
+    std::string tag;
+    JobPriority priority = JobPriority::Normal;
+    double weight = 1.0;
+    bool running = false;     //!< false = still queued
+    double queued_sec = 0.0;  //!< submit -> start (or now if queued)
+    double running_sec = 0.0; //!< start -> now (0 while queued)
+    std::int64_t total_unique = -1; //!< -1 until canonicalization ran
+    std::int64_t completed_unique = 0;
+    double deadline_sec = 0.0; //!< requested deadline (0 = none)
+    bool cancel_requested = false;
+};
+
+/** Aggregate service counters (monotonic unless noted). */
+struct ServiceStats
+{
+    std::int64_t submitted = 0; //!< admitted jobs
+    std::int64_t rejected = 0;
+    std::int64_t completed = 0;
+    /** Completed jobs that finished with the cancel flag set (user
+     *  cancels and expired deadlines). */
+    std::int64_t cancelled = 0;
+    std::int64_t deadline_expired = 0;
+    std::int64_t queued_now = 0;   //!< snapshot
+    std::int64_t inflight_now = 0; //!< snapshot
+
+    /** Per-priority-tier accounting. */
+    struct TierStats
+    {
+        std::int64_t submitted = 0;
+        std::int64_t completed = 0;
+        std::int64_t queued_now = 0; //!< snapshot
+        /** Summed submit->start queue wait of started jobs. */
+        double total_queue_wait_sec = 0.0;
+        double max_queue_wait_sec = 0.0;
+        /** Claimable solve tasks on the executor right now. */
+        std::int64_t pending_tasks = 0; //!< snapshot
+
+        double
+        meanQueueWaitSec() const
+        {
+            const std::int64_t started = submitted - queued_now;
+            return started <= 0 ? 0.0
+                                : total_queue_wait_sec /
+                                      static_cast<double>(started);
+        }
+    };
+    std::array<TierStats, kNumJobPriorities> tiers;
+
+    /** The shared executor's counters (tasks, steals, depths). */
+    ExecutorStats executor;
+};
+
+/**
+ * The multi-tenant scheduling service. Thread-safe: submit/listJobs/
+ * stats may race freely. The service must outlive every ScheduleJob
+ * it admitted; destruction cancels queued jobs cooperatively, waits
+ * for running ones, then drains and joins the executor. Do not submit
+ * from inside a solve task (the workers are the resource being
+ * requested).
+ */
+class SchedulerService
+{
+  public:
+    explicit SchedulerService(ServiceConfig config = {});
+    ~SchedulerService();
+
+    SchedulerService(const SchedulerService&) = delete;
+    SchedulerService& operator=(const SchedulerService&) = delete;
+
+    /**
+     * Admit @p request (or reject it). @p on_progress is installed
+     * before the job can start, so it observes every event live.
+     */
+    SubmitResult submit(ScheduleRequest request,
+                        ScheduleJob::ProgressCallback on_progress = {});
+
+    /** Snapshot of every queued or running job, in submission order. */
+    std::vector<JobInfo> listJobs() const;
+
+    /** Aggregate counters + executor stats. */
+    ServiceStats stats() const;
+
+    const ServiceConfig& config() const { return config_; }
+
+    /**
+     * The process-wide default service (hardware-width executor,
+     * unlimited admission): what the SchedulingEngine compatibility
+     * wrappers submit to, so every engine in the process shares one
+     * worker crew.
+     */
+    static SchedulerService& defaultService();
+
+  private:
+    struct JobRecord;
+
+    /** Fill evaluator/objective defaults and the private cache. */
+    void normalize(ScheduleRequest& request) const;
+    /** Move @p record to Running and spawn its runner thread. Caller
+     *  holds mutex_. */
+    void startLocked(const std::shared_ptr<JobRecord>& record);
+    /** Runner-thread epilogue: accounting + start next queued job. */
+    void onJobFinished(const std::shared_ptr<JobRecord>& record);
+    /** The job body: canonicalize, memoize, solve on the shared
+     *  executor, scatter. Runs on the record's runner thread. */
+    void runJobBody(const std::shared_ptr<JobRecord>& record);
+
+    ServiceConfig config_;
+    std::unique_ptr<Executor> executor_;
+
+    mutable std::mutex mutex_;
+    std::condition_variable drained_cv_; //!< signaled as jobs finish
+    bool shutting_down_ = false;
+    std::uint64_t next_job_id_ = 1;
+    /** FIFO admission queues, one per tier. */
+    std::array<std::deque<std::shared_ptr<JobRecord>>, kNumJobPriorities>
+        queued_;
+    std::vector<std::shared_ptr<JobRecord>> running_;
+
+    // Counters behind stats().
+    std::int64_t submitted_ = 0;
+    std::int64_t rejected_ = 0;
+    std::int64_t completed_ = 0;
+    std::int64_t cancelled_ = 0;
+    std::int64_t deadline_expired_ = 0;
+    struct TierCounters
+    {
+        std::int64_t submitted = 0;
+        std::int64_t completed = 0;
+        double total_queue_wait_sec = 0.0;
+        double max_queue_wait_sec = 0.0;
+    };
+    std::array<TierCounters, kNumJobPriorities> tier_counters_;
+};
+
+} // namespace cosa

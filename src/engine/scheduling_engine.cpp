@@ -1,28 +1,11 @@
 #include "engine/scheduling_engine.hpp"
 
 #include <algorithm>
-#include <limits>
-#include <sstream>
 #include <thread>
-#include <unordered_map>
 
 #include "common/logging.hpp"
-#include "engine/thread_pool.hpp"
 
 namespace cosa {
-
-const char*
-schedulerKindName(SchedulerKind kind)
-{
-    switch (kind) {
-      case SchedulerKind::Cosa: return "CoSA";
-      case SchedulerKind::Random: return "Random";
-      case SchedulerKind::Hybrid: return "TimeloopHybrid";
-      case SchedulerKind::Exhaustive: return "Exhaustive";
-      case SchedulerKind::Portfolio: return "Portfolio";
-    }
-    panic("invalid scheduler kind");
-}
 
 SchedulingEngine::SchedulingEngine(EngineConfig config,
                                    std::shared_ptr<ScheduleCache> cache)
@@ -41,8 +24,8 @@ SchedulingEngine::SchedulingEngine(EngineConfig config,
         int threads = hw == 0 ? 1 : static_cast<int>(hw);
         // Hybrid solves spawn their own racing threads, and a portfolio
         // slot additionally races CoSA and Random next to Hybrid;
-        // divide the default pool width by that inner parallelism so
-        // the machine is not oversubscribed ~8x. (An explicit
+        // divide the default concurrency cap by that inner parallelism
+        // so the machine is not oversubscribed ~8x. (An explicit
         // num_threads is taken as given; hybrid.num_threads itself is
         // untouched because the per-thread seeds make it part of the
         // result's identity.)
@@ -55,157 +38,47 @@ SchedulingEngine::SchedulingEngine(EngineConfig config,
     }
 }
 
-namespace {
-
-void
-appendCosaKey(std::ostringstream& oss, const CosaConfig& c)
+ScheduleRequest
+SchedulingEngine::makeRequest(std::vector<Workload> workloads,
+                              const ArchSpec& arch) const
 {
-    oss << "cosa(" << static_cast<int>(c.objective_mode) << ","
-        << c.w_util << "," << c.w_comp << "," << c.w_traf << ","
-        << c.tie_break << ",[";
-    for (const auto& level : c.capacity_fraction) {
-        for (double f : level)
-            oss << f << ";";
-        oss << "/";
-    }
-    oss << "]," << c.mip.time_limit_sec << "," << c.mip.work_limit << ","
-        << c.mip.rel_gap << "," << c.mip.int_tol << "," << c.mip.node_limit
-        << "," << (c.mip.presolve ? 1 : 0) << "," << c.mip.seed << ")";
+    ScheduleRequest request;
+    request.workloads = std::move(workloads);
+    request.arch = arch;
+    request.scheduler = config_.scheduler;
+    request.objective = config_.objective;
+    request.evaluator = config_.evaluator;
+    request.cosa = config_.cosa;
+    request.random = config_.random;
+    request.hybrid = config_.hybrid;
+    request.exhaustive = config_.exhaustive;
+    request.deduplicate = config_.deduplicate;
+    request.cache = cache_; // the engine's cross-query memoization
+    request.use_cache = config_.use_cache;
+    request.warm_start_hints = config_.warm_start_hints;
+    // num_threads survives as the job's concurrency cap on the shared
+    // executor, preserving the historical result semantics exactly
+    // (a 1-thread engine still solves in unique-problem order).
+    request.max_parallelism = config_.num_threads;
+    return request;
 }
-
-void
-appendRandomKey(std::ostringstream& oss, const RandomMapperConfig& c)
-{
-    oss << "rnd(" << c.max_samples << "," << c.target_valid << ","
-        << c.seed << ")";
-}
-
-void
-appendHybridKey(std::ostringstream& oss, const HybridMapperConfig& c)
-{
-    oss << "tlh(" << c.num_threads << "," << c.victory_condition << ","
-        << c.max_perms_per_factorization << ","
-        << c.max_samples_per_thread << "," << c.seed << ")";
-}
-
-void
-appendExhaustiveKey(std::ostringstream& oss, const ExhaustiveMapperConfig& c)
-{
-    oss << "exh(" << c.max_points << "," << c.permute_noc_level << ","
-        << c.max_perms << ")";
-}
-
-} // namespace
 
 std::string
 SchedulingEngine::schedulerKey() const
 {
-    std::ostringstream oss;
-    // Full double precision, matching ArchSpec::fingerprint(): configs
-    // differing in any weight or limit must key distinct cache entries.
-    oss.precision(std::numeric_limits<double>::max_digits10);
-    oss << schedulerKindName(config_.scheduler) << "/"
-        << static_cast<int>(config_.objective) << "/"
-        // Warm-start hints change what a budget-limited solve returns,
-        // so engines with and without them must not share entries.
-        << (config_.warm_start_hints ? "wh1" : "wh0") << "/";
-    switch (config_.scheduler) {
-      case SchedulerKind::Cosa:
-        appendCosaKey(oss, config_.cosa);
-        break;
-      case SchedulerKind::Random:
-        appendRandomKey(oss, config_.random);
-        break;
-      case SchedulerKind::Hybrid:
-        appendHybridKey(oss, config_.hybrid);
-        break;
-      case SchedulerKind::Exhaustive:
-        appendExhaustiveKey(oss, config_.exhaustive);
-        break;
-      case SchedulerKind::Portfolio:
-        appendCosaKey(oss, config_.cosa);
-        appendRandomKey(oss, config_.random);
-        appendHybridKey(oss, config_.hybrid);
-        break;
-    }
-    return oss.str();
-}
-
-SearchResult
-SchedulingEngine::solveOne(const LayerSpec& layer, const ArchSpec& arch,
-                           const std::vector<Mapping>& warm_hints) const
-{
-    const Evaluator& evaluator = *config_.evaluator;
-    switch (config_.scheduler) {
-      case SchedulerKind::Cosa:
-        return CosaScheduler(config_.cosa, config_.objective)
-            .schedule(layer, arch, warm_hints, evaluator);
-      case SchedulerKind::Random:
-        return RandomMapper(config_.random).schedule(layer, arch, evaluator);
-      case SchedulerKind::Hybrid:
-        return HybridMapper(config_.hybrid).schedule(layer, arch, evaluator);
-      case SchedulerKind::Exhaustive:
-        return ExhaustiveMapper(config_.exhaustive)
-            .schedule(layer, arch, evaluator);
-      case SchedulerKind::Portfolio: {
-        // Race the members concurrently inside this one task slot: the
-        // slot's wall time is the slowest member, not their sum. Each
-        // member writes its own slot, so the aggregation below is
-        // order-deterministic regardless of finish order. Hybrid runs
-        // on the calling thread (it spawns its own racing threads).
-        SearchResult members[3];
-        std::thread cosa_thread([&] {
-            members[0] = CosaScheduler(config_.cosa, config_.objective)
-                             .schedule(layer, arch, warm_hints, evaluator);
-        });
-        std::thread random_thread([&] {
-            members[1] =
-                RandomMapper(config_.random).schedule(layer, arch, evaluator);
-        });
-        members[2] =
-            HybridMapper(config_.hybrid).schedule(layer, arch, evaluator);
-        cosa_thread.join();
-        random_thread.join();
-        SearchResult best;
-        best.scheduler = "Portfolio";
-        for (const SearchResult& member : members) {
-            best.stats.samples += member.stats.samples;
-            best.stats.valid_evaluated += member.stats.valid_evaluated;
-            best.stats.search_time_sec += member.stats.search_time_sec;
-            best.stats.mip_nodes += member.stats.mip_nodes;
-            best.stats.lp_iterations += member.stats.lp_iterations;
-            best.stats.warm_starts_installed +=
-                member.stats.warm_starts_installed;
-            best.stats.warm_start_hits += member.stats.warm_start_hits;
-            if (!member.found)
-                continue;
-            if (!best.found ||
-                objectiveValue(member.eval, config_.objective) <
-                    objectiveValue(best.eval, config_.objective)) {
-                best.found = true;
-                best.mapping = member.mapping;
-                best.eval = member.eval;
-                best.scheduler = "Portfolio[" + member.scheduler + "]";
-            }
-        }
-        return best;
-      }
-    }
-    panic("invalid scheduler kind");
+    return schedulerConfigKey(makeRequest({}, ArchSpec{}));
 }
 
 ScheduleJob
 SchedulingEngine::submit(std::vector<Workload> workloads, const ArchSpec& arch,
                          ScheduleJob::ProgressCallback on_progress) const
 {
-    auto state = std::make_shared<ScheduleJob::State>();
-    if (on_progress)
-        state->listeners.push_back(std::move(on_progress));
-    state->runner = std::thread(
-        [this, state, workloads = std::move(workloads), arch]() mutable {
-            runJob(state, std::move(workloads), std::move(arch));
-        });
-    return ScheduleJob(std::move(state));
+    SubmitResult result = SchedulerService::defaultService().submit(
+        makeRequest(std::move(workloads), arch), std::move(on_progress));
+    // The default service has unlimited admission; engine jobs are
+    // never turned away.
+    COSA_ASSERT(result.accepted(), "default service rejected an engine job");
+    return result.takeJob();
 }
 
 ScheduleJob
@@ -214,222 +87,6 @@ SchedulingEngine::submit(const Workload& workload, const ArchSpec& arch,
 {
     return submit(std::vector<Workload>{workload}, arch,
                   std::move(on_progress));
-}
-
-void
-SchedulingEngine::runJob(std::shared_ptr<ScheduleJob::State> state,
-                         std::vector<Workload> workloads, ArchSpec arch) const
-{
-    const double start = wallTimeSec();
-
-    // --- 1. canonicalize: flatten the batch and collapse duplicates. ---
-    struct Instance
-    {
-        int net;
-        int layer;
-        int unique;
-        bool deduplicated;
-    };
-    std::vector<Instance> instances;
-    std::vector<const LayerSpec*> unique_layers; // first occurrences
-    std::vector<int> first_net; // network owning the first occurrence
-    std::unordered_map<std::string, int> key_to_unique;
-    for (int n = 0; n < static_cast<int>(workloads.size()); ++n) {
-        const auto& layers = workloads[static_cast<std::size_t>(n)].layers;
-        for (int l = 0; l < static_cast<int>(layers.size()); ++l) {
-            const LayerSpec& layer = layers[static_cast<std::size_t>(l)];
-            int unique = -1;
-            bool deduplicated = false;
-            if (config_.deduplicate) {
-                const auto [it, inserted] = key_to_unique.try_emplace(
-                    layer.canonicalKey(),
-                    static_cast<int>(unique_layers.size()));
-                unique = it->second;
-                deduplicated = !inserted;
-            } else {
-                unique = static_cast<int>(unique_layers.size());
-            }
-            if (!deduplicated) {
-                unique_layers.push_back(&layer);
-                first_net.push_back(n);
-            }
-            instances.push_back({n, l, unique, deduplicated});
-        }
-    }
-
-    // --- 2. memoize: probe the cache once per unique problem; misses
-    // additionally fetch the nearest-neighbor schedule as a warm-start
-    // hint. Both probes run in this sequential phase, so hint content is
-    // deterministic for a fixed query sequence at any thread count. ---
-    const std::size_t num_unique = unique_layers.size();
-    const std::string arch_key = arch.fingerprint();
-    const std::string sched_key = schedulerKey();
-    const std::string eval_key = config_.evaluator->fingerprint();
-    auto keyOf = [&](std::size_t u) {
-        return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
-                                sched_key, eval_key};
-    };
-    const bool want_hints =
-        config_.use_cache && config_.warm_start_hints &&
-        (config_.scheduler == SchedulerKind::Cosa ||
-         config_.scheduler == SchedulerKind::Portfolio);
-    std::vector<SearchResult> solved(num_unique);
-    std::vector<char> from_cache(num_unique, 0);
-    std::vector<std::vector<Mapping>> hints(num_unique);
-    std::vector<std::size_t> to_solve;
-    for (std::size_t u = 0; u < num_unique; ++u) {
-        if (config_.use_cache) {
-            if (auto hit = cache_->lookup(keyOf(u))) {
-                solved[u] = std::move(*hit);
-                from_cache[u] = 1;
-                continue;
-            }
-        }
-        if (want_hints) {
-            if (auto nn = cache_->nearestNeighbor(arch_key, sched_key,
-                                                  eval_key,
-                                                  *unique_layers[u]))
-                hints[u].push_back(std::move(nn->mapping));
-        }
-        to_solve.push_back(u);
-    }
-
-    // --- progress frontier: events are emitted strictly in unique-
-    // problem index order — a problem's event fires once it and every
-    // problem before it completed — so the event sequence (and each
-    // event's cumulative counters) is identical at any thread count.
-    // Cancel-skipped problems never complete: the stream is a prefix. --
-    std::vector<char> completed(num_unique, 0);
-    std::vector<char> skipped(num_unique, 0);
-    std::size_t frontier = 0;
-    std::int64_t cum_completed = 0;
-    auto completeProblem = [&](std::size_t u) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        completed[u] = 1;
-        while (frontier < num_unique && completed[frontier]) {
-            JobProgress event;
-            event.completed = ++cum_completed;
-            event.total = static_cast<std::int64_t>(num_unique);
-            event.unique_index = static_cast<int>(frontier);
-            event.layer = unique_layers[frontier]->name;
-            event.from_cache = from_cache[frontier] != 0;
-            event.found = solved[frontier].found;
-            event.wall_time_sec = wallTimeSec() - start;
-            // weak_ptr: replayed events may be copied out and outlive
-            // the job state; cancelling then is a silent no-op.
-            event.cancel_hook =
-                [weak = std::weak_ptr<ScheduleJob::State>(state)] {
-                    if (auto s = weak.lock())
-                        s->cancel.store(true, std::memory_order_relaxed);
-                };
-            state->events.push_back(event);
-            for (const auto& listener : state->listeners)
-                listener(state->events.back());
-            ++frontier;
-        }
-    };
-    for (std::size_t u = 0; u < num_unique; ++u) {
-        if (from_cache[u])
-            completeProblem(u);
-    }
-
-    // --- 3. solve the misses on the work-stealing pool. Each task
-    // writes slot to_solve[t], so results are positionally deterministic
-    // for any worker count. Cancellation is honored between tasks: a
-    // worker picking up a task after cancel() skips it immediately, so
-    // the pool always drains and no work leaks past wait(). ---
-    ThreadPool pool(config_.num_threads);
-    pool.run(to_solve.size(), [&](std::size_t t) {
-        const std::size_t u = to_solve[t];
-        if (state->cancel.load(std::memory_order_relaxed)) {
-            skipped[u] = 1; // no event: the frontier stream stays a prefix
-            return;
-        }
-        solved[u] = solveOne(*unique_layers[u], arch, hints[u]);
-        completeProblem(u);
-    });
-    if (config_.use_cache) {
-        for (std::size_t u : to_solve) {
-            if (!skipped[u])
-                cache_->insert(keyOf(u), solved[u], *unique_layers[u]);
-        }
-    }
-
-    // --- 4. scatter back to instances and aggregate per network. ---
-    const bool was_cancelled =
-        state->cancel.load(std::memory_order_relaxed);
-    const double wall = wallTimeSec() - start;
-    std::vector<NetworkResult> results(workloads.size());
-    for (std::size_t n = 0; n < workloads.size(); ++n) {
-        NetworkResult& net = results[n];
-        net.network = workloads[n].name;
-        net.arch = arch.name;
-        net.scheduler = schedulerKindName(config_.scheduler);
-        net.wall_time_sec = wall; // batch-wide; solves are shared
-        net.cancelled = was_cancelled;
-        net.layers.reserve(workloads[n].layers.size());
-    }
-    for (const Instance& inst : instances) {
-        NetworkResult& net = results[static_cast<std::size_t>(inst.net)];
-        const auto u = static_cast<std::size_t>(inst.unique);
-        LayerScheduleResult lr;
-        lr.layer = workloads[static_cast<std::size_t>(inst.net)]
-                       .layers[static_cast<std::size_t>(inst.layer)];
-        lr.result = solved[u];
-        lr.from_cache = from_cache[u] != 0;
-        lr.deduplicated = inst.deduplicated;
-        lr.cancelled = skipped[u] != 0;
-        lr.unique_index = inst.unique;
-        ++net.num_layers;
-        if (lr.result.found) {
-            net.total_cycles += lr.result.eval.cycles;
-            net.total_energy_pj += lr.result.eval.energy_pj;
-        } else {
-            net.all_found = false;
-        }
-        net.layers.push_back(std::move(lr));
-    }
-    // Unique-problem accounting goes to the network owning the first
-    // occurrence, so batch-wide sums match the work actually performed.
-    for (std::size_t u = 0; u < num_unique; ++u) {
-        NetworkResult& net =
-            results[static_cast<std::size_t>(first_net[u])];
-        ++net.num_unique;
-        if (from_cache[u]) {
-            ++net.num_cache_hits;
-        } else if (skipped[u]) {
-            ++net.num_cancelled;
-        } else {
-            ++net.num_solved;
-            net.search.samples += solved[u].stats.samples;
-            net.search.valid_evaluated += solved[u].stats.valid_evaluated;
-            net.search.search_time_sec += solved[u].stats.search_time_sec;
-            net.search.mip_nodes += solved[u].stats.mip_nodes;
-            net.search.lp_iterations += solved[u].stats.lp_iterations;
-            net.search.warm_starts_installed +=
-                solved[u].stats.warm_starts_installed;
-            net.search.warm_start_hits += solved[u].stats.warm_start_hits;
-            if (solved[u].stats.warm_starts_installed > 0)
-                ++net.num_warm_hints;
-            if (solved[u].stats.warm_start_hits > 0)
-                ++net.num_warm_hits;
-            if (config_.scheduler == SchedulerKind::Portfolio) {
-                const std::string& who = solved[u].scheduler;
-                if (who == "Portfolio[CoSA]")
-                    ++net.portfolio_wins.cosa;
-                else if (who == "Portfolio[Random]")
-                    ++net.portfolio_wins.random;
-                else if (who == "Portfolio[TimeloopHybrid]")
-                    ++net.portfolio_wins.hybrid;
-            }
-        }
-    }
-
-    {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        state->results = std::move(results);
-    }
-    state->finished.store(true, std::memory_order_release);
 }
 
 std::vector<NetworkResult>

@@ -2,75 +2,49 @@
 
 /**
  * @file
- * The batch network scheduling engine — the single front door for
- * scheduling whole DNNs (or batches of DNNs) that every example and
- * bench drives instead of hand-rolling per-layer loops.
+ * The batch network scheduling engine — the historical front door for
+ * scheduling whole DNNs, kept as a thin compatibility wrapper over the
+ * process-wide `SchedulerService` (see engine/scheduler_service.hpp,
+ * which owns the pipeline: canonicalize -> memoize -> solve on the
+ * shared executor -> scatter).
  *
- * Pipeline of one query:
- *  1. canonicalize: every layer instance maps to its name-independent
- *     canonical key (LayerSpec::canonicalKey), collapsing duplicate
- *     shapes (ResNet-50's 53 layer instances -> 23 unique problems);
- *  2. memoize: unique problems are looked up in a ScheduleCache keyed
- *     by (canonical layer, arch fingerprint, scheduler config,
- *     evaluator fingerprint), so arch sweeps and repeated queries skip
- *     solved problems entirely;
- *  3. solve: remaining problems run on a work-stealing thread pool,
- *     each task writing into a pre-sized slot so results are ordered
- *     deterministically regardless of worker count;
- *  4. scatter: per-layer results are replicated back to every instance
- *     in workload order and aggregated into a NetworkResult.
+ * An engine is a bound (EngineConfig, ScheduleCache) pair: submit()
+ * folds its config, its cache and the query into a `ScheduleRequest`
+ * and hands it to `SchedulerService::defaultService()`. Every engine
+ * in the process therefore shares one worker crew instead of spinning
+ * a private pool per job; `EngineConfig::num_threads` survives as the
+ * job's `max_parallelism` cap, so existing callers keep their exact
+ * result semantics (a 1-thread engine still solves in unique-problem
+ * order). New code should construct `ScheduleRequest`s and talk to a
+ * `SchedulerService` directly — that is where priorities, fair-share
+ * weights, deadlines and admission control live.
  *
- * Every query enters through the asynchronous job front door:
- * submit() returns a ScheduleJob immediately (progress events,
- * cooperative cancellation, wait-to-collect); the blocking
- * scheduleNetwork / scheduleNetworks / scheduleLayer signatures are
- * thin submit(...).wait() wrappers kept for incremental migration.
- *
- * Which platform scores the schedules is pluggable via
- * EngineConfig::evaluator (analytical model, NoC/DRAM simulator, or
- * the analytical->simulator cascade — see model/evaluator.hpp).
- *
- * Determinism contract: for any fixed (workload, arch, config), runs
- * with different `num_threads` produce identical mappings, evaluations,
- * counters and progress-event sequences; only wall-clock fields vary.
- * (The underlying scheduler must itself be deterministic — the seeded
- * Random/Exhaustive baselines are; CoSA under a wall-clock MIP time
- * limit and Hybrid's internal racing threads are deterministic only up
- * to their own time limits.)
+ * Determinism contract (unchanged): for any fixed (workload, arch,
+ * config), runs with different `num_threads` — and any mix of
+ * co-tenant jobs on the shared executor — produce identical mappings,
+ * evaluations, counters and progress-event sequences; only wall-clock
+ * fields vary. (The underlying scheduler must itself be deterministic —
+ * the seeded Random/Exhaustive baselines are; CoSA under a wall-clock
+ * MIP time limit and Hybrid's internal racing threads are
+ * deterministic only up to their own time limits. Because the engine
+ * reuses its cache across queries, determinism is per query *sequence*:
+ * warm-start hints depend on what the cache already holds.)
  */
 
 #include <memory>
 #include <string>
 #include <vector>
 
-#include "cosa/scheduler.hpp"
-#include "engine/network_result.hpp"
-#include "engine/schedule_cache.hpp"
-#include "engine/schedule_job.hpp"
-#include "mapper/exhaustive_mapper.hpp"
-#include "mapper/hybrid_mapper.hpp"
-#include "mapper/random_mapper.hpp"
-#include "problem/workloads.hpp"
+#include "engine/scheduler_service.hpp"
 
 namespace cosa {
-
-/** Which scheduler the engine drives. */
-enum class SchedulerKind {
-    Cosa,       //!< one-shot MIP (the paper's contribution)
-    Random,     //!< random-search baseline
-    Hybrid,     //!< Timeloop-Hybrid baseline
-    Exhaustive, //!< brute-force oracle (tiny layers only)
-    Portfolio,  //!< race CoSA, Random and Hybrid; keep the best
-};
-
-/** Display name of a scheduler kind. */
-const char* schedulerKindName(SchedulerKind kind);
 
 /** Engine configuration: scheduler choice plus execution knobs. */
 struct EngineConfig
 {
     SchedulerKind scheduler = SchedulerKind::Cosa;
-    /** Worker threads for the batch solve; 0 = hardware concurrency. */
+    /** Per-job concurrency cap on the shared executor (historically
+     *  the private pool width); 0 = hardware concurrency. */
     int num_threads = 0;
     /** Collapse identical layer shapes within one query. */
     bool deduplicate = true;
@@ -105,8 +79,8 @@ struct EngineConfig
 /**
  * Batch scheduling engine. Thread-compatible: one engine may serve
  * concurrent queries (the cache is internally locked); a single query
- * parallelizes internally via its thread pool. The engine must outlive
- * every ScheduleJob submitted on it.
+ * parallelizes on the default service's shared executor. The engine
+ * must outlive every ScheduleJob submitted on it.
  */
 class SchedulingEngine
 {
@@ -123,7 +97,7 @@ class SchedulingEngine
     /**
      * Asynchronously schedule a batch of networks on one arch. Returns
      * immediately; the batch shares a single canonicalization pass and
-     * thread-pool run, so shapes recurring across networks are solved
+     * executor task set, so shapes recurring across networks are solved
      * once. See ScheduleJob for wait/cancel/progress semantics.
      *
      * @param on_progress optional progress subscriber installed before
@@ -151,6 +125,14 @@ class SchedulingEngine
     SearchResult scheduleLayer(const LayerSpec& layer,
                                const ArchSpec& arch) const;
 
+    /**
+     * The ScheduleRequest submit() would send for this query — the
+     * migration path to the service API: take it, set priority/
+     * deadline/weight, and hand it to a SchedulerService yourself.
+     */
+    ScheduleRequest makeRequest(std::vector<Workload> workloads,
+                                const ArchSpec& arch) const;
+
     const EngineConfig& config() const { return config_; }
     const std::shared_ptr<ScheduleCache>& cache() const { return cache_; }
     ScheduleCacheStats cacheStats() const { return cache_->stats(); }
@@ -166,18 +148,6 @@ class SchedulingEngine
     std::string schedulerKey() const;
 
   private:
-    /** Run the configured scheduler on one problem (no cache lookup);
-     *  @p warm_hints carry nearest-neighbor schedules into CoSA. The
-     *  portfolio scheduler races its members concurrently inside this
-     *  call's task slot. */
-    SearchResult solveOne(const LayerSpec& layer, const ArchSpec& arch,
-                          const std::vector<Mapping>& warm_hints) const;
-
-    /** The job body: the four pipeline phases, run on the job's runner
-     *  thread, publishing progress/results into @p state. */
-    void runJob(std::shared_ptr<ScheduleJob::State> state,
-                std::vector<Workload> workloads, ArchSpec arch) const;
-
     EngineConfig config_;
     std::shared_ptr<ScheduleCache> cache_;
 };

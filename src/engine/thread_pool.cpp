@@ -1,47 +1,181 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
-#include <mutex>
-#include <thread>
+
+#include "common/logging.hpp"
 
 namespace cosa {
 
-namespace {
+// --- Executor::TaskSet ---------------------------------------------------
 
-/**
- * One worker's deque of pending task indices. A coarse per-deque mutex
- * is ample here: engine tasks are whole-layer solves (milliseconds to
- * seconds), so queue operations are nowhere near the critical path.
- */
-struct WorkDeque
+void
+Executor::TaskSet::wait()
 {
-    std::mutex mutex;
-    std::deque<std::size_t> tasks;
+    if (done_.load(std::memory_order_acquire))
+        return;
+    // The slow path touches the owning executor, so wait() must not
+    // race its destruction (see the header contract); the destructor
+    // does drain every set, but a waiter has no way to know the mutex
+    // it would block on is still alive.
+    COSA_ASSERT(owner_ != nullptr, "waiting on an unsubmitted task set");
+    std::unique_lock<std::mutex> lock(owner_->mutex_);
+    done_cv_.wait(lock, [&] {
+        return done_.load(std::memory_order_acquire);
+    });
+}
 
-    bool
-    popBottom(std::size_t& out)
+// --- Executor ------------------------------------------------------------
+
+Executor::Executor(int num_threads, int num_tiers)
+    : num_threads_(std::max(num_threads, 1)),
+      num_tiers_(std::max(num_tiers, 1)),
+      active_(static_cast<std::size_t>(num_tiers_)),
+      worker_last_set_(static_cast<std::size_t>(num_threads_), 0)
+{
+    workers_.reserve(static_cast<std::size_t>(num_threads_));
+    for (int t = 0; t < num_threads_; ++t)
+        workers_.emplace_back(&Executor::workerLoop, this, t);
+}
+
+Executor::~Executor()
+{
     {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (tasks.empty())
-            return false;
-        out = tasks.back();
-        tasks.pop_back();
-        return true;
+        std::lock_guard<std::mutex> lock(mutex_);
+        stop_ = true;
     }
+    // Workers drain every claimable task before honoring stop_, so
+    // destruction waits for submitted work instead of abandoning it.
+    work_cv_.notify_all();
+    for (std::thread& worker : workers_)
+        worker.join();
+}
 
-    bool
-    stealTop(std::size_t& out)
-    {
-        std::lock_guard<std::mutex> lock(mutex);
-        if (tasks.empty())
-            return false;
-        out = tasks.front();
-        tasks.pop_front();
-        return true;
+std::shared_ptr<Executor::TaskSet>
+Executor::submit(std::size_t num_tasks, std::function<void(std::size_t)> task)
+{
+    return submit(num_tasks, std::move(task), TaskSetOptions());
+}
+
+std::shared_ptr<Executor::TaskSet>
+Executor::submit(std::size_t num_tasks, std::function<void(std::size_t)> task,
+                 TaskSetOptions options)
+{
+    auto set = std::make_shared<TaskSet>();
+    set->owner_ = this;
+    set->task_ = std::move(task);
+    set->num_tasks_ = num_tasks;
+    set->tier_ = std::clamp(options.tier, 0, num_tiers_ - 1);
+    set->max_parallelism_ = std::max(options.max_parallelism, 0);
+    set->stride_ = 1.0 / std::max(options.weight, 1e-9);
+
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++sets_submitted_;
+    set->id_ = next_set_id_++;
+    if (num_tasks == 0) {
+        ++sets_completed_;
+        set->done_.store(true, std::memory_order_release);
+        return set;
     }
-};
+    // Join the tier at its current virtual time: a newcomer shares from
+    // now on instead of monopolizing workers until its pass catches up
+    // with long-running co-tenants.
+    double min_pass = 0.0;
+    bool have_pass = false;
+    for (const auto& other : active_[static_cast<std::size_t>(set->tier_)]) {
+        if (!have_pass || other->pass_ < min_pass) {
+            min_pass = other->pass_;
+            have_pass = true;
+        }
+    }
+    set->pass_ = have_pass ? min_pass : 0.0;
+    active_[static_cast<std::size_t>(set->tier_)].push_back(set);
+    work_cv_.notify_all();
+    return set;
+}
 
-} // namespace
+std::shared_ptr<Executor::TaskSet>
+Executor::pickRunnable() const
+{
+    for (const auto& tier : active_) {
+        std::shared_ptr<TaskSet> best;
+        for (const auto& set : tier) {
+            if (set->next_ >= set->num_tasks_)
+                continue; // fully claimed; lingers until completed
+            if (set->max_parallelism_ > 0 &&
+                set->inflight_ >= set->max_parallelism_)
+                continue;
+            if (!best || set->pass_ < best->pass_ ||
+                (set->pass_ == best->pass_ && set->id_ < best->id_))
+                best = set;
+        }
+        if (best)
+            return best; // strict tiers: never look past a runnable tier
+    }
+    return nullptr;
+}
+
+void
+Executor::workerLoop(int worker_id)
+{
+    const auto self = static_cast<std::size_t>(worker_id);
+    std::unique_lock<std::mutex> lock(mutex_);
+    for (;;) {
+        std::shared_ptr<TaskSet> set = pickRunnable();
+        if (!set) {
+            if (stop_)
+                return;
+            work_cv_.wait(lock);
+            continue;
+        }
+        const std::size_t index = set->next_++;
+        set->pass_ += set->stride_;
+        ++set->inflight_;
+        ++tasks_executed_;
+        if (worker_last_set_[self] != 0 && worker_last_set_[self] != set->id_)
+            ++steals_;
+        worker_last_set_[self] = set->id_;
+
+        lock.unlock();
+        set->task_(index);
+        lock.lock();
+
+        --set->inflight_;
+        ++set->completed_;
+        if (set->completed_ == set->num_tasks_) {
+            auto& tier = active_[static_cast<std::size_t>(set->tier_)];
+            tier.erase(std::find(tier.begin(), tier.end(), set));
+            ++sets_completed_;
+            set->done_.store(true, std::memory_order_release);
+            set->done_cv_.notify_all();
+        } else if (set->max_parallelism_ > 0 &&
+                   set->next_ < set->num_tasks_) {
+            // Dropped below the set's cap: a sleeping worker may now
+            // claim the next task.
+            work_cv_.notify_one();
+        }
+    }
+}
+
+ExecutorStats
+Executor::stats() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    ExecutorStats stats;
+    stats.tasks_executed = tasks_executed_;
+    stats.steals = steals_;
+    stats.sets_submitted = sets_submitted_;
+    stats.sets_completed = sets_completed_;
+    stats.queue_depth.resize(static_cast<std::size_t>(num_tiers_), 0);
+    for (int t = 0; t < num_tiers_; ++t) {
+        for (const auto& set : active_[static_cast<std::size_t>(t)]) {
+            stats.queue_depth[static_cast<std::size_t>(t)] +=
+                static_cast<std::int64_t>(set->num_tasks_ - set->next_);
+        }
+    }
+    return stats;
+}
+
+// --- ThreadPool ----------------------------------------------------------
 
 ThreadPool::ThreadPool(int num_threads)
     : num_threads_(std::max(num_threads, 1))
@@ -54,53 +188,15 @@ ThreadPool::run(std::size_t num_tasks,
 {
     if (num_tasks == 0)
         return;
-    const int workers =
-        static_cast<int>(std::min<std::size_t>(
-            static_cast<std::size_t>(num_threads_), num_tasks));
-    if (workers == 1) {
+    if (num_threads_ == 1 || num_tasks == 1) {
         for (std::size_t i = 0; i < num_tasks; ++i)
             task(i);
         return;
     }
-
-    // Deal task indices round-robin so every deque starts with a mix of
-    // early (often larger) and late problems; stealing corrects any
-    // remaining imbalance.
-    std::vector<WorkDeque> deques(static_cast<std::size_t>(workers));
-    for (std::size_t i = 0; i < num_tasks; ++i)
-        deques[i % static_cast<std::size_t>(workers)].tasks.push_back(i);
-
-    auto worker = [&](int id) {
-        const auto self = static_cast<std::size_t>(id);
-        std::size_t index = 0;
-        for (;;) {
-            if (deques[self].popBottom(index)) {
-                task(index);
-                continue;
-            }
-            bool stole = false;
-            for (int v = 1; v < workers && !stole; ++v) {
-                const auto victim =
-                    (self + static_cast<std::size_t>(v)) %
-                    static_cast<std::size_t>(workers);
-                stole = deques[victim].stealTop(index);
-            }
-            if (!stole) {
-                // Every deque is empty and no task is ever re-enqueued,
-                // so this worker can never receive more work: exit
-                // instead of spinning against the still-running solves.
-                return;
-            }
-            task(index);
-        }
-    };
-
-    std::vector<std::thread> threads;
-    threads.reserve(static_cast<std::size_t>(workers));
-    for (int t = 0; t < workers; ++t)
-        threads.emplace_back(worker, t);
-    for (auto& t : threads)
-        t.join();
+    const int workers = static_cast<int>(std::min<std::size_t>(
+        static_cast<std::size_t>(num_threads_), num_tasks));
+    Executor executor(workers, 1);
+    executor.submit(num_tasks, task)->wait();
 }
 
 } // namespace cosa

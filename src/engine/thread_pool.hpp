@@ -2,27 +2,186 @@
 
 /**
  * @file
- * A work-stealing thread pool for the scheduling engine's batch solves.
+ * The shared work executor behind the scheduling engine and the
+ * multi-tenant SchedulerService.
  *
- * Tasks are indexed [0, n); each worker owns a deque seeded with a
- * contiguous slice of the index range, pops from its own bottom, and
- * steals from the top of a victim's deque when it runs dry — so a few
- * slow solves (large layers) do not strand the remaining workers.
+ * `Executor` owns a fixed crew of long-lived worker threads and
+ * multiplexes *task sets* — indexed batches [0, n) of per-layer solves,
+ * one set per job — from many concurrent jobs onto them:
  *
- * Determinism contract: the pool only schedules *which worker runs which
- * task when*; callers write task i's output into a pre-sized slot i, so
- * results are identical for any worker count as long as each task is a
- * pure function of its index.
+ *  - strict priority tiers: a task from tier t is never dispatched
+ *    while any tier < t has a *claimable* task — one that is unclaimed
+ *    and whose set is under its max_parallelism cap (a capped set
+ *    yields its surplus workers to lower tiers rather than idling
+ *    them). Preemption happens at task boundaries — running solves
+ *    always complete;
+ *  - weighted fair share within a tier: co-tenant sets are interleaved
+ *    at single-task granularity by stride scheduling (each dispatch
+ *    advances the set's virtual pass by 1/weight; the lowest pass runs
+ *    next, ties to the earlier-submitted set), so a weight-2 tenant
+ *    receives twice the task slots of a weight-1 tenant while both are
+ *    runnable;
+ *  - per-set parallelism caps (`max_parallelism`) bound how many tasks
+ *    of one set run concurrently — cap 1 serializes a set in index
+ *    order, which is how the engine preserves its historical
+ *    `num_threads = 1` semantics on a wide shared executor;
+ *  - work stealing across jobs: a worker whose set has no claimable
+ *    task immediately migrates to the best runnable co-tenant set
+ *    instead of idling; the `steals` counter tracks those cross-set
+ *    migrations (it is also the observable of fair-share interleaving).
+ *
+ * Determinism contract (unchanged from the per-job pool era): the
+ * executor only decides *which worker runs which task when*; callers
+ * write task i's output into a pre-sized slot i, so a set's results
+ * are identical for any worker count, any co-tenant mix and any
+ * dispatch interleaving as long as each task is a pure function of its
+ * index.
+ *
+ * `ThreadPool` survives as the historical fixed-batch façade (a
+ * transient private Executor per run) for callers that want the
+ * pre-service behavior — notably the throughput bench's "every job
+ * spins its own pool" baseline.
  */
 
+#include <atomic>
+#include <condition_variable>
 #include <cstddef>
-#include <deque>
+#include <cstdint>
 #include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
 #include <vector>
 
 namespace cosa {
 
-/** Work-stealing executor for a fixed batch of indexed tasks. */
+/** Lifetime counters of one Executor (monotonic). */
+struct ExecutorStats
+{
+    std::int64_t tasks_executed = 0; //!< tasks dispatched to workers
+    /**
+     * Cross-set worker migrations: dispatches whose task came from a
+     * different set than the worker's previous task. This is the
+     * executor's work stealing — a worker whose job ran dry takes a
+     * co-tenant's task instead of idling — and, symmetrically, the
+     * visible trace of fair-share interleaving between same-tier jobs.
+     */
+    std::int64_t steals = 0;
+    std::int64_t sets_submitted = 0;
+    std::int64_t sets_completed = 0;
+    /** Claimable (not yet dispatched) tasks right now, per tier. */
+    std::vector<std::int64_t> queue_depth;
+};
+
+/**
+ * Long-lived shared executor for indexed task sets. Thread-safe:
+ * submit() may be called from any thread, including a worker running a
+ * task of another set (but a *task* must never block on its own set).
+ * The destructor drains every submitted set, then joins the workers.
+ */
+class Executor
+{
+  public:
+    /** Scheduling knobs of one task set. */
+    struct TaskSetOptions
+    {
+        /** Strict priority tier; lower runs first. Clamped to the
+         *  executor's tier range. */
+        int tier = 1;
+        /** Fair-share weight against same-tier sets (> 0). */
+        double weight = 1.0;
+        /** Max concurrently running tasks of this set; 0 = unlimited.
+         *  1 serializes the set in index order. */
+        int max_parallelism = 0;
+    };
+
+    /**
+     * Handle to one submitted task set. Tasks are claimed in index
+     * order; done() flips once every task returned.
+     */
+    class TaskSet
+    {
+      public:
+        /** Block until every task of this set completed. Safe from any
+         *  thread except a task of this same set, but must not race
+         *  the executor's destruction: every wait() must have returned
+         *  before the executor is destroyed. (A set that has already
+         *  been observed done() stays safely waitable afterwards.) */
+        void wait();
+
+        bool done() const { return done_.load(std::memory_order_acquire); }
+        std::size_t numTasks() const { return num_tasks_; }
+
+      private:
+        friend class Executor;
+
+        Executor* owner_ = nullptr;
+        std::function<void(std::size_t)> task_;
+        std::size_t num_tasks_ = 0;
+        std::size_t next_ = 0;      //!< next unclaimed index
+        std::size_t completed_ = 0; //!< tasks finished
+        int inflight_ = 0;          //!< tasks currently running
+        int tier_ = 1;
+        int max_parallelism_ = 0;
+        double stride_ = 1.0;       //!< 1 / weight
+        double pass_ = 0.0;         //!< stride-scheduling virtual time
+        std::uint64_t id_ = 0;      //!< submission order (FIFO ties)
+        std::atomic<bool> done_{false};
+        std::condition_variable done_cv_; //!< paired with owner mutex
+    };
+
+    /**
+     * @param num_threads worker count (clamped to >= 1).
+     * @param num_tiers   number of strict priority tiers.
+     */
+    explicit Executor(int num_threads, int num_tiers = 3);
+    ~Executor();
+
+    /**
+     * Enqueue @p task(i) for every i in [0, num_tasks) and return
+     * immediately. The callable must not throw and must stay valid
+     * until the set is done (hold results/captures alive across
+     * wait()). An empty set completes immediately.
+     */
+    std::shared_ptr<TaskSet> submit(std::size_t num_tasks,
+                                    std::function<void(std::size_t)> task,
+                                    TaskSetOptions options);
+
+    /** submit() with default options (tier 1, weight 1, no cap). */
+    std::shared_ptr<TaskSet> submit(std::size_t num_tasks,
+                                    std::function<void(std::size_t)> task);
+
+    ExecutorStats stats() const;
+    int numThreads() const { return num_threads_; }
+    int numTiers() const { return num_tiers_; }
+
+  private:
+    void workerLoop(int worker_id);
+    /** Best runnable set under (tier, pass, id); caller holds mutex_. */
+    std::shared_ptr<TaskSet> pickRunnable() const;
+
+    int num_threads_ = 1;
+    int num_tiers_ = 3;
+    mutable std::mutex mutex_;
+    std::condition_variable work_cv_;
+    /** Per-tier active sets (submitted, not yet fully completed). */
+    std::vector<std::vector<std::shared_ptr<TaskSet>>> active_;
+    std::vector<std::uint64_t> worker_last_set_; //!< steal detection
+    std::uint64_t next_set_id_ = 1;
+    bool stop_ = false;
+    std::int64_t tasks_executed_ = 0;
+    std::int64_t steals_ = 0;
+    std::int64_t sets_submitted_ = 0;
+    std::int64_t sets_completed_ = 0;
+    std::vector<std::thread> workers_;
+};
+
+/**
+ * Historical fixed-batch façade: run one indexed batch and block. Each
+ * run() spins a private Executor (the pre-service "every job owns a
+ * pool" behavior, thread spawn/join cost included), degrading to
+ * inline execution for a single worker.
+ */
 class ThreadPool
 {
   public:

@@ -60,7 +60,9 @@ MipSolver::buildLp()
     orig.matrix = SparseMatrix(m, n, triplets);
 
     if (params_.presolve) {
-        auto pre = std::make_unique<Presolve>(orig, model_.types_);
+        Presolve::Options options;
+        options.probing = params_.enable_probing;
+        auto pre = std::make_unique<Presolve>(orig, model_.types_, options);
         if (pre->infeasible()) {
             presolve_infeasible_ = true;
             lp_ = std::move(orig);
@@ -323,6 +325,8 @@ MipSolver::solve(bool relaxation_only)
         result.presolve_cols_eliminated = presolve_->stats().cols_eliminated;
         result.presolve_bounds_tightened =
             presolve_->stats().bounds_tightened;
+        result.presolve_probing_fixings =
+            presolve_->stats().probing_fixings;
     }
 
     if (presolve_infeasible_) {

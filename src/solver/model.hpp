@@ -38,6 +38,16 @@ struct MipParams
     double int_tol = 1e-6;          //!< integrality tolerance
     std::int64_t node_limit = 2'000'000; //!< max branch-and-bound nodes
     bool presolve = true;           //!< row/bound presolve before the solve
+    /**
+     * One presolve probing round on binary variables: tentatively fix
+     * each to 0 and to 1, re-check every touched row's activity
+     * bounds, and permanently fix variables whose one value is
+     * infeasible (CoSA's rank/presence indicators collapse this way
+     * when capacity is tight). Feasibility-preserving for the integer
+     * problem, but it changes the branch-and-bound path, so it is off
+     * by default and partitions the schedule cache when on.
+     */
+    bool enable_probing = false;
     bool verbose = false;           //!< log node progress to stderr
     std::uint64_t seed = 1;         //!< diving-heuristic tie-break seed
 };
@@ -61,6 +71,8 @@ struct MipResult
     std::int32_t presolve_rows_removed = 0;   //!< rows dropped by presolve
     std::int32_t presolve_cols_eliminated = 0; //!< fixed columns removed
     std::int32_t presolve_bounds_tightened = 0; //!< lb/ub improvements
+    /** Binary columns fixed by the probing round (enable_probing). */
+    std::int32_t presolve_probing_fixings = 0;
 
     bool
     hasSolution() const

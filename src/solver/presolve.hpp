@@ -39,6 +39,10 @@ struct PresolveStats
     int redundant_rows = 0;   //!< rows implied by the variable bounds
     int cols_eliminated = 0;  //!< fixed columns substituted out
     int bounds_tightened = 0; //!< individual lb/ub improvements
+    /** Binary columns fixed by the probing round (Options::probing):
+     *  one tentative value made some row's activity infeasible, so the
+     *  other value is implied. */
+    int probing_fixings = 0;
 
     int rowsRemoved() const
     {
@@ -61,6 +65,17 @@ class Presolve
         /** Required bound improvement before a tightening is applied;
          *  keeps noise-level cuts from perturbing the LP path. */
         double min_improvement = 1e-9;
+        /**
+         * One probing round on binary columns after the fixed point:
+         * tentatively fix each to 0 and to 1 and re-check the activity
+         * bounds of every row it appears in. A value that makes some
+         * row infeasible implies the opposite fixing (both infeasible
+         * proves the problem infeasible); any fixing triggers another
+         * tightening/substitution fixed point. Off by default: it is
+         * feasibility-preserving but changes the reduced problem, so
+         * downstream pivot sequences differ from probing-free runs.
+         */
+        bool probing = false;
     };
 
     /**
