@@ -9,7 +9,7 @@
  * instance must pay its real solve.
  *
  * Solver-core mode:
- *   bench_tab06_time_to_solution --solver-json [path]
+ *   bench_tab06_time_to_solution --solver-json [path] [--compare-basis]
  * runs CoSA alone over the 23 unique ResNet-50 layers, one engine
  * query per layer so each solve can warm-start from the nearest
  * previously solved shape, and writes machine-readable per-layer
@@ -18,6 +18,11 @@
  * @p path (default BENCH_solver.json). This is the solver's perf
  * trajectory file: commit-over-commit comparisons diff its geomean at
  * a fixed work budget.
+ *
+ * --compare-basis re-runs the sweep with the dense-inverse basis
+ * (MipParams::basis_mode) on a fresh engine and appends its geomean
+ * plus the LU speedup — the two runs perform identical pivot
+ * sequences, so the ratio isolates the representation's cost.
  */
 
 #include <cmath>
@@ -30,8 +35,19 @@ namespace {
 
 using namespace cosa;
 
-int
-solverJsonMode(const std::string& path, SearchObjective objective)
+struct SweepTotals
+{
+    double geomean = 0.0;
+    double total_time = 0.0;
+    std::int64_t nodes = 0, iters = 0, warm_hits = 0;
+    int solved = 0;
+};
+
+/** One sequential CoSA sweep over the unique ResNet-50 layers. When
+ *  @p out is non-null, per-layer JSON records are streamed to it. */
+SweepTotals
+runSolverSweep(solver::BasisMode basis_mode, SearchObjective objective,
+               std::ofstream* out)
 {
     const ArchSpec arch = ArchSpec::simbaBaseline();
     const Workload net = workloads::resNet50();
@@ -39,7 +55,50 @@ solverJsonMode(const std::string& path, SearchObjective objective)
     EngineConfig config =
         bench::defaultEngineConfig(SchedulerKind::Cosa, objective);
     config.num_threads = 1; // sequential: times must be contention-free
+    config.cosa.mip.basis_mode = basis_mode;
     const SchedulingEngine engine(config);
+
+    SweepTotals totals;
+    double log_sum = 0.0;
+    for (std::size_t l = 0; l < net.layers.size(); ++l) {
+        const LayerSpec& layer = net.layers[l];
+        // One query per layer: later layers see the earlier schedules
+        // in the cache and warm-start from their nearest neighbor.
+        const SearchResult result = engine.scheduleLayer(layer, arch);
+        const SearchStats& st = result.stats;
+
+        if (out != nullptr) {
+            *out << "    {\"layer\": \"" << layer.name << "\""
+                 << ", \"found\": " << (result.found ? "true" : "false")
+                 << ", \"solve_time_sec\": " << st.search_time_sec
+                 << ", \"lp_iterations\": " << st.lp_iterations
+                 << ", \"mip_nodes\": " << st.mip_nodes
+                 << ", \"warm_hint_installed\": " << st.warm_starts_installed
+                 << ", \"warm_start_hits\": " << st.warm_start_hits
+                 << ", \"cycles\": " << result.eval.cycles
+                 << ", \"energy_pj\": " << result.eval.energy_pj << "}"
+                 << (l + 1 < net.layers.size() ? "," : "") << "\n";
+        }
+
+        log_sum += std::log(std::max(st.search_time_sec, 1e-9));
+        totals.total_time += st.search_time_sec;
+        totals.nodes += st.mip_nodes;
+        totals.iters += st.lp_iterations;
+        totals.warm_hits += st.warm_start_hits;
+        totals.solved += result.found ? 1 : 0;
+    }
+    totals.geomean =
+        std::exp(log_sum / static_cast<double>(net.layers.size()));
+    return totals;
+}
+
+int
+solverJsonMode(const std::string& path, SearchObjective objective,
+               bool compare_basis)
+{
+    const Workload net = workloads::resNet50();
+    const EngineConfig config =
+        bench::defaultEngineConfig(SchedulerKind::Cosa, objective);
 
     std::ofstream out(path);
     if (!out) {
@@ -48,58 +107,65 @@ solverJsonMode(const std::string& path, SearchObjective objective)
     }
     out.precision(17);
     out << "{\n  \"bench\": \"tab06_solver_core\",\n";
-    out << "  \"arch\": \"" << arch.name << "\",\n";
+    out << "  \"arch\": \"" << ArchSpec::simbaBaseline().name << "\",\n";
     out << "  \"work_limit\": " << config.cosa.mip.work_limit << ",\n";
     out << "  \"presolve\": " << (config.cosa.mip.presolve ? "true" : "false")
         << ",\n";
+    out << "  \"basis_mode\": \""
+        << (config.cosa.mip.basis_mode == solver::BasisMode::Lu ? "lu"
+                                                                : "dense")
+        << "\",\n";
     out << "  \"layers\": [\n";
 
-    double log_sum = 0.0;
-    double total_time = 0.0;
-    std::int64_t total_nodes = 0, total_iters = 0, total_warm_hits = 0;
-    int solved = 0;
-    for (std::size_t l = 0; l < net.layers.size(); ++l) {
-        const LayerSpec& layer = net.layers[l];
-        // One query per layer: later layers see the earlier schedules
-        // in the cache and warm-start from their nearest neighbor.
-        const SearchResult result = engine.scheduleLayer(layer, arch);
-        const SearchStats& st = result.stats;
-
-        out << "    {\"layer\": \"" << layer.name << "\""
-            << ", \"found\": " << (result.found ? "true" : "false")
-            << ", \"solve_time_sec\": " << st.search_time_sec
-            << ", \"lp_iterations\": " << st.lp_iterations
-            << ", \"mip_nodes\": " << st.mip_nodes
-            << ", \"warm_hint_installed\": " << st.warm_starts_installed
-            << ", \"warm_start_hits\": " << st.warm_start_hits
-            << ", \"cycles\": " << result.eval.cycles
-            << ", \"energy_pj\": " << result.eval.energy_pj << "}"
-            << (l + 1 < net.layers.size() ? "," : "") << "\n";
-
-        log_sum += std::log(std::max(st.search_time_sec, 1e-9));
-        total_time += st.search_time_sec;
-        total_nodes += st.mip_nodes;
-        total_iters += st.lp_iterations;
-        total_warm_hits += st.warm_start_hits;
-        solved += result.found ? 1 : 0;
-    }
-    const double geomean =
-        std::exp(log_sum / static_cast<double>(net.layers.size()));
+    const SweepTotals totals =
+        runSolverSweep(config.cosa.mip.basis_mode, objective, &out);
     out << "  ],\n";
     out << "  \"num_layers\": " << net.layers.size() << ",\n";
-    out << "  \"num_found\": " << solved << ",\n";
-    out << "  \"geomean_solve_time_sec\": " << geomean << ",\n";
-    out << "  \"total_solve_time_sec\": " << total_time << ",\n";
-    out << "  \"total_lp_iterations\": " << total_iters << ",\n";
-    out << "  \"total_mip_nodes\": " << total_nodes << ",\n";
-    out << "  \"total_warm_start_hits\": " << total_warm_hits << "\n";
-    out << "}\n";
+    out << "  \"num_found\": " << totals.solved << ",\n";
+    out << "  \"geomean_solve_time_sec\": " << totals.geomean << ",\n";
+    out << "  \"total_solve_time_sec\": " << totals.total_time << ",\n";
+    out << "  \"total_lp_iterations\": " << totals.iters << ",\n";
+    out << "  \"total_mip_nodes\": " << totals.nodes << ",\n";
+    out << "  \"total_warm_start_hits\": " << totals.warm_hits;
+
+    if (compare_basis &&
+        config.cosa.mip.basis_mode != solver::BasisMode::Lu) {
+        // Dense-vs-dense would record a meaningless ~1.0 "speedup".
+        std::cerr << "--compare-basis skipped: primary sweep already "
+                     "runs the dense basis (COSA_BASIS_MODE)\n";
+        compare_basis = false;
+    }
+    if (compare_basis) {
+        // Same sweep, dense-inverse basis, fresh engine and cache. The
+        // pivot sequences are identical by contract (same nodes, same
+        // iterations), so the time ratio is pure representation cost.
+        const SweepTotals dense =
+            runSolverSweep(solver::BasisMode::Dense, objective, nullptr);
+        out << ",\n  \"dense_geomean_solve_time_sec\": " << dense.geomean
+            << ",\n  \"dense_total_solve_time_sec\": " << dense.total_time
+            << ",\n  \"lu_speedup_geomean\": "
+            << (totals.geomean > 0.0 ? dense.geomean / totals.geomean : 0.0);
+        if (dense.iters != totals.iters || dense.nodes != totals.nodes) {
+            std::cerr << "warning: dense/lu sweeps diverged (nodes "
+                      << dense.nodes << " vs " << totals.nodes
+                      << ", iters " << dense.iters << " vs " << totals.iters
+                      << ") — speedup is not like-for-like\n";
+        }
+        std::cout << "basis comparison: dense geomean "
+                  << TextTable::fmt(dense.geomean, 3) << "s/layer vs lu "
+                  << TextTable::fmt(totals.geomean, 3) << "s/layer ("
+                  << TextTable::fmt(dense.geomean /
+                                        std::max(totals.geomean, 1e-12),
+                                    2)
+                  << "x)\n";
+    }
+    out << "\n}\n";
 
     std::cout << "solver core over " << net.layers.size()
               << " unique ResNet-50 layers: geomean "
-              << TextTable::fmt(geomean, 3) << "s/layer, total "
-              << TextTable::fmt(total_time, 1) << "s, " << total_nodes
-              << " nodes, " << total_warm_hits
+              << TextTable::fmt(totals.geomean, 3) << "s/layer, total "
+              << TextTable::fmt(totals.total_time, 1) << "s, "
+              << totals.nodes << " nodes, " << totals.warm_hits
               << " warm-start hits -> " << path << "\n";
     return 0;
 }
@@ -112,6 +178,7 @@ main(int argc, char** argv)
     using namespace cosa;
     SearchObjective objective = SearchObjective::Latency;
     bool solver_json = false;
+    bool compare_basis = false;
     std::string solver_json_path = "BENCH_solver.json";
     for (int a = 1; a < argc; ++a) {
         if (parseObjectiveFlag(argc, argv, &a, &objective))
@@ -121,9 +188,11 @@ main(int argc, char** argv)
             if (a + 1 < argc && std::strncmp(argv[a + 1], "--", 2) != 0)
                 solver_json_path = argv[++a];
         }
+        if (std::strcmp(argv[a], "--compare-basis") == 0)
+            compare_basis = true;
     }
     if (solver_json)
-        return solverJsonMode(solver_json_path, objective);
+        return solverJsonMode(solver_json_path, objective, compare_basis);
 
     const ArchSpec arch = ArchSpec::simbaBaseline();
 

@@ -208,7 +208,8 @@ ScheduleCache::clear()
 // --- persistence ---------------------------------------------------------
 //
 // Line-oriented text format (see README "Schedule-cache files"):
-//   cosa-schedule-cache v1
+//   cosa-schedule-cache v2
+//   capacity <N>
 //   entry
 //   key.layer/key.arch/key.sched/key.eval  <rest-of-line string>
 //   layer.name <string> / layer.dims <8 ints>
@@ -220,7 +221,12 @@ ScheduleCache::clear()
 
 namespace {
 
-constexpr const char* kCacheFormatHeader = "cosa-schedule-cache v1";
+// v2 added the `capacity` header line. Writers emit v2; the loader
+// accepts both (v1 snapshots simply lack the line). Old readers
+// reject a v2 file at the header — a clean, versioned failure —
+// instead of tripping mid-stream on the unknown line.
+constexpr const char* kCacheFormatHeader = "cosa-schedule-cache v2";
+constexpr const char* kCacheFormatHeaderV1 = "cosa-schedule-cache v1";
 
 void
 writeDoubles(std::ostream& out, const std::vector<double>& values)
@@ -272,6 +278,9 @@ ScheduleCache::save(const std::string& path) const
     out << kCacheFormatHeader << "\n";
 
     std::lock_guard<std::mutex> lock(mutex_);
+    // The configured LRU bound is part of the header: without it a
+    // bounded cache silently came back unbounded after a reload.
+    out << "capacity " << capacity_ << "\n";
     for (const std::string& flat : insertion_order_) {
         if (flat.empty())
             continue; // eviction tombstone
@@ -346,7 +355,8 @@ ScheduleCache::load(const std::string& path)
         return io;
     }
     std::string line;
-    if (!std::getline(in, line) || line != kCacheFormatHeader) {
+    if (!std::getline(in, line) ||
+        (line != kCacheFormatHeader && line != kCacheFormatHeaderV1)) {
         io.error = path + ": not a " + std::string(kCacheFormatHeader) +
                    " file (got \"" + line + "\")";
         return io;
@@ -360,9 +370,29 @@ ScheduleCache::load(const std::string& path)
     };
 
     std::lock_guard<std::mutex> lock(mutex_);
+    bool saw_capacity = false;
     while (std::getline(in, line)) {
         if (line.empty())
             continue;
+        // Optional header extension (files written before the bound
+        // was persisted simply lack it). An explicitly configured
+        // bound on the destination cache wins over the snapshot's;
+        // an unbounded destination adopts the saved bound once all
+        // entries are merged.
+        if (!saw_capacity && io.entries == 0) {
+            if (const auto cap = valueOf(line, "capacity")) {
+                saw_capacity = true;
+                std::istringstream iss(*cap);
+                std::int64_t parsed = -1;
+                if (!(iss >> parsed) || parsed < 0)
+                    return fail("capacity value");
+                if (capacity_ == 0 && parsed > 0) {
+                    capacity_ = parsed;
+                    enforceCapacityLocked();
+                }
+                continue;
+            }
+        }
         if (line != "entry")
             return fail("expected 'entry', got \"" + line + "\"");
 

@@ -166,8 +166,9 @@ class ScheduleCache
 
     /**
      * Write every entry to @p path in the versioned text format
-     * (header `cosa-schedule-cache v1`; doubles at max_digits10, so a
-     * round trip is bit-exact). Counters are not persisted.
+     * (header `cosa-schedule-cache v2` followed by the configured LRU
+     * `capacity`; doubles at max_digits10, so a round trip is
+     * bit-exact). Counters are not persisted.
      */
     IoResult save(const std::string& path) const;
 
@@ -176,7 +177,11 @@ class ScheduleCache
      * insertion order from the file, existing keys are overwritten. A
      * version or format mismatch fails without touching the cache;
      * a truncated file keeps the entries read so far and reports the
-     * error. Hit/miss counters are untouched.
+     * error. Hit/miss counters are untouched. The snapshot's LRU
+     * capacity is adopted when this cache is unbounded (so a bounded
+     * cache round-trips bounded); an explicitly configured bound on
+     * the loading cache wins, and pre-capacity snapshots load as
+     * before.
      */
     IoResult load(const std::string& path);
 

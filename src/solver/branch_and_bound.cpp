@@ -25,6 +25,14 @@ now_seconds()
  *  measurable in profiles. Node/iteration caps still apply every node. */
 constexpr std::int64_t kDeadlineCheckMask = 63;
 
+/** Relative tie window of the tree-search decisions that compare
+ *  solver-computed floats (branch fractionalities, incumbent
+ *  improvements). Mirrors Simplex::kTieRelTol: CoSA's symmetric
+ *  variables produce *exact* ties that differ only in representation
+ *  noise between basis modes, and the tree must not fork on that
+ *  noise — ties resolve by scan order instead. */
+constexpr double kTieRelTol = 1e-9;
+
 } // namespace
 
 MipSolver::MipSolver(const Model& model, const MipParams& params)
@@ -130,7 +138,8 @@ MipSolver::selectBranchVar(const std::vector<double>& x) const
             continue;
         const int prio = priorities_[static_cast<std::size_t>(j)];
         if (best < 0 || prio > best_prio ||
-            (prio == best_prio && frac > best_frac)) {
+            (prio == best_prio &&
+             frac > best_frac * (1.0 + kTieRelTol))) {
             best = j;
             best_prio = prio;
             best_frac = frac;
@@ -218,7 +227,10 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
                     branch_var = pool[rng->choiceIndex(pool)];
             }
             if (branch_var < 0) {
-                if (splx.objective() < incumbent_obj - 1e-12) {
+                if (!std::isfinite(incumbent_obj) ||
+                    splx.objective() <
+                        incumbent_obj -
+                            kTieRelTol * (1.0 + std::abs(incumbent_obj))) {
                     incumbent_obj = splx.objective();
                     incumbent_x = x;
                     if (incumbent_pool_) {
@@ -246,7 +258,10 @@ MipSolver::dfs(Simplex& splx, Rng* rng, std::int64_t node_cap,
                 const double v = x[branch_var];
                 const double floor_v = std::floor(v);
                 const double ceil_v = floor_v + 1.0;
-                bool down_first = (v - floor_v) < 0.5;
+                // Exactly-half fractions (common in CoSA relaxations)
+                // dive down in every basis representation; only a
+                // clear majority side overrides that.
+                bool down_first = (v - floor_v) < 0.5 + kTieRelTol;
                 if (rng && rng->nextDouble() < 0.25)
                     down_first = !down_first;
                 double first_lb, first_ub;
@@ -335,7 +350,7 @@ MipSolver::solve(bool relaxation_only)
         return result;
     }
 
-    Simplex base(lp_);
+    Simplex base(lp_, params_.basis_mode);
     LpStatus root = base.solvePrimal();
     iters_used_ = base.iterations();
     work_used_ = base.iterations() * work_per_iter_;
@@ -401,7 +416,10 @@ MipSolver::solve(bool relaxation_only)
         work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
         if (st == LpStatus::Optimal) {
             result.start_accepted[s] = 1;
-            if (splx.objective() < incumbent_obj) {
+            if (!std::isfinite(incumbent_obj) ||
+                splx.objective() <
+                    incumbent_obj -
+                        kTieRelTol * (1.0 + std::abs(incumbent_obj))) {
                 incumbent_obj = splx.objective();
                 incumbent_x = splx.solution();
                 if (params_.verbose)

@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "solver/basis_lu.hpp"
 #include "solver/lin_expr.hpp"
 #include "solver/types.hpp"
 
@@ -50,6 +51,19 @@ struct MipParams
     bool enable_probing = false;
     bool verbose = false;           //!< log node progress to stderr
     std::uint64_t seed = 1;         //!< diving-heuristic tie-break seed
+    /**
+     * Basis representation of every simplex instance in the solve:
+     * BasisMode::Lu (default) maintains sparse LU factors with
+     * product-form eta updates and stability-triggered
+     * refactorization; BasisMode::Dense keeps the historical explicit
+     * inverse (O(m^2) per pivot) as the numerics reference. The two
+     * modes perform identical pivot sequences and return identical
+     * results (asserted by the equivalence suite), so this knob — and
+     * the COSA_BASIS_MODE env override behind defaultBasisMode() —
+     * trades nothing but solve time, and does not partition the
+     * schedule cache. See docs/solver-numerics.md.
+     */
+    BasisMode basis_mode = defaultBasisMode();
 };
 
 /** Outcome of Model::optimize(). */

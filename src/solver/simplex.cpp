@@ -9,7 +9,9 @@ namespace cosa::solver {
 
 namespace {
 
-constexpr int kRefactorInterval = 64;   // pivots between refactorizations
+constexpr int kRefactorInterval = 64;   // dense mode: pivots between
+                                        // refactorizations; both modes:
+                                        // basic-value refresh cadence
 constexpr int kStallLimit = 40;         // degenerate pivots before Bland
 constexpr std::int64_t kMaxIterations = 20000;  // cold primal solves
 constexpr std::int64_t kMaxDualIterations = 4000; // warm re-solves: fall
@@ -17,7 +19,8 @@ constexpr std::int64_t kMaxDualIterations = 4000; // warm re-solves: fall
 
 } // namespace
 
-Simplex::Simplex(const LpProblem& prob)
+Simplex::Simplex(const LpProblem& prob, BasisMode mode)
+    : mode_(mode)
 {
     m_ = prob.num_rows;
     num_structural_ = prob.num_structural;
@@ -71,7 +74,13 @@ Simplex::Simplex(const LpProblem& prob)
 
     basic_.assign(m_, -1);
     state_.assign(total_, kAtLower);
-    binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    // The dense m x m inverse exists only in Dense mode; LU mode's
+    // factors grow with the basis' actual fill instead, which also
+    // makes the branch-and-bound tree's Simplex clones cheap to copy.
+    if (mode_ == BasisMode::Dense)
+        binv_.assign(static_cast<std::size_t>(m_) * m_, 0.0);
+    else
+        work_rho_.assign(m_, 0.0);
     xb_.assign(m_, 0.0);
     work_col_.assign(m_, 0.0);
     work_row_.assign(total_, 0.0);
@@ -127,6 +136,11 @@ Simplex::computeXb()
             continue;
         subtractColumn(j, v, r.data());
     }
+    if (mode_ == BasisMode::Lu) {
+        lu_.ftran(r.data());
+        std::copy(r.begin(), r.end(), xb_.begin());
+        return;
+    }
     for (int i = 0; i < m_; ++i) {
         const double* row = &binv_[static_cast<std::size_t>(i) * m_];
         double acc = 0.0;
@@ -139,9 +153,28 @@ Simplex::computeXb()
 bool
 Simplex::refactorize()
 {
-    // Scatter the (sparse) basis columns into a dense matrix and invert
-    // with Gauss-Jordan elimination and partial pivoting. Dense O(m^3);
-    // called sparingly.
+    if (mode_ == BasisMode::Lu) {
+        // Gather the basis columns (implicit unit columns included) and
+        // hand them to the Markowitz LU; cost scales with fill, not m^3.
+        std::vector<std::vector<BasisLu::Entry>> cols(
+            static_cast<std::size_t>(m_));
+        for (int col = 0; col < m_; ++col) {
+            const int j = basic_[col];
+            auto& out = cols[static_cast<std::size_t>(col)];
+            if (j < num_structural_) {
+                const auto span = matrix_->column(j);
+                out.assign(span.begin(), span.end());
+            } else if (j < n_) {
+                out.push_back({j - num_structural_, 1.0});
+            } else {
+                out.push_back({j - n_, art_sign_[j - n_]});
+            }
+        }
+        return lu_.factorize(m_, cols);
+    }
+    // Dense mode: scatter the (sparse) basis columns into a dense
+    // matrix and invert with Gauss-Jordan elimination and partial
+    // pivoting. Dense O(m^3); called sparingly.
     std::vector<double> mat(static_cast<std::size_t>(m_) * m_, 0.0);
     for (int col = 0; col < m_; ++col) {
         const int j = basic_[col];
@@ -208,6 +241,21 @@ Simplex::refactorize()
 void
 Simplex::ftran(int j)
 {
+    if (mode_ == BasisMode::Lu) {
+        // Scatter column j (structural nonzeros, or the implicit unit
+        // column of a slack/artificial) and solve against the factors.
+        std::fill(work_col_.begin(), work_col_.end(), 0.0);
+        if (j < num_structural_) {
+            for (const SparseMatrix::Entry& e : matrix_->column(j))
+                work_col_[e.index] = e.value;
+        } else if (j < n_) {
+            work_col_[j - num_structural_] = 1.0;
+        } else {
+            work_col_[j - n_] = art_sign_[j - n_];
+        }
+        lu_.ftran(work_col_.data());
+        return;
+    }
     if (j >= num_structural_) {
         // Unit column: B^-1 e_r (scaled by the artificial's sign).
         const bool artificial = j >= n_;
@@ -233,7 +281,17 @@ Simplex::btranRow(int r)
     // rho = e_r B^-1, then work_row_[j] = rho . A_j for every column.
     // Structural columns iterate their nonzeros; slack and artificial
     // columns are unit vectors, so their entry is a single rho element.
-    const double* rho = &binv_[static_cast<std::size_t>(r) * m_];
+    // Dense mode reads rho straight out of the maintained inverse; LU
+    // mode obtains it with one BTRAN of the unit vector e_r.
+    const double* rho;
+    if (mode_ == BasisMode::Lu) {
+        std::fill(work_rho_.begin(), work_rho_.end(), 0.0);
+        work_rho_[r] = 1.0;
+        lu_.btran(work_rho_.data());
+        rho = work_rho_.data();
+    } else {
+        rho = &binv_[static_cast<std::size_t>(r) * m_];
+    }
     for (int j = 0; j < num_structural_; ++j) {
         double acc = 0.0;
         for (const SparseMatrix::Entry& e : matrix_->column(j))
@@ -249,6 +307,13 @@ Simplex::btranRow(int r)
 void
 Simplex::computeDuals(const double* costs)
 {
+    if (mode_ == BasisMode::Lu) {
+        // y = B^-T c_B: one BTRAN instead of a dense m x m product.
+        for (int i = 0; i < m_; ++i)
+            dual_y_[i] = costs[basic_[i]];
+        lu_.btran(dual_y_.data());
+        return;
+    }
     for (int k = 0; k < m_; ++k) {
         double acc = 0.0;
         for (int i = 0; i < m_; ++i)
@@ -281,10 +346,18 @@ Simplex::computeReducedCosts(const double* costs)
 void
 Simplex::pivot(int entering, int leaving_row, double entering_value)
 {
-    // Update binv with the elementary transformation derived from the
-    // entering column (work_col_ must hold B^-1 A_entering).
+    // Absorb the basis change (work_col_ must hold B^-1 A_entering):
+    // LU mode appends a product-form eta in O(nnz(work_col_)); dense
+    // mode applies the rank-one update to every binv row, O(m^2).
     const double alpha_r = work_col_[leaving_row];
     COSA_ASSERT(std::abs(alpha_r) > kPivotTol, "pivot too small: ", alpha_r);
+    if (mode_ == BasisMode::Lu) {
+        lu_.update(leaving_row, work_col_.data());
+        basic_[leaving_row] = entering;
+        state_[entering] = kBasic;
+        xb_[leaving_row] = entering_value;
+        return;
+    }
     double* prow = &binv_[static_cast<std::size_t>(leaving_row) * m_];
     const double inv_p = 1.0 / alpha_r;
     for (int k = 0; k < m_; ++k)
@@ -348,6 +421,11 @@ Simplex::setupInitialArtificialBasis()
         state_[j] = kBasic;
         xb_[r] = std::abs(residual[r]);
     }
+    if (mode_ == BasisMode::Lu) {
+        // Factorizing a signed identity is trivial and cannot fail.
+        refactorize();
+        return;
+    }
     // binv of a signed-identity basis is the same signed identity.
     std::fill(binv_.begin(), binv_.end(), 0.0);
     for (int r = 0; r < m_; ++r)
@@ -363,9 +441,26 @@ Simplex::primalLoop(const double* costs, bool phase1)
 
     for (std::int64_t iter = 0; iter < kMaxIterations; ++iter) {
         ++iterations_;
-        if (++since_refactor >= kRefactorInterval) {
+        ++since_refactor;
+        // Dense mode refactorizes (and refreshes the basic values) on
+        // a fixed pivot cadence. LU mode refactorizes when the
+        // representation asks (eta growth/fill triggers, with the eta
+        // count cap as the hard backstop) — but keeps the same
+        // *recompute* cadence for the incrementally-updated basic
+        // values: one cheap FTRAN bounds their drift exactly like the
+        // dense refresh does, so the two modes' trajectories stay
+        // tie-window-close.
+        bool refresh = false;
+        if (mode_ == BasisMode::Lu ? lu_.needsRefactorization()
+                                   : since_refactor >= kRefactorInterval) {
             if (!refactorize())
                 return LpStatus::Numerical;
+            refresh = true;
+        } else if (mode_ == BasisMode::Lu &&
+                   since_refactor >= kRefactorInterval) {
+            refresh = true;
+        }
+        if (refresh) {
             computeXb();
             since_refactor = 0;
         }
@@ -390,7 +485,10 @@ Simplex::primalLoop(const double* costs, bool phase1)
                 q = j;
                 break;
             }
-            if (viol > best_viol) {
+            // Strictly-better only beyond the relative tie window: at
+            // a mathematical tie the first (lowest-index) candidate
+            // wins in every basis representation.
+            if (viol > best_viol * (1.0 + kTieRelTol)) {
                 best_viol = viol;
                 q = j;
             }
@@ -431,9 +529,10 @@ Simplex::primalLoop(const double* costs, bool phase1)
             }
             t_i = std::max(t_i, 0.0);
             const bool better =
-                t_i < t_best - 1e-12 ||
-                (t_i < t_best + 1e-12 &&
-                 std::abs(work_col_[i]) > std::abs(leave_alpha));
+                t_i < t_best - kRatioTieTol ||
+                (t_i < t_best + kRatioTieTol &&
+                 std::abs(work_col_[i]) >
+                     std::abs(leave_alpha) * (1.0 + kTieRelTol));
             if (better) {
                 t_best = t_i;
                 leave = i;
@@ -448,8 +547,10 @@ Simplex::primalLoop(const double* costs, bool phase1)
             ++stall;
         else
             stall = 0;
-        if (stall > kStallLimit)
+        if (stall > kStallLimit && !bland) {
             bland = true;
+            ++bland_activations_;
+        }
 
         if (leave < 0) {
             // Bound flip: entering variable moves to its opposite bound.
@@ -535,11 +636,12 @@ Simplex::solveDual(const Basis& basis)
 LpStatus
 Simplex::solveDualFromCurrent()
 {
-    // The internal basis inverse is maintained across pivots and stays
-    // valid under pure bound changes (the branch-and-bound dive path),
-    // so no O(m^3) refactorization is needed here — only the basic
-    // values must be refreshed against the new bounds. The dual loop
-    // refactorizes periodically for numerical hygiene anyway.
+    // The internal basis representation (dense inverse or LU factors +
+    // eta file) is maintained across pivots and stays valid under pure
+    // bound changes (the branch-and-bound dive path), so no
+    // refactorization is needed here — only the basic values must be
+    // refreshed against the new bounds. The dual loop refactorizes on
+    // its own triggers for numerical hygiene anyway.
     computeXb();
     return dualLoop();
 }
@@ -580,9 +682,21 @@ Simplex::dualLoop()
         computeXb();
     for (std::int64_t iter = 0; iter < kMaxDualIterations; ++iter) {
         ++iterations_;
-        if (++since_refactor >= kRefactorInterval) {
+        ++since_refactor;
+        // Same policy as the primal loop: representation-triggered
+        // refactorization, cadence-driven refresh of the incremental
+        // basic values and reduced costs in both modes.
+        bool refresh = false;
+        if (mode_ == BasisMode::Lu ? lu_.needsRefactorization()
+                                   : since_refactor >= kRefactorInterval) {
             if (!refactorize())
                 return LpStatus::Numerical;
+            refresh = true;
+        } else if (mode_ == BasisMode::Lu &&
+                   since_refactor >= kRefactorInterval) {
+            refresh = true;
+        }
+        if (refresh) {
             computeXb();
             computeDuals(c_.data());
             computeReducedCosts(c_.data());
@@ -598,12 +712,15 @@ Simplex::dualLoop()
             const int bj = basic_[i];
             const double below = lb_[bj] - xb_[i];
             const double above = xb_[i] - ub_[bj];
-            if (below > worst) {
+            // Relative tie window: equally violated rows (symmetric
+            // model structure) resolve by index, not by which basis
+            // representation's rounding looks worse.
+            if (below > worst * (1.0 + kTieRelTol)) {
                 worst = below;
                 r = i;
                 s = -1;
             }
-            if (above > worst) {
+            if (above > worst * (1.0 + kTieRelTol)) {
                 worst = above;
                 r = i;
                 s = +1;
@@ -641,9 +758,20 @@ Simplex::dualLoop()
                     break;
                 }
             }
-            const bool better =
-                theta < best_theta - 1e-12 ||
-                (theta < best_theta + 1e-12 && std::abs(a) > std::abs(best_a));
+            // First candidate always wins; afterwards the step window
+            // scales with the incumbent ratio (thetas span many
+            // magnitudes) and pivot-size ties resolve relatively.
+            bool better;
+            if (q < 0) {
+                better = true;
+            } else {
+                const double window =
+                    kRatioTieTol * (1.0 + std::abs(best_theta));
+                better = theta < best_theta - window ||
+                         (theta < best_theta + window &&
+                          std::abs(a) >
+                              std::abs(best_a) * (1.0 + kTieRelTol));
+            }
             if (better) {
                 best_theta = theta;
                 best_a = a;
@@ -665,8 +793,10 @@ Simplex::dualLoop()
             ++stall;
         else
             stall = 0;
-        if (stall > kStallLimit)
+        if (stall > kStallLimit && !bland) {
             bland = true;
+            ++bland_activations_;
+        }
 
         for (int i = 0; i < m_; ++i) {
             if (i != r)

@@ -2,8 +2,7 @@
 
 /**
  * @file
- * Bounded-variable revised simplex over a sparse constraint matrix with
- * an explicit basis inverse.
+ * Bounded-variable revised simplex over a sparse constraint matrix.
  *
  * Supports:
  *  - primal simplex from scratch (phase 1 with artificial variables,
@@ -12,7 +11,17 @@
  *    bound changes (the workhorse of branch-and-bound re-solves),
  *  - bound flips for nonbasic variables (long-step handling of boxed
  *    variables),
- *  - periodic refactorization and a Bland's-rule anti-cycling fallback.
+ *  - refactorization and a Bland's-rule anti-cycling fallback.
+ *
+ * The basis is maintained in one of two interchangeable representations
+ * (BasisMode): a sparse LU factorization with product-form eta updates
+ * and stability-triggered refactorization (the default — see
+ * basis_lu.hpp), or the historical explicit dense inverse with O(m^2)
+ * rank-one pivot updates and a fixed 64-pivot refactorization cadence,
+ * kept as the numerics reference. Both representations perform the
+ * identical pivot sequence on a common problem (the equivalence suite
+ * asserts it), so the choice is purely a cost knob; see
+ * docs/solver-numerics.md.
  *
  * The problem is held in computational standard form
  *     min c'x   s.t.  A x + s = b,   l <= (x, s) <= u
@@ -31,6 +40,7 @@
 #include <memory>
 #include <vector>
 
+#include "solver/basis_lu.hpp"
 #include "solver/sparse_matrix.hpp"
 #include "solver/types.hpp"
 
@@ -72,8 +82,10 @@ class Simplex
 {
   public:
     /** Load @p prob; slack and artificial columns are added implicitly.
-     *  The structural matrix is shared (not copied) by Simplex copies. */
-    explicit Simplex(const LpProblem& prob);
+     *  The structural matrix is shared (not copied) by Simplex copies.
+     *  @p mode selects the basis representation (copies inherit it). */
+    explicit Simplex(const LpProblem& prob,
+                     BasisMode mode = defaultBasisMode());
 
     /** Override bounds of a structural column (branch-and-bound). */
     void setVarBounds(int structural_col, double lb, double ub);
@@ -107,8 +119,46 @@ class Simplex
     /** Total simplex iterations performed by this instance. */
     std::int64_t iterations() const { return iterations_; }
 
+    /** The basis representation this instance maintains. */
+    BasisMode basisMode() const { return mode_; }
+
+    /** LU-representation counters (all zero in dense mode). */
+    const BasisLu::Stats& basisStats() const { return lu_.stats(); }
+
+    /** Times the anti-cycling Bland fallback engaged (stall runs). */
+    std::int32_t blandActivations() const { return bland_activations_; }
+
     static constexpr double kTol = 1e-7;     //!< feasibility tolerance
     static constexpr double kPivotTol = 1e-8; //!< minimum pivot magnitude
+    /**
+     * Relative tie window of every pivot-selection comparison (pricing
+     * violations, ratio-test steps and pivot magnitudes): candidates
+     * closer than this are treated as mathematically tied, and the tie
+     * breaks by scan order (lowest index). CoSA models are packed with
+     * symmetric columns whose pivotal quantities are *exactly* equal in
+     * real arithmetic but differ in the last ulps between basis
+     * representations — without the window, the dense-inverse and LU
+     * paths would pick different (equally valid) pivots at such ties
+     * and the pivot-sequence equivalence contract would not hold. The
+     * window is orders of magnitude above representation noise
+     * (~1e-14 relative) and below any intentional modeling difference.
+     */
+    static constexpr double kTieRelTol = 1e-9;
+    /**
+     * Absolute ratio-test step window (Harris-style): candidate steps
+     * within this of the smallest are treated as tied and the largest
+     * pivot magnitude wins (then lowest index). Must sit well above
+     * cross-representation noise in the basic values (~1e-12 after
+     * hundreds of pivots). Taking a tied-but-larger step drives each
+     * losing row past its bound by (t_best - t_i) * |rate_i|, i.e. up
+     * to window * |rate_i| — within kTol for the |rate| <= ~100 range
+     * CoSA's unit-scale coefficients produce, but not bounded by kTol
+     * in general. A transient overshoot is self-repairing: the
+     * overshot row prices as a zero-step (degenerate) ratio-test
+     * winner on a later iteration, and the dual loop treats it as an
+     * ordinary bound violation.
+     */
+    static constexpr double kRatioTieTol = 1e-9;
 
   private:
     enum NonbasicState : std::uint8_t {
@@ -131,15 +181,19 @@ class Simplex
 
     std::vector<std::int32_t> basic_;   //!< size m_
     std::vector<std::uint8_t> state_;   //!< size total_
-    std::vector<double> binv_;          //!< m_ x m_ row-major basis inverse
+    BasisMode mode_ = BasisMode::Lu;    //!< basis representation switch
+    BasisLu lu_;                        //!< LU factors + eta file (Lu mode)
+    std::vector<double> binv_;          //!< m_ x m_ dense B^-1 (Dense mode)
     std::vector<double> xb_;            //!< basic variable values
     std::vector<double> work_col_;      //!< scratch: B^-1 * A_j
     std::vector<double> work_row_;      //!< scratch: row of B^-1 A
+    std::vector<double> work_rho_;      //!< scratch: e_r B^-1 (Lu mode)
     std::vector<double> dual_y_;        //!< scratch: simplex multipliers
     std::vector<double> redcost_;       //!< scratch: reduced costs
 
     double objective_ = 0.0;
     std::int64_t iterations_ = 0;
+    std::int32_t bland_activations_ = 0;
 
     double colValue(int j) const; //!< value of a nonbasic column
     /** r -= value * (column j), iterating column j's nonzeros only. */

