@@ -23,6 +23,9 @@
  * (MipParams::basis_mode) on a fresh engine and appends its geomean
  * plus the LU speedup — the two runs perform identical pivot
  * sequences, so the ratio isolates the representation's cost.
+ *
+ * --metrics-out / --trace-out (see docs/observability.md) dump the
+ * process metric registry and Chrome trace at exit.
  */
 
 #include <cmath>
@@ -30,6 +33,7 @@
 #include <fstream>
 
 #include "bench_util.hpp"
+#include "common/telemetry.hpp"
 
 namespace {
 
@@ -41,6 +45,12 @@ struct SweepTotals
     double total_time = 0.0;
     std::int64_t nodes = 0, iters = 0, warm_hits = 0;
     int solved = 0;
+    // Solver-phase and basis-work totals (the PR 6 stats-silo fix:
+    // BasisLu::Stats and the MIP phase timings flow through
+    // SearchStats into this report).
+    double presolve_time = 0.0, root_lp_time = 0.0, tree_time = 0.0;
+    std::int64_t lu_factorizations = 0, lu_eta_updates = 0;
+    std::int64_t lu_refactor_requests = 0;
 };
 
 /** One sequential CoSA sweep over the unique ResNet-50 layers. When
@@ -75,6 +85,13 @@ runSolverSweep(solver::BasisMode basis_mode, SearchObjective objective,
                  << ", \"mip_nodes\": " << st.mip_nodes
                  << ", \"warm_hint_installed\": " << st.warm_starts_installed
                  << ", \"warm_start_hits\": " << st.warm_start_hits
+                 << ", \"presolve_sec\": " << st.presolve_time_sec
+                 << ", \"root_lp_sec\": " << st.root_lp_time_sec
+                 << ", \"tree_sec\": " << st.tree_time_sec
+                 << ", \"lu_factorizations\": " << st.lu_factorizations
+                 << ", \"lu_eta_updates\": " << st.lu_eta_updates
+                 << ", \"lu_refactor_requests\": "
+                 << (st.lu_unstable_updates + st.lu_fill_refactor_requests)
                  << ", \"cycles\": " << result.eval.cycles
                  << ", \"energy_pj\": " << result.eval.energy_pj << "}"
                  << (l + 1 < net.layers.size() ? "," : "") << "\n";
@@ -86,6 +103,13 @@ runSolverSweep(solver::BasisMode basis_mode, SearchObjective objective,
         totals.iters += st.lp_iterations;
         totals.warm_hits += st.warm_start_hits;
         totals.solved += result.found ? 1 : 0;
+        totals.presolve_time += st.presolve_time_sec;
+        totals.root_lp_time += st.root_lp_time_sec;
+        totals.tree_time += st.tree_time_sec;
+        totals.lu_factorizations += st.lu_factorizations;
+        totals.lu_eta_updates += st.lu_eta_updates;
+        totals.lu_refactor_requests +=
+            st.lu_unstable_updates + st.lu_fill_refactor_requests;
     }
     totals.geomean =
         std::exp(log_sum / static_cast<double>(net.layers.size()));
@@ -126,6 +150,15 @@ solverJsonMode(const std::string& path, SearchObjective objective,
     out << "  \"total_solve_time_sec\": " << totals.total_time << ",\n";
     out << "  \"total_lp_iterations\": " << totals.iters << ",\n";
     out << "  \"total_mip_nodes\": " << totals.nodes << ",\n";
+    out << "  \"total_presolve_time_sec\": " << totals.presolve_time
+        << ",\n";
+    out << "  \"total_root_lp_time_sec\": " << totals.root_lp_time << ",\n";
+    out << "  \"total_tree_time_sec\": " << totals.tree_time << ",\n";
+    out << "  \"total_lu_factorizations\": " << totals.lu_factorizations
+        << ",\n";
+    out << "  \"total_lu_eta_updates\": " << totals.lu_eta_updates << ",\n";
+    out << "  \"total_lu_refactor_requests\": "
+        << totals.lu_refactor_requests << ",\n";
     out << "  \"total_warm_start_hits\": " << totals.warm_hits;
 
     if (compare_basis &&
@@ -182,6 +215,8 @@ main(int argc, char** argv)
     std::string solver_json_path = "BENCH_solver.json";
     for (int a = 1; a < argc; ++a) {
         if (parseObjectiveFlag(argc, argv, &a, &objective))
+            continue;
+        if (parseTelemetryFlag(argc, argv, &a))
             continue;
         if (std::strcmp(argv[a], "--solver-json") == 0) {
             solver_json = true;

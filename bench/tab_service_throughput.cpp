@@ -36,6 +36,7 @@
 
 #include "bench_util.hpp"
 #include "common/logging.hpp"
+#include "common/telemetry.hpp"
 #include "engine/scheduler_service.hpp"
 
 namespace {
@@ -146,6 +147,8 @@ main(int argc, char** argv)
             threads = std::atoi(argv[++a]);
         } else if (std::strcmp(argv[a], "--skip-isolation") == 0) {
             skip_isolation = true;
+        } else if (parseTelemetryFlag(argc, argv, &a)) {
+            continue;
         } else {
             fatal("unknown argument \"", argv[a], "\"");
         }

@@ -21,6 +21,7 @@
 #include <cstring>
 #include <iostream>
 
+#include "common/telemetry.hpp"
 #include "engine/scheduler_service.hpp"
 #include "noc/schedule_sim.hpp"
 
@@ -35,7 +36,8 @@ main(int argc, char** argv)
     double deadline_ms = 0.0;
     for (int a = 1; a < argc; ++a) {
         if (parseObjectiveFlag(argc, argv, &a, &objective) ||
-            parsePriorityFlag(argc, argv, &a, &priority)) {
+            parsePriorityFlag(argc, argv, &a, &priority) ||
+            parseTelemetryFlag(argc, argv, &a)) {
             continue;
         } else if (std::strcmp(argv[a], "--deadline-ms") == 0 &&
                    a + 1 < argc) {

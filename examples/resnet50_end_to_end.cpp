@@ -32,6 +32,7 @@
 #include <iostream>
 
 #include "common/table.hpp"
+#include "common/telemetry.hpp"
 #include "engine/scheduler_service.hpp"
 
 int
@@ -48,7 +49,8 @@ main(int argc, char** argv)
         if (std::strcmp(argv[a], "--threads") == 0 && a + 1 < argc) {
             threads = std::atoi(argv[++a]);
         } else if (parseObjectiveFlag(argc, argv, &a, &objective) ||
-                   parsePriorityFlag(argc, argv, &a, &priority)) {
+                   parsePriorityFlag(argc, argv, &a, &priority) ||
+                   parseTelemetryFlag(argc, argv, &a)) {
             continue;
         } else if (std::strcmp(argv[a], "--deadline-ms") == 0 &&
                    a + 1 < argc) {

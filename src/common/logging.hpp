@@ -7,10 +7,18 @@
  * Follows the gem5 convention: fatal() is for conditions that are the
  * *user's* fault (bad configuration, invalid arguments) and exits cleanly;
  * panic() is for conditions that should never happen regardless of input
- * (an internal bug) and aborts; warn()/inform() report status without
- * stopping the run.
+ * (an internal bug) and aborts; warn()/inform()/debug() report status
+ * without stopping the run.
+ *
+ * Verbosity is filtered by level: `COSA_LOG_LEVEL` (read once, at first
+ * log call) accepts `error`, `warn`, `info` (the default), or `debug`.
+ * fatal()/panic() always print; warn()/inform()/debug() print only when
+ * the level admits them, so instrumented hot paths can debug()-log
+ * without flooding stderr in normal runs. The single-sink mutex still
+ * serializes every emitted line.
  */
 
+#include <atomic>
 #include <cstdlib>
 #include <iostream>
 #include <mutex>
@@ -18,6 +26,10 @@
 #include <string>
 
 namespace cosa {
+
+/** Log verbosity, most to least severe. Messages at a level numerically
+ *  above the active one are dropped. */
+enum class LogLevel { Error = 0, Warn = 1, Info = 2, Debug = 3 };
 
 namespace detail {
 
@@ -50,7 +62,45 @@ emitLine(const char* prefix, const std::string& message)
     std::cerr << prefix << message << std::endl;
 }
 
+/** COSA_LOG_LEVEL, parsed once at first use; Info when unset/unknown. */
+inline LogLevel
+envLogLevel()
+{
+    const char* env = std::getenv("COSA_LOG_LEVEL");
+    if (!env || !*env) return LogLevel::Info;
+    const std::string value(env);
+    if (value == "error") return LogLevel::Error;
+    if (value == "warn") return LogLevel::Warn;
+    if (value == "info") return LogLevel::Info;
+    if (value == "debug") return LogLevel::Debug;
+    emitLine("warn: ", "unknown COSA_LOG_LEVEL '" + value +
+                           "' (want error|warn|info|debug); using info");
+    return LogLevel::Info;
+}
+
+/** The active level (mutable for tests via setLogLevel()). */
+inline std::atomic<LogLevel>&
+activeLogLevel()
+{
+    static std::atomic<LogLevel> level{envLogLevel()};
+    return level;
+}
+
 } // namespace detail
+
+/** Override the COSA_LOG_LEVEL-derived verbosity at runtime. */
+inline void
+setLogLevel(LogLevel level)
+{
+    detail::activeLogLevel().store(level, std::memory_order_relaxed);
+}
+
+/** The verbosity currently in effect. */
+inline LogLevel
+logLevel()
+{
+    return detail::activeLogLevel().load(std::memory_order_relaxed);
+}
 
 /**
  * Report an unrecoverable user-level error (bad config, invalid argument)
@@ -83,6 +133,7 @@ template <typename... Args>
 void
 warn(Args&&... args)
 {
+    if (logLevel() < LogLevel::Warn) return;
     detail::emitLine("warn: ",
                      detail::concatToString(std::forward<Args>(args)...));
 }
@@ -92,7 +143,20 @@ template <typename... Args>
 void
 inform(Args&&... args)
 {
+    if (logLevel() < LogLevel::Info) return;
     detail::emitLine("info: ",
+                     detail::concatToString(std::forward<Args>(args)...));
+}
+
+/** Verbose diagnostics; silent unless COSA_LOG_LEVEL=debug. The
+ *  argument pack is only stringified after the level check, so a
+ *  dropped debug() costs one relaxed load. */
+template <typename... Args>
+void
+debug(Args&&... args)
+{
+    if (logLevel() < LogLevel::Debug) return;
+    detail::emitLine("debug: ",
                      detail::concatToString(std::forward<Args>(args)...));
 }
 

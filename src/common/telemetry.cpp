@@ -1,0 +1,29 @@
+#include "common/telemetry.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
+
+namespace cosa {
+
+bool
+parseTelemetryFlag(int argc, char** argv, int* a)
+{
+    if (std::strcmp(argv[*a], "--metrics-out") == 0) {
+        if (*a + 1 >= argc)
+            fatal("--metrics-out needs a path (\"-\" = stderr)");
+        metrics::MetricsRegistry::global().setOutputPath(argv[++*a]);
+        return true;
+    }
+    if (std::strcmp(argv[*a], "--trace-out") == 0) {
+        if (*a + 1 >= argc)
+            fatal("--trace-out needs a path");
+        trace::Tracer::global().setOutputPath(argv[++*a]);
+        return true;
+    }
+    return false;
+}
+
+} // namespace cosa

@@ -1,0 +1,23 @@
+#pragma once
+
+/**
+ * @file
+ * Shared CLI wiring for the observability subsystem: every example and
+ * bench accepts `--metrics-out <path>` (Prometheus text at exit) and
+ * `--trace-out <path>` (Chrome trace JSON at exit), equivalent to the
+ * `COSA_METRICS` / `COSA_TRACE` environment switches. See
+ * docs/observability.md and docs/cli.md.
+ */
+
+namespace cosa {
+
+/**
+ * Consume `--metrics-out <path>` or `--trace-out <path>` at argv[*a],
+ * advancing @p a past the value (the parseObjectiveFlag convention).
+ * Returns false when argv[*a] is neither flag; fatal()s on a missing
+ * value. Matching installs the path on the global MetricsRegistry /
+ * Tracer, which enables collection and registers the at-exit dump.
+ */
+bool parseTelemetryFlag(int argc, char** argv, int* a);
+
+} // namespace cosa

@@ -1,6 +1,7 @@
 #include "cosa/scheduler.hpp"
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 #include "cosa/greedy.hpp"
 
 namespace cosa {
@@ -32,6 +33,9 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
     SearchResult result;
     result.scheduler = "CoSA";
 
+    trace::Span span("cosa.schedule", "cosa");
+    span.arg(layer.name);
+
     CosaFormulation formulation(layer, arch, config_);
 
     // Cross-layer warm starts: refit each hint to this layer's factor
@@ -57,6 +61,14 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
     result.stats.samples = 1;
     result.stats.mip_nodes = mip.nodes;
     result.stats.lp_iterations = mip.lp_iterations;
+    result.stats.presolve_time_sec = mip.presolve_time_sec;
+    result.stats.root_lp_time_sec = mip.root_lp_time_sec;
+    result.stats.tree_time_sec = mip.tree_time_sec;
+    result.stats.lu_factorizations = mip.basis.factorizations;
+    result.stats.lu_eta_updates = mip.basis.eta_updates;
+    result.stats.lu_unstable_updates = mip.basis.unstable_updates;
+    result.stats.lu_fill_refactor_requests =
+        mip.basis.fill_refactor_requests;
     result.stats.warm_starts_installed = hints_installed;
     for (int h = 0; h < hints_installed; ++h) {
         if (h < static_cast<int>(mip.start_accepted.size()) &&

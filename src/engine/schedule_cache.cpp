@@ -6,7 +6,23 @@
 #include <limits>
 #include <sstream>
 
+#include "common/metrics.hpp"
+
 namespace cosa {
+
+namespace {
+
+/** Registry counter for one cache event kind. The handle is resolved
+ *  once per event name (function-local statics at the call sites). */
+metrics::Counter&
+cacheEventCounter(const char* event)
+{
+    return metrics::MetricsRegistry::global().counter(
+        "cosa_cache_events_total", "Schedule-cache events by kind",
+        {{"event", event}});
+}
+
+} // namespace
 
 double
 canonicalLayerDistance(const LayerSpec& a, const LayerSpec& b)
@@ -34,9 +50,13 @@ ScheduleCache::lookup(const ScheduleCacheKey& key)
     const auto it = entries_.find(key.flat());
     if (it == entries_.end()) {
         ++misses_;
+        static metrics::Counter& miss_counter = cacheEventCounter("miss");
+        miss_counter.inc();
         return std::nullopt;
     }
     ++hits_;
+    static metrics::Counter& hit_counter = cacheEventCounter("hit");
+    hit_counter.inc();
     // Refresh recency: an exact hit is the strongest reuse signal.
     lru_.splice(lru_.end(), lru_, it->second.lru_it);
     return it->second.result;
@@ -65,6 +85,9 @@ ScheduleCache::insertLocked(const ScheduleCacheKey& key,
     entry.scheduler_key = key.scheduler_key;
     entry.evaluator_key = key.evaluator_key;
     if (inserted) {
+        static metrics::Counter& insert_counter =
+            cacheEventCounter("insert");
+        insert_counter.inc();
         entry.lru_it = lru_.insert(lru_.end(), flat);
         entry.order_index = insertion_order_.size();
         insertion_order_.push_back(std::move(flat));
@@ -85,6 +108,8 @@ ScheduleCache::evictOneLocked()
     ++order_tombstones_;
     entries_.erase(it);
     ++evictions_;
+    static metrics::Counter& evict_counter = cacheEventCounter("evict");
+    evict_counter.inc();
     if (order_tombstones_ > entries_.size() + 16)
         compactOrderLocked();
 }
@@ -150,6 +175,9 @@ ScheduleCache::nearestNeighbor(const std::string& arch_key,
     if (!best)
         return std::nullopt;
     ++neighbor_hits_;
+    static metrics::Counter& neighbor_counter =
+        cacheEventCounter("neighbor_hit");
+    neighbor_counter.inc();
     return best->result;
 }
 

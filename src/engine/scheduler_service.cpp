@@ -9,6 +9,8 @@
 #include <unordered_map>
 
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
+#include "common/trace.hpp"
 
 namespace cosa {
 
@@ -152,6 +154,69 @@ schedulerConfigKey(const ScheduleRequest& request)
 
 namespace {
 
+/** Per-tier child of a counter family (label tier="interactive|..."). */
+metrics::Counter&
+tierCounter(const char* name, const char* help, JobPriority priority)
+{
+    return metrics::MetricsRegistry::global().counter(
+        name, help, {{"tier", jobPriorityName(priority)}});
+}
+
+/** The evaluator family ("analytical", "nocsim", "cascade"): the
+ *  fingerprint up to its parameter block, a bounded backend label. */
+std::string
+backendLabel(const Evaluator& evaluator)
+{
+    std::string fp = evaluator.fingerprint();
+    if (const auto cut = fp.find_first_of("/["); cut != std::string::npos)
+        fp.resize(cut);
+    return fp;
+}
+
+/** Fold one finished (non-cached) layer solve into the registry. */
+void
+recordSolveMetrics(const ScheduleRequest& req, const SearchResult& solved)
+{
+    auto& registry = metrics::MetricsRegistry::global();
+    const metrics::Labels by_sched = {{"scheduler", solved.scheduler},
+                                      {"backend",
+                                       backendLabel(*req.evaluator)}};
+    registry
+        .counter("cosa_solve_layers_total",
+                 "Unique layer problems solved (cache misses)", by_sched)
+        .inc();
+    registry
+        .histogram("cosa_solve_time_seconds",
+                   "Wall time per unique layer solve",
+                   {{"scheduler", solved.scheduler}})
+        .observe(solved.stats.search_time_sec);
+
+    const SearchStats& s = solved.stats;
+    auto solver_counter = [&registry](const char* name, const char* help)
+        -> metrics::Counter& { return registry.counter(name, help); };
+    solver_counter("cosa_solver_lp_iterations_total",
+                   "Simplex iterations across all solves")
+        .inc(s.lp_iterations);
+    solver_counter("cosa_solver_mip_nodes_total",
+                   "Branch-and-bound nodes across all solves")
+        .inc(s.mip_nodes);
+    solver_counter("cosa_solver_lu_factorizations_total",
+                   "Fresh basis LU factorizations")
+        .inc(s.lu_factorizations);
+    solver_counter("cosa_solver_lu_eta_updates_total",
+                   "Product-form eta updates absorbed")
+        .inc(s.lu_eta_updates);
+    solver_counter("cosa_solver_lu_refactor_requests_total",
+                   "Stability- or fill-triggered refactorization requests")
+        .inc(s.lu_unstable_updates + s.lu_fill_refactor_requests);
+    solver_counter("cosa_solver_warm_starts_installed_total",
+                   "Cross-layer warm-start hints installed as MIP starts")
+        .inc(s.warm_starts_installed);
+    solver_counter("cosa_solver_warm_start_hits_total",
+                   "Installed hints the MIP accepted as incumbents")
+        .inc(s.warm_start_hits);
+}
+
 SearchResult
 solveOne(const ScheduleRequest& req, const LayerSpec& layer,
          const ArchSpec& arch, const std::vector<Mapping>& warm_hints)
@@ -190,14 +255,7 @@ solveOne(const ScheduleRequest& req, const LayerSpec& layer,
         SearchResult best;
         best.scheduler = "Portfolio";
         for (const SearchResult& member : members) {
-            best.stats.samples += member.stats.samples;
-            best.stats.valid_evaluated += member.stats.valid_evaluated;
-            best.stats.search_time_sec += member.stats.search_time_sec;
-            best.stats.mip_nodes += member.stats.mip_nodes;
-            best.stats.lp_iterations += member.stats.lp_iterations;
-            best.stats.warm_starts_installed +=
-                member.stats.warm_starts_installed;
-            best.stats.warm_start_hits += member.stats.warm_start_hits;
+            best.stats.add(member.stats);
             if (!member.found)
                 continue;
             if (!best.found ||
@@ -226,6 +284,9 @@ struct SchedulerService::JobRecord
     std::shared_ptr<ScheduleJob::State> state;
     double submit_time = 0.0;
     double start_time = 0.0;
+    /** Submit instant on the trace clock, so the queue-wait span can be
+     *  emitted retroactively when the job starts. */
+    std::int64_t submit_trace_us = 0;
     std::atomic<bool> deadline_expired{false};
     bool running = false;
 };
@@ -242,10 +303,17 @@ SchedulerService::SchedulerService(ServiceConfig config)
                                        // would queue jobs forever
     executor_ = std::make_unique<Executor>(config_.num_threads,
                                            kNumJobPriorities);
+    // Live-state gauges refresh at render time, not on every mutation.
+    // The gauge cells are process-global: with several services alive,
+    // the most recently collected one wins (documented behavior).
+    collector_id_ = metrics::MetricsRegistry::global().addCollector(
+        [this] { publishGauges(); });
 }
 
 SchedulerService::~SchedulerService()
 {
+    metrics::MetricsRegistry::global().removeCollector(collector_id_);
+    publishGauges(); // final snapshot now that renders can't call in
     std::unique_lock<std::mutex> lock(mutex_);
     shutting_down_ = true;
     // Cooperative shutdown, per the header contract: queued jobs are
@@ -328,6 +396,11 @@ SchedulerService::submit(ScheduleRequest request,
     const auto inflight_now = static_cast<std::int64_t>(running_.size());
     if (shutting_down_) {
         ++rejected_;
+        metrics::MetricsRegistry::global()
+            .counter("cosa_service_jobs_rejected_total",
+                     "Jobs refused at admission",
+                     {{"reason", "shutting_down"}})
+            .inc();
         Rejected rejected;
         rejected.reason = Rejected::Reason::ShuttingDown;
         rejected.queued_jobs = queued_now;
@@ -340,6 +413,11 @@ SchedulerService::submit(ScheduleRequest request,
     if (!slot_free && config_.max_queued_jobs >= 0 &&
         queued_now >= config_.max_queued_jobs) {
         ++rejected_;
+        metrics::MetricsRegistry::global()
+            .counter("cosa_service_jobs_rejected_total",
+                     "Jobs refused at admission",
+                     {{"reason", "queue_full"}})
+            .inc();
         Rejected rejected;
         rejected.reason = Rejected::Reason::QueueFull;
         rejected.queued_jobs = queued_now;
@@ -354,8 +432,12 @@ SchedulerService::submit(ScheduleRequest request,
 
     record->id = next_job_id_++;
     record->submit_time = wallTimeSec();
+    record->submit_trace_us = trace::Tracer::nowMicros();
     ++submitted_;
     ++tier_counters_[tier].submitted;
+    tierCounter("cosa_service_jobs_submitted_total", "Jobs admitted",
+                record->request.priority)
+        .inc();
     if (slot_free)
         startLocked(record);
     else
@@ -373,6 +455,19 @@ SchedulerService::startLocked(const std::shared_ptr<JobRecord>& record)
     tier_counters_[tier].total_queue_wait_sec += wait;
     tier_counters_[tier].max_queue_wait_sec =
         std::max(tier_counters_[tier].max_queue_wait_sec, wait);
+    metrics::MetricsRegistry::global()
+        .histogram("cosa_service_queue_wait_seconds",
+                   "Admission-to-start wait per job",
+                   {{"tier", jobPriorityName(record->request.priority)}})
+        .observe(wait);
+    // Retroactive span: [submit, start) was a queue wait.
+    trace::Tracer& tracer = trace::Tracer::global();
+    if (tracer.enabled()) {
+        const std::int64_t now_us = trace::Tracer::nowMicros();
+        tracer.record("job.queue_wait", "service", record->submit_trace_us,
+                      now_us - record->submit_trace_us,
+                      record->request.tag);
+    }
     running_.push_back(record);
     // The runner assignment races the handle's join path (the body can
     // finish before the std::thread lands in the state), so both sides
@@ -392,10 +487,23 @@ SchedulerService::onJobFinished(const std::shared_ptr<JobRecord>& record)
     ++completed_;
     const auto tier = static_cast<std::size_t>(record->request.priority);
     ++tier_counters_[tier].completed;
-    if (record->state->cancel.load(std::memory_order_relaxed))
+    tierCounter("cosa_service_jobs_completed_total", "Jobs finished",
+                record->request.priority)
+        .inc();
+    if (record->state->cancel.load(std::memory_order_relaxed)) {
         ++cancelled_;
-    if (record->deadline_expired.load(std::memory_order_relaxed))
+        metrics::MetricsRegistry::global()
+            .counter("cosa_service_jobs_cancelled_total",
+                     "Jobs that finished with cancel requested")
+            .inc();
+    }
+    if (record->deadline_expired.load(std::memory_order_relaxed)) {
         ++deadline_expired_;
+        metrics::MetricsRegistry::global()
+            .counter("cosa_service_deadline_expired_total",
+                     "Jobs self-cancelled by their deadline")
+            .inc();
+    }
     // Admission is FIFO within the best nonempty tier: start the next
     // queued job in the slot this one vacated.
     if (config_.max_inflight_jobs < 0 ||
@@ -486,6 +594,47 @@ SchedulerService::stats() const
     return stats;
 }
 
+void
+SchedulerService::publishGauges() const
+{
+    const ServiceStats snapshot = stats();
+    auto& registry = metrics::MetricsRegistry::global();
+    registry
+        .gauge("cosa_service_inflight_jobs", "Jobs currently running")
+        .set(static_cast<double>(snapshot.inflight_now));
+    for (int t = 0; t < kNumJobPriorities; ++t) {
+        const auto tier = static_cast<std::size_t>(t);
+        const metrics::Labels labels = {
+            {"tier", jobPriorityName(static_cast<JobPriority>(t))}};
+        registry
+            .gauge("cosa_service_queued_jobs",
+                   "Jobs waiting for an admission slot", labels)
+            .set(static_cast<double>(snapshot.tiers[tier].queued_now));
+        registry
+            .gauge("cosa_executor_pending_tasks",
+                   "Tasks queued in the shared executor", labels)
+            .set(static_cast<double>(snapshot.tiers[tier].pending_tasks));
+    }
+    // Executor-lifetime counters surface as gauges: the executor owns
+    // the canonical count, and mirroring it avoids double bookkeeping.
+    registry
+        .gauge("cosa_executor_tasks_executed",
+               "Tasks the shared executor has run")
+        .set(static_cast<double>(snapshot.executor.tasks_executed));
+    registry
+        .gauge("cosa_executor_steals",
+               "Tasks run by workers outside the task's home tier lane")
+        .set(static_cast<double>(snapshot.executor.steals));
+}
+
+std::string
+SchedulerService::metricsText() const
+{
+    // renderPrometheus() runs every registered collector (including
+    // this service's publishGauges) before serializing.
+    return metrics::MetricsRegistry::global().renderPrometheus();
+}
+
 SchedulerService&
 SchedulerService::defaultService()
 {
@@ -507,7 +656,11 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
         req.deadline_sec > 0.0 ? record->submit_time + req.deadline_sec
                                : 0.0;
 
+    trace::Span job_span("job.run", "service");
+    job_span.arg(req.tag);
+
     // --- 1. canonicalize: flatten the batch and collapse duplicates. ---
+    trace::Span canonicalize_span("job.canonicalize", "service");
     struct Instance
     {
         int net;
@@ -544,11 +697,13 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     state->total_unique.store(
         static_cast<std::int64_t>(unique_layers.size()),
         std::memory_order_relaxed);
+    canonicalize_span.end();
 
     // --- 2. memoize: probe the cache once per unique problem; misses
     // additionally fetch the nearest-neighbor schedule as a warm-start
     // hint. Both probes run in this sequential phase, so hint content is
     // deterministic for a fixed query sequence at any thread count. ---
+    trace::Span memoize_span("job.memoize", "service");
     const std::size_t num_unique = unique_layers.size();
     ScheduleCache& cache = *req.cache;
     const std::string arch_key = arch.fingerprint();
@@ -582,6 +737,7 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
         }
         to_solve.push_back(u);
     }
+    memoize_span.end();
 
     // --- progress frontier: events are emitted strictly in unique-
     // problem index order — a problem's event fires once it and every
@@ -643,14 +799,25 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
             skipped[u] = 1; // no event: the frontier stream stays a prefix
             return;
         }
-        solved[u] = solveOne(req, *unique_layers[u], arch, hints[u]);
+        {
+            trace::Span span("solve.layer", "engine");
+            span.arg(unique_layers[u]->name);
+            solved[u] = solveOne(req, *unique_layers[u], arch, hints[u]);
+        }
+        recordSolveMetrics(req, solved[u]);
+        metrics::MetricsRegistry::global()
+            .counter("cosa_job_layers_completed_total",
+                     "Per-layer tasks finished across all jobs")
+            .inc();
         completeProblem(u);
     };
+    trace::Span solve_span("job.solve", "service");
     Executor::TaskSetOptions options;
     options.tier = static_cast<int>(req.priority);
     options.weight = req.weight;
     options.max_parallelism = req.max_parallelism;
     executor_->submit(to_solve.size(), solveTask, options)->wait();
+    solve_span.end();
     if (req.use_cache) {
         for (std::size_t u : to_solve) {
             if (!skipped[u])
@@ -659,6 +826,7 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     }
 
     // --- 4. scatter back to instances and aggregate per network. ---
+    trace::Span aggregate_span("job.aggregate", "service");
     const bool was_cancelled =
         state->cancel.load(std::memory_order_relaxed);
     const bool deadline_hit =
@@ -707,14 +875,7 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
             ++net.num_cancelled;
         } else {
             ++net.num_solved;
-            net.search.samples += solved[u].stats.samples;
-            net.search.valid_evaluated += solved[u].stats.valid_evaluated;
-            net.search.search_time_sec += solved[u].stats.search_time_sec;
-            net.search.mip_nodes += solved[u].stats.mip_nodes;
-            net.search.lp_iterations += solved[u].stats.lp_iterations;
-            net.search.warm_starts_installed +=
-                solved[u].stats.warm_starts_installed;
-            net.search.warm_start_hits += solved[u].stats.warm_start_hits;
+            net.search.add(solved[u].stats);
             if (solved[u].stats.warm_starts_installed > 0)
                 ++net.num_warm_hints;
             if (solved[u].stats.warm_start_hits > 0)

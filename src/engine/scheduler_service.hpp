@@ -316,6 +316,15 @@ class SchedulerService
     /** Aggregate counters + executor stats. */
     ServiceStats stats() const;
 
+    /**
+     * The process-wide metric registry rendered as Prometheus text
+     * exposition, with this service's live gauges (queue depths,
+     * in-flight jobs, executor counters) refreshed first. The registry
+     * is process-global, so the text also carries solver/cache metrics
+     * from outside this service. See docs/observability.md.
+     */
+    std::string metricsText() const;
+
     const ServiceConfig& config() const { return config_; }
 
     /**
@@ -339,9 +348,15 @@ class SchedulerService
     /** The job body: canonicalize, memoize, solve on the shared
      *  executor, scatter. Runs on the record's runner thread. */
     void runJobBody(const std::shared_ptr<JobRecord>& record);
+    /** Refresh this service's registry gauges (queue depths, in-flight
+     *  jobs, executor counters); the registered collector callback. */
+    void publishGauges() const;
 
     ServiceConfig config_;
     std::unique_ptr<Executor> executor_;
+    /** Registry collector id (removed before shutdown so renders never
+     *  call into a dying service). */
+    std::uint64_t collector_id_ = 0;
 
     mutable std::mutex mutex_;
     std::condition_variable drained_cv_; //!< signaled as jobs finish

@@ -1,8 +1,10 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <cstdio>
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 
 namespace cosa {
 
@@ -136,7 +138,15 @@ Executor::workerLoop(int worker_id)
         worker_last_set_[self] = set->id_;
 
         lock.unlock();
-        set->task_(index);
+        {
+            trace::Span span("executor.task", "executor");
+            char detail[32];
+            std::snprintf(detail, sizeof(detail), "tier=%d set=%lld",
+                          set->tier_,
+                          static_cast<long long>(set->id_));
+            span.arg(detail);
+            set->task_(index);
+        }
         lock.lock();
 
         --set->inflight_;

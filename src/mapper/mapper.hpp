@@ -32,6 +32,37 @@ struct SearchStats
     std::int64_t warm_starts_installed = 0;
     /** Installed hints the MIP accepted as incumbents. */
     std::int64_t warm_start_hits = 0;
+    // Solver-phase breakdown (CoSA only; zero for sampling mappers).
+    // Mirrors MipResult: presolve + root LP + tree ~ the MIP wall time.
+    double presolve_time_sec = 0.0;
+    double root_lp_time_sec = 0.0;
+    double tree_time_sec = 0.0;
+    // Basis-factorization work (CoSA with BasisMode::Lu; see
+    // BasisLu::Stats for the trigger semantics).
+    std::int64_t lu_factorizations = 0;
+    std::int64_t lu_eta_updates = 0;
+    std::int64_t lu_unstable_updates = 0;
+    std::int64_t lu_fill_refactor_requests = 0;
+
+    /** Field-wise accumulation (portfolio members, network roll-ups). */
+    void
+    add(const SearchStats& other)
+    {
+        samples += other.samples;
+        valid_evaluated += other.valid_evaluated;
+        search_time_sec += other.search_time_sec;
+        mip_nodes += other.mip_nodes;
+        lp_iterations += other.lp_iterations;
+        warm_starts_installed += other.warm_starts_installed;
+        warm_start_hits += other.warm_start_hits;
+        presolve_time_sec += other.presolve_time_sec;
+        root_lp_time_sec += other.root_lp_time_sec;
+        tree_time_sec += other.tree_time_sec;
+        lu_factorizations += other.lu_factorizations;
+        lu_eta_updates += other.lu_eta_updates;
+        lu_unstable_updates += other.lu_unstable_updates;
+        lu_fill_refactor_requests += other.lu_fill_refactor_requests;
+    }
 };
 
 /** Outcome of one scheduling run. */

@@ -70,6 +70,31 @@ class BasisLu
         std::int64_t unstable_updates = 0;
         /** Refactorization requests from the eta-file fill bound. */
         std::int64_t fill_refactor_requests = 0;
+
+        /** Accumulate another snapshot (stat roll-ups across solves). */
+        void
+        add(const Stats& other)
+        {
+            factorizations += other.factorizations;
+            eta_updates += other.eta_updates;
+            unstable_updates += other.unstable_updates;
+            fill_refactor_requests += other.fill_refactor_requests;
+        }
+
+        /** Counter advance since @p entry. Simplex copies inherit their
+         *  source's counters, so per-clone work is exit minus the
+         *  snapshot taken at copy time. */
+        Stats
+        since(const Stats& entry) const
+        {
+            Stats d;
+            d.factorizations = factorizations - entry.factorizations;
+            d.eta_updates = eta_updates - entry.eta_updates;
+            d.unstable_updates = unstable_updates - entry.unstable_updates;
+            d.fill_refactor_requests =
+                fill_refactor_requests - entry.fill_refactor_requests;
+            return d;
+        }
     };
 
     /**

@@ -7,6 +7,7 @@
 
 #include "common/logging.hpp"
 #include "common/rng.hpp"
+#include "common/trace.hpp"
 
 namespace cosa::solver {
 
@@ -44,6 +45,8 @@ MipSolver::MipSolver(const Model& model, const MipParams& params)
 void
 MipSolver::buildLp()
 {
+    trace::Span span("mip.presolve", "solver");
+    const double phase_start = now_seconds();
     const int n = model_.numVars();
     const int m = model_.numConstrs();
 
@@ -105,6 +108,7 @@ MipSolver::buildLp()
         if (model_.types_[orig_col] != VarType::Continuous)
             int_vars_.push_back(j);
     }
+    presolve_time_sec_ = now_seconds() - phase_start;
 }
 
 std::vector<double>
@@ -335,6 +339,7 @@ MipSolver::solve(bool relaxation_only)
     const double deadline = start + params_.time_limit_sec;
     MipResult result;
     result.start_accepted.assign(model_.start_.size(), 0);
+    result.presolve_time_sec = presolve_time_sec_;
     if (presolve_) {
         result.presolve_rows_removed = presolve_->stats().rowsRemoved();
         result.presolve_cols_eliminated = presolve_->stats().cols_eliminated;
@@ -351,10 +356,19 @@ MipSolver::solve(bool relaxation_only)
     }
 
     Simplex base(lp_, params_.basis_mode);
-    LpStatus root = base.solvePrimal();
+    LpStatus root;
+    {
+        trace::Span span("mip.root_lp", "solver");
+        root = base.solvePrimal();
+    }
     iters_used_ = base.iterations();
     work_used_ = base.iterations() * work_per_iter_;
     result.lp_iterations = iters_used_;
+    // base's counters start from zero, so its lifetime stats are the
+    // root-LP work; clone work below is accounted as exit-minus-entry
+    // deltas (copies inherit their source's counters).
+    result.basis = base.basisStats();
+    result.root_lp_time_sec = now_seconds() - start;
 
     if (root == LpStatus::Infeasible) {
         result.status = Status::Infeasible;
@@ -400,8 +414,10 @@ MipSolver::solve(bool relaxation_only)
     // relies on — the budget cuts the tree search, not the repairs.
     for (std::size_t s = 0; s < model_.start_.size(); ++s) {
         const auto& start_values = model_.start_[s];
+        trace::Span span("mip.warm_start", "solver");
         Simplex splx = base;
         const std::int64_t entry_iters = splx.iterations();
+        const BasisLu::Stats entry_basis = splx.basisStats();
         for (int j : int_vars_) {
             const int orig_col = presolve_ ? presolve_->origCol(j) : j;
             const double v =
@@ -414,6 +430,7 @@ MipSolver::solve(bool relaxation_only)
         const LpStatus st = splx.solvePrimal();
         iters_used_ += splx.iterations() - entry_iters;
         work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
+        result.basis.add(splx.basisStats().since(entry_basis));
         if (st == LpStatus::Optimal) {
             result.start_accepted[s] = 1;
             if (!std::isfinite(incumbent_obj) ||
@@ -434,13 +451,16 @@ MipSolver::solve(bool relaxation_only)
     // tree within the budget, the incumbent is proven optimal.
     bool proven = false;
     {
+        trace::Span span("mip.dfs", "solver");
         Simplex splx = base;
         const std::int64_t entry_iters = splx.iterations();
+        const BasisLu::Stats entry_basis = splx.basisStats();
         proven = dfs(splx, nullptr, params_.node_limit, deadline,
                      workDeadline(splx), incumbent_obj, incumbent_x,
                      nodes);
         iters_used_ += splx.iterations() - entry_iters;
         work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
+        result.basis.add(splx.basisStats().since(entry_basis));
     }
 
     // Phase 2 (matheuristic): alternate RINS-style neighborhood solves
@@ -449,8 +469,10 @@ MipSolver::solve(bool relaxation_only)
     int round = 0;
     while (!proven && !workExhausted() && now_seconds() < deadline &&
            nodes < params_.node_limit) {
+        trace::Span span("mip.matheuristic", "solver");
         Simplex splx = base;
         const std::int64_t entry_iters = splx.iterations();
+        const BasisLu::Stats entry_basis = splx.basisStats();
         const bool rins = !incumbent_x.empty() && (round % 4 != 3);
         if (rins) {
             for (int j : int_vars_) {
@@ -467,6 +489,7 @@ MipSolver::solve(bool relaxation_only)
         }
         iters_used_ += splx.iterations() - entry_iters;
         work_used_ += (splx.iterations() - entry_iters) * work_per_iter_;
+        result.basis.add(splx.basisStats().since(entry_basis));
         ++round;
     }
 
@@ -474,6 +497,8 @@ MipSolver::solve(bool relaxation_only)
     incumbent_pool_ = nullptr;
     result.lp_iterations = iters_used_;
     result.solve_time_sec = now_seconds() - start;
+    result.tree_time_sec =
+        result.solve_time_sec - result.root_lp_time_sec;
 
     if (!incumbent_x.empty()) {
         result.values = toModelSpace(std::move(incumbent_x));

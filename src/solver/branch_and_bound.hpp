@@ -49,6 +49,9 @@ class MipSolver
      *  proved infeasibility. */
     std::unique_ptr<Presolve> presolve_;
     bool presolve_infeasible_ = false;
+    /** Wall time of buildLp() (standard-form build + presolve), for the
+     *  MipResult phase breakdown. */
+    double presolve_time_sec_ = 0.0;
     std::vector<int> int_vars_;  //!< reduced columns with integral domains
     std::vector<int> priorities_; //!< branch priority per reduced column
     double sign_ = 1.0;          //!< +1 minimize, -1 maximize

@@ -79,6 +79,16 @@ struct MipResult
     std::int64_t nodes = 0;     //!< branch-and-bound nodes explored
     std::int64_t lp_iterations = 0; //!< total simplex iterations
     double solve_time_sec = 0.0;
+    /** Wall-clock phase breakdown: model build + presolve, the root
+     *  relaxation, and everything after it (warm-start repairs, the
+     *  tree, matheuristic rounds). The three sum to ~solve_time_sec. */
+    double presolve_time_sec = 0.0;
+    double root_lp_time_sec = 0.0;
+    double tree_time_sec = 0.0;
+    /** Basis-factorization work summed over every simplex instance the
+     *  solve ran (root LP, dives, warm-start repairs, RINS rounds).
+     *  All zero in BasisMode::Dense. */
+    BasisLu::Stats basis;
     /** Per-setStart() flag: 1 when that start's integer fixing had a
      *  feasible LP completion (it was installed as an incumbent). */
     std::vector<std::uint8_t> start_accepted;

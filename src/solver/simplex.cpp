@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "common/logging.hpp"
+#include "common/trace.hpp"
 
 namespace cosa::solver {
 
@@ -153,6 +154,7 @@ Simplex::computeXb()
 bool
 Simplex::refactorize()
 {
+    trace::Span span("simplex.refactorize", "solver", /*fine=*/true);
     if (mode_ == BasisMode::Lu) {
         // Gather the basis columns (implicit unit columns included) and
         // hand them to the Markowitz LU; cost scales with fill, not m^3.
@@ -590,6 +592,7 @@ Simplex::phase1Feasible() const
 LpStatus
 Simplex::solvePrimal()
 {
+    trace::Span span("simplex.primal", "solver", /*fine=*/true);
     setupInitialArtificialBasis();
 
     // Phase 1: minimize the sum of artificial variables.
@@ -611,6 +614,7 @@ Simplex::solvePrimal()
 LpStatus
 Simplex::solveDual(const Basis& basis)
 {
+    trace::Span span("simplex.dual", "solver", /*fine=*/true);
     COSA_ASSERT(static_cast<int>(basis.basic.size()) == m_ &&
                 static_cast<int>(basis.state.size()) == total_,
                 "warm basis has wrong shape");
@@ -636,6 +640,7 @@ Simplex::solveDual(const Basis& basis)
 LpStatus
 Simplex::solveDualFromCurrent()
 {
+    trace::Span span("simplex.dual_warm", "solver", /*fine=*/true);
     // The internal basis representation (dense inverse or LU factors +
     // eta file) is maintained across pivots and stays valid under pure
     // bound changes (the branch-and-bound dive path), so no

@@ -1,0 +1,63 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "common/logging.hpp"
+
+namespace cosa {
+namespace {
+
+/** Run @p fn and return everything it wrote to stderr. */
+template <typename Fn>
+std::string
+capturedStderr(Fn&& fn)
+{
+    ::testing::internal::CaptureStderr();
+    fn();
+    return ::testing::internal::GetCapturedStderr();
+}
+
+class LoggingTest : public ::testing::Test
+{
+  protected:
+    void TearDown() override { setLogLevel(LogLevel::Info); }
+};
+
+TEST_F(LoggingTest, DefaultLevelAdmitsInfoButNotDebug)
+{
+    setLogLevel(LogLevel::Info);
+    EXPECT_EQ(capturedStderr([] { warn("w"); }), "warn: w\n");
+    EXPECT_EQ(capturedStderr([] { inform("i"); }), "info: i\n");
+    EXPECT_EQ(capturedStderr([] { debug("d"); }), "");
+}
+
+TEST_F(LoggingTest, ErrorLevelDropsEverythingBelowFatal)
+{
+    setLogLevel(LogLevel::Error);
+    EXPECT_EQ(capturedStderr([] {
+                  warn("w");
+                  inform("i");
+                  debug("d");
+              }),
+              "");
+}
+
+TEST_F(LoggingTest, DebugLevelAdmitsEverything)
+{
+    setLogLevel(LogLevel::Debug);
+    EXPECT_EQ(capturedStderr([] { debug("x=", 42); }), "debug: x=42\n");
+    EXPECT_EQ(capturedStderr([] { warn("still on"); }),
+              "warn: still on\n");
+}
+
+TEST_F(LoggingTest, LevelsAreOrdered)
+{
+    EXPECT_LT(LogLevel::Error, LogLevel::Warn);
+    EXPECT_LT(LogLevel::Warn, LogLevel::Info);
+    EXPECT_LT(LogLevel::Info, LogLevel::Debug);
+    setLogLevel(LogLevel::Warn);
+    EXPECT_EQ(logLevel(), LogLevel::Warn);
+}
+
+} // namespace
+} // namespace cosa

@@ -1,0 +1,191 @@
+#!/usr/bin/env python3
+"""Validate the observability exports, offline and stdlib-only.
+
+Two file formats, matching the two `--trace-out` / `--metrics-out`
+sinks (see docs/observability.md):
+
+  --trace FILE      Chrome trace-event JSON: top-level "traceEvents"
+                    list, every event carries ph/name/ts/pid/tid,
+                    complete ("X") events also carry cat and dur, and
+                    at least one non-metadata event was recorded.
+  --metrics FILE    Prometheus text exposition 0.0.4: every line is a
+                    comment, blank, or `name{labels} value`; every
+                    sample belongs to a family announced by # TYPE;
+                    histogram families expose _bucket/_sum/_count with
+                    a closing le="+Inf" bucket.
+  --require NAME    (repeatable) metric family that must be present in
+                    the --metrics file with at least one sample.
+
+Exit status is non-zero on the first malformed file or missing
+requirement; the report names every failure. CI runs this against the
+examples' telemetry output so a formatting regression fails the build.
+
+Usage: check_telemetry.py [--trace FILE] [--metrics FILE]
+                          [--require NAME]...
+"""
+
+import argparse
+import json
+import re
+import sys
+
+SAMPLE_RE = re.compile(
+    r"^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{[^}]*\})?\s+(-?[0-9].*|[+-]Inf|NaN)$")
+LABELS_RE = re.compile(
+    r'^([a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")'
+    r'(,[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\]|\\.)*")*$')
+TYPE_RE = re.compile(r"^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) "
+                     r"(counter|gauge|histogram|summary|untyped)$")
+HELP_RE = re.compile(r"^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$")
+
+
+def check_trace(path: str) -> list:
+    """Errors in a Chrome trace-event JSON file (empty list = valid)."""
+    errors = []
+    try:
+        with open(path, encoding="utf-8") as fh:
+            doc = json.load(fh)
+    except (OSError, json.JSONDecodeError) as exc:
+        return [f"{path}: not readable JSON: {exc}"]
+
+    if not isinstance(doc, dict) or "traceEvents" not in doc:
+        return [f"{path}: missing top-level \"traceEvents\""]
+    events = doc["traceEvents"]
+    if not isinstance(events, list):
+        return [f"{path}: \"traceEvents\" is not a list"]
+
+    spans = 0
+    for i, ev in enumerate(events):
+        where = f"{path}: traceEvents[{i}]"
+        if not isinstance(ev, dict):
+            errors.append(f"{where}: not an object")
+            continue
+        for key in ("ph", "name", "pid", "tid"):
+            if key not in ev:
+                errors.append(f"{where}: missing \"{key}\"")
+        if ev.get("ph") == "X":
+            spans += 1
+            # Metadata ("M") events carry no timestamp; complete spans
+            # need the full timing payload.
+            for key in ("cat", "ts", "dur"):
+                if key not in ev:
+                    errors.append(f"{where}: complete event missing "
+                                  f"\"{key}\"")
+            if not isinstance(ev.get("ts"), (int, float)):
+                errors.append(f"{where}: non-numeric ts")
+    if spans == 0:
+        errors.append(f"{path}: no complete (\"X\") span events — "
+                      "was tracing actually enabled?")
+    return errors
+
+
+def parse_metrics(path: str, errors: list) -> dict:
+    """Families in a Prometheus text file: name -> {type, samples}."""
+    families = {}
+    try:
+        with open(path, encoding="utf-8") as fh:
+            lines = fh.read().splitlines()
+    except OSError as exc:
+        errors.append(f"{path}: not readable: {exc}")
+        return families
+
+    for lineno, line in enumerate(lines, 1):
+        where = f"{path}:{lineno}"
+        if not line.strip():
+            continue
+        if line.startswith("#"):
+            match = TYPE_RE.match(line)
+            if match:
+                families.setdefault(match.group(1),
+                                    {"type": None, "samples": []})
+                families[match.group(1)]["type"] = match.group(2)
+            elif not HELP_RE.match(line) and line.startswith(("# TYPE",
+                                                              "# HELP")):
+                errors.append(f"{where}: malformed comment: {line!r}")
+            continue
+        match = SAMPLE_RE.match(line)
+        if not match:
+            errors.append(f"{where}: malformed sample line: {line!r}")
+            continue
+        name, labels, value = match.groups()
+        if labels and not LABELS_RE.match(labels[1:-1]):
+            errors.append(f"{where}: malformed label set: {labels!r}")
+        if value not in ("+Inf", "-Inf", "NaN"):
+            try:
+                float(value)
+            except ValueError:
+                errors.append(f"{where}: malformed value: {value!r}")
+        # Histogram series (_bucket/_sum/_count) roll up to the family
+        # announced by # TYPE.
+        family = name
+        for suffix in ("_bucket", "_sum", "_count"):
+            base = name[:-len(suffix)] if name.endswith(suffix) else None
+            if base and base in families:
+                family = base
+                break
+        if family not in families:
+            errors.append(f"{where}: sample {name!r} has no # TYPE")
+            family = None
+        if family:
+            families[family]["samples"].append((name, labels or ""))
+    return families
+
+
+def check_metrics(path: str, required: list) -> list:
+    errors = []
+    families = parse_metrics(path, errors)
+    if not errors and not families:
+        errors.append(f"{path}: no metric families at all")
+
+    for name, family in sorted(families.items()):
+        if not family["samples"]:
+            errors.append(f"{path}: family {name!r} has # TYPE but no "
+                          "samples")
+        if family["type"] == "histogram":
+            series = {s for s, _ in family["samples"]}
+            for suffix in ("_bucket", "_sum", "_count"):
+                if name + suffix not in series:
+                    errors.append(f"{path}: histogram {name!r} missing "
+                                  f"{name + suffix}")
+            if not any('le="+Inf"' in labels for s, labels in
+                       family["samples"] if s == name + "_bucket"):
+                errors.append(f"{path}: histogram {name!r} has no "
+                              'le="+Inf" bucket')
+
+    for name in required:
+        if name not in families or not families[name]["samples"]:
+            errors.append(f"{path}: required metric {name!r} absent")
+    return errors
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(
+        description="validate --trace-out / --metrics-out files")
+    parser.add_argument("--trace", help="Chrome trace JSON file")
+    parser.add_argument("--metrics", help="Prometheus text file")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="NAME",
+                        help="metric family that must be present "
+                             "(repeatable; implies --metrics)")
+    args = parser.parse_args()
+    if not args.trace and not args.metrics:
+        parser.error("nothing to do: pass --trace and/or --metrics")
+    if args.require and not args.metrics:
+        parser.error("--require needs --metrics")
+
+    errors = []
+    if args.trace:
+        errors += check_trace(args.trace)
+    if args.metrics:
+        errors += check_metrics(args.metrics, args.require)
+
+    for error in errors:
+        print(f"ERROR: {error}", file=sys.stderr)
+    if not errors:
+        checked = [p for p in (args.trace, args.metrics) if p]
+        print(f"telemetry OK: {', '.join(checked)}")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
