@@ -71,12 +71,17 @@ main(int argc, char** argv)
     auto cache = std::make_shared<ScheduleCache>();
     if (!cache_file.empty()) {
         const auto io = cache->load(cache_file);
-        if (io.ok)
+        if (io.ok) {
             std::cout << "schedule cache: loaded " << io.entries
-                      << " entries from " << cache_file << "\n";
-        else
+                      << " entries from " << cache_file;
+            if (io.skipped > 0)
+                std::cout << " (" << io.skipped
+                          << " corrupt records skipped)";
+            std::cout << "\n";
+        } else {
             std::cout << "schedule cache: starting cold (" << io.error
                       << ")\n";
+        }
     }
 
     ServiceConfig service_config;

@@ -1,0 +1,221 @@
+#include "common/failpoint.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <unordered_map>
+
+#include "common/metrics.hpp"
+
+namespace cosa::failpoint {
+
+namespace {
+
+/** One armed failpoint: trigger probability, decision-stream seed and
+ *  the per-point evaluation ordinal the stream is indexed by. */
+struct Point
+{
+    double prob = 0.0;
+    std::uint64_t seed = 0;
+    std::atomic<std::int64_t> ordinal{0};
+    std::atomic<std::int64_t> triggered{0};
+};
+
+struct Registry
+{
+    std::mutex mutex;
+    std::unordered_map<std::string, std::unique_ptr<Point>> points;
+};
+
+std::atomic<bool> g_armed{false};
+
+Registry&
+registry()
+{
+    // Immortal, like the tracer/metrics singletons: failpoints may be
+    // evaluated from worker threads during static destruction.
+    static Registry* instance = new Registry();
+    return *instance;
+}
+
+/** splitmix64: the decision stream is hash(seed, name, ordinal) — a
+ *  pure function, so a fixed spec replays the same pattern. */
+std::uint64_t
+mix64(std::uint64_t x)
+{
+    x += 0x9E3779B97F4A7C15ULL;
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EBULL;
+    return x ^ (x >> 31);
+}
+
+std::uint64_t
+fnv1a(std::string_view text)
+{
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (const char c : text) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+void
+loadFromEnv()
+{
+    const char* spec = std::getenv("COSA_FAILPOINTS");
+    if (spec == nullptr || spec[0] == '\0')
+        return;
+    const Status status = configure(spec);
+    if (!status.ok())
+        warn("COSA_FAILPOINTS ignored: ", status.toString());
+}
+
+/** Parse one `name=prob[@seed]` term into (*out)[name]. */
+Status
+parseTerm(const std::string& term,
+          std::unordered_map<std::string, std::unique_ptr<Point>>* out)
+{
+    const auto eq = term.find('=');
+    if (eq == std::string::npos || eq == 0)
+        return Status(ErrorCode::kInvalidInput,
+                      "failpoint term \"" + term +
+                          "\" is not name=prob[@seed]");
+    const std::string name = term.substr(0, eq);
+    std::string prob_text = term.substr(eq + 1);
+    std::uint64_t seed = 0;
+    if (const auto at = prob_text.find('@'); at != std::string::npos) {
+        const std::string seed_text = prob_text.substr(at + 1);
+        prob_text.resize(at);
+        char* end = nullptr;
+        seed = std::strtoull(seed_text.c_str(), &end, 10);
+        if (seed_text.empty() || end == nullptr || *end != '\0')
+            return Status(ErrorCode::kInvalidInput,
+                          "failpoint \"" + name + "\": bad seed \"" +
+                              seed_text + "\"");
+    }
+    char* end = nullptr;
+    const double prob = std::strtod(prob_text.c_str(), &end);
+    if (prob_text.empty() || end == nullptr || *end != '\0' ||
+        !(prob >= 0.0) || !(prob <= 1.0)) {
+        return Status(ErrorCode::kInvalidInput,
+                      "failpoint \"" + name + "\": probability \"" +
+                          prob_text + "\" not in [0, 1]");
+    }
+    auto point = std::make_unique<Point>();
+    point->prob = prob;
+    point->seed = seed;
+    (*out)[name] = std::move(point);
+    return Status::Ok();
+}
+
+} // namespace
+
+bool
+armed()
+{
+    // First evaluation anywhere adopts COSA_FAILPOINTS; afterwards this
+    // is the one relaxed load the disarmed fast path pays.
+    static const bool env_loaded = [] {
+        loadFromEnv();
+        return true;
+    }();
+    (void)env_loaded;
+    return g_armed.load(std::memory_order_relaxed);
+}
+
+Status
+configure(const std::string& spec)
+{
+    std::unordered_map<std::string, std::unique_ptr<Point>> parsed;
+    std::size_t begin = 0;
+    while (begin <= spec.size() && !spec.empty()) {
+        std::size_t end = spec.find(',', begin);
+        if (end == std::string::npos)
+            end = spec.size();
+        const std::string term = spec.substr(begin, end - begin);
+        if (!term.empty()) {
+            if (Status status = parseTerm(term, &parsed); !status.ok())
+                return status;
+        }
+        if (end == spec.size())
+            break;
+        begin = end + 1;
+    }
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.points = std::move(parsed);
+    g_armed.store(!reg.points.empty(), std::memory_order_relaxed);
+    return Status::Ok();
+}
+
+void
+disarmAll()
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    reg.points.clear();
+    g_armed.store(false, std::memory_order_relaxed);
+}
+
+bool
+shouldTrigger(const char* name)
+{
+    if (!armed())
+        return false;
+    Registry& reg = registry();
+    Point* point = nullptr;
+    {
+        std::lock_guard<std::mutex> lock(reg.mutex);
+        const auto it = reg.points.find(name);
+        if (it == reg.points.end())
+            return false;
+        point = it->second.get();
+    }
+    // Points are never destroyed while armed stays stable within one
+    // configure() epoch; tests reconfigure only between runs.
+    const auto ordinal = static_cast<std::uint64_t>(
+        point->ordinal.fetch_add(1, std::memory_order_relaxed));
+    if (point->prob <= 0.0)
+        return false;
+    bool fire = point->prob >= 1.0;
+    if (!fire) {
+        const std::uint64_t draw =
+            mix64(point->seed ^ fnv1a(name) ^
+                  ordinal * 0x9E3779B97F4A7C15ULL);
+        // Top 53 bits -> uniform double in [0, 1).
+        const double u =
+            static_cast<double>(draw >> 11) * 0x1.0p-53;
+        fire = u < point->prob;
+    }
+    if (fire) {
+        point->triggered.fetch_add(1, std::memory_order_relaxed);
+        metrics::MetricsRegistry::global()
+            .counter("cosa_failpoints_triggered_total",
+                     "Injected faults fired, by failpoint name",
+                     {{"point", name}})
+            .inc();
+        debug("failpoint ", name, " triggered (ordinal ", ordinal, ")");
+    }
+    return fire;
+}
+
+void
+throwTriggered(const char* name, ErrorCode code)
+{
+    throw CosaError(code, std::string("failpoint ") + name + " triggered");
+}
+
+std::int64_t
+triggerCount(const std::string& name)
+{
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    const auto it = reg.points.find(name);
+    return it == reg.points.end()
+               ? 0
+               : it->second->triggered.load(std::memory_order_relaxed);
+}
+
+} // namespace cosa::failpoint

@@ -110,6 +110,14 @@ CosaScheduler::schedule(const LayerSpec& layer, const ArchSpec& arch,
     }
     result.stats.search_time_sec = wallTimeSec() - start;
     if (!result.found) {
+        // Distinguish a solver *fault* (typed, firewall-routable) from
+        // a genuinely empty search: the MIP's typed fault propagates
+        // only when nothing — incumbents, greedy floor, hints — scored.
+        if (mip.status == solver::Status::NumericalError &&
+            !mip.fault.ok()) {
+            result.status =
+                mip.fault.withContext("layer " + layer.name);
+        }
         warn("CoSA: extracted schedules failed validation for layer ",
              layer.name);
         return result;

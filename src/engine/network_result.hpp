@@ -15,6 +15,36 @@
 
 namespace cosa {
 
+/**
+ * Provenance of one layer's schedule under the service's failure
+ * firewall: which path produced (or failed to produce) it.
+ */
+enum class LayerOutcome {
+    /** The requested scheduler's own result was used (possibly after
+     *  typed-fault retries; see LayerScheduleResult::solve_retries).
+     *  Also the value for cache hits and cancel-skipped problems. */
+    kOptimal = 0,
+    /** The requested scheduler faulted past its retry budget and the
+     *  degradation ladder (greedy, then random search) produced the
+     *  schedule instead. */
+    kDegradedFallback,
+    /** Every rung failed: the layer has no schedule and
+     *  SearchResult::status carries the typed cause. */
+    kFailed,
+};
+
+/** Display name ("optimal" / "degraded_fallback" / "failed"). */
+inline const char*
+layerOutcomeName(LayerOutcome outcome)
+{
+    switch (outcome) {
+      case LayerOutcome::kOptimal: return "optimal";
+      case LayerOutcome::kDegradedFallback: return "degraded_fallback";
+      case LayerOutcome::kFailed: return "failed";
+    }
+    return "invalid";
+}
+
 /** One layer instance's scheduling outcome within a network. */
 struct LayerScheduleResult
 {
@@ -29,6 +59,13 @@ struct LayerScheduleResult
     bool cancelled = false;
     /** Index of the instance's unique problem within this query. */
     int unique_index = -1;
+    /** Which firewall path produced the schedule. */
+    LayerOutcome outcome = LayerOutcome::kOptimal;
+    /** Typed-fault retries the firewall spent before this result. */
+    int solve_retries = 0;
+    /** Ladder rung that served a degraded schedule ("greedy" or
+     *  "random"); empty unless outcome is kDegradedFallback. */
+    std::string fallback_stage;
 };
 
 /** Whole-network scheduling outcome with engine accounting. */
@@ -58,6 +95,12 @@ struct NetworkResult
     std::int64_t num_cache_hits = 0; //!< problems served from the cache
     /** Problems skipped because the job was cancelled mid-batch. */
     std::int64_t num_cancelled = 0;
+    /** Layer instances scheduled by the degradation ladder after the
+     *  requested scheduler faulted (LayerOutcome::kDegradedFallback). */
+    std::int64_t num_degraded = 0;
+    /** Layer instances left unscheduled by a fault that exhausted both
+     *  retries and the ladder (LayerOutcome::kFailed). */
+    std::int64_t num_failed = 0;
     /** Solves seeded with a nearest-neighbor schedule from the cache. */
     std::int64_t num_warm_hints = 0;
     /** Seeded solves whose hint the MIP accepted as an incumbent. */

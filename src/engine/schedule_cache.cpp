@@ -2,10 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <filesystem>
 #include <fstream>
 #include <limits>
 #include <sstream>
 
+#include "common/failpoint.hpp"
+#include "common/logging.hpp"
 #include "common/metrics.hpp"
 
 namespace cosa {
@@ -235,8 +239,8 @@ ScheduleCache::clear()
 
 // --- persistence ---------------------------------------------------------
 //
-// Line-oriented text format (see README "Schedule-cache files"):
-//   cosa-schedule-cache v2
+// Line-oriented text format (see docs/serving.md):
+//   cosa-schedule-cache v3
 //   capacity <N>
 //   entry
 //   key.layer/key.arch/key.sched/key.eval  <rest-of-line string>
@@ -244,17 +248,42 @@ ScheduleCache::clear()
 //   result.found / result.scheduler / result.stats
 //   eval.valid / eval.reason / eval.scalars / eval.levels (4 vectors)
 //   mapping.levels L, then L x mapping.level lines
+//   sum <16 hex digits>   (v3+: FNV-1a 64 of the lines entry..here)
 //   end
 // Doubles are written at max_digits10 so a round trip is bit-exact.
 
 namespace {
 
-// v2 added the `capacity` header line. Writers emit v2; the loader
-// accepts both (v1 snapshots simply lack the line). Old readers
-// reject a v2 file at the header — a clean, versioned failure —
-// instead of tripping mid-stream on the unknown line.
-constexpr const char* kCacheFormatHeader = "cosa-schedule-cache v2";
+// v2 added the `capacity` header line; v3 added the per-entry `sum`
+// checksum. Writers emit v3; the loader accepts all three (older
+// snapshots simply lack the newer lines). Old readers reject a newer
+// file at the header — a clean, versioned failure — instead of
+// tripping mid-stream on an unknown line.
+constexpr const char* kCacheFormatHeader = "cosa-schedule-cache v3";
+constexpr const char* kCacheFormatHeaderV2 = "cosa-schedule-cache v2";
 constexpr const char* kCacheFormatHeaderV1 = "cosa-schedule-cache v1";
+
+std::uint64_t
+fnv1aBytes(std::uint64_t h, const std::string& bytes)
+{
+    for (const char c : bytes) {
+        h ^= static_cast<unsigned char>(c);
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+/** FNV-1a 64 folded over @p line plus the newline save() wrote. */
+std::uint64_t
+fnv1aLine(std::uint64_t h, const std::string& line)
+{
+    h = fnv1aBytes(h, line);
+    h ^= static_cast<unsigned char>('\n');
+    h *= 0x100000001B3ULL;
+    return h;
+}
+
+constexpr std::uint64_t kFnvBasis = 0xCBF29CE484222325ULL;
 
 void
 writeDoubles(std::ostream& out, const std::vector<double>& values)
@@ -296,77 +325,128 @@ valueOf(const std::string& line, const std::string& prefix)
 ScheduleCache::IoResult
 ScheduleCache::save(const std::string& path) const
 {
-    std::ofstream out(path);
     IoResult io;
+    // Create missing parent directories so `--cache-file runs/a/b.txt`
+    // works cold (the historical behavior was a silent open failure).
+    std::error_code ec;
+    const std::filesystem::path parent =
+        std::filesystem::path(path).parent_path();
+    if (!parent.empty()) {
+        std::filesystem::create_directories(parent, ec);
+        if (ec) {
+            io.error = "cannot create " + parent.string() + ": " +
+                       ec.message();
+            return io;
+        }
+    }
+    // Crash safety: write the whole snapshot to a temporary sibling
+    // and atomically rename it over the target, so a crash (or any
+    // write failure) mid-save leaves an existing snapshot intact.
+    const std::string tmp_path = path + ".tmp";
+    std::ofstream out(tmp_path, std::ios::trunc);
     if (!out) {
-        io.error = "cannot open " + path + " for writing";
+        io.error = "cannot open " + tmp_path + " for writing";
         return io;
     }
     out.precision(std::numeric_limits<double>::max_digits10);
     out << kCacheFormatHeader << "\n";
 
-    std::lock_guard<std::mutex> lock(mutex_);
-    // The configured LRU bound is part of the header: without it a
-    // bounded cache silently came back unbounded after a reload.
-    out << "capacity " << capacity_ << "\n";
-    for (const std::string& flat : insertion_order_) {
-        if (flat.empty())
-            continue; // eviction tombstone
-        const auto it = entries_.find(flat);
-        if (it == entries_.end())
-            continue; // cleared since insertion
-        const Entry& e = it->second;
-        const SearchResult& r = e.result;
-        const Evaluation& ev = r.eval;
-        out << "entry\n";
-        out << "key.layer " << e.layer_key << "\n";
-        out << "key.arch " << e.arch_key << "\n";
-        out << "key.sched " << e.scheduler_key << "\n";
-        out << "key.eval " << e.evaluator_key << "\n";
-        out << "layer.name " << e.layer.name << "\n";
-        out << "layer.dims " << e.layer.r << " " << e.layer.s << " "
-            << e.layer.p << " " << e.layer.q << " " << e.layer.c << " "
-            << e.layer.k << " " << e.layer.n << " " << e.layer.stride
-            << "\n";
-        out << "result.found " << (r.found ? 1 : 0) << "\n";
-        out << "result.scheduler " << r.scheduler << "\n";
-        out << "result.stats " << r.stats.samples << " "
-            << r.stats.valid_evaluated << " " << r.stats.search_time_sec
-            << " " << r.stats.mip_nodes << " " << r.stats.lp_iterations
-            << " " << r.stats.warm_starts_installed << " "
-            << r.stats.warm_start_hits << "\n";
-        out << "eval.valid " << (ev.valid ? 1 : 0) << "\n";
-        out << "eval.reason " << ev.invalid_reason << "\n";
-        out << "eval.scalars " << ev.compute_cycles << " "
-            << ev.memory_cycles << " " << ev.cycles << " " << ev.energy_pj
-            << " " << ev.mac_energy_pj << " " << ev.noc_energy_pj << " "
-            << ev.noc_bytes << " " << ev.dram_bytes << " "
-            << ev.spatial_utilization << " " << ev.total_macs << "\n";
-        out << "eval.reads ";
-        writeDoubles(out, ev.reads_bytes);
-        out << "\neval.writes ";
-        writeDoubles(out, ev.writes_bytes);
-        out << "\neval.cycles ";
-        writeDoubles(out, ev.level_cycles);
-        out << "\neval.energy ";
-        writeDoubles(out, ev.level_energy_pj);
-        out << "\n";
-        out << "mapping.levels " << r.mapping.levels.size() << "\n";
-        for (const auto& level : r.mapping.levels) {
-            out << "mapping.level " << level.size();
-            for (const Loop& loop : level) {
-                out << " " << static_cast<int>(loop.dim) << " "
-                    << loop.bound << " " << (loop.spatial ? 1 : 0);
+    bool write_fault = false;
+    std::string fault_text;
+    {
+        std::lock_guard<std::mutex> lock(mutex_);
+        // The configured LRU bound is part of the header: without it a
+        // bounded cache silently came back unbounded after a reload.
+        out << "capacity " << capacity_ << "\n";
+        for (const std::string& flat : insertion_order_) {
+            if (flat.empty())
+                continue; // eviction tombstone
+            const auto it = entries_.find(flat);
+            if (it == entries_.end())
+                continue; // cleared since insertion
+            try {
+                // Simulated mid-save crash for chaos tests: the temp
+                // file is abandoned, the real snapshot stays intact.
+                COSA_FAILPOINT("cache.save_write", ErrorCode::kIoError);
+            } catch (const CosaError& e) {
+                write_fault = true;
+                fault_text = e.status().toString();
+                break;
             }
-            out << "\n";
+            const Entry& e = it->second;
+            const SearchResult& r = e.result;
+            const Evaluation& ev = r.eval;
+            // The entry body is buffered so its checksum can follow it;
+            // the hash covers the exact bytes between "entry" and "sum".
+            std::ostringstream body;
+            body.precision(std::numeric_limits<double>::max_digits10);
+            body << "entry\n";
+            body << "key.layer " << e.layer_key << "\n";
+            body << "key.arch " << e.arch_key << "\n";
+            body << "key.sched " << e.scheduler_key << "\n";
+            body << "key.eval " << e.evaluator_key << "\n";
+            body << "layer.name " << e.layer.name << "\n";
+            body << "layer.dims " << e.layer.r << " " << e.layer.s << " "
+                 << e.layer.p << " " << e.layer.q << " " << e.layer.c
+                 << " " << e.layer.k << " " << e.layer.n << " "
+                 << e.layer.stride << "\n";
+            body << "result.found " << (r.found ? 1 : 0) << "\n";
+            body << "result.scheduler " << r.scheduler << "\n";
+            body << "result.stats " << r.stats.samples << " "
+                 << r.stats.valid_evaluated << " "
+                 << r.stats.search_time_sec << " " << r.stats.mip_nodes
+                 << " " << r.stats.lp_iterations << " "
+                 << r.stats.warm_starts_installed << " "
+                 << r.stats.warm_start_hits << "\n";
+            body << "eval.valid " << (ev.valid ? 1 : 0) << "\n";
+            body << "eval.reason " << ev.invalid_reason << "\n";
+            body << "eval.scalars " << ev.compute_cycles << " "
+                 << ev.memory_cycles << " " << ev.cycles << " "
+                 << ev.energy_pj << " " << ev.mac_energy_pj << " "
+                 << ev.noc_energy_pj << " " << ev.noc_bytes << " "
+                 << ev.dram_bytes << " " << ev.spatial_utilization << " "
+                 << ev.total_macs << "\n";
+            body << "eval.reads ";
+            writeDoubles(body, ev.reads_bytes);
+            body << "\neval.writes ";
+            writeDoubles(body, ev.writes_bytes);
+            body << "\neval.cycles ";
+            writeDoubles(body, ev.level_cycles);
+            body << "\neval.energy ";
+            writeDoubles(body, ev.level_energy_pj);
+            body << "\n";
+            body << "mapping.levels " << r.mapping.levels.size() << "\n";
+            for (const auto& level : r.mapping.levels) {
+                body << "mapping.level " << level.size();
+                for (const Loop& loop : level) {
+                    body << " " << static_cast<int>(loop.dim) << " "
+                         << loop.bound << " " << (loop.spatial ? 1 : 0);
+                }
+                body << "\n";
+            }
+            const std::string text = body.str();
+            char sum[32];
+            std::snprintf(sum, sizeof(sum), "%016llx",
+                          static_cast<unsigned long long>(
+                              fnv1aBytes(kFnvBasis, text)));
+            out << text << "sum " << sum << "\nend\n";
+            ++io.entries;
         }
-        out << "end\n";
-        ++io.entries;
     }
     out.flush();
-    if (!out) {
+    out.close();
+    if (write_fault || !out) {
+        std::remove(tmp_path.c_str());
         io.entries = 0;
-        io.error = "write to " + path + " failed";
+        io.error = write_fault ? "write to " + path + " failed (" +
+                                     fault_text + ")"
+                               : "write to " + tmp_path + " failed";
+        return io;
+    }
+    if (std::rename(tmp_path.c_str(), path.c_str()) != 0) {
+        std::remove(tmp_path.c_str());
+        io.entries = 0;
+        io.error = "rename " + tmp_path + " -> " + path + " failed";
         return io;
     }
     io.ok = true;
@@ -384,22 +464,44 @@ ScheduleCache::load(const std::string& path)
     }
     std::string line;
     if (!std::getline(in, line) ||
-        (line != kCacheFormatHeader && line != kCacheFormatHeaderV1)) {
+        (line != kCacheFormatHeader && line != kCacheFormatHeaderV2 &&
+         line != kCacheFormatHeaderV1)) {
         io.error = path + ": not a " + std::string(kCacheFormatHeader) +
                    " file (got \"" + line + "\")";
         return io;
     }
 
-    auto fail = [&](const std::string& what) {
-        io.ok = false;
-        io.error = path + ": malformed entry (" + what + ") after " +
-                   std::to_string(io.entries) + " entries";
-        return io;
-    };
-
     std::lock_guard<std::mutex> lock(mutex_);
     bool saw_capacity = false;
-    while (std::getline(in, line)) {
+    // `line` holds an unconsumed record-start line when true (a skip
+    // scan stopped on the next "entry").
+    bool have_line = false;
+    // Resync after a corrupt/truncated record: count and log the skip,
+    // then scan forward to the next record start (or EOF). Surviving
+    // records still merge — one damaged entry never rejects a snapshot.
+    auto skipEntry = [&](const std::string& what) {
+        ++io.skipped;
+        warn("schedule cache: skipping corrupt entry ", io.skipped,
+             " in ", path, " (", what, ")");
+        static metrics::Counter& corrupt_counter =
+            cacheEventCounter("corrupt_entry");
+        corrupt_counter.inc();
+        if (in && line == "entry") {
+            have_line = true;
+            return;
+        }
+        while (std::getline(in, line)) {
+            if (line == "entry") {
+                have_line = true;
+                return;
+            }
+        }
+    };
+
+    for (;;) {
+        if (!have_line && !std::getline(in, line))
+            break;
+        have_line = false;
         if (line.empty())
             continue;
         // Optional header extension (files written before the bound
@@ -407,13 +509,15 @@ ScheduleCache::load(const std::string& path)
         // bound on the destination cache wins over the snapshot's;
         // an unbounded destination adopts the saved bound once all
         // entries are merged.
-        if (!saw_capacity && io.entries == 0) {
+        if (!saw_capacity && io.entries == 0 && io.skipped == 0) {
             if (const auto cap = valueOf(line, "capacity")) {
                 saw_capacity = true;
                 std::istringstream iss(*cap);
                 std::int64_t parsed = -1;
-                if (!(iss >> parsed) || parsed < 0)
-                    return fail("capacity value");
+                if (!(iss >> parsed) || parsed < 0) {
+                    io.error = path + ": malformed capacity header";
+                    return io;
+                }
                 if (capacity_ == 0 && parsed > 0) {
                     capacity_ = parsed;
                     enforceCapacityLocked();
@@ -421,13 +525,26 @@ ScheduleCache::load(const std::string& path)
                 continue;
             }
         }
-        if (line != "entry")
-            return fail("expected 'entry', got \"" + line + "\"");
+        if (line != "entry") {
+            skipEntry("expected 'entry', got \"" + line + "\"");
+            continue;
+        }
+        if (failpoint::armed() &&
+            failpoint::shouldTrigger("cache.load_entry")) {
+            // This record's own "entry" line must not resync the scan
+            // onto itself (skipEntry reuses a pending "entry" line).
+            line.clear();
+            skipEntry("failpoint cache.load_entry");
+            continue;
+        }
 
         ScheduleCacheKey key;
         Entry entry;
         SearchResult& r = entry.result;
         Evaluation& ev = r.eval;
+        // Fold the record's exact bytes (as written) for the v3 `sum`
+        // check; v1/v2 records simply never present one.
+        std::uint64_t hash = fnv1aLine(kFnvBasis, line);
 
         // The per-entry lines, in the fixed order save() writes them.
         auto expect = [&](const char* prefix,
@@ -437,58 +554,77 @@ ScheduleCache::load(const std::string& path)
             const auto value = valueOf(line, prefix);
             if (!value)
                 return false;
+            hash = fnv1aLine(hash, line);
             *out_value = *value;
             return true;
         };
         std::string value;
-        if (!expect("key.layer", &key.layer_key))
-            return fail("key.layer");
-        if (!expect("key.arch", &key.arch_key))
-            return fail("key.arch");
-        if (!expect("key.sched", &key.scheduler_key))
-            return fail("key.sched");
-        if (!expect("key.eval", &key.evaluator_key))
-            return fail("key.eval");
-        if (!expect("layer.name", &entry.layer.name))
-            return fail("layer.name");
-        if (!expect("layer.dims", &value))
-            return fail("layer.dims");
+        bool record_ok = true;
+        auto field = [&](bool parsed, const char* what) {
+            if (!parsed && record_ok) {
+                record_ok = false;
+                skipEntry(what);
+            }
+            return record_ok;
+        };
+        if (!field(expect("key.layer", &key.layer_key), "key.layer"))
+            continue;
+        if (!field(expect("key.arch", &key.arch_key), "key.arch"))
+            continue;
+        if (!field(expect("key.sched", &key.scheduler_key), "key.sched"))
+            continue;
+        if (!field(expect("key.eval", &key.evaluator_key), "key.eval"))
+            continue;
+        if (!field(expect("layer.name", &entry.layer.name), "layer.name"))
+            continue;
+        if (!field(expect("layer.dims", &value), "layer.dims"))
+            continue;
         {
             std::istringstream iss(value);
             LayerSpec& l = entry.layer;
-            if (!(iss >> l.r >> l.s >> l.p >> l.q >> l.c >> l.k >> l.n >>
-                  l.stride))
-                return fail("layer.dims values");
+            if (!field(static_cast<bool>(iss >> l.r >> l.s >> l.p >>
+                                         l.q >> l.c >> l.k >> l.n >>
+                                         l.stride),
+                       "layer.dims values"))
+                continue;
         }
-        if (!expect("result.found", &value))
-            return fail("result.found");
+        if (!field(expect("result.found", &value), "result.found"))
+            continue;
         r.found = value == "1";
-        if (!expect("result.scheduler", &r.scheduler))
-            return fail("result.scheduler");
-        if (!expect("result.stats", &value))
-            return fail("result.stats");
+        if (!field(expect("result.scheduler", &r.scheduler),
+                   "result.scheduler"))
+            continue;
+        if (!field(expect("result.stats", &value), "result.stats"))
+            continue;
         {
             std::istringstream iss(value);
             SearchStats& s = r.stats;
-            if (!(iss >> s.samples >> s.valid_evaluated >>
-                  s.search_time_sec >> s.mip_nodes >> s.lp_iterations >>
-                  s.warm_starts_installed >> s.warm_start_hits))
-                return fail("result.stats values");
+            if (!field(static_cast<bool>(
+                           iss >> s.samples >> s.valid_evaluated >>
+                           s.search_time_sec >> s.mip_nodes >>
+                           s.lp_iterations >> s.warm_starts_installed >>
+                           s.warm_start_hits),
+                       "result.stats values"))
+                continue;
         }
-        if (!expect("eval.valid", &value))
-            return fail("eval.valid");
+        if (!field(expect("eval.valid", &value), "eval.valid"))
+            continue;
         ev.valid = value == "1";
-        if (!expect("eval.reason", &ev.invalid_reason))
-            return fail("eval.reason");
-        if (!expect("eval.scalars", &value))
-            return fail("eval.scalars");
+        if (!field(expect("eval.reason", &ev.invalid_reason),
+                   "eval.reason"))
+            continue;
+        if (!field(expect("eval.scalars", &value), "eval.scalars"))
+            continue;
         {
             std::istringstream iss(value);
-            if (!(iss >> ev.compute_cycles >> ev.memory_cycles >>
-                  ev.cycles >> ev.energy_pj >> ev.mac_energy_pj >>
-                  ev.noc_energy_pj >> ev.noc_bytes >> ev.dram_bytes >>
-                  ev.spatial_utilization >> ev.total_macs))
-                return fail("eval.scalars values");
+            if (!field(static_cast<bool>(
+                           iss >> ev.compute_cycles >> ev.memory_cycles >>
+                           ev.cycles >> ev.energy_pj >> ev.mac_energy_pj >>
+                           ev.noc_energy_pj >> ev.noc_bytes >>
+                           ev.dram_bytes >> ev.spatial_utilization >>
+                           ev.total_macs),
+                       "eval.scalars values"))
+                continue;
         }
         const struct
         {
@@ -501,41 +637,72 @@ ScheduleCache::load(const std::string& path)
             {"eval.energy", &ev.level_energy_pj},
         };
         for (const auto& spec : vectors) {
-            if (!expect(spec.prefix, &value))
-                return fail(spec.prefix);
+            if (!field(expect(spec.prefix, &value), spec.prefix))
+                break;
             std::istringstream iss(value);
-            if (!readDoubles(iss, spec.target))
-                return fail(std::string(spec.prefix) + " values");
+            if (!field(readDoubles(iss, spec.target),
+                       (std::string(spec.prefix) + " values").c_str()))
+                break;
         }
-        if (!expect("mapping.levels", &value))
-            return fail("mapping.levels");
+        if (!record_ok)
+            continue;
+        if (!field(expect("mapping.levels", &value), "mapping.levels"))
+            continue;
         std::size_t num_levels = 0;
         {
             std::istringstream iss(value);
-            if (!(iss >> num_levels) || num_levels > 64)
-                return fail("mapping.levels value");
+            if (!field(static_cast<bool>(iss >> num_levels) &&
+                           num_levels <= 64,
+                       "mapping.levels value"))
+                continue;
         }
         r.mapping.levels.assign(num_levels, {});
-        for (std::size_t l = 0; l < num_levels; ++l) {
-            if (!expect("mapping.level", &value))
-                return fail("mapping.level");
+        for (std::size_t l = 0; l < num_levels && record_ok; ++l) {
+            if (!field(expect("mapping.level", &value), "mapping.level"))
+                break;
             std::istringstream iss(value);
             std::size_t num_loops = 0;
-            if (!(iss >> num_loops) || num_loops > 4096)
-                return fail("mapping.level count");
+            if (!field(static_cast<bool>(iss >> num_loops) &&
+                           num_loops <= 4096,
+                       "mapping.level count"))
+                break;
             auto& loops = r.mapping.levels[l];
             loops.resize(num_loops);
             for (Loop& loop : loops) {
                 int dim = 0, spatial = 0;
-                if (!(iss >> dim >> loop.bound >> spatial) || dim < 0 ||
-                    dim >= kNumDims)
-                    return fail("mapping.level loop");
+                if (!field(static_cast<bool>(iss >> dim >> loop.bound >>
+                                             spatial) &&
+                               dim >= 0 && dim < kNumDims,
+                           "mapping.level loop"))
+                    break;
                 loop.dim = static_cast<Dim>(dim);
                 loop.spatial = spatial != 0;
             }
         }
-        if (!std::getline(in, line) || line != "end")
-            return fail("expected 'end'");
+        if (!record_ok)
+            continue;
+        // Trailer: v3 writes `sum <hex>` then `end`; v1/v2 end directly.
+        if (!std::getline(in, line)) {
+            skipEntry("truncated trailer");
+            continue;
+        }
+        if (const auto sum = valueOf(line, "sum")) {
+            char expected[32];
+            std::snprintf(expected, sizeof(expected), "%016llx",
+                          static_cast<unsigned long long>(hash));
+            if (*sum != expected) {
+                skipEntry("checksum mismatch (entry was altered)");
+                continue;
+            }
+            if (!std::getline(in, line)) {
+                skipEntry("truncated trailer");
+                continue;
+            }
+        }
+        if (line != "end") {
+            skipEntry("expected 'end'");
+            continue;
+        }
 
         insertLocked(key, r, entry.layer);
         ++io.entries;

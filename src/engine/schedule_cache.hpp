@@ -162,26 +162,37 @@ class ScheduleCache
         bool ok = false;
         std::string error;   //!< empty on success
         std::int64_t entries = 0; //!< written / merged
+        /** load() only: records dropped because they were truncated,
+         *  failed their checksum or failed to parse (counted and
+         *  logged; the surviving entries still merge). */
+        std::int64_t skipped = 0;
     };
 
     /**
      * Write every entry to @p path in the versioned text format
-     * (header `cosa-schedule-cache v2` followed by the configured LRU
+     * (header `cosa-schedule-cache v3` followed by the configured LRU
      * `capacity`; doubles at max_digits10, so a round trip is
-     * bit-exact). Counters are not persisted.
+     * bit-exact; every entry carries an FNV-1a checksum line).
+     * Crash-safe: the snapshot is written to a temporary sibling file
+     * and atomically renamed over @p path, so a crash mid-save can
+     * never truncate an existing snapshot. Missing parent directories
+     * are created. Counters are not persisted.
      */
     IoResult save(const std::string& path) const;
 
     /**
      * Merge a snapshot written by save() into this cache: entries keep
      * insertion order from the file, existing keys are overwritten. A
-     * version or format mismatch fails without touching the cache;
-     * a truncated file keeps the entries read so far and reports the
-     * error. Hit/miss counters are untouched. The snapshot's LRU
-     * capacity is adopted when this cache is unbounded (so a bounded
-     * cache round-trips bounded); an explicitly configured bound on
-     * the loading cache wins, and pre-capacity snapshots load as
-     * before.
+     * header/version mismatch fails without touching the cache; a
+     * corrupt, bit-flipped or truncated *record* is skipped (counted
+     * in IoResult::skipped, logged, `cosa_cache_events_total{event=
+     * "corrupt_entry"}`) and every surviving record still merges — one
+     * damaged entry no longer rejects the snapshot. Hit/miss counters
+     * are untouched. The snapshot's LRU capacity is adopted when this
+     * cache is unbounded (so a bounded cache round-trips bounded); an
+     * explicitly configured bound on the loading cache wins, and
+     * pre-checksum v1/v2 snapshots load as before (parse-checked
+     * only).
      */
     IoResult load(const std::string& path);
 

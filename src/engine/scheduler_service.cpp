@@ -2,7 +2,9 @@
 
 #include <algorithm>
 #include <atomic>
+#include <cmath>
 #include <cstring>
+#include <exception>
 #include <limits>
 #include <sstream>
 #include <thread>
@@ -11,6 +13,7 @@
 #include "common/logging.hpp"
 #include "common/metrics.hpp"
 #include "common/trace.hpp"
+#include "cosa/greedy.hpp"
 
 namespace cosa {
 
@@ -217,14 +220,20 @@ recordSolveMetrics(const ScheduleRequest& req, const SearchResult& solved)
         .inc(s.warm_start_hits);
 }
 
+/**
+ * One attempt of the requested scheduler. @p cosa_cfg is the CoSA
+ * tunables to use this attempt (the firewall's retries flip the basis
+ * mode without copying the whole request).
+ */
 SearchResult
-solveOne(const ScheduleRequest& req, const LayerSpec& layer,
-         const ArchSpec& arch, const std::vector<Mapping>& warm_hints)
+solveOne(const ScheduleRequest& req, const CosaConfig& cosa_cfg,
+         const LayerSpec& layer, const ArchSpec& arch,
+         const std::vector<Mapping>& warm_hints)
 {
     const Evaluator& evaluator = *req.evaluator;
     switch (req.scheduler) {
       case SchedulerKind::Cosa:
-        return CosaScheduler(req.cosa, req.objective)
+        return CosaScheduler(cosa_cfg, req.objective)
             .schedule(layer, arch, warm_hints, evaluator);
       case SchedulerKind::Random:
         return RandomMapper(req.random).schedule(layer, arch, evaluator);
@@ -239,25 +248,67 @@ solveOne(const ScheduleRequest& req, const LayerSpec& layer,
         // member writes its own slot, so the aggregation below is
         // order-deterministic regardless of finish order. Hybrid runs
         // on the calling thread (it spawns its own racing threads).
+        // A member that throws must not escape its raw thread (that
+        // would be std::terminate): each captures its exception and
+        // drops out of the race; only an all-members fault surfaces.
         SearchResult members[3];
+        std::exception_ptr faults[3];
         std::thread cosa_thread([&] {
-            members[0] = CosaScheduler(req.cosa, req.objective)
-                             .schedule(layer, arch, warm_hints, evaluator);
+            try {
+                members[0] =
+                    CosaScheduler(cosa_cfg, req.objective)
+                        .schedule(layer, arch, warm_hints, evaluator);
+            } catch (...) {
+                faults[0] = std::current_exception();
+            }
         });
         std::thread random_thread([&] {
-            members[1] =
-                RandomMapper(req.random).schedule(layer, arch, evaluator);
+            try {
+                members[1] = RandomMapper(req.random).schedule(layer, arch,
+                                                               evaluator);
+            } catch (...) {
+                faults[1] = std::current_exception();
+            }
         });
-        members[2] =
-            HybridMapper(req.hybrid).schedule(layer, arch, evaluator);
+        try {
+            members[2] =
+                HybridMapper(req.hybrid).schedule(layer, arch, evaluator);
+        } catch (...) {
+            faults[2] = std::current_exception();
+        }
         cosa_thread.join();
         random_thread.join();
+        if (faults[0] && faults[1] && faults[2])
+            std::rethrow_exception(faults[0]); // firewall handles it
+        static const char* const kMemberNames[3] = {"CoSA", "Random",
+                                                    "TimeloopHybrid"};
+        for (int m = 0; m < 3; ++m) {
+            if (!faults[m])
+                continue;
+            members[m] = SearchResult{};
+            try {
+                std::rethrow_exception(faults[m]);
+            } catch (const std::exception& e) {
+                warn("portfolio: member ", kMemberNames[m],
+                     " faulted for layer ", layer.name, " (", e.what(),
+                     "); racing on without it");
+            } catch (...) {
+                warn("portfolio: member ", kMemberNames[m],
+                     " faulted for layer ", layer.name,
+                     " (non-std exception); racing on without it");
+            }
+        }
         SearchResult best;
         best.scheduler = "Portfolio";
         for (const SearchResult& member : members) {
             best.stats.add(member.stats);
-            if (!member.found)
+            if (!member.found) {
+                // Keep the first typed member fault around so an
+                // all-empty race still reports a cause to the firewall.
+                if (!member.status.ok() && best.status.ok())
+                    best.status = member.status;
                 continue;
+            }
             if (!best.found ||
                 objectiveValue(member.eval, req.objective) <
                     objectiveValue(best.eval, req.objective)) {
@@ -267,10 +318,205 @@ solveOne(const ScheduleRequest& req, const LayerSpec& layer,
                 best.scheduler = "Portfolio[" + member.scheduler + "]";
             }
         }
+        if (best.found)
+            best.status = Status::Ok();
         return best;
       }
     }
     panic("invalid scheduler kind");
+}
+
+// --- the failure firewall ------------------------------------------------
+
+/** Per-code child of the firewall's fault counter. */
+metrics::Counter&
+errorCounter(ErrorCode code)
+{
+    return metrics::MetricsRegistry::global().counter(
+        "cosa_errors_total",
+        "Typed faults caught by the service's solve firewall",
+        {{"code", errorCodeName(code)}});
+}
+
+/** Per-rung child of the degradation-ladder counter. */
+metrics::Counter&
+fallbackCounter(const char* stage)
+{
+    return metrics::MetricsRegistry::global().counter(
+        "cosa_layer_fallbacks_total",
+        "Layer solves served by the degradation ladder",
+        {{"stage", stage}});
+}
+
+/**
+ * Reject obviously poisoned inputs before they reach the solver or the
+ * evaluator: non-positive layer dimensions and non-finite architecture
+ * constants produce garbage schedules (or NaN objectives) rather than
+ * clean failures, so they fail fast with a typed cause instead.
+ */
+Status
+validateSolveInputs(const LayerSpec& layer, const ArchSpec& arch)
+{
+    for (std::int64_t dim :
+         {layer.r, layer.s, layer.p, layer.q, layer.c, layer.k, layer.n,
+          layer.stride}) {
+        if (dim < 1)
+            return {ErrorCode::kInvalidInput,
+                    "layer " + layer.name + " has a non-positive dimension"};
+    }
+    auto finite = [](double v) { return std::isfinite(v); };
+    for (const MemLevelSpec& level : arch.levels) {
+        if (!finite(level.energy_pj_per_byte) ||
+            !finite(level.bandwidth_bytes_per_cycle) ||
+            level.bandwidth_bytes_per_cycle <= 0.0)
+            return {ErrorCode::kNumericFailure,
+                    "arch level " + level.name +
+                        " has a non-finite (or non-positive) constant"};
+    }
+    if (!finite(arch.noc_hop_energy_pj_per_byte) ||
+        !finite(arch.mac_energy_pj))
+        return {ErrorCode::kNumericFailure,
+                "arch " + arch.name + " has a non-finite energy constant"};
+    return Status::Ok();
+}
+
+/** What the firewall did for one layer, for provenance plumbing. */
+struct FirewallReport
+{
+    LayerOutcome outcome = LayerOutcome::kOptimal;
+    int retries = 0;
+    const char* fallback_stage = ""; //!< "greedy"/"random" when degraded
+};
+
+/**
+ * solveOne() behind the containment boundary: catches typed faults and
+ * exceptions, retries retriable ones on the dense reference basis path
+ * (pivot-identical by the basis equivalence contract, so a successful
+ * retry is indistinguishable from a fault-free solve), then walks the
+ * degradation ladder — the greedy always-constructible schedule first,
+ * random search second. Never throws.
+ */
+SearchResult
+solveWithFirewall(const ScheduleRequest& req, const LayerSpec& layer,
+                  const ArchSpec& arch,
+                  const std::vector<Mapping>& warm_hints,
+                  FirewallReport* report)
+{
+    auto recordFault = [&](const Status& fault, const char* where) {
+        errorCounter(fault.code()).inc();
+        warn("firewall: ", where, " fault for layer ", layer.name, ": ",
+             fault.toString());
+        trace::Tracer& tracer = trace::Tracer::global();
+        if (tracer.enabled()) {
+            tracer.record("firewall.catch", "engine",
+                          trace::Tracer::nowMicros(), 0,
+                          std::string(errorCodeName(fault.code())) + " " +
+                              layer.name);
+        }
+    };
+    auto observeRetries = [&](int retries) {
+        report->retries = retries;
+        metrics::MetricsRegistry::global()
+            .histogram("cosa_solve_retries",
+                       "Typed-fault retries per firewalled layer solve")
+            .observe(static_cast<double>(retries));
+    };
+
+    if (Status guard = validateSolveInputs(layer, arch); !guard.ok()) {
+        // The problem statement itself is poisoned: retrying or falling
+        // back would only launder garbage into a "schedule".
+        recordFault(guard, "input-validation");
+        observeRetries(0);
+        report->outcome = LayerOutcome::kFailed;
+        SearchResult failed;
+        failed.scheduler = schedulerKindName(req.scheduler);
+        failed.status = std::move(guard);
+        return failed;
+    }
+
+    Status last;
+    const int max_attempts = 1 + std::max(req.max_solve_retries, 0);
+    for (int attempt = 0; attempt < max_attempts; ++attempt) {
+        CosaConfig cosa_cfg = req.cosa;
+        if (attempt > 0)
+            cosa_cfg.mip.basis_mode = solver::BasisMode::Dense;
+        SearchResult result;
+        Status fault;
+        try {
+            result = solveOne(req, cosa_cfg, layer, arch, warm_hints);
+            fault = result.status;
+        } catch (const CosaError& e) {
+            fault = e.status();
+        } catch (const std::exception& e) {
+            fault = {ErrorCode::kInternal, e.what()};
+        } catch (...) {
+            fault = {ErrorCode::kInternal, "non-std exception"};
+        }
+        if (fault.ok()) {
+            observeRetries(attempt);
+            return result;
+        }
+        last = std::move(fault);
+        recordFault(last, attempt == 0 ? "solve" : "retry");
+        if (!isRetriable(last.code()) ||
+            last.code() == ErrorCode::kCancelled)
+            break;
+    }
+    observeRetries(max_attempts - 1);
+
+    // Degradation ladder, rung 1: the greedy schedule is constructible
+    // for every well-formed problem; score it on the full evaluator.
+    try {
+        const Mapping greedy = greedyMapping(layer, arch);
+        const auto bound = req.evaluator->bind(layer, arch);
+        Evaluation ev = bound->evaluate(greedy);
+        if (ev.valid) {
+            SearchResult result;
+            result.found = true;
+            result.mapping = greedy;
+            result.eval = std::move(ev);
+            result.scheduler = "Greedy[fallback]";
+            result.stats.samples = 1;
+            result.stats.valid_evaluated = 1;
+            report->outcome = LayerOutcome::kDegradedFallback;
+            report->fallback_stage = "greedy";
+            fallbackCounter("greedy").inc();
+            inform("firewall: layer ", layer.name,
+                   " degraded to the greedy schedule after ",
+                   last.toString());
+            return result;
+        }
+    } catch (const std::exception& e) {
+        recordFault({ErrorCode::kEvaluatorFault, e.what()},
+                    "greedy-fallback");
+    }
+
+    // Rung 2: random search (its own seed, no solver involved).
+    try {
+        SearchResult result =
+            RandomMapper(req.random).schedule(layer, arch, *req.evaluator);
+        if (result.found) {
+            result.scheduler = "Random[fallback]";
+            result.status = Status::Ok();
+            report->outcome = LayerOutcome::kDegradedFallback;
+            report->fallback_stage = "random";
+            fallbackCounter("random").inc();
+            inform("firewall: layer ", layer.name,
+                   " degraded to random search after ", last.toString());
+            return result;
+        }
+    } catch (const std::exception& e) {
+        recordFault({ErrorCode::kEvaluatorFault, e.what()},
+                    "random-fallback");
+    }
+
+    report->outcome = LayerOutcome::kFailed;
+    SearchResult failed;
+    failed.scheduler = schedulerKindName(req.scheduler);
+    failed.status = last.ok() ? Status(ErrorCode::kInternal,
+                                       "solve failed without a typed cause")
+                              : std::move(last);
+    return failed;
 }
 
 } // namespace
@@ -289,6 +535,10 @@ struct SchedulerService::JobRecord
     std::int64_t submit_trace_us = 0;
     std::atomic<bool> deadline_expired{false};
     bool running = false;
+    /** Set by runJobBody (single-threaded epilogue): at least one layer
+     *  was served by the degradation ladder / left failed. */
+    bool degraded = false;
+    bool failed = false;
 };
 
 SchedulerService::SchedulerService(ServiceConfig config)
@@ -355,6 +605,8 @@ SchedulerService::normalize(ScheduleRequest& request) const
         request.weight = 1.0;
     if (request.max_parallelism < 0)
         request.max_parallelism = 0;
+    request.max_solve_retries =
+        std::clamp(request.max_solve_retries, 0, 8);
     if (request.deadline_sec < 0.0)
         request.deadline_sec = 0.0;
     if (request.tag.empty()) {
@@ -504,6 +756,22 @@ SchedulerService::onJobFinished(const std::shared_ptr<JobRecord>& record)
                      "Jobs self-cancelled by their deadline")
             .inc();
     }
+    if (record->degraded) {
+        ++degraded_;
+        ++tier_counters_[tier].degraded;
+        tierCounter("cosa_service_jobs_degraded_total",
+                    "Jobs with at least one ladder-served layer",
+                    record->request.priority)
+            .inc();
+    }
+    if (record->failed) {
+        ++failed_;
+        ++tier_counters_[tier].failed;
+        tierCounter("cosa_service_jobs_failed_total",
+                    "Jobs with at least one fault-failed layer",
+                    record->request.priority)
+            .inc();
+    }
     // Admission is FIFO within the best nonempty tier: start the next
     // queued job in the slot this one vacated.
     if (config_.max_inflight_jobs < 0 ||
@@ -570,11 +838,15 @@ SchedulerService::stats() const
         stats.completed = completed_;
         stats.cancelled = cancelled_;
         stats.deadline_expired = deadline_expired_;
+        stats.degraded = degraded_;
+        stats.failed = failed_;
         stats.inflight_now = static_cast<std::int64_t>(running_.size());
         for (int t = 0; t < kNumJobPriorities; ++t) {
             const auto tier = static_cast<std::size_t>(t);
             stats.tiers[tier].submitted = tier_counters_[tier].submitted;
             stats.tiers[tier].completed = tier_counters_[tier].completed;
+            stats.tiers[tier].degraded = tier_counters_[tier].degraded;
+            stats.tiers[tier].failed = tier_counters_[tier].failed;
             stats.tiers[tier].queued_now =
                 static_cast<std::int64_t>(queued_[tier].size());
             stats.tiers[tier].total_queue_wait_sec =
@@ -719,6 +991,7 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
          req.scheduler == SchedulerKind::Portfolio);
     std::vector<SearchResult> solved(num_unique);
     std::vector<char> from_cache(num_unique, 0);
+    std::vector<FirewallReport> firewall(num_unique);
     std::vector<std::vector<Mapping>> hints(num_unique);
     std::vector<std::size_t> to_solve;
     for (std::size_t u = 0; u < num_unique; ++u) {
@@ -802,7 +1075,8 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
         {
             trace::Span span("solve.layer", "engine");
             span.arg(unique_layers[u]->name);
-            solved[u] = solveOne(req, *unique_layers[u], arch, hints[u]);
+            solved[u] = solveWithFirewall(req, *unique_layers[u], arch,
+                                          hints[u], &firewall[u]);
         }
         recordSolveMetrics(req, solved[u]);
         metrics::MetricsRegistry::global()
@@ -820,7 +1094,11 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     solve_span.end();
     if (req.use_cache) {
         for (std::size_t u : to_solve) {
-            if (!skipped[u])
+            // Only the requested scheduler's own results are cached: a
+            // transient fault's degraded (or failed) result must not
+            // poison the shared cache for future fault-free queries.
+            if (!skipped[u] &&
+                firewall[u].outcome == LayerOutcome::kOptimal)
                 cache.insert(keyOf(u), solved[u], *unique_layers[u]);
         }
     }
@@ -854,7 +1132,14 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
         lr.deduplicated = inst.deduplicated;
         lr.cancelled = skipped[u] != 0;
         lr.unique_index = inst.unique;
+        lr.outcome = firewall[u].outcome;
+        lr.solve_retries = firewall[u].retries;
+        lr.fallback_stage = firewall[u].fallback_stage;
         ++net.num_layers;
+        if (lr.outcome == LayerOutcome::kDegradedFallback)
+            ++net.num_degraded;
+        else if (lr.outcome == LayerOutcome::kFailed)
+            ++net.num_failed;
         if (lr.result.found) {
             net.total_cycles += lr.result.eval.cycles;
             net.total_energy_pj += lr.result.eval.energy_pj;
@@ -890,6 +1175,13 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
                     ++net.portfolio_wins.hybrid;
             }
         }
+    }
+
+    for (std::size_t u = 0; u < num_unique; ++u) {
+        if (firewall[u].outcome == LayerOutcome::kDegradedFallback)
+            record->degraded = true;
+        else if (firewall[u].outcome == LayerOutcome::kFailed)
+            record->failed = true;
     }
 
     {

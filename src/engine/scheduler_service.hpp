@@ -47,6 +47,17 @@
  * wall-clock: an expired job's result is a *prefix* of the
  * deterministic one.
  *
+ * Failure containment (docs/robustness.md): every layer solve runs
+ * behind an exception firewall. A typed fault (`cosa::Status`) or a
+ * thrown exception is caught, retried up to
+ * `ScheduleRequest::max_solve_retries` times on the dense reference
+ * basis path, then handed to a degradation ladder (greedy schedule,
+ * then random search); the layer's `LayerOutcome` records which path
+ * served it. One poisoned layer therefore degrades one layer — never
+ * the job, the tenant or the process. With no faults injected and
+ * healthy inputs the firewall is pass-through and results are
+ * bit-identical to the pre-firewall engine.
+ *
  * Introspection: `listJobs()` snapshots every queued/running job;
  * `stats()` reports queue depths, per-priority queue-wait times and
  * the executor's task/steal counters.
@@ -163,6 +174,15 @@ struct ScheduleRequest
      *  executor; 0 = unlimited. 1 solves in unique-problem order
      *  (the historical single-thread engine semantics). */
     int max_parallelism = 0;
+    /**
+     * Retries the failure firewall grants a layer solve that fails
+     * with a *retriable* typed fault (numeric trouble, a singular
+     * basis) before falling down the degradation ladder; retries force
+     * the solver onto the dense reference basis path. Clamped to
+     * [0, 8]. Irrelevant on fault-free runs — results there are
+     * bit-identical at any setting.
+     */
+    int max_solve_retries = 2;
     /** Display label for listJobs(); defaults to the first workload's
      *  name. */
     std::string tag;
@@ -256,6 +276,13 @@ struct ServiceStats
      *  cancels and expired deadlines). */
     std::int64_t cancelled = 0;
     std::int64_t deadline_expired = 0;
+    /** Completed jobs with at least one layer served by the
+     *  degradation ladder (a job can count as both degraded and
+     *  failed when different layers hit different paths). */
+    std::int64_t degraded = 0;
+    /** Completed jobs with at least one layer left unscheduled by a
+     *  fault (LayerOutcome::kFailed). */
+    std::int64_t failed = 0;
     std::int64_t queued_now = 0;   //!< snapshot
     std::int64_t inflight_now = 0; //!< snapshot
 
@@ -264,6 +291,8 @@ struct ServiceStats
     {
         std::int64_t submitted = 0;
         std::int64_t completed = 0;
+        std::int64_t degraded = 0; //!< see ServiceStats::degraded
+        std::int64_t failed = 0;   //!< see ServiceStats::failed
         std::int64_t queued_now = 0; //!< snapshot
         /** Summed submit->start queue wait of started jobs. */
         double total_queue_wait_sec = 0.0;
@@ -373,10 +402,14 @@ class SchedulerService
     std::int64_t completed_ = 0;
     std::int64_t cancelled_ = 0;
     std::int64_t deadline_expired_ = 0;
+    std::int64_t degraded_ = 0;
+    std::int64_t failed_ = 0;
     struct TierCounters
     {
         std::int64_t submitted = 0;
         std::int64_t completed = 0;
+        std::int64_t degraded = 0;
+        std::int64_t failed = 0;
         double total_queue_wait_sec = 0.0;
         double max_queue_wait_sec = 0.0;
     };

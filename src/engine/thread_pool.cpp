@@ -2,11 +2,49 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <exception>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
+#include "common/metrics.hpp"
 #include "common/trace.hpp"
 
 namespace cosa {
+
+namespace {
+
+/**
+ * The executor's last-resort firewall: tasks are expected to contain
+ * their own exceptions (the service's solve tasks do), but one that
+ * leaks must terminate neither the worker nor the process — other
+ * sets, jobs and tenants proceed. The task's slot simply stays at its
+ * default value; producers see it as not-found.
+ */
+void
+runTaskContained(const std::function<void(std::size_t)>& task,
+                 std::size_t index)
+{
+    const char* what = nullptr;
+    std::string text;
+    try {
+        COSA_FAILPOINT("executor.task", ErrorCode::kInternal);
+        task(index);
+        return;
+    } catch (const std::exception& e) {
+        text = e.what();
+        what = text.c_str();
+    } catch (...) {
+        what = "non-std exception";
+    }
+    metrics::MetricsRegistry::global()
+        .counter("cosa_executor_task_failures_total",
+                 "Exceptions that leaked out of an executor task")
+        .inc();
+    warn("executor: task ", index, " threw (", what,
+         "); contained, set continues");
+}
+
+} // namespace
 
 // --- Executor::TaskSet ---------------------------------------------------
 
@@ -145,7 +183,7 @@ Executor::workerLoop(int worker_id)
                           set->tier_,
                           static_cast<long long>(set->id_));
             span.arg(detail);
-            set->task_(index);
+            runTaskContained(set->task_, index);
         }
         lock.lock();
 
@@ -200,7 +238,7 @@ ThreadPool::run(std::size_t num_tasks,
         return;
     if (num_threads_ == 1 || num_tasks == 1) {
         for (std::size_t i = 0; i < num_tasks; ++i)
-            task(i);
+            runTaskContained(task, i);
         return;
     }
     const int workers = static_cast<int>(std::min<std::size_t>(

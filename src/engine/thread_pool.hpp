@@ -139,9 +139,15 @@ class Executor
 
     /**
      * Enqueue @p task(i) for every i in [0, num_tasks) and return
-     * immediately. The callable must not throw and must stay valid
-     * until the set is done (hold results/captures alive across
-     * wait()). An empty set completes immediately.
+     * immediately. The callable must stay valid until the set is done
+     * (hold results/captures alive across wait()). An empty set
+     * completes immediately. Tasks should contain their own
+     * exceptions; one that throws anyway is caught by the executor's
+     * last-resort firewall (logged + counted in
+     * `cosa_executor_task_failures_total`), its index counts as
+     * completed with whatever its result slot already held, and the
+     * set, its siblings and the workers proceed — a leaked exception
+     * never aborts the process.
      */
     std::shared_ptr<TaskSet> submit(std::size_t num_tasks,
                                     std::function<void(std::size_t)> task,
@@ -193,7 +199,8 @@ class ThreadPool
 
     /**
      * Run @p task(i) for every i in [0, num_tasks) across the workers.
-     * Blocks until all tasks complete. Tasks must not throw.
+     * Blocks until all tasks complete. A throwing task is contained by
+     * the executor firewall (logged + counted), never rethrown here.
      */
     void run(std::size_t num_tasks,
              const std::function<void(std::size_t)>& task) const;

@@ -15,6 +15,7 @@
 // backends live with the models; mappers re-export them because every
 // scheduler config embeds an objective and every schedule() call can
 // take an Evaluator.
+#include "common/status.hpp"
 #include "model/evaluator.hpp"
 
 namespace cosa {
@@ -73,6 +74,13 @@ struct SearchResult
     Evaluation eval;
     SearchStats stats;
     std::string scheduler;
+    /** Typed cause when the run produced nothing because of a *fault*
+     *  (solver numeric trouble, a poisoned model) rather than a
+     *  genuinely empty search. Ok — including for found == false — on
+     *  any fault-free run, so results stay bit-identical to the
+     *  pre-firewall stack. The service firewall routes non-ok results
+     *  into retries and the degradation ladder. */
+    Status status;
 };
 
 /** Monotonic wall clock in seconds (shared by all schedulers). */

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 
 namespace cosa {
@@ -78,6 +79,7 @@ class AnalyticalBound final : public BoundEvaluator
 
     Evaluation evaluate(const Mapping& mapping) const override
     {
+        COSA_FAILPOINT("evaluator.evaluate", ErrorCode::kEvaluatorFault);
         return model_.evaluate(mapping);
     }
 

@@ -380,6 +380,8 @@ MipSolver::solve(bool relaxation_only)
     }
     if (root != LpStatus::Optimal) {
         result.status = Status::NumericalError;
+        result.fault = {cosa::ErrorCode::kNumericFailure,
+                        "root LP exited with numeric trouble"};
         return result;
     }
 

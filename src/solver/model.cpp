@@ -1,5 +1,6 @@
 #include "solver/model.hpp"
 
+#include <cmath>
 #include <map>
 
 #include "common/logging.hpp"
@@ -109,9 +110,61 @@ Model::evalExpr(const LinExpr& expr, const std::vector<double>& values)
     return total;
 }
 
+namespace {
+
+/**
+ * Guard against poisoned model data before it reaches pricing and the
+ * schedule cache: every objective coefficient, rhs and constraint
+ * coefficient must be finite, and bounds must not be NaN (infinite
+ * bounds are legitimate). The first offender names itself in the
+ * returned fault.
+ */
+cosa::Status
+checkFiniteModel(const Model& model)
+{
+    using cosa::ErrorCode;
+    for (int v = 0; v < model.numVars(); ++v) {
+        const Var var{v};
+        if (!std::isfinite(model.objCoef(var)))
+            return {ErrorCode::kNumericFailure,
+                    "non-finite objective coefficient on variable \"" +
+                        model.varName(var) + "\""};
+        if (std::isnan(model.lowerBound(var)) ||
+            std::isnan(model.upperBound(var)))
+            return {ErrorCode::kNumericFailure,
+                    "NaN bound on variable \"" + model.varName(var) + "\""};
+    }
+    for (int r = 0; r < model.numConstrs(); ++r) {
+        if (!std::isfinite(model.rowRhs(r)))
+            return {ErrorCode::kNumericFailure,
+                    "non-finite rhs on constraint " + std::to_string(r)};
+        for (const auto& [col, coef] : model.rowTerms(r)) {
+            if (!std::isfinite(coef))
+                return {ErrorCode::kNumericFailure,
+                        "non-finite coefficient on constraint " +
+                            std::to_string(r) + ", variable \"" +
+                            model.varName(Var{col}) + "\""};
+        }
+    }
+    return cosa::Status::Ok();
+}
+
+MipResult
+faultedResult(cosa::Status fault)
+{
+    MipResult result;
+    result.status = Status::NumericalError;
+    result.fault = std::move(fault);
+    return result;
+}
+
+} // namespace
+
 MipResult
 Model::optimize(const MipParams& params) const
 {
+    if (cosa::Status finite = checkFiniteModel(*this); !finite.ok())
+        return faultedResult(std::move(finite));
     MipSolver solver(*this, params);
     return solver.solve(/*relaxation_only=*/false);
 }
@@ -119,6 +172,8 @@ Model::optimize(const MipParams& params) const
 MipResult
 Model::optimizeRelaxation() const
 {
+    if (cosa::Status finite = checkFiniteModel(*this); !finite.ok())
+        return faultedResult(std::move(finite));
     MipSolver solver(*this, MipParams{});
     return solver.solve(/*relaxation_only=*/true);
 }

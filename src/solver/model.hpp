@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "common/status.hpp"
 #include "solver/basis_lu.hpp"
 #include "solver/lin_expr.hpp"
 #include "solver/types.hpp"
@@ -97,6 +98,12 @@ struct MipResult
     std::int32_t presolve_bounds_tightened = 0; //!< lb/ub improvements
     /** Binary columns fixed by the probing round (enable_probing). */
     std::int32_t presolve_probing_fixings = 0;
+    /** Typed cause when the solve failed for a reason other than the
+     *  model's mathematics (non-finite input data, numeric trouble in
+     *  the simplex). Ok for Optimal/Feasible/Infeasible/limit exits;
+     *  accompanies status == NumericalError so callers can report and
+     *  route the failure (see common/status.hpp). */
+    cosa::Status fault;
 
     bool
     hasSolution() const

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "common/failpoint.hpp"
 #include "common/logging.hpp"
 #include "common/trace.hpp"
 
@@ -155,6 +156,7 @@ bool
 Simplex::refactorize()
 {
     trace::Span span("simplex.refactorize", "solver", /*fine=*/true);
+    COSA_FAILPOINT("simplex.factorize", ErrorCode::kSingularBasis);
     if (mode_ == BasisMode::Lu) {
         // Gather the basis columns (implicit unit columns included) and
         // hand them to the Markowitz LU; cost scales with fill, not m^3.
@@ -243,6 +245,7 @@ Simplex::refactorize()
 void
 Simplex::ftran(int j)
 {
+    COSA_FAILPOINT("simplex.ftran", ErrorCode::kNumericFailure);
     if (mode_ == BasisMode::Lu) {
         // Scatter column j (structural nonzeros, or the implicit unit
         // column of a slack/artificial) and solve against the factors.
@@ -348,6 +351,7 @@ Simplex::computeReducedCosts(const double* costs)
 void
 Simplex::pivot(int entering, int leaving_row, double entering_value)
 {
+    COSA_FAILPOINT("simplex.pivot", ErrorCode::kNumericFailure);
     // Absorb the basis change (work_col_ must hold B^-1 A_entering):
     // LU mode appends a product-form eta in O(nnz(work_col_)); dense
     // mode applies the rank-one update to every binv row, O(m^2).

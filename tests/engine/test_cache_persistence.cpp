@@ -205,6 +205,8 @@ TEST(ScheduleCachePersistence, RejectsWrongVersionAndMalformedFiles)
     EXPECT_NE(wrong.error.find("not a"), std::string::npos);
     EXPECT_EQ(cache.stats().entries, 0);
 
+    // A truncated record is no longer fatal: it is skipped (counted)
+    // and the load as a whole succeeds with whatever survived.
     {
         std::ofstream out(file.path());
         out << "cosa-schedule-cache v1\n";
@@ -213,7 +215,9 @@ TEST(ScheduleCachePersistence, RejectsWrongVersionAndMalformedFiles)
         out << "garbage\n";
     }
     const auto truncated = cache.load(file.path());
-    EXPECT_FALSE(truncated.ok);
+    EXPECT_TRUE(truncated.ok);
+    EXPECT_EQ(truncated.entries, 0);
+    EXPECT_EQ(truncated.skipped, 1);
     EXPECT_EQ(cache.stats().entries, 0);
 
     EXPECT_FALSE(cache.load("no_such_dir/no_such_file.txt").ok);
