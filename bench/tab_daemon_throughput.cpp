@@ -1,0 +1,249 @@
+/**
+ * @file
+ * Wire-level serving throughput of cosad: mixed-priority traffic from
+ * 1/4/16 concurrent tenants driven end-to-end through the daemon's
+ * HTTP surface (submit -> poll status until done), against an
+ * in-process Daemon on a loopback ephemeral port. Auth is on — every
+ * tenant has its own API key — so the measured path includes parsing,
+ * auth/quota, admission, the continuation-driven job engine and
+ * canonical result serialization.
+ *
+ *   ./bench_tab_daemon_throughput [--tenants 1,4,16] [--jobs N]
+ *       [--samples S] [--json [PATH]]
+ *
+ * Per tenant count the bench reports aggregate jobs/sec and p50/p99
+ * submit-to-done latency. --json writes the same rows as a machine-
+ * readable artifact (default BENCH_daemon.json) that CI uploads and
+ * diffs across runs.
+ *
+ * COSA_BENCH_QUICK=1 shrinks jobs and samples for a smoke run.
+ */
+
+#include <algorithm>
+#include <chrono>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench_util.hpp"
+#include "common/json.hpp"
+#include "common/logging.hpp"
+#include "server/client.hpp"
+#include "server/daemon.hpp"
+
+namespace {
+
+using namespace cosa;
+using server::Client;
+using server::Daemon;
+using server::DaemonConfig;
+using server::TenantSpec;
+using server::WireResponse;
+
+double
+percentile(std::vector<double> values, double q)
+{
+    if (values.empty())
+        return 0.0;
+    std::sort(values.begin(), values.end());
+    const auto rank = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(values.size()) - 1.0,
+                         q * static_cast<double>(values.size())));
+    return values[rank];
+}
+
+/** One scheduling request body; tier mixed per tenant like the
+ *  service bench (tenant 0 interactive, odd batch, rest normal). */
+std::string
+jobBody(int tenant, int job, int samples)
+{
+    const char* priority = tenant == 0          ? "interactive"
+                           : (tenant % 2 == 1) ? "batch"
+                                               : "normal";
+    std::ostringstream body;
+    body << "{\"workloads\":[{\"name\":\"bench\",\"layers\":[\"1_7_32_"
+         << 16 + (job % 8) << "_1\",\"3_14_32_32_1\"]}],"
+         << "\"arch\":\"simba\",\"scheduler\":\"random\","
+         << "\"priority\":\"" << priority << "\","
+         << "\"use_cache\":false,"
+         << "\"random\":{\"max_samples\":" << samples
+         << ",\"target_valid\":" << samples << ",\"seed\":"
+         << 100 + tenant << "}}";
+    return body.str();
+}
+
+/** Submit one job and block until its status flips to done; returns
+ *  the submit-to-done latency in seconds (< 0 on failure). */
+double
+runOneJob(Client& client, int tenant, int job, int samples)
+{
+    const double t0 = wallTimeSec();
+    StatusOr<WireResponse> submitted =
+        client.submit(jobBody(tenant, job, samples));
+    if (!submitted.ok() || submitted.value().status != 202) {
+        cosa::warn("submit failed: ",
+                   submitted.ok() ? submitted.value().body
+                                  : submitted.status().message());
+        return -1.0;
+    }
+    StatusOr<json::Value> accepted =
+        json::Value::parse(submitted.value().body);
+    if (!accepted.ok())
+        return -1.0;
+    const std::uint64_t id =
+        static_cast<std::uint64_t>(accepted.value().getInt("id", 0));
+    for (;;) {
+        StatusOr<WireResponse> status = client.jobStatus(id);
+        if (!status.ok() || status.value().status != 200)
+            return -1.0;
+        StatusOr<json::Value> body =
+            json::Value::parse(status.value().body);
+        if (!body.ok())
+            return -1.0;
+        const std::string state = body.value().getString("state", "");
+        if (state == "done")
+            return wallTimeSec() - t0;
+        if (state == "failed" || state == "cancelled")
+            return -1.0;
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+}
+
+struct Row
+{
+    int tenants = 0;
+    int jobs = 0;
+    double wall_sec = 0.0;
+    double p50_ms = 0.0;
+    double p99_ms = 0.0;
+};
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    std::vector<int> tenant_counts = {1, 4, 16};
+    int jobs_per_tenant = bench::quickMode() ? 3 : 8;
+    int samples = bench::quickMode() ? 60 : 240;
+    bool write_json = false;
+    std::string json_path = "BENCH_daemon.json";
+    for (int a = 1; a < argc; ++a) {
+        if (std::strcmp(argv[a], "--tenants") == 0 && a + 1 < argc) {
+            tenant_counts.clear();
+            std::stringstream list(argv[++a]);
+            std::string item;
+            while (std::getline(list, item, ','))
+                tenant_counts.push_back(std::atoi(item.c_str()));
+        } else if (std::strcmp(argv[a], "--jobs") == 0 && a + 1 < argc) {
+            jobs_per_tenant = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--samples") == 0 &&
+                   a + 1 < argc) {
+            samples = std::atoi(argv[++a]);
+        } else if (std::strcmp(argv[a], "--json") == 0) {
+            write_json = true;
+            if (a + 1 < argc && std::strncmp(argv[a + 1], "--", 2) != 0)
+                json_path = argv[++a];
+        }
+    }
+
+    TextTable table("cosad wire throughput (submit -> done over "
+                    "loopback HTTP, auth on)");
+    table.setHeader(
+        {"tenants", "jobs", "wall_s", "jobs/s", "p50_ms", "p99_ms"});
+    std::vector<Row> rows;
+
+    for (const int tenants : tenant_counts) {
+        DaemonConfig config;
+        config.port = 0;
+        config.num_handler_threads = std::min(tenants + 1, 8);
+        for (int t = 0; t < tenants; ++t) {
+            TenantSpec spec;
+            spec.name = "tenant" + std::to_string(t);
+            spec.key = "key" + std::to_string(t);
+            config.tenants.push_back(std::move(spec));
+        }
+        Daemon daemon{std::move(config)};
+        const Status started = daemon.start();
+        if (!started.ok()) {
+            cosa::warn("daemon start failed: ", started.message());
+            return 1;
+        }
+
+        std::mutex mutex;
+        std::vector<double> latencies;
+        const double start = wallTimeSec();
+        std::vector<std::thread> threads;
+        for (int t = 0; t < tenants; ++t) {
+            threads.emplace_back([&, t] {
+                Client client("127.0.0.1", daemon.port(),
+                              "key" + std::to_string(t));
+                for (int j = 0; j < jobs_per_tenant; ++j) {
+                    const double latency =
+                        runOneJob(client, t, j, samples);
+                    if (latency < 0.0)
+                        continue;
+                    std::lock_guard<std::mutex> lock(mutex);
+                    latencies.push_back(latency);
+                }
+            });
+        }
+        for (std::thread& thread : threads)
+            thread.join();
+        const double wall = wallTimeSec() - start;
+        daemon.stop();
+
+        Row row;
+        row.tenants = tenants;
+        row.jobs = static_cast<int>(latencies.size());
+        row.wall_sec = wall;
+        row.p50_ms = percentile(latencies, 0.50) * 1e3;
+        row.p99_ms = percentile(latencies, 0.99) * 1e3;
+        rows.push_back(row);
+        table.addRow({std::to_string(row.tenants),
+                      std::to_string(row.jobs),
+                      TextTable::fmt(row.wall_sec, 2),
+                      TextTable::fmt(row.jobs / std::max(wall, 1e-9), 1),
+                      TextTable::fmt(row.p50_ms, 1),
+                      TextTable::fmt(row.p99_ms, 1)});
+        if (row.jobs != tenants * jobs_per_tenant) {
+            cosa::warn("lost jobs at ", tenants, " tenants: ", row.jobs,
+                       "/", tenants * jobs_per_tenant);
+            return 1;
+        }
+    }
+    table.print(std::cout);
+
+    if (write_json) {
+        json::Value doc = json::Value::object();
+        doc.set("bench", "daemon_throughput");
+        doc.set("jobs_per_tenant", jobs_per_tenant);
+        doc.set("samples", samples);
+        json::Value series = json::Value::array();
+        for (const Row& row : rows) {
+            json::Value entry = json::Value::object();
+            entry.set("tenants", row.tenants);
+            entry.set("jobs", row.jobs);
+            entry.set("wall_sec", row.wall_sec);
+            entry.set("jobs_per_sec",
+                      row.jobs / std::max(row.wall_sec, 1e-9));
+            entry.set("p50_ms", row.p50_ms);
+            entry.set("p99_ms", row.p99_ms);
+            series.push(std::move(entry));
+        }
+        doc.set("series", std::move(series));
+        std::ofstream out(json_path, std::ios::trunc);
+        out << doc.dump() << "\n";
+        if (!out) {
+            cosa::warn("cannot write ", json_path);
+            return 1;
+        }
+        std::cout << "wrote " << json_path << "\n";
+    }
+    return 0;
+}

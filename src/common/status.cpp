@@ -51,4 +51,22 @@ isRetriable(ErrorCode code)
            code == ErrorCode::kSingularBasis;
 }
 
+int
+httpStatusForError(ErrorCode code)
+{
+    switch (code) {
+      case ErrorCode::kOk: return 200;
+      case ErrorCode::kInvalidInput: return 400;
+      case ErrorCode::kCancelled: return 409;
+      case ErrorCode::kBudgetExhausted: return 503;
+      case ErrorCode::kNumericFailure:
+      case ErrorCode::kSingularBasis:
+      case ErrorCode::kEvaluatorFault:
+      case ErrorCode::kCacheCorrupt:
+      case ErrorCode::kIoError:
+      case ErrorCode::kInternal: return 500;
+    }
+    return 500;
+}
+
 } // namespace cosa

@@ -110,6 +110,16 @@ class Status
 bool isRetriable(ErrorCode code);
 
 /**
+ * The HTTP status the serving daemon answers with when a request fails
+ * with @p code: the taxonomy's wire projection. Client-caused codes
+ * (kInvalidInput) map into 4xx, capacity into 503, cancellation into
+ * 409 (the job raced its own deletion), everything else into 500.
+ * Wire-only conditions (unknown route → 404, bad key → 401, quota →
+ * 429) never reach this function — they have no ErrorCode.
+ */
+int httpStatusForError(ErrorCode code);
+
+/**
  * The exception form of a Status. Thrown by failpoints and deep solver
  * guards; the service firewall converts it back to a Status at the
  * task boundary. what() is the status's toString().

@@ -24,19 +24,16 @@ ScheduleJob::wait()
 {
     if (!state_)
         return {};
-    // A queued service job has no runner thread yet, so completion is
-    // signaled on done_cv (set by the body under the state mutex), not
-    // by thread exit; the join below merely reaps the body's thread.
+    // No job — queued or running — owns a thread: completion is purely
+    // the `finished` condition, set by the service's epilogue
+    // continuation under the state mutex. Waiting therefore costs one
+    // blocked caller thread and nothing on the service side, which is
+    // what lets thousands of queued jobs sit on a fixed-size executor.
     if (!state_->finished.load(std::memory_order_acquire)) {
         std::unique_lock<std::mutex> lock(state_->mutex);
         state_->done_cv.wait(lock, [&] {
             return state_->finished.load(std::memory_order_acquire);
         });
-    }
-    {
-        std::lock_guard<std::mutex> lock(state_->join_mutex);
-        if (state_->runner.joinable())
-            state_->runner.join();
     }
     return state_->results;
 }
@@ -71,6 +68,19 @@ ScheduleJob::onProgress(ProgressCallback callback)
     for (const JobProgress& event : state_->events)
         callback(event);
     state_->listeners.push_back(std::move(callback));
+}
+
+void
+ScheduleJob::onDone(std::function<void()> callback)
+{
+    if (!state_ || !callback)
+        return;
+    std::lock_guard<std::mutex> lock(state_->mutex);
+    if (state_->finished.load(std::memory_order_acquire)) {
+        callback(); // already done: fire now, on the subscriber
+        return;
+    }
+    state_->done_listeners.push_back(std::move(callback));
 }
 
 } // namespace cosa

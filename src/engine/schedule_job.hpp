@@ -7,9 +7,11 @@
  *
  * `SchedulerService::submit()` (and the `SchedulingEngine::submit()`
  * compatibility wrappers over the default service) return immediately
- * with a ScheduleJob handle; the batch runs on a background runner
- * thread which drives the service's shared work-stealing executor.
- * The handle exposes:
+ * with a ScheduleJob handle; the batch advances continuation-style on
+ * the service's shared work-stealing executor (prologue task → solve
+ * task set → epilogue continuation), so a queued or waiting job holds
+ * *no* thread of its own — thousands of queued jobs cost queue entries,
+ * not runner threads. The handle exposes:
  *
  *  - wait()        block until the batch finishes (or has been
  *                  cancelled) and collect the results;
@@ -41,7 +43,6 @@
 #include <memory>
 #include <mutex>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "engine/network_result.hpp"
@@ -80,8 +81,8 @@ struct JobProgress
 /**
  * Handle to one submitted batch. Move-only; the destructor waits for
  * the batch (like std::future from std::async), so dropping a handle
- * never leaks the runner thread or its pool work. The engine must
- * outlive every job submitted on it.
+ * never abandons its in-flight executor work. The engine must outlive
+ * every job submitted on it.
  */
 class ScheduleJob
 {
@@ -92,8 +93,8 @@ class ScheduleJob
     ~ScheduleJob();
     ScheduleJob(ScheduleJob&&) = default;
     /** Waits for the currently held job (like the destructor) before
-     *  adopting @p other — dropping a live job must never leave its
-     *  runner thread unjoined. */
+     *  adopting @p other — dropping a live job must never abandon its
+     *  in-flight work. */
     ScheduleJob& operator=(ScheduleJob&& other);
     ScheduleJob(const ScheduleJob&) = delete;
     ScheduleJob& operator=(const ScheduleJob&) = delete;
@@ -124,8 +125,22 @@ class ScheduleJob
      */
     void onProgress(ProgressCallback callback);
 
-    /** Shared state between the handle and the service's runner thread
-     *  (engine/service-internal; use the member functions). */
+    /**
+     * Subscribe to job completion: @p callback runs exactly once, when
+     * the batch finishes (normally or cancelled) — immediately (on the
+     * caller) if it already has, else on the engine worker running the
+     * job's epilogue. Like progress callbacks it runs with the job
+     * lock held: cancel() is safe inside it, wait() deadlocks. This is
+     * what lets an observer (e.g. a daemon's event stream) learn of
+     * completion without parking a thread in wait().
+     */
+    void onDone(std::function<void()> callback);
+
+    /** Shared state between the handle and the service's executor-side
+     *  continuations (engine/service-internal; use the member
+     *  functions). Note there is no thread here: a job — queued or
+     *  running — owns no runner, and wait() is purely a condition on
+     *  `finished`/`done_cv` advanced by the epilogue continuation. */
     struct State
     {
         std::mutex mutex;
@@ -135,16 +150,14 @@ class ScheduleJob
         std::vector<NetworkResult> results;  //!< set before `finished`
         std::vector<JobProgress> events;     //!< replay buffer
         std::vector<ProgressCallback> listeners;
+        /** Completion subscribers; drained (and cleared) by the
+         *  epilogue under `mutex`. */
+        std::vector<std::function<void()>> done_listeners;
         /** Unique problems in the batch; -1 until canonicalization ran.
          *  Service introspection (SchedulerService::listJobs). */
         std::atomic<std::int64_t> total_unique{-1};
         /** Problems completed so far (frontier order). */
         std::atomic<std::int64_t> completed_unique{0};
-        /** The job body's thread. Assigned under join_mutex when the
-         *  service starts the job — a queued job has none yet (wait()
-         *  then blocks on done_cv, not on the join). */
-        std::thread runner;
-        std::mutex join_mutex; //!< serializes assignment + one-time join
     };
 
   private:

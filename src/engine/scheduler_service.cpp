@@ -157,12 +157,16 @@ schedulerConfigKey(const ScheduleRequest& request)
 
 namespace {
 
-/** Per-tier child of a counter family (label tier="interactive|..."). */
+/** Per-(tenant, tier) child of a counter family: every admission /
+ *  completion / degradation counter is labeled with the submitting
+ *  tenant so one tenant's traffic is separable in /metrics. */
 metrics::Counter&
-tierCounter(const char* name, const char* help, JobPriority priority)
+tenantTierCounter(const char* name, const char* help,
+                  const std::string& tenant, JobPriority priority)
 {
     return metrics::MetricsRegistry::global().counter(
-        name, help, {{"tier", jobPriorityName(priority)}});
+        name, help,
+        {{"tenant", tenant}, {"tier", jobPriorityName(priority)}});
 }
 
 /** The evaluator family ("analytical", "nocsim", "cascade"): the
@@ -523,11 +527,57 @@ solveWithFirewall(const ScheduleRequest& req, const LayerSpec& layer,
 
 // --- service -------------------------------------------------------------
 
+/**
+ * Heap state of one job's continuation pipeline, created by the
+ * prologue and consumed by the solve tasks and the epilogue — what
+ * used to live on the runner thread's stack. A queued job has none;
+ * a finished job drops it.
+ */
+struct SchedulerService::JobPhase
+{
+    /** One layer instance of the batch. */
+    struct Instance
+    {
+        int net;
+        int layer;
+        int unique;
+        bool deduplicated;
+    };
+
+    double start = 0.0;       //!< prologue entry (wallTimeSec)
+    double deadline_at = 0.0; //!< absolute deadline; 0 = none
+    std::int64_t run_trace_us = 0; //!< job.run span start (trace clock)
+
+    std::vector<Instance> instances;
+    std::vector<const LayerSpec*> unique_layers; //!< first occurrences
+    std::vector<int> first_net; //!< network owning the first occurrence
+    std::string arch_key, sched_key, eval_key;
+
+    std::vector<SearchResult> solved;
+    std::vector<char> from_cache;
+    std::vector<FirewallReport> firewall;
+    std::vector<std::vector<Mapping>> hints;
+    std::vector<std::size_t> to_solve;
+    std::vector<char> completed; //!< guarded by the job state mutex
+    std::vector<char> skipped;
+    std::size_t frontier = 0;          //!< guarded by state mutex
+    std::int64_t cum_completed = 0;    //!< guarded by state mutex
+    std::int64_t solve_trace_us = 0;   //!< job.solve span start
+
+    ScheduleCacheKey
+    keyOf(std::size_t u) const
+    {
+        return ScheduleCacheKey{unique_layers[u]->canonicalKey(),
+                                arch_key, sched_key, eval_key};
+    }
+};
+
 struct SchedulerService::JobRecord
 {
     std::uint64_t id = 0;
     ScheduleRequest request;
     std::shared_ptr<ScheduleJob::State> state;
+    std::shared_ptr<JobPhase> phase; //!< set by jobPrologue
     double submit_time = 0.0;
     double start_time = 0.0;
     /** Submit instant on the trace clock, so the queue-wait span can be
@@ -535,7 +585,7 @@ struct SchedulerService::JobRecord
     std::int64_t submit_trace_us = 0;
     std::atomic<bool> deadline_expired{false};
     bool running = false;
-    /** Set by runJobBody (single-threaded epilogue): at least one layer
+    /** Set by jobEpilogue (single continuation): at least one layer
      *  was served by the degradation ladder / left failed. */
     bool degraded = false;
     bool failed = false;
@@ -551,8 +601,11 @@ SchedulerService::SchedulerService(ServiceConfig config)
     if (config_.max_inflight_jobs == 0)
         config_.max_inflight_jobs = 1; // a service that can run nothing
                                        // would queue jobs forever
+    if (config_.aging_sec < 0.0)
+        config_.aging_sec = 0.0;
     executor_ = std::make_unique<Executor>(config_.num_threads,
                                            kNumJobPriorities);
+    executor_->setAgingSec(config_.aging_sec);
     // Live-state gauges refresh at render time, not on every mutation.
     // The gauge cells are process-global: with several services alive,
     // the most recently collected one wins (documented behavior).
@@ -614,6 +667,8 @@ SchedulerService::normalize(ScheduleRequest& request) const
                           ? "empty"
                           : request.workloads.front().name;
     }
+    if (request.tenant.empty())
+        request.tenant = "default";
     // Hybrid solves spawn their own racing threads (and a portfolio
     // slot races CoSA and Random next to Hybrid); cap the job's task
     // concurrency so one job cannot oversubscribe the shared crew ~8x.
@@ -651,7 +706,8 @@ SchedulerService::submit(ScheduleRequest request,
         metrics::MetricsRegistry::global()
             .counter("cosa_service_jobs_rejected_total",
                      "Jobs refused at admission",
-                     {{"reason", "shutting_down"}})
+                     {{"tenant", record->request.tenant},
+                      {"reason", "shutting_down"}})
             .inc();
         Rejected rejected;
         rejected.reason = Rejected::Reason::ShuttingDown;
@@ -668,7 +724,8 @@ SchedulerService::submit(ScheduleRequest request,
         metrics::MetricsRegistry::global()
             .counter("cosa_service_jobs_rejected_total",
                      "Jobs refused at admission",
-                     {{"reason", "queue_full"}})
+                     {{"tenant", record->request.tenant},
+                      {"reason", "queue_full"}})
             .inc();
         Rejected rejected;
         rejected.reason = Rejected::Reason::QueueFull;
@@ -687,8 +744,8 @@ SchedulerService::submit(ScheduleRequest request,
     record->submit_trace_us = trace::Tracer::nowMicros();
     ++submitted_;
     ++tier_counters_[tier].submitted;
-    tierCounter("cosa_service_jobs_submitted_total", "Jobs admitted",
-                record->request.priority)
+    tenantTierCounter("cosa_service_jobs_submitted_total", "Jobs admitted",
+                      record->request.tenant, record->request.priority)
         .inc();
     if (slot_free)
         startLocked(record);
@@ -710,7 +767,8 @@ SchedulerService::startLocked(const std::shared_ptr<JobRecord>& record)
     metrics::MetricsRegistry::global()
         .histogram("cosa_service_queue_wait_seconds",
                    "Admission-to-start wait per job",
-                   {{"tier", jobPriorityName(record->request.priority)}})
+                   {{"tenant", record->request.tenant},
+                    {"tier", jobPriorityName(record->request.priority)}})
         .observe(wait);
     // Retroactive span: [submit, start) was a queue wait.
     trace::Tracer& tracer = trace::Tracer::global();
@@ -721,14 +779,57 @@ SchedulerService::startLocked(const std::shared_ptr<JobRecord>& record)
                       record->request.tag);
     }
     running_.push_back(record);
-    // The runner assignment races the handle's join path (the body can
-    // finish before the std::thread lands in the state), so both sides
-    // serialize on join_mutex.
-    std::lock_guard<std::mutex> join_lock(record->state->join_mutex);
-    record->state->runner = std::thread([this, record] {
-        runJobBody(record);
-        onJobFinished(record);
-    });
+    // No thread is spawned: the job's prologue is one executor task at
+    // the job's own tier/weight, and everything after it is
+    // continuations. (submit() is safe from here even though the caller
+    // holds mutex_ — the executor has its own lock and never calls back
+    // into the service synchronously.)
+    Executor::TaskSetOptions options;
+    options.tier = static_cast<int>(record->request.priority);
+    options.weight = record->request.weight;
+    executor_->submit(
+        1, [this, record](std::size_t) { jobPrologue(record); }, options);
+}
+
+std::shared_ptr<SchedulerService::JobRecord>
+SchedulerService::popNextQueuedLocked()
+{
+    // Strict mode (aging off): FIFO within the best nonempty tier.
+    if (config_.aging_sec <= 0.0) {
+        for (auto& queue : queued_) {
+            if (!queue.empty()) {
+                std::shared_ptr<JobRecord> next = queue.front();
+                queue.pop_front();
+                return next;
+            }
+        }
+        return nullptr;
+    }
+    // Aging mode: a queued job's effective tier improves by one per
+    // aging_sec waited, so Batch jobs behind a sustained Interactive
+    // flood are admitted within a bounded wait. Ties (same effective
+    // tier) go to the earlier submission.
+    const double now = wallTimeSec();
+    int best_tier = kNumJobPriorities;
+    std::size_t best_queue = 0;
+    std::shared_ptr<JobRecord> best;
+    for (std::size_t t = 0; t < queued_.size(); ++t) {
+        if (queued_[t].empty())
+            continue;
+        const std::shared_ptr<JobRecord>& head = queued_[t].front();
+        const int credit = static_cast<int>(
+            (now - head->submit_time) / config_.aging_sec);
+        const int eff = std::max(static_cast<int>(t) - credit, 0);
+        if (!best || eff < best_tier ||
+            (eff == best_tier && head->id < best->id)) {
+            best = head;
+            best_tier = eff;
+            best_queue = t;
+        }
+    }
+    if (best)
+        queued_[best_queue].pop_front();
+    return best;
 }
 
 void
@@ -737,54 +838,50 @@ SchedulerService::onJobFinished(const std::shared_ptr<JobRecord>& record)
     std::lock_guard<std::mutex> lock(mutex_);
     running_.erase(std::find(running_.begin(), running_.end(), record));
     ++completed_;
+    const std::string& tenant = record->request.tenant;
     const auto tier = static_cast<std::size_t>(record->request.priority);
     ++tier_counters_[tier].completed;
-    tierCounter("cosa_service_jobs_completed_total", "Jobs finished",
-                record->request.priority)
+    tenantTierCounter("cosa_service_jobs_completed_total", "Jobs finished",
+                      tenant, record->request.priority)
         .inc();
     if (record->state->cancel.load(std::memory_order_relaxed)) {
         ++cancelled_;
         metrics::MetricsRegistry::global()
             .counter("cosa_service_jobs_cancelled_total",
-                     "Jobs that finished with cancel requested")
+                     "Jobs that finished with cancel requested",
+                     {{"tenant", tenant}})
             .inc();
     }
     if (record->deadline_expired.load(std::memory_order_relaxed)) {
         ++deadline_expired_;
         metrics::MetricsRegistry::global()
             .counter("cosa_service_deadline_expired_total",
-                     "Jobs self-cancelled by their deadline")
+                     "Jobs self-cancelled by their deadline",
+                     {{"tenant", tenant}})
             .inc();
     }
     if (record->degraded) {
         ++degraded_;
         ++tier_counters_[tier].degraded;
-        tierCounter("cosa_service_jobs_degraded_total",
-                    "Jobs with at least one ladder-served layer",
-                    record->request.priority)
+        tenantTierCounter("cosa_service_jobs_degraded_total",
+                          "Jobs with at least one ladder-served layer",
+                          tenant, record->request.priority)
             .inc();
     }
     if (record->failed) {
         ++failed_;
         ++tier_counters_[tier].failed;
-        tierCounter("cosa_service_jobs_failed_total",
-                    "Jobs with at least one fault-failed layer",
-                    record->request.priority)
+        tenantTierCounter("cosa_service_jobs_failed_total",
+                          "Jobs with at least one fault-failed layer",
+                          tenant, record->request.priority)
             .inc();
     }
-    // Admission is FIFO within the best nonempty tier: start the next
-    // queued job in the slot this one vacated.
+    // Start the next queued job in the slot this one vacated.
     if (config_.max_inflight_jobs < 0 ||
         static_cast<std::int64_t>(running_.size()) <
             config_.max_inflight_jobs) {
-        for (auto& queue : queued_) {
-            if (!queue.empty()) {
-                std::shared_ptr<JobRecord> next = queue.front();
-                queue.pop_front();
-                startLocked(next);
-                break;
-            }
-        }
+        if (std::shared_ptr<JobRecord> next = popNextQueuedLocked())
+            startLocked(next);
     }
     drained_cv_.notify_all();
 }
@@ -799,6 +896,7 @@ SchedulerService::listJobs() const
         JobInfo info;
         info.id = record->id;
         info.tag = record->request.tag;
+        info.tenant = record->request.tenant;
         info.priority = record->request.priority;
         info.weight = record->request.weight;
         info.running = record->running;
@@ -914,35 +1012,33 @@ SchedulerService::defaultService()
     return service;
 }
 
-// --- the job body --------------------------------------------------------
+// --- the job body (continuation pipeline) --------------------------------
+//
+// One job = one prologue task, then a solve task set, then an epilogue
+// completion continuation — all on the shared executor at the job's
+// tier/weight. Nothing here blocks a thread on the job's behalf: a
+// queued or mid-solve job is pure heap state (JobRecord + JobPhase).
 
 void
-SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
+SchedulerService::jobPrologue(const std::shared_ptr<JobRecord>& record)
 {
     const ScheduleRequest& req = record->request;
-    const ArchSpec& arch = req.arch;
     const std::vector<Workload>& workloads = req.workloads;
     const std::shared_ptr<ScheduleJob::State>& state = record->state;
-    const double start = wallTimeSec();
-    const double deadline_at =
+    auto phase = std::make_shared<JobPhase>();
+    phase->start = wallTimeSec();
+    phase->deadline_at =
         req.deadline_sec > 0.0 ? record->submit_time + req.deadline_sec
                                : 0.0;
-
-    trace::Span job_span("job.run", "service");
-    job_span.arg(req.tag);
+    // The job spans worker threads now, so job.run / job.solve cannot be
+    // RAII spans on one stack: record their starts here and emit both
+    // retroactively from the epilogue (the job.queue_wait pattern).
+    phase->run_trace_us = trace::Tracer::nowMicros();
+    record->phase = phase;
 
     // --- 1. canonicalize: flatten the batch and collapse duplicates. ---
     trace::Span canonicalize_span("job.canonicalize", "service");
-    struct Instance
-    {
-        int net;
-        int layer;
-        int unique;
-        bool deduplicated;
-    };
-    std::vector<Instance> instances;
-    std::vector<const LayerSpec*> unique_layers; // first occurrences
-    std::vector<int> first_net; // network owning the first occurrence
+    canonicalize_span.arg(req.tag);
     std::unordered_map<std::string, int> key_to_unique;
     for (int n = 0; n < static_cast<int>(workloads.size()); ++n) {
         const auto& layers = workloads[static_cast<std::size_t>(n)].layers;
@@ -953,21 +1049,21 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
             if (req.deduplicate) {
                 const auto [it, inserted] = key_to_unique.try_emplace(
                     layer.canonicalKey(),
-                    static_cast<int>(unique_layers.size()));
+                    static_cast<int>(phase->unique_layers.size()));
                 unique = it->second;
                 deduplicated = !inserted;
             } else {
-                unique = static_cast<int>(unique_layers.size());
+                unique = static_cast<int>(phase->unique_layers.size());
             }
             if (!deduplicated) {
-                unique_layers.push_back(&layer);
-                first_net.push_back(n);
+                phase->unique_layers.push_back(&layer);
+                phase->first_net.push_back(n);
             }
-            instances.push_back({n, l, unique, deduplicated});
+            phase->instances.push_back({n, l, unique, deduplicated});
         }
     }
     state->total_unique.store(
-        static_cast<std::int64_t>(unique_layers.size()),
+        static_cast<std::int64_t>(phase->unique_layers.size()),
         std::memory_order_relaxed);
     canonicalize_span.end();
 
@@ -976,130 +1072,156 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     // hint. Both probes run in this sequential phase, so hint content is
     // deterministic for a fixed query sequence at any thread count. ---
     trace::Span memoize_span("job.memoize", "service");
-    const std::size_t num_unique = unique_layers.size();
+    const std::size_t num_unique = phase->unique_layers.size();
     ScheduleCache& cache = *req.cache;
-    const std::string arch_key = arch.fingerprint();
-    const std::string sched_key = schedulerConfigKey(req);
-    const std::string eval_key = req.evaluator->fingerprint();
-    auto keyOf = [&](std::size_t u) {
-        return ScheduleCacheKey{unique_layers[u]->canonicalKey(), arch_key,
-                                sched_key, eval_key};
-    };
+    phase->arch_key = req.arch.fingerprint();
+    phase->sched_key = schedulerConfigKey(req);
+    phase->eval_key = req.evaluator->fingerprint();
     const bool want_hints =
         req.use_cache && req.warm_start_hints &&
         (req.scheduler == SchedulerKind::Cosa ||
          req.scheduler == SchedulerKind::Portfolio);
-    std::vector<SearchResult> solved(num_unique);
-    std::vector<char> from_cache(num_unique, 0);
-    std::vector<FirewallReport> firewall(num_unique);
-    std::vector<std::vector<Mapping>> hints(num_unique);
-    std::vector<std::size_t> to_solve;
+    phase->solved.resize(num_unique);
+    phase->from_cache.assign(num_unique, 0);
+    phase->firewall.resize(num_unique);
+    phase->hints.resize(num_unique);
+    phase->completed.assign(num_unique, 0);
+    phase->skipped.assign(num_unique, 0);
     for (std::size_t u = 0; u < num_unique; ++u) {
         if (req.use_cache) {
-            if (auto hit = cache.lookup(keyOf(u))) {
-                solved[u] = std::move(*hit);
-                from_cache[u] = 1;
+            if (auto hit = cache.lookup(phase->keyOf(u))) {
+                phase->solved[u] = std::move(*hit);
+                phase->from_cache[u] = 1;
                 continue;
             }
         }
         if (want_hints) {
-            if (auto nn = cache.nearestNeighbor(arch_key, sched_key,
-                                                eval_key,
-                                                *unique_layers[u]))
-                hints[u].push_back(std::move(nn->mapping));
+            if (auto nn = cache.nearestNeighbor(
+                    phase->arch_key, phase->sched_key, phase->eval_key,
+                    *phase->unique_layers[u]))
+                phase->hints[u].push_back(std::move(nn->mapping));
         }
-        to_solve.push_back(u);
+        phase->to_solve.push_back(u);
     }
     memoize_span.end();
 
-    // --- progress frontier: events are emitted strictly in unique-
-    // problem index order — a problem's event fires once it and every
-    // problem before it completed — so the event sequence (and each
-    // event's cumulative counters) is identical at any thread count.
-    // Cancel-skipped problems never complete: the stream is a prefix. --
-    std::vector<char> completed(num_unique, 0);
-    std::vector<char> skipped(num_unique, 0);
-    std::size_t frontier = 0;
-    std::int64_t cum_completed = 0;
-    auto completeProblem = [&](std::size_t u) {
-        std::lock_guard<std::mutex> lock(state->mutex);
-        completed[u] = 1;
-        while (frontier < num_unique && completed[frontier]) {
-            JobProgress event;
-            event.completed = ++cum_completed;
-            event.total = static_cast<std::int64_t>(num_unique);
-            event.unique_index = static_cast<int>(frontier);
-            event.layer = unique_layers[frontier]->name;
-            event.from_cache = from_cache[frontier] != 0;
-            event.found = solved[frontier].found;
-            event.wall_time_sec = wallTimeSec() - start;
-            // weak_ptr: replayed events may be copied out and outlive
-            // the job state; cancelling then is a silent no-op.
-            event.cancel_hook =
-                [weak = std::weak_ptr<ScheduleJob::State>(state)] {
-                    if (auto s = weak.lock())
-                        s->cancel.store(true, std::memory_order_relaxed);
-                };
-            state->events.push_back(event);
-            state->completed_unique.store(cum_completed,
-                                          std::memory_order_relaxed);
-            for (const auto& listener : state->listeners)
-                listener(state->events.back());
-            ++frontier;
-        }
-    };
     for (std::size_t u = 0; u < num_unique; ++u) {
-        if (from_cache[u])
-            completeProblem(u);
+        if (phase->from_cache[u])
+            completeProblem(record, u);
     }
 
     // --- 3. solve the misses on the service's shared executor. Each
     // task writes slot to_solve[t], so results are positionally
-    // deterministic for any worker count and co-tenant mix.
-    // Cancellation (and the deadline, which is just a self-inflicted
-    // cancel) is honored between tasks: a worker picking up a task
-    // after cancel() skips it immediately, so the set always drains
-    // and no work leaks past wait(). ---
-    auto solveTask = [&](std::size_t t) {
-        const std::size_t u = to_solve[t];
-        if (deadline_at > 0.0 &&
-            !state->cancel.load(std::memory_order_relaxed) &&
-            wallTimeSec() >= deadline_at) {
-            record->deadline_expired.store(true, std::memory_order_relaxed);
-            state->cancel.store(true, std::memory_order_relaxed);
-        }
-        if (state->cancel.load(std::memory_order_relaxed)) {
-            skipped[u] = 1; // no event: the frontier stream stays a prefix
-            return;
-        }
-        {
-            trace::Span span("solve.layer", "engine");
-            span.arg(unique_layers[u]->name);
-            solved[u] = solveWithFirewall(req, *unique_layers[u], arch,
-                                          hints[u], &firewall[u]);
-        }
-        recordSolveMetrics(req, solved[u]);
-        metrics::MetricsRegistry::global()
-            .counter("cosa_job_layers_completed_total",
-                     "Per-layer tasks finished across all jobs")
-            .inc();
-        completeProblem(u);
-    };
-    trace::Span solve_span("job.solve", "service");
+    // deterministic for any worker count and co-tenant mix. The set's
+    // completion continuation is the epilogue: no one wait()s, so this
+    // worker is free the moment the prologue returns. An all-hits (or
+    // empty) batch has zero tasks and the continuation runs inline. ---
+    phase->solve_trace_us = trace::Tracer::nowMicros();
     Executor::TaskSetOptions options;
     options.tier = static_cast<int>(req.priority);
     options.weight = req.weight;
     options.max_parallelism = req.max_parallelism;
-    executor_->submit(to_solve.size(), solveTask, options)->wait();
-    solve_span.end();
+    options.on_complete = [this, record] { jobEpilogue(record); };
+    executor_->submit(
+        phase->to_solve.size(),
+        [this, record](std::size_t t) { jobSolveTask(record, t); },
+        options);
+}
+
+void
+SchedulerService::jobSolveTask(const std::shared_ptr<JobRecord>& record,
+                               std::size_t t)
+{
+    const ScheduleRequest& req = record->request;
+    const std::shared_ptr<ScheduleJob::State>& state = record->state;
+    JobPhase& phase = *record->phase;
+    const std::size_t u = phase.to_solve[t];
+    // Cancellation (and the deadline, which is just a self-inflicted
+    // cancel) is honored between tasks: a worker picking up a task
+    // after cancel() skips it immediately, so the set always drains
+    // and the epilogue always runs.
+    if (phase.deadline_at > 0.0 &&
+        !state->cancel.load(std::memory_order_relaxed) &&
+        wallTimeSec() >= phase.deadline_at) {
+        record->deadline_expired.store(true, std::memory_order_relaxed);
+        state->cancel.store(true, std::memory_order_relaxed);
+    }
+    if (state->cancel.load(std::memory_order_relaxed)) {
+        phase.skipped[u] = 1; // no event: the frontier stream stays a prefix
+        return;
+    }
+    {
+        trace::Span span("solve.layer", "engine");
+        span.arg(phase.unique_layers[u]->name);
+        phase.solved[u] =
+            solveWithFirewall(req, *phase.unique_layers[u], req.arch,
+                              phase.hints[u], &phase.firewall[u]);
+    }
+    recordSolveMetrics(req, phase.solved[u]);
+    metrics::MetricsRegistry::global()
+        .counter("cosa_job_layers_completed_total",
+                 "Per-layer tasks finished across all jobs")
+        .inc();
+    completeProblem(record, u);
+}
+
+void
+SchedulerService::completeProblem(const std::shared_ptr<JobRecord>& record,
+                                  std::size_t u)
+{
+    // Progress frontier: events are emitted strictly in unique-problem
+    // index order — a problem's event fires once it and every problem
+    // before it completed — so the event sequence (and each event's
+    // cumulative counters) is identical at any thread count.
+    // Cancel-skipped problems never complete: the stream is a prefix.
+    const std::shared_ptr<ScheduleJob::State>& state = record->state;
+    JobPhase& phase = *record->phase;
+    const std::size_t num_unique = phase.unique_layers.size();
+    std::lock_guard<std::mutex> lock(state->mutex);
+    phase.completed[u] = 1;
+    while (phase.frontier < num_unique && phase.completed[phase.frontier]) {
+        JobProgress event;
+        event.completed = ++phase.cum_completed;
+        event.total = static_cast<std::int64_t>(num_unique);
+        event.unique_index = static_cast<int>(phase.frontier);
+        event.layer = phase.unique_layers[phase.frontier]->name;
+        event.from_cache = phase.from_cache[phase.frontier] != 0;
+        event.found = phase.solved[phase.frontier].found;
+        event.wall_time_sec = wallTimeSec() - phase.start;
+        // weak_ptr: replayed events may be copied out and outlive
+        // the job state; cancelling then is a silent no-op.
+        event.cancel_hook =
+            [weak = std::weak_ptr<ScheduleJob::State>(state)] {
+                if (auto s = weak.lock())
+                    s->cancel.store(true, std::memory_order_relaxed);
+            };
+        state->events.push_back(event);
+        state->completed_unique.store(phase.cum_completed,
+                                      std::memory_order_relaxed);
+        for (const auto& listener : state->listeners)
+            listener(state->events.back());
+        ++phase.frontier;
+    }
+}
+
+void
+SchedulerService::jobEpilogue(const std::shared_ptr<JobRecord>& record)
+{
+    const ScheduleRequest& req = record->request;
+    const std::vector<Workload>& workloads = req.workloads;
+    const std::shared_ptr<ScheduleJob::State>& state = record->state;
+    JobPhase& phase = *record->phase;
+    const std::size_t num_unique = phase.unique_layers.size();
+
     if (req.use_cache) {
-        for (std::size_t u : to_solve) {
+        for (std::size_t u : phase.to_solve) {
             // Only the requested scheduler's own results are cached: a
             // transient fault's degraded (or failed) result must not
             // poison the shared cache for future fault-free queries.
-            if (!skipped[u] &&
-                firewall[u].outcome == LayerOutcome::kOptimal)
-                cache.insert(keyOf(u), solved[u], *unique_layers[u]);
+            if (!phase.skipped[u] &&
+                phase.firewall[u].outcome == LayerOutcome::kOptimal)
+                req.cache->insert(phase.keyOf(u), phase.solved[u],
+                                  *phase.unique_layers[u]);
         }
     }
 
@@ -1109,32 +1231,32 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
         state->cancel.load(std::memory_order_relaxed);
     const bool deadline_hit =
         record->deadline_expired.load(std::memory_order_relaxed);
-    const double wall = wallTimeSec() - start;
+    const double wall = wallTimeSec() - phase.start;
     std::vector<NetworkResult> results(workloads.size());
     for (std::size_t n = 0; n < workloads.size(); ++n) {
         NetworkResult& net = results[n];
         net.network = workloads[n].name;
-        net.arch = arch.name;
+        net.arch = req.arch.name;
         net.scheduler = schedulerKindName(req.scheduler);
         net.wall_time_sec = wall; // batch-wide; solves are shared
         net.cancelled = was_cancelled;
         net.deadline_expired = deadline_hit;
         net.layers.reserve(workloads[n].layers.size());
     }
-    for (const Instance& inst : instances) {
+    for (const JobPhase::Instance& inst : phase.instances) {
         NetworkResult& net = results[static_cast<std::size_t>(inst.net)];
         const auto u = static_cast<std::size_t>(inst.unique);
         LayerScheduleResult lr;
         lr.layer = workloads[static_cast<std::size_t>(inst.net)]
                        .layers[static_cast<std::size_t>(inst.layer)];
-        lr.result = solved[u];
-        lr.from_cache = from_cache[u] != 0;
+        lr.result = phase.solved[u];
+        lr.from_cache = phase.from_cache[u] != 0;
         lr.deduplicated = inst.deduplicated;
-        lr.cancelled = skipped[u] != 0;
+        lr.cancelled = phase.skipped[u] != 0;
         lr.unique_index = inst.unique;
-        lr.outcome = firewall[u].outcome;
-        lr.solve_retries = firewall[u].retries;
-        lr.fallback_stage = firewall[u].fallback_stage;
+        lr.outcome = phase.firewall[u].outcome;
+        lr.solve_retries = phase.firewall[u].retries;
+        lr.fallback_stage = phase.firewall[u].fallback_stage;
         ++net.num_layers;
         if (lr.outcome == LayerOutcome::kDegradedFallback)
             ++net.num_degraded;
@@ -1152,21 +1274,21 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     // occurrence, so batch-wide sums match the work actually performed.
     for (std::size_t u = 0; u < num_unique; ++u) {
         NetworkResult& net =
-            results[static_cast<std::size_t>(first_net[u])];
+            results[static_cast<std::size_t>(phase.first_net[u])];
         ++net.num_unique;
-        if (from_cache[u]) {
+        if (phase.from_cache[u]) {
             ++net.num_cache_hits;
-        } else if (skipped[u]) {
+        } else if (phase.skipped[u]) {
             ++net.num_cancelled;
         } else {
             ++net.num_solved;
-            net.search.add(solved[u].stats);
-            if (solved[u].stats.warm_starts_installed > 0)
+            net.search.add(phase.solved[u].stats);
+            if (phase.solved[u].stats.warm_starts_installed > 0)
                 ++net.num_warm_hints;
-            if (solved[u].stats.warm_start_hits > 0)
+            if (phase.solved[u].stats.warm_start_hits > 0)
                 ++net.num_warm_hits;
             if (req.scheduler == SchedulerKind::Portfolio) {
-                const std::string& who = solved[u].scheduler;
+                const std::string& who = phase.solved[u].scheduler;
                 if (who == "Portfolio[CoSA]")
                     ++net.portfolio_wins.cosa;
                 else if (who == "Portfolio[Random]")
@@ -1178,17 +1300,41 @@ SchedulerService::runJobBody(const std::shared_ptr<JobRecord>& record)
     }
 
     for (std::size_t u = 0; u < num_unique; ++u) {
-        if (firewall[u].outcome == LayerOutcome::kDegradedFallback)
+        if (phase.firewall[u].outcome == LayerOutcome::kDegradedFallback)
             record->degraded = true;
-        else if (firewall[u].outcome == LayerOutcome::kFailed)
+        else if (phase.firewall[u].outcome == LayerOutcome::kFailed)
             record->failed = true;
     }
+    aggregate_span.end();
 
+    // Retroactive job.solve / job.run spans (see jobPrologue).
+    trace::Tracer& tracer = trace::Tracer::global();
+    if (tracer.enabled()) {
+        const std::int64_t now_us = trace::Tracer::nowMicros();
+        tracer.record("job.solve", "service", phase.solve_trace_us,
+                      now_us - phase.solve_trace_us, req.tag);
+        tracer.record("job.run", "service", phase.run_trace_us,
+                      now_us - phase.run_trace_us, req.tag);
+    }
+
+    // Accounting first, handle-resolution second: a thread returning
+    // from wait() must observe this job already counted and its slot
+    // vacated (stats().completed includes it), exactly as the old
+    // thread-join wait() guaranteed.
+    record->phase.reset(); // the pipeline state dies with the job
+    onJobFinished(record);
     {
         std::lock_guard<std::mutex> lock(state->mutex);
         state->results = std::move(results);
         state->finished.store(true, std::memory_order_release);
         state->done_cv.notify_all();
+        // Completion subscribers fire under the job lock, like
+        // progress listeners (see ScheduleJob::onDone).
+        std::vector<std::function<void()>> done_listeners =
+            std::move(state->done_listeners);
+        state->done_listeners.clear();
+        for (const auto& listener : done_listeners)
+            listener();
     }
 }
 

@@ -30,7 +30,20 @@
  *  - deadlines: a job whose `deadline_sec` elapses (measured from
  *    submit, queue wait included) is auto-cancelled cooperatively —
  *    exactly like `ScheduleJob::cancel()`, the solved prefix keeps its
- *    results and the rest is flagged.
+ *    results and the rest is flagged;
+ *  - cross-tier aging (`ServiceConfig::aging_sec`): optional bounded-
+ *    starvation mode where a starving Batch job/task ages into better
+ *    tiers over time, so a sustained Interactive flood can no longer
+ *    postpone Batch work indefinitely.
+ *
+ * Execution model (threadless queued jobs): a job never owns a thread.
+ * submit() enqueues a *prologue* task (canonicalize + memoize) on the
+ * shared executor; the prologue submits the per-layer solve task set;
+ * the set's completion continuation runs the *epilogue* (scatter,
+ * aggregate, finish the handle, start the next queued job). A queued
+ * or waiting job is therefore just heap state — 1000 queued jobs hold
+ * zero runner threads, and `ScheduleJob::wait()` is a condition wait
+ * on the handle, not a join.
  *
  * Determinism under multi-tenancy: a fixed `ScheduleRequest` produces
  * a bit-identical `NetworkResult` (mappings, evaluations, counters) at
@@ -186,6 +199,15 @@ struct ScheduleRequest
     /** Display label for listJobs(); defaults to the first workload's
      *  name. */
     std::string tag;
+    /**
+     * Tenant identity for accounting: the `tenant` label on the
+     * service's admission/queue-wait/completion metrics (and on every
+     * label the daemon's wire layer adds). Purely observational — it
+     * never influences scheduling or results; isolation knobs are
+     * priority/weight here and auth/quota in the serving daemon.
+     * Empty normalizes to "default".
+     */
+    std::string tenant;
 };
 
 /**
@@ -248,6 +270,17 @@ struct ServiceConfig
     std::int64_t max_queued_jobs = -1;
     /** Jobs running concurrently; < 0 = unlimited. Excess queues. */
     std::int64_t max_inflight_jobs = -1;
+    /**
+     * Cross-tier aging (anti-starvation knob), in seconds; 0 = off
+     * (historical strict tiers). When > 0, a job or task set that has
+     * waited `aging_sec` without service competes one tier better, two
+     * tiers after twice that, and so on — so Batch work under a
+     * sustained Interactive flood is guaranteed a slot within
+     * ~`2 * aging_sec` instead of starving unboundedly. Applies both to
+     * executor task dispatch and to admission of queued jobs. Dispatch
+     * order only; results are unchanged by the determinism contract.
+     */
+    double aging_sec = 0.0;
 };
 
 /** One live (queued or running) job, as listJobs() reports it. */
@@ -255,6 +288,7 @@ struct JobInfo
 {
     std::uint64_t id = 0;
     std::string tag;
+    std::string tenant;
     JobPriority priority = JobPriority::Normal;
     double weight = 1.0;
     bool running = false;     //!< false = still queued
@@ -366,17 +400,35 @@ class SchedulerService
 
   private:
     struct JobRecord;
+    struct JobPhase;
 
     /** Fill evaluator/objective defaults and the private cache. */
     void normalize(ScheduleRequest& request) const;
-    /** Move @p record to Running and spawn its runner thread. Caller
-     *  holds mutex_. */
+    /** Move @p record to Running and enqueue its prologue task on the
+     *  shared executor (no thread is spawned — the job advances as
+     *  executor continuations). Caller holds mutex_. */
     void startLocked(const std::shared_ptr<JobRecord>& record);
-    /** Runner-thread epilogue: accounting + start next queued job. */
+    /** Job-finished accounting + start next queued job. Runs on the
+     *  worker that completed the job's last continuation. */
     void onJobFinished(const std::shared_ptr<JobRecord>& record);
-    /** The job body: canonicalize, memoize, solve on the shared
-     *  executor, scatter. Runs on the record's runner thread. */
-    void runJobBody(const std::shared_ptr<JobRecord>& record);
+    /** Phase 1+2 (canonicalize, memoize) as a single executor task;
+     *  ends by submitting the solve task set whose completion
+     *  continuation is jobEpilogue(). */
+    void jobPrologue(const std::shared_ptr<JobRecord>& record);
+    /** One per-layer solve task of the job's solve set. */
+    void jobSolveTask(const std::shared_ptr<JobRecord>& record,
+                      std::size_t t);
+    /** Phase 4 (cache insert, scatter, aggregate, finish the handle);
+     *  the solve set's completion continuation. */
+    void jobEpilogue(const std::shared_ptr<JobRecord>& record);
+    /** Mark unique problem @p u complete and emit frontier-ordered
+     *  progress events. */
+    void completeProblem(const std::shared_ptr<JobRecord>& record,
+                         std::size_t u);
+    /** Pop the queued job to start next (aging-aware when
+     *  `aging_sec` > 0, else FIFO within the best nonempty tier).
+     *  Caller holds mutex_; null when every queue is empty. */
+    std::shared_ptr<JobRecord> popNextQueuedLocked();
     /** Refresh this service's registry gauges (queue depths, in-flight
      *  jobs, executor counters); the registered collector callback. */
     void publishGauges() const;

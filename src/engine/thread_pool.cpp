@@ -1,6 +1,8 @@
 #include "engine/thread_pool.hpp"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <exception>
 
@@ -42,6 +44,16 @@ runTaskContained(const std::function<void(std::size_t)>& task,
         .inc();
     warn("executor: task ", index, " threw (", what,
          "); contained, set continues");
+}
+
+/** Monotonic seconds for the aging clock (kept local so the executor
+ *  has no dependency on the mapper layer's wallTimeSec). */
+double
+monotonicSec()
+{
+    return std::chrono::duration<double>(
+               std::chrono::steady_clock::now().time_since_epoch())
+        .count();
 }
 
 } // namespace
@@ -103,17 +115,26 @@ Executor::submit(std::size_t num_tasks, std::function<void(std::size_t)> task,
     auto set = std::make_shared<TaskSet>();
     set->owner_ = this;
     set->task_ = std::move(task);
+    set->on_complete_ = std::move(options.on_complete);
     set->num_tasks_ = num_tasks;
     set->tier_ = std::clamp(options.tier, 0, num_tiers_ - 1);
     set->max_parallelism_ = std::max(options.max_parallelism, 0);
     set->stride_ = 1.0 / std::max(options.weight, 1e-9);
+    set->last_dispatch_sec_ = monotonicSec();
 
-    std::lock_guard<std::mutex> lock(mutex_);
+    std::unique_lock<std::mutex> lock(mutex_);
     ++sets_submitted_;
     set->id_ = next_set_id_++;
     if (num_tasks == 0) {
         ++sets_completed_;
         set->done_.store(true, std::memory_order_release);
+        if (set->on_complete_) {
+            // Inline, outside the lock: the continuation may submit().
+            std::function<void()> continuation =
+                std::move(set->on_complete_);
+            lock.unlock();
+            continuation();
+        }
         return set;
     }
     // Join the tier at its current virtual time: a newcomer shares from
@@ -133,25 +154,62 @@ Executor::submit(std::size_t num_tasks, std::function<void(std::size_t)> task,
     return set;
 }
 
-std::shared_ptr<Executor::TaskSet>
-Executor::pickRunnable() const
+int
+Executor::effectiveTier(const TaskSet& set, double now_sec) const
 {
+    if (aging_sec_ <= 0.0 || set.tier_ == 0)
+        return set.tier_;
+    const double waited = now_sec - set.last_dispatch_sec_;
+    if (waited <= aging_sec_)
+        return set.tier_;
+    const int credit = static_cast<int>(waited / aging_sec_);
+    return std::max(set.tier_ - credit, 0);
+}
+
+std::shared_ptr<Executor::TaskSet>
+Executor::pickRunnable(double now_sec) const
+{
+    // With aging on, a starving high-tier set competes at its aged
+    // (effective) tier, so strict priority degrades gracefully into
+    // bounded starvation instead of unbounded.
+    std::shared_ptr<TaskSet> best;
+    int best_tier = num_tiers_;
     for (const auto& tier : active_) {
-        std::shared_ptr<TaskSet> best;
         for (const auto& set : tier) {
             if (set->next_ >= set->num_tasks_)
                 continue; // fully claimed; lingers until completed
             if (set->max_parallelism_ > 0 &&
                 set->inflight_ >= set->max_parallelism_)
                 continue;
-            if (!best || set->pass_ < best->pass_ ||
-                (set->pass_ == best->pass_ && set->id_ < best->id_))
+            const int eff = effectiveTier(*set, now_sec);
+            if (!best || eff < best_tier ||
+                (eff == best_tier &&
+                 (set->pass_ < best->pass_ ||
+                  (set->pass_ == best->pass_ && set->id_ < best->id_)))) {
                 best = set;
+                best_tier = eff;
+            }
         }
-        if (best)
-            return best; // strict tiers: never look past a runnable tier
+        // Strict-tier fast path: with aging off, never look past a
+        // runnable tier (identical to the historical scan).
+        if (best && aging_sec_ <= 0.0)
+            return best;
     }
-    return nullptr;
+    return best;
+}
+
+void
+Executor::setAgingSec(double aging_sec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    aging_sec_ = std::max(aging_sec, 0.0);
+}
+
+double
+Executor::agingSec() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    return aging_sec_;
 }
 
 void
@@ -160,15 +218,24 @@ Executor::workerLoop(int worker_id)
     const auto self = static_cast<std::size_t>(worker_id);
     std::unique_lock<std::mutex> lock(mutex_);
     for (;;) {
-        std::shared_ptr<TaskSet> set = pickRunnable();
+        std::shared_ptr<TaskSet> set = pickRunnable(monotonicSec());
         if (!set) {
             if (stop_)
                 return;
-            work_cv_.wait(lock);
+            if (aging_sec_ > 0.0) {
+                // Aging changes which set is runnable as time passes,
+                // so parked workers must re-check periodically instead
+                // of sleeping until a submit/completion notification.
+                work_cv_.wait_for(
+                    lock, std::chrono::duration<double>(aging_sec_ * 0.5));
+            } else {
+                work_cv_.wait(lock);
+            }
             continue;
         }
         const std::size_t index = set->next_++;
         set->pass_ += set->stride_;
+        set->last_dispatch_sec_ = monotonicSec();
         ++set->inflight_;
         ++tasks_executed_;
         if (worker_last_set_[self] != 0 && worker_last_set_[self] != set->id_)
@@ -195,6 +262,29 @@ Executor::workerLoop(int worker_id)
             ++sets_completed_;
             set->done_.store(true, std::memory_order_release);
             set->done_cv_.notify_all();
+            if (set->on_complete_) {
+                // The continuation runs outside the lock so it may
+                // submit() follow-up sets (job epilogues do). It is
+                // exception-contained like a task but bypasses the
+                // executor.task failpoint: a continuation advances a
+                // job's state machine, and chaos runs must not be able
+                // to wedge completion itself.
+                std::function<void()> continuation =
+                    std::move(set->on_complete_);
+                lock.unlock();
+                try {
+                    continuation();
+                } catch (const std::exception& e) {
+                    warn("executor: set ", set->id_,
+                         " completion continuation threw (", e.what(),
+                         "); contained");
+                } catch (...) {
+                    warn("executor: set ", set->id_,
+                         " completion continuation threw (non-std "
+                         "exception); contained");
+                }
+                lock.lock();
+            }
         } else if (set->max_parallelism_ > 0 &&
                    set->next_ < set->num_tasks_) {
             // Dropped below the set's cap: a sleeping worker may now

@@ -93,6 +93,16 @@ class Executor
         /** Max concurrently running tasks of this set; 0 = unlimited.
          *  1 serializes the set in index order. */
         int max_parallelism = 0;
+        /**
+         * Completion continuation: invoked exactly once when every task
+         * of the set has returned — on the worker thread that finished
+         * the last task, outside the executor lock (so it may submit()
+         * further sets, including on this same executor). An empty set
+         * runs it inline from submit(). This is what lets a queued job
+         * hold no thread: instead of a runner blocking on wait(), the
+         * continuation advances the job's state machine.
+         */
+        std::function<void()> on_complete;
     };
 
     /**
@@ -117,6 +127,7 @@ class Executor
 
         Executor* owner_ = nullptr;
         std::function<void(std::size_t)> task_;
+        std::function<void()> on_complete_;
         std::size_t num_tasks_ = 0;
         std::size_t next_ = 0;      //!< next unclaimed index
         std::size_t completed_ = 0; //!< tasks finished
@@ -125,6 +136,7 @@ class Executor
         int max_parallelism_ = 0;
         double stride_ = 1.0;       //!< 1 / weight
         double pass_ = 0.0;         //!< stride-scheduling virtual time
+        double last_dispatch_sec_ = 0.0; //!< aging reference instant
         std::uint64_t id_ = 0;      //!< submission order (FIFO ties)
         std::atomic<bool> done_{false};
         std::condition_variable done_cv_; //!< paired with owner mutex
@@ -161,13 +173,30 @@ class Executor
     int numThreads() const { return num_threads_; }
     int numTiers() const { return num_tiers_; }
 
+    /**
+     * Cross-tier aging (the anti-starvation knob): when > 0, a set that
+     * has not had a task dispatched for `aging_sec` seconds is treated
+     * as one tier better for dispatch, two tiers after 2x aging_sec,
+     * and so on — so under a sustained flood of tier-0 work a starving
+     * tier-2 set ages into tier 0 and is guaranteed a task slot within
+     * `tier * aging_sec` of its last dispatch. 0 (the default) keeps
+     * the historical strict-tier behavior. Aging permutes dispatch
+     * *order* only, which the determinism contract already ignores.
+     */
+    void setAgingSec(double aging_sec);
+    double agingSec() const;
+
   private:
     void workerLoop(int worker_id);
-    /** Best runnable set under (tier, pass, id); caller holds mutex_. */
-    std::shared_ptr<TaskSet> pickRunnable() const;
+    /** Best runnable set under (effective tier, pass, id); caller
+     *  holds mutex_. @p now_sec feeds the aging computation. */
+    std::shared_ptr<TaskSet> pickRunnable(double now_sec) const;
+    /** Tier after aging credit for @p set at time @p now_sec. */
+    int effectiveTier(const TaskSet& set, double now_sec) const;
 
     int num_threads_ = 1;
     int num_tiers_ = 3;
+    double aging_sec_ = 0.0; //!< guarded by mutex_
     mutable std::mutex mutex_;
     std::condition_variable work_cv_;
     /** Per-tier active sets (submitted, not yet fully completed). */

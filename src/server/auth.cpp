@@ -1,0 +1,190 @@
+#include "server/auth.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/json.hpp"
+
+namespace cosa {
+namespace server {
+
+TenantRegistry::TenantRegistry(std::vector<TenantSpec> tenants)
+{
+    for (TenantSpec& spec : tenants) {
+        if (spec.burst <= 0.0)
+            spec.burst = std::max(spec.rps, 1.0);
+        TenantState state;
+        state.spec = spec;
+        tenants_.emplace(spec.key, std::move(state));
+    }
+}
+
+StatusOr<std::vector<TenantSpec>>
+TenantRegistry::parseConfig(const std::string& text)
+{
+    StatusOr<json::Value> parsed = json::Value::parse(text);
+    if (!parsed.ok())
+        return parsed.status().withContext("tenants config");
+    const json::Value& root = parsed.value();
+    const json::Value* list = root.find("tenants");
+    if (!list || !list->isArray())
+        return Status{ErrorCode::kInvalidInput,
+                      "tenants config needs a \"tenants\" array"};
+    std::vector<TenantSpec> tenants;
+    for (const json::Value& entry : list->items()) {
+        if (!entry.isObject())
+            return Status{ErrorCode::kInvalidInput,
+                          "tenant entry must be an object"};
+        TenantSpec spec;
+        spec.name = entry.getString("name", "");
+        spec.key = entry.getString("key", "");
+        spec.rps = entry.getDouble("rps", 0.0);
+        spec.burst = entry.getDouble("burst", 0.0);
+        spec.max_inflight =
+            static_cast<int>(entry.getInt("max_inflight", 0));
+        if (spec.name.empty() || spec.key.empty())
+            return Status{ErrorCode::kInvalidInput,
+                          "tenant entry needs \"name\" and \"key\""};
+        tenants.push_back(std::move(spec));
+    }
+    return tenants;
+}
+
+Status
+TenantRegistry::applyEnvOverride(const std::string& env,
+                                 std::vector<TenantSpec>* tenants)
+{
+    // name:key:rps:burst:max_inflight, comma-separated; the numeric
+    // fields are optional suffixes.
+    std::size_t pos = 0;
+    while (pos <= env.size()) {
+        const std::size_t comma = env.find(',', pos);
+        const std::string entry = env.substr(
+            pos, comma == std::string::npos ? std::string::npos
+                                            : comma - pos);
+        pos = comma == std::string::npos ? env.size() + 1 : comma + 1;
+        if (entry.empty())
+            continue;
+        std::vector<std::string> fields;
+        std::size_t field_pos = 0;
+        while (field_pos <= entry.size()) {
+            const std::size_t colon = entry.find(':', field_pos);
+            fields.push_back(entry.substr(
+                field_pos, colon == std::string::npos
+                               ? std::string::npos
+                               : colon - field_pos));
+            field_pos = colon == std::string::npos ? entry.size() + 1
+                                                   : colon + 1;
+        }
+        if (fields.size() < 2 || fields[0].empty() || fields[1].empty())
+            return Status{ErrorCode::kInvalidInput,
+                          "COSAD_TENANTS entry \"" + entry +
+                              "\" needs at least name:key"};
+        TenantSpec spec;
+        spec.name = fields[0];
+        spec.key = fields[1];
+        try {
+            if (fields.size() > 2 && !fields[2].empty())
+                spec.rps = std::stod(fields[2]);
+            if (fields.size() > 3 && !fields[3].empty())
+                spec.burst = std::stod(fields[3]);
+            if (fields.size() > 4 && !fields[4].empty())
+                spec.max_inflight = std::stoi(fields[4]);
+        } catch (const std::exception&) {
+            return Status{ErrorCode::kInvalidInput,
+                          "COSAD_TENANTS entry \"" + entry +
+                              "\" has a malformed numeric field"};
+        }
+        const auto it = std::find_if(
+            tenants->begin(), tenants->end(),
+            [&](const TenantSpec& t) { return t.name == spec.name; });
+        if (it != tenants->end())
+            *it = std::move(spec);
+        else
+            tenants->push_back(std::move(spec));
+    }
+    return Status::Ok();
+}
+
+AdmissionDecision
+TenantRegistry::admit(const std::string& api_key, double now_sec)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tenants_.empty())
+        return {AdmissionDecision::Verdict::Allow, "default", 0.0};
+    const auto it = tenants_.find(api_key);
+    if (it == tenants_.end())
+        return {AdmissionDecision::Verdict::Unauthorized, "", 0.0};
+    TenantState& state = it->second;
+
+    if (state.spec.max_inflight > 0 &&
+        state.inflight >= state.spec.max_inflight) {
+        // No rate involved: retry when a job finishes; 1s is the
+        // conventional poll hint.
+        return {AdmissionDecision::Verdict::TooManyInflight,
+                state.spec.name, 1.0};
+    }
+    if (state.spec.rps > 0.0) {
+        if (!state.primed) {
+            state.tokens = state.spec.burst;
+            state.last_refill_sec = now_sec;
+            state.primed = true;
+        }
+        const double elapsed =
+            std::max(now_sec - state.last_refill_sec, 0.0);
+        state.tokens = std::min(state.tokens + elapsed * state.spec.rps,
+                                state.spec.burst);
+        state.last_refill_sec = now_sec;
+        if (state.tokens < 1.0) {
+            const double wait = (1.0 - state.tokens) / state.spec.rps;
+            return {AdmissionDecision::Verdict::RateLimited,
+                    state.spec.name, wait};
+        }
+        state.tokens -= 1.0;
+    }
+    ++state.inflight;
+    return {AdmissionDecision::Verdict::Allow, state.spec.name, 0.0};
+}
+
+void
+TenantRegistry::release(const std::string& tenant)
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (auto& [key, state] : tenants_) {
+        if (state.spec.name == tenant) {
+            state.inflight = std::max(state.inflight - 1, 0);
+            return;
+        }
+    }
+}
+
+AdmissionDecision
+TenantRegistry::authenticate(const std::string& api_key) const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (tenants_.empty())
+        return {AdmissionDecision::Verdict::Allow, "default", 0.0};
+    const auto it = tenants_.find(api_key);
+    if (it == tenants_.end())
+        return {AdmissionDecision::Verdict::Unauthorized, "", 0.0};
+    return {AdmissionDecision::Verdict::Allow, it->second.spec.name, 0.0};
+}
+
+std::string
+apiKeyOf(const std::string& authorization, const std::string& x_api_key)
+{
+    if (!x_api_key.empty())
+        return x_api_key;
+    constexpr std::string_view kBearer = "Bearer ";
+    if (authorization.size() > kBearer.size() &&
+        authorization.compare(0, kBearer.size(), kBearer) == 0) {
+        std::string key = authorization.substr(kBearer.size());
+        while (!key.empty() && key.front() == ' ')
+            key.erase(key.begin());
+        return key;
+    }
+    return std::string();
+}
+
+} // namespace server
+} // namespace cosa

@@ -1,0 +1,252 @@
+#include "server/client.hpp"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cctype>
+#include <cstring>
+
+namespace cosa {
+namespace server {
+
+namespace {
+
+/** RAII socket close. */
+struct FdGuard
+{
+    int fd;
+    ~FdGuard()
+    {
+        if (fd >= 0)
+            ::close(fd);
+    }
+};
+
+Status
+sendAll(int fd, const std::string& bytes)
+{
+    std::size_t sent = 0;
+    while (sent < bytes.size()) {
+        const ssize_t n = ::send(fd, bytes.data() + sent,
+                                 bytes.size() - sent, MSG_NOSIGNAL);
+        if (n <= 0)
+            return {ErrorCode::kIoError,
+                    std::string("send failed: ") + std::strerror(errno)};
+        sent += static_cast<std::size_t>(n);
+    }
+    return Status::Ok();
+}
+
+} // namespace
+
+std::string
+WireResponse::header(std::string_view name) const
+{
+    for (const auto& [key, value] : headers) {
+        if (key.size() != name.size())
+            continue;
+        bool match = true;
+        for (std::size_t i = 0; i < key.size(); ++i) {
+            if (std::tolower(static_cast<unsigned char>(key[i])) !=
+                std::tolower(static_cast<unsigned char>(name[i]))) {
+                match = false;
+                break;
+            }
+        }
+        if (match)
+            return value;
+    }
+    return "";
+}
+
+StatusOr<int>
+Client::dial() const
+{
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0)
+        return Status{ErrorCode::kIoError, "socket() failed"};
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(port_));
+    if (::inet_pton(AF_INET, host_.c_str(), &addr.sin_addr) != 1) {
+        ::close(fd);
+        return Status{ErrorCode::kInvalidInput,
+                      "bad daemon address \"" + host_ + "\""};
+    }
+    if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                  sizeof(addr)) != 0) {
+        const std::string why = std::strerror(errno);
+        ::close(fd);
+        return Status{ErrorCode::kIoError,
+                      "connect(" + host_ + ":" + std::to_string(port_) +
+                          ") failed: " + why};
+    }
+    const int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    return fd;
+}
+
+std::string
+Client::serializeRequest(const std::string& method,
+                         const std::string& target,
+                         const std::string& body) const
+{
+    std::string out = method + " " + target + " HTTP/1.1\r\n";
+    out += "Host: " + host_ + "\r\n";
+    if (!api_key_.empty())
+        out += "Authorization: Bearer " + api_key_ + "\r\n";
+    if (!body.empty()) {
+        out += "Content-Type: application/json\r\n";
+        out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    }
+    out += "Connection: close\r\n\r\n";
+    out += body;
+    return out;
+}
+
+StatusOr<WireResponse>
+Client::request(const std::string& method, const std::string& target,
+                const std::string& body)
+{
+    StatusOr<int> fd = dial();
+    if (!fd.ok())
+        return fd.status();
+    FdGuard guard{fd.value()};
+    const Status sent =
+        sendAll(guard.fd, serializeRequest(method, target, body));
+    if (!sent.ok())
+        return sent;
+
+    HttpResponseParser parser;
+    char buffer[16 * 1024];
+    for (;;) {
+        HttpResponseParser::Response response;
+        const HttpResponseParser::Result result = parser.next(&response);
+        if (result == HttpResponseParser::Result::Ok)
+            return WireResponse{response.status,
+                                std::move(response.headers),
+                                std::move(response.body)};
+        if (result == HttpResponseParser::Result::Error)
+            return Status{ErrorCode::kIoError,
+                          "bad response: " + parser.errorText()};
+        const ssize_t n = ::recv(guard.fd, buffer, sizeof(buffer), 0);
+        if (n < 0)
+            return Status{ErrorCode::kIoError,
+                          std::string("recv failed: ") +
+                              std::strerror(errno)};
+        if (n == 0)
+            return Status{ErrorCode::kIoError,
+                          "connection closed mid-response"};
+        parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+}
+
+StatusOr<WireResponse>
+Client::submit(const std::string& body)
+{
+    return request("POST", "/v1/jobs", body);
+}
+
+StatusOr<WireResponse>
+Client::jobStatus(std::uint64_t id)
+{
+    return request("GET", "/v1/jobs/" + std::to_string(id));
+}
+
+StatusOr<WireResponse>
+Client::listJobs()
+{
+    return request("GET", "/v1/jobs");
+}
+
+StatusOr<WireResponse>
+Client::cancel(std::uint64_t id)
+{
+    return request("DELETE", "/v1/jobs/" + std::to_string(id));
+}
+
+StatusOr<WireResponse>
+Client::metrics()
+{
+    return request("GET", "/metrics");
+}
+
+StatusOr<WireResponse>
+Client::healthz()
+{
+    return request("GET", "/healthz");
+}
+
+StatusOr<int>
+Client::streamEvents(std::uint64_t id,
+                     const std::function<void(const std::string&)>& on_line)
+{
+    StatusOr<int> fd = dial();
+    if (!fd.ok())
+        return fd.status();
+    FdGuard guard{fd.value()};
+    const Status sent = sendAll(
+        guard.fd, serializeRequest(
+                      "GET", "/v1/jobs/" + std::to_string(id) + "/events",
+                      ""));
+    if (!sent.ok())
+        return sent;
+
+    HttpResponseParser parser;
+    char buffer[16 * 1024];
+    std::string pending; //!< bytes of a line split across chunks
+    for (;;) {
+        std::string chunk;
+        const HttpResponseParser::Result result = parser.nextChunk(&chunk);
+        if (result == HttpResponseParser::Result::Error) {
+            // A non-chunked answer (404, 401, ...) is a plain response;
+            // the head is consumed and the body still buffered, so a
+            // regular parse recovers its status.
+            if (parser.headerDone() && !parser.headerChunked()) {
+                HttpResponseParser::Response response;
+                for (;;) {
+                    if (parser.next(&response) ==
+                        HttpResponseParser::Result::Ok)
+                        return response.status;
+                    const ssize_t n =
+                        ::recv(guard.fd, buffer, sizeof(buffer), 0);
+                    if (n <= 0)
+                        return Status{ErrorCode::kIoError,
+                                      "connection closed mid-response"};
+                    parser.feed(std::string_view(
+                        buffer, static_cast<std::size_t>(n)));
+                }
+            }
+            return Status{ErrorCode::kIoError,
+                          "bad event stream: " + parser.errorText()};
+        }
+        if (result == HttpResponseParser::Result::Ok) {
+            if (parser.headerStatus() != 200)
+                return parser.headerStatus();
+            if (chunk.empty())
+                return 200; // terminal chunk: stream complete
+            pending += chunk;
+            std::size_t newline;
+            while ((newline = pending.find('\n')) != std::string::npos) {
+                on_line(pending.substr(0, newline));
+                pending.erase(0, newline + 1);
+            }
+            continue;
+        }
+        const ssize_t n = ::recv(guard.fd, buffer, sizeof(buffer), 0);
+        if (n < 0)
+            return Status{ErrorCode::kIoError,
+                          std::string("recv failed: ") +
+                              std::strerror(errno)};
+        if (n == 0)
+            return Status{ErrorCode::kIoError,
+                          "connection closed mid-stream"};
+        parser.feed(std::string_view(buffer, static_cast<std::size_t>(n)));
+    }
+}
+
+} // namespace server
+} // namespace cosa

@@ -1,0 +1,87 @@
+#pragma once
+
+/**
+ * @file
+ * Minimal blocking client for cosad (used by cosactl and the e2e
+ * tests). One TCP connection per call — the daemon keeps per-request
+ * state in ordered outbox slots, so connection reuse buys nothing the
+ * tests need, and per-call connections make failure handling trivial.
+ *
+ * All methods return the raw response (status + body); JSON decoding
+ * stays with the caller so `cosactl result` can print the canonical
+ * bytes untouched (the byte-identity contract would not survive a
+ * parse/re-dump by a *different* code path than the daemon's own).
+ */
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "common/status.hpp"
+#include "server/http.hpp"
+
+namespace cosa {
+namespace server {
+
+/** One HTTP exchange's outcome. */
+struct WireResponse
+{
+    int status = 0;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value (case-insensitive) or "". */
+    std::string header(std::string_view name) const;
+};
+
+/** Blocking per-call client. Copyable (it is just configuration). */
+class Client
+{
+  public:
+    Client(std::string host, int port, std::string api_key = "")
+        : host_(std::move(host)), port_(port), api_key_(std::move(api_key))
+    {
+    }
+
+    /** POST /v1/jobs. Body is the request JSON. */
+    StatusOr<WireResponse> submit(const std::string& body);
+    /** GET /v1/jobs/{id}. */
+    StatusOr<WireResponse> jobStatus(std::uint64_t id);
+    /** GET /v1/jobs. */
+    StatusOr<WireResponse> listJobs();
+    /** DELETE /v1/jobs/{id}. */
+    StatusOr<WireResponse> cancel(std::uint64_t id);
+    /** GET /metrics. */
+    StatusOr<WireResponse> metrics();
+    /** GET /healthz (unauthenticated). */
+    StatusOr<WireResponse> healthz();
+
+    /**
+     * GET /v1/jobs/{id}/events and invoke @p on_line for every JSON
+     * line of the chunked stream until the daemon terminates it (the
+     * final line carries {"done":true}). Returns the HTTP status on a
+     * non-200 answer without invoking the callback.
+     */
+    StatusOr<int> streamEvents(std::uint64_t id,
+                               const std::function<void(const std::string&)>&
+                                   on_line);
+
+    /** One raw exchange (the building block the wrappers share). */
+    StatusOr<WireResponse> request(const std::string& method,
+                                   const std::string& target,
+                                   const std::string& body = "");
+
+  private:
+    /** Connect + send @p bytes; returns the fd or kIoError. */
+    StatusOr<int> dial() const;
+    std::string serializeRequest(const std::string& method,
+                                 const std::string& target,
+                                 const std::string& body) const;
+
+    std::string host_;
+    int port_ = 0;
+    std::string api_key_;
+};
+
+} // namespace server
+} // namespace cosa

@@ -1,0 +1,361 @@
+#include "server/http.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <charconv>
+#include <cstdio>
+
+namespace cosa {
+namespace server {
+
+namespace {
+
+bool
+iequals(std::string_view a, std::string_view b)
+{
+    if (a.size() != b.size())
+        return false;
+    for (std::size_t i = 0; i < a.size(); ++i) {
+        if (std::tolower(static_cast<unsigned char>(a[i])) !=
+            std::tolower(static_cast<unsigned char>(b[i])))
+            return false;
+    }
+    return true;
+}
+
+std::string_view
+trim(std::string_view s)
+{
+    while (!s.empty() && (s.front() == ' ' || s.front() == '\t'))
+        s.remove_prefix(1);
+    while (!s.empty() && (s.back() == ' ' || s.back() == '\t'))
+        s.remove_suffix(1);
+    return s;
+}
+
+/** Parse one CRLF-terminated header block starting at @p head_end into
+ *  @p headers. Returns false on a malformed field line. */
+bool
+parseHeaderLines(std::string_view block,
+                 std::vector<std::pair<std::string, std::string>>* headers)
+{
+    std::size_t pos = 0;
+    while (pos < block.size()) {
+        const std::size_t eol = block.find("\r\n", pos);
+        const std::string_view line =
+            block.substr(pos, eol == std::string_view::npos
+                                  ? std::string_view::npos
+                                  : eol - pos);
+        pos = eol == std::string_view::npos ? block.size() : eol + 2;
+        if (line.empty())
+            continue;
+        const std::size_t colon = line.find(':');
+        if (colon == std::string_view::npos || colon == 0)
+            return false;
+        headers->emplace_back(std::string(trim(line.substr(0, colon))),
+                              std::string(trim(line.substr(colon + 1))));
+    }
+    return true;
+}
+
+std::string
+findHeader(const std::vector<std::pair<std::string, std::string>>& headers,
+           std::string_view name)
+{
+    for (const auto& [key, value] : headers) {
+        if (iequals(key, name))
+            return value;
+    }
+    return std::string();
+}
+
+} // namespace
+
+// --- HttpRequest ---------------------------------------------------------
+
+std::string
+HttpRequest::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+bool
+HttpRequest::keepAlive() const
+{
+    const std::string connection = header("Connection");
+    if (iequals(connection, "close"))
+        return false;
+    if (version == "HTTP/1.0")
+        return iequals(connection, "keep-alive");
+    return true; // HTTP/1.1 default
+}
+
+// --- HttpRequestParser ---------------------------------------------------
+
+HttpRequestParser::Result
+HttpRequestParser::failWith(int status, std::string text)
+{
+    error_status_ = status;
+    error_text_ = std::move(text);
+    return Result::Error;
+}
+
+HttpRequestParser::Result
+HttpRequestParser::next(HttpRequest* out)
+{
+    if (error_status_ != 0)
+        return Result::Error;
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos) {
+        if (buffer_.size() > max_header_bytes)
+            return failWith(431, "header block exceeds " +
+                                     std::to_string(max_header_bytes) +
+                                     " bytes");
+        return Result::NeedMore;
+    }
+    if (head_end + 4 > max_header_bytes)
+        return failWith(431, "header block exceeds " +
+                                 std::to_string(max_header_bytes) +
+                                 " bytes");
+
+    const std::string_view head(buffer_.data(), head_end);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view start_line =
+        head.substr(0, std::min(line_end, head.size()));
+
+    // Start line: METHOD SP target SP HTTP/x.y — exactly three tokens.
+    const std::size_t sp1 = start_line.find(' ');
+    const std::size_t sp2 =
+        sp1 == std::string_view::npos ? sp1 : start_line.find(' ', sp1 + 1);
+    if (sp1 == std::string_view::npos || sp2 == std::string_view::npos ||
+        sp1 == 0 || sp2 == sp1 + 1 || sp2 + 1 >= start_line.size() ||
+        start_line.find(' ', sp2 + 1) != std::string_view::npos)
+        return failWith(400, "malformed request line");
+    HttpRequest request;
+    request.method = std::string(start_line.substr(0, sp1));
+    request.target = std::string(start_line.substr(sp1 + 1, sp2 - sp1 - 1));
+    request.version = std::string(start_line.substr(sp2 + 1));
+    if (request.version != "HTTP/1.1" && request.version != "HTTP/1.0")
+        return failWith(400, "unsupported protocol version \"" +
+                                 request.version + "\"");
+    if (request.target.empty() || request.target.front() != '/')
+        return failWith(400, "request target must be origin-form");
+    for (char c : request.method) {
+        if (c < 'A' || c > 'Z')
+            return failWith(400, "malformed method token");
+    }
+
+    const std::string_view header_block =
+        line_end == std::string_view::npos
+            ? std::string_view()
+            : head.substr(line_end + 2);
+    if (!parseHeaderLines(header_block, &request.headers))
+        return failWith(400, "malformed header field");
+
+    std::size_t body_len = 0;
+    const std::string te = request.header("Transfer-Encoding");
+    if (!te.empty())
+        return failWith(400, "chunked request bodies are not supported");
+    const std::string cl = request.header("Content-Length");
+    if (!cl.empty()) {
+        const auto [ptr, ec] = std::from_chars(
+            cl.data(), cl.data() + cl.size(), body_len);
+        if (ec != std::errc() || ptr != cl.data() + cl.size())
+            return failWith(400, "malformed Content-Length");
+        if (body_len > max_body_bytes)
+            return failWith(413, "body exceeds " +
+                                     std::to_string(max_body_bytes) +
+                                     " bytes");
+    }
+    const std::size_t total = head_end + 4 + body_len;
+    if (buffer_.size() < total)
+        return Result::NeedMore; // truncated body: wait for the rest
+    request.body = buffer_.substr(head_end + 4, body_len);
+    buffer_.erase(0, total); // pipelining: the next request may follow
+    *out = std::move(request);
+    return Result::Ok;
+}
+
+// --- responses -----------------------------------------------------------
+
+const char*
+httpReason(int status)
+{
+    switch (status) {
+      case 200: return "OK";
+      case 202: return "Accepted";
+      case 204: return "No Content";
+      case 400: return "Bad Request";
+      case 401: return "Unauthorized";
+      case 403: return "Forbidden";
+      case 404: return "Not Found";
+      case 405: return "Method Not Allowed";
+      case 409: return "Conflict";
+      case 413: return "Payload Too Large";
+      case 429: return "Too Many Requests";
+      case 431: return "Request Header Fields Too Large";
+      case 500: return "Internal Server Error";
+      case 503: return "Service Unavailable";
+      case 504: return "Gateway Timeout";
+      default: return "Unknown";
+    }
+}
+
+std::string
+HttpResponse::serialize() const
+{
+    std::string out = "HTTP/1.1 " + std::to_string(status) + " " +
+                      httpReason(status) + "\r\n";
+    for (const auto& [name, value] : headers)
+        out += name + ": " + value + "\r\n";
+    if (chunked)
+        out += "Transfer-Encoding: chunked\r\n";
+    else
+        out += "Content-Length: " + std::to_string(body.size()) + "\r\n";
+    out += keep_alive ? "Connection: keep-alive\r\n"
+                      : "Connection: close\r\n";
+    out += "\r\n";
+    out += body;
+    return out;
+}
+
+std::string
+chunkEncode(std::string_view payload)
+{
+    char size_line[20];
+    std::snprintf(size_line, sizeof(size_line), "%zx\r\n", payload.size());
+    std::string out(size_line);
+    out += payload;
+    out += "\r\n";
+    return out;
+}
+
+// --- HttpResponseParser --------------------------------------------------
+
+std::string
+HttpResponseParser::Response::header(std::string_view name) const
+{
+    return findHeader(headers, name);
+}
+
+HttpResponseParser::Result
+HttpResponseParser::parseHead()
+{
+    const std::size_t head_end = buffer_.find("\r\n\r\n");
+    if (head_end == std::string::npos)
+        return Result::NeedMore;
+    const std::string_view head(buffer_.data(), head_end);
+    const std::size_t line_end = head.find("\r\n");
+    const std::string_view start_line =
+        head.substr(0, std::min(line_end, head.size()));
+    // "HTTP/1.1 200 OK"
+    const std::size_t sp1 = start_line.find(' ');
+    if (sp1 == std::string_view::npos || sp1 + 4 > start_line.size()) {
+        error_text_ = "malformed status line";
+        return Result::Error;
+    }
+    head_ = Response();
+    const std::string_view code = start_line.substr(sp1 + 1, 3);
+    const auto [ptr, ec] =
+        std::from_chars(code.begin(), code.end(), head_.status);
+    if (ec != std::errc() || ptr != code.end()) {
+        error_text_ = "malformed status code";
+        return Result::Error;
+    }
+    const std::string_view header_block =
+        line_end == std::string_view::npos
+            ? std::string_view()
+            : head.substr(line_end + 2);
+    if (!parseHeaderLines(header_block, &head_.headers)) {
+        error_text_ = "malformed header field";
+        return Result::Error;
+    }
+    chunked_ = iequals(head_.header("Transfer-Encoding"), "chunked");
+    content_length_ = 0;
+    const std::string cl = head_.header("Content-Length");
+    if (!cl.empty()) {
+        const auto [p2, e2] =
+            std::from_chars(cl.data(), cl.data() + cl.size(),
+                            content_length_);
+        if (e2 != std::errc() || p2 != cl.data() + cl.size()) {
+            error_text_ = "malformed Content-Length";
+            return Result::Error;
+        }
+    }
+    buffer_.erase(0, head_end + 4);
+    head_done_ = true;
+    return Result::Ok;
+}
+
+HttpResponseParser::Result
+HttpResponseParser::next(Response* out)
+{
+    if (!head_done_) {
+        const Result r = parseHead();
+        if (r != Result::Ok)
+            return r;
+    }
+    if (!chunked_) {
+        if (buffer_.size() < content_length_)
+            return Result::NeedMore;
+        head_.body = buffer_.substr(0, content_length_);
+        buffer_.erase(0, content_length_);
+        *out = std::move(head_);
+        head_done_ = false;
+        return Result::Ok;
+    }
+    // De-chunk the whole stream into one body.
+    std::string body;
+    for (;;) {
+        std::string chunk;
+        const Result r = nextChunk(&chunk);
+        if (r == Result::NeedMore) {
+            head_.body += body; // keep progress across feeds
+            return Result::NeedMore;
+        }
+        if (r == Result::Error)
+            return r;
+        if (chunk.empty()) {
+            head_.body += body;
+            *out = std::move(head_);
+            head_done_ = false;
+            return Result::Ok;
+        }
+        body += chunk;
+    }
+}
+
+HttpResponseParser::Result
+HttpResponseParser::nextChunk(std::string* out)
+{
+    if (!head_done_) {
+        const Result r = parseHead();
+        if (r != Result::Ok)
+            return r;
+        if (!chunked_) {
+            error_text_ = "nextChunk() on a non-chunked response";
+            return Result::Error;
+        }
+    }
+    const std::size_t line_end = buffer_.find("\r\n");
+    if (line_end == std::string::npos)
+        return Result::NeedMore;
+    std::size_t size = 0;
+    const auto [ptr, ec] = std::from_chars(
+        buffer_.data(), buffer_.data() + line_end, size, 16);
+    if (ec != std::errc() || ptr != buffer_.data() + line_end) {
+        error_text_ = "malformed chunk size";
+        return Result::Error;
+    }
+    const std::size_t total = line_end + 2 + size + 2;
+    if (buffer_.size() < total)
+        return Result::NeedMore;
+    *out = buffer_.substr(line_end + 2, size);
+    buffer_.erase(0, total);
+    if (size == 0)
+        head_done_ = false; // stream complete; parser ready for reuse
+    return Result::Ok;
+}
+
+} // namespace server
+} // namespace cosa

@@ -1,0 +1,163 @@
+#pragma once
+
+/**
+ * @file
+ * Dependency-free HTTP/1.1 message layer of the serving daemon.
+ *
+ * Scope: exactly what cosad and its client need — incremental request
+ * parsing from a byte stream (Content-Length bodies, keep-alive,
+ * pipelining), response serialization, chunked transfer encoding for
+ * the progress event stream, and a response parser for the client
+ * library. No TLS, no compression, no HTTP/2, no trailers.
+ *
+ * The request parser is a push parser: feed() raw bytes as they
+ * arrive, then drain complete requests with next(). Pipelined
+ * requests in one read are returned one per next() call. Malformed
+ * input parks the parser in an error state carrying the HTTP status
+ * to answer with (400 for a bad start line or framing, 431 when the
+ * header block exceeds the limit, 413 for an oversized body) — the
+ * connection must be closed after that response.
+ */
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace cosa {
+namespace server {
+
+/** One parsed request. Header names are matched case-insensitively
+ *  via header(); values are returned with surrounding spaces trimmed. */
+struct HttpRequest
+{
+    std::string method;  //!< "GET", "POST", ... (uppercase as sent)
+    std::string target;  //!< origin-form, e.g. "/v1/jobs/7"
+    std::string version; //!< "HTTP/1.1"
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+
+    /** Header value or empty ("" and absent are indistinguishable). */
+    std::string header(std::string_view name) const;
+    /** keep-alive per HTTP/1.1 defaults + Connection header. */
+    bool keepAlive() const;
+};
+
+/** Push parser over one connection's request byte stream. */
+class HttpRequestParser
+{
+  public:
+    /** Parse outcome of one next() call. */
+    enum class Result {
+        Ok,       //!< *out holds one complete request
+        NeedMore, //!< feed() more bytes
+        Error,    //!< protocol violation; see errorStatus()/errorText()
+    };
+
+    /** Byte limits; exceeding them is a protocol error, not a stall. */
+    std::size_t max_header_bytes = 16 * 1024;
+    std::size_t max_body_bytes = 4 * 1024 * 1024;
+
+    /** Append raw bytes read from the socket. */
+    void feed(std::string_view data) { buffer_.append(data); }
+
+    /** Extract the next complete request, if any. */
+    Result next(HttpRequest* out);
+
+    /** After Result::Error: the HTTP status to answer with. */
+    int errorStatus() const { return error_status_; }
+    const std::string& errorText() const { return error_text_; }
+
+    /** Bytes buffered but not yet consumed (diagnostics). */
+    std::size_t buffered() const { return buffer_.size(); }
+
+  private:
+    Result failWith(int status, std::string text);
+
+    std::string buffer_;
+    int error_status_ = 0;
+    std::string error_text_;
+};
+
+/** Reason phrase for the handful of statuses the daemon emits. */
+const char* httpReason(int status);
+
+/** One response to serialize. Content-Length is added automatically;
+ *  set `chunked` instead to start a chunked stream (the body is then
+ *  the first raw bytes after the header block, typically empty). */
+struct HttpResponse
+{
+    int status = 200;
+    std::vector<std::pair<std::string, std::string>> headers;
+    std::string body;
+    bool chunked = false;
+    bool keep_alive = true;
+
+    void
+    set(std::string_view name, std::string_view value)
+    {
+        headers.emplace_back(name, value);
+    }
+
+    /** Full wire form (start line + headers + CRLF + body). */
+    std::string serialize() const;
+};
+
+/** @p payload as one chunk of a chunked stream. */
+std::string chunkEncode(std::string_view payload);
+
+/** The terminal chunk of a chunked stream. */
+inline constexpr std::string_view kChunkedEnd = "0\r\n\r\n";
+
+/** Client-side parser for one response stream (Content-Length or
+ *  chunked). Same push model as the request parser. */
+class HttpResponseParser
+{
+  public:
+    enum class Result { Ok, NeedMore, Error };
+
+    struct Response
+    {
+        int status = 0;
+        std::vector<std::pair<std::string, std::string>> headers;
+        std::string body; //!< chunked bodies arrive de-chunked
+
+        std::string header(std::string_view name) const;
+    };
+
+    void feed(std::string_view data) { buffer_.append(data); }
+    Result next(Response* out);
+
+    /**
+     * Streaming mode: after the header block of a chunked response has
+     * arrived, nextChunk() yields one decoded chunk at a time (empty
+     * string + Ok = stream end). Use either next() or nextChunk(), not
+     * both.
+     */
+    Result nextChunk(std::string* out);
+
+    /** True once the header block has been consumed. In streaming mode
+     *  this is when headerStatus()/headerChunked() become valid. */
+    bool headerDone() const { return head_done_; }
+    /** Status line of the response being streamed. */
+    int headerStatus() const { return head_.status; }
+    /** Whether the streamed response is chunked; when false, fall back
+     *  to next() (the body is still buffered). */
+    bool headerChunked() const { return chunked_; }
+
+    const std::string& errorText() const { return error_text_; }
+
+  private:
+    Result parseHead();
+
+    std::string buffer_;
+    bool head_done_ = false;
+    Response head_;
+    bool chunked_ = false;
+    std::size_t content_length_ = 0;
+    std::string error_text_;
+};
+
+} // namespace server
+} // namespace cosa

@@ -1,0 +1,60 @@
+#pragma once
+
+/**
+ * @file
+ * The JSON wire mapping between cosad's HTTP bodies and the engine's
+ * ScheduleRequest / NetworkResult / JobInfo types.
+ *
+ * The load-bearing function is resultsToJson(): the canonical
+ * serialization of a finished job's results. It deliberately omits
+ * every nondeterministic field (wall times, solver phase timings) so
+ * that for a fixed request the bytes are identical whether the job
+ * ran over the wire or in-process, at any executor width and co-tenant
+ * mix — the daemon's byte-identity contract, checked by CI's
+ * `cosactl local` diff. Deterministic counters (samples, simplex
+ * iterations, MIP nodes) stay in.
+ *
+ * Request decoding accepts named paper workloads ("alexnet",
+ * "resnet50", "resnet50full", "resnext50", "deepbench") and inline
+ * layer lists, named architectures ("simba", "simba8x8",
+ * "simba-big-buffers"), and a scoped subset of the scheduler knobs.
+ * Unknown top-level request keys are a kInvalidInput error rather
+ * than silently ignored — a misspelled knob must not silently run
+ * with defaults and "pass".
+ */
+
+#include <string>
+
+#include "common/json.hpp"
+#include "common/status.hpp"
+#include "engine/scheduler_service.hpp"
+
+namespace cosa {
+namespace server {
+
+/** Decode one POST /v1/jobs body into a ScheduleRequest. The returned
+ *  request has no evaluator/cache set (normalize() fills the
+ *  deterministic defaults). @p tenant (from auth) overrides any
+ *  "tenant" member in the body. */
+StatusOr<ScheduleRequest> requestFromJson(const json::Value& body,
+                                          const std::string& tenant);
+
+/** Canonical deterministic serialization of a finished job's results
+ *  ("the schedule bytes"; see the file comment). */
+json::Value resultsToJson(const std::vector<NetworkResult>& results);
+
+/** One job's listing/status entry. */
+json::Value jobInfoToJson(const JobInfo& info);
+
+/** One progress event as a single-line JSON object (the event-stream
+ *  chunk payload, newline included). */
+std::string progressEventLine(const JobProgress& event);
+
+/** Structured error body: {"error":{"code":...,"message":...}}. */
+std::string errorBody(ErrorCode code, const std::string& message);
+/** Wire-only errors with no ErrorCode ("not_found", "unauthorized",
+ *  "quota_exhausted", ...). */
+std::string errorBody(const std::string& code, const std::string& message);
+
+} // namespace server
+} // namespace cosa

@@ -139,9 +139,11 @@ TEST(Observability, ServiceCountersSumUnderConcurrentMultiTenantLoad)
                                  JobPriority::Normal, JobPriority::Batch};
     std::int64_t submitted_before[3];
     std::int64_t completed_before[3];
+    // Admission counters are labeled per (tenant, tier); these requests
+    // carry no explicit tenant, so they land on "default".
     for (int t = 0; t < 3; ++t) {
         const metrics::Labels labels = {
-            {"tier", jobPriorityName(tiers[t])}};
+            {"tenant", "default"}, {"tier", jobPriorityName(tiers[t])}};
         submitted_before[t] =
             registry
                 .counter("cosa_service_jobs_submitted_total", "", labels)
@@ -185,7 +187,7 @@ TEST(Observability, ServiceCountersSumUnderConcurrentMultiTenantLoad)
 
     for (int t = 0; t < 3; ++t) {
         const metrics::Labels labels = {
-            {"tier", jobPriorityName(tiers[t])}};
+            {"tenant", "default"}, {"tier", jobPriorityName(tiers[t])}};
         EXPECT_EQ(registry
                           .counter("cosa_service_jobs_submitted_total",
                                    "", labels)

@@ -1,0 +1,217 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <fstream>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "engine/scheduler_service.hpp"
+#include "engine/thread_pool.hpp"
+
+namespace cosa {
+namespace {
+
+/** Live thread count of this process (/proc/self/status "Threads:"). */
+int
+threadCount()
+{
+    std::ifstream in("/proc/self/status");
+    std::string line;
+    while (std::getline(in, line)) {
+        if (line.rfind("Threads:", 0) == 0) {
+            std::istringstream field(line.substr(8));
+            int count = 0;
+            field >> count;
+            return count;
+        }
+    }
+    return -1;
+}
+
+/** One cheap single-layer request (Random scheduler, ~@p samples of
+ *  work), with a distinct K so jobs don't all dedup to one problem. */
+ScheduleRequest
+tinyRequest(int k, int samples, JobPriority priority = JobPriority::Normal)
+{
+    ScheduleRequest request;
+    Workload net;
+    net.name = "tiny" + std::to_string(k);
+    net.layers.push_back(
+        LayerSpec::fromLabel("1_7_32_" + std::to_string(k) + "_1"));
+    request.workloads.push_back(std::move(net));
+    request.arch = ArchSpec::simbaBaseline();
+    request.scheduler = SchedulerKind::Random;
+    request.random.max_samples = samples;
+    request.random.target_valid = samples;
+    request.priority = priority;
+    request.use_cache = false; // every job does real work
+    return request;
+}
+
+// The tentpole's load-bearing property: a queued job is heap state,
+// not a parked thread. A thousand queued jobs must not grow the
+// process thread census by even one.
+TEST(ThreadlessJobs, ThousandQueuedJobsHoldNoRunnerThreads)
+{
+    ServiceConfig config;
+    config.num_threads = 2;
+    config.max_inflight_jobs = 2;
+    SchedulerService service{config};
+
+    // Warm up: one job end-to-end, so every lazily-created service
+    // thread (executor workers) exists before the baseline reading.
+    service.submit(tinyRequest(16, 2)).takeJob().wait();
+    const int baseline = threadCount();
+    ASSERT_GT(baseline, 0);
+
+    std::vector<ScheduleJob> jobs;
+    jobs.reserve(1002);
+    // Two slow jobs pin the inflight slots so the rest must queue
+    // (sized to outlast the 1000-submission loop below).
+    jobs.push_back(service.submit(tinyRequest(300, 40000)).takeJob());
+    jobs.push_back(service.submit(tinyRequest(301, 40000)).takeJob());
+    for (int i = 0; i < 1000; ++i)
+        jobs.push_back(service.submit(tinyRequest(32 + i, 1)).takeJob());
+
+    const ServiceStats mid = service.stats();
+    EXPECT_GT(mid.queued_now, 800)
+        << "the flood must actually be queued for this test to bite";
+    EXPECT_EQ(threadCount(), baseline)
+        << "queued jobs must not own runner threads";
+
+    for (ScheduleJob& job : jobs)
+        job.wait();
+    EXPECT_EQ(threadCount(), baseline)
+        << "running jobs must not own runner threads either";
+
+    const ServiceStats stats = service.stats();
+    EXPECT_EQ(stats.completed, 1003);
+    EXPECT_EQ(stats.queued_now, 0);
+    EXPECT_EQ(stats.inflight_now, 0);
+}
+
+// Executor-level bounded starvation: with aging on, a Batch-tier task
+// set under a sustained Interactive flood is dispatched within a few
+// aging periods; with aging off it waits for the whole flood.
+TEST(ThreadlessJobs, ExecutorAgingBoundsStarvation)
+{
+    constexpr int kFlood = 40;
+    for (const bool aging : {false, true}) {
+        Executor executor(1, 3);
+        if (aging)
+            executor.setAgingSec(0.05);
+
+        // Occupy the single worker so the victim cannot be picked
+        // before the flood is queued behind it.
+        auto blocker = executor.submit(1, [](std::size_t) {
+            std::this_thread::sleep_for(std::chrono::milliseconds(30));
+        });
+
+        std::atomic<int> flood_done{0};
+        std::atomic<int> flood_done_at_victim{-1};
+        Executor::TaskSetOptions batch_options;
+        batch_options.tier = 2;
+        auto victim = executor.submit(
+            1,
+            [&](std::size_t) {
+                flood_done_at_victim.store(flood_done.load());
+            },
+            batch_options);
+
+        std::vector<std::shared_ptr<Executor::TaskSet>> flood;
+        Executor::TaskSetOptions interactive_options;
+        interactive_options.tier = 0;
+        for (int i = 0; i < kFlood; ++i) {
+            flood.push_back(executor.submit(
+                1,
+                [&](std::size_t) {
+                    std::this_thread::sleep_for(
+                        std::chrono::milliseconds(10));
+                    flood_done.fetch_add(1);
+                },
+                interactive_options));
+        }
+        blocker->wait();
+        victim->wait();
+        for (const auto& set : flood)
+            set->wait();
+
+        if (aging) {
+            EXPECT_LT(flood_done_at_victim.load(), kFlood - 5)
+                << "an aged Batch set must be dispatched while the "
+                   "Interactive flood is still draining";
+        } else {
+            EXPECT_EQ(flood_done_at_victim.load(), kFlood)
+                << "strict tiers serve the whole flood first";
+        }
+    }
+}
+
+// Service-level bounded starvation: the admission queue applies the
+// same aging knob, so a queued Batch job under an Interactive flood
+// starts within ~2*aging_sec instead of last.
+TEST(ThreadlessJobs, ServiceAgingAdmitsStarvedBatchJobs)
+{
+    constexpr int kFlood = 25;
+    for (const bool aging : {false, true}) {
+        ServiceConfig config;
+        config.num_threads = 1;
+        config.max_inflight_jobs = 1;
+        config.aging_sec = aging ? 0.02 : 0.0;
+        SchedulerService service{config};
+
+        std::mutex order_mutex;
+        std::vector<std::string> completion_order;
+        const auto track = [&](ScheduleJob& job, std::string label) {
+            job.onDone([&, label] {
+                std::lock_guard<std::mutex> lock(order_mutex);
+                completion_order.push_back(label);
+            });
+        };
+
+        // Sample counts sized so one flood job runs ~8 ms: the Batch
+        // job banks its full 2-tier aging credit (2 * 20 ms) while the
+        // flood is still deep.
+        std::vector<ScheduleJob> jobs;
+        // Blocker holds the single inflight slot while the queue fills.
+        jobs.push_back(service.submit(tinyRequest(200, 3000)).takeJob());
+        track(jobs.back(), "blocker");
+        jobs.push_back(
+            service.submit(tinyRequest(201, 1500, JobPriority::Batch))
+                .takeJob());
+        track(jobs.back(), "batch");
+        for (int i = 0; i < kFlood; ++i) {
+            jobs.push_back(
+                service
+                    .submit(tinyRequest(210 + i, 1500,
+                                        JobPriority::Interactive))
+                    .takeJob());
+            track(jobs.back(), "interactive");
+        }
+        for (ScheduleJob& job : jobs)
+            job.wait();
+
+        ASSERT_EQ(completion_order.size(), jobs.size());
+        std::size_t batch_pos = completion_order.size();
+        for (std::size_t i = 0; i < completion_order.size(); ++i) {
+            if (completion_order[i] == "batch")
+                batch_pos = i;
+        }
+        ASSERT_LT(batch_pos, completion_order.size());
+        if (aging) {
+            EXPECT_LT(batch_pos, completion_order.size() - 5)
+                << "aging must pull the Batch job forward out of the "
+                   "Interactive flood";
+        } else {
+            EXPECT_EQ(batch_pos, completion_order.size() - 1)
+                << "strict tiers finish the Batch job last";
+        }
+    }
+}
+
+} // namespace
+} // namespace cosa

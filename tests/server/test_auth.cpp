@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "server/auth.hpp"
+
+namespace cosa {
+namespace server {
+namespace {
+
+using Verdict = AdmissionDecision::Verdict;
+
+TenantSpec
+tenant(const std::string& name, const std::string& key, double rps = 0.0,
+       double burst = 0.0, int max_inflight = 0)
+{
+    TenantSpec spec;
+    spec.name = name;
+    spec.key = key;
+    spec.rps = rps;
+    spec.burst = burst;
+    spec.max_inflight = max_inflight;
+    return spec;
+}
+
+TEST(TenantRegistry, OpenModeAdmitsEverythingAsDefault)
+{
+    TenantRegistry registry;
+    EXPECT_TRUE(registry.open());
+    const AdmissionDecision decision = registry.admit("anything", 0.0);
+    EXPECT_EQ(decision.verdict, Verdict::Allow);
+    EXPECT_EQ(decision.tenant, "default");
+    EXPECT_EQ(registry.authenticate("").verdict, Verdict::Allow);
+}
+
+TEST(TenantRegistry, UnknownKeyIsUnauthorized)
+{
+    TenantRegistry registry{{tenant("alice", "ka")}};
+    EXPECT_FALSE(registry.open());
+    EXPECT_EQ(registry.admit("wrong", 0.0).verdict,
+              Verdict::Unauthorized);
+    EXPECT_EQ(registry.authenticate("").verdict, Verdict::Unauthorized);
+    EXPECT_EQ(registry.authenticate("ka").verdict, Verdict::Allow);
+    EXPECT_EQ(registry.authenticate("ka").tenant, "alice");
+}
+
+TEST(TenantRegistry, TokenBucketLimitsBurstThenRefills)
+{
+    // 2 rps, burst 3: three immediate submissions pass, the fourth is
+    // rate-limited with a ~0.5 s retry hint, and half a second later
+    // one token is back.
+    TenantRegistry registry{{tenant("alice", "ka", 2.0, 3.0)}};
+    EXPECT_EQ(registry.admit("ka", 10.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 10.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 10.0).verdict, Verdict::Allow);
+
+    const AdmissionDecision limited = registry.admit("ka", 10.0);
+    EXPECT_EQ(limited.verdict, Verdict::RateLimited);
+    EXPECT_NEAR(limited.retry_after_sec, 0.5, 1e-9);
+
+    EXPECT_EQ(registry.admit("ka", 10.5).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 10.5).verdict, Verdict::RateLimited);
+}
+
+TEST(TenantRegistry, RefillCapsAtBurst)
+{
+    TenantRegistry registry{{tenant("alice", "ka", 10.0, 2.0)}};
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+    // A long idle stretch must not bank more than `burst` tokens.
+    EXPECT_EQ(registry.admit("ka", 1000.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 1000.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 1000.0).verdict, Verdict::RateLimited);
+}
+
+TEST(TenantRegistry, InflightCapReleasesOnCompletion)
+{
+    TenantRegistry registry{{tenant("alice", "ka", 0.0, 0.0, 2)}};
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+    const AdmissionDecision full = registry.admit("ka", 0.0);
+    EXPECT_EQ(full.verdict, Verdict::TooManyInflight);
+    EXPECT_GT(full.retry_after_sec, 0.0);
+    registry.release("alice");
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+}
+
+TEST(TenantRegistry, QuotasAreIndependentPerTenant)
+{
+    TenantRegistry registry{
+        {tenant("alice", "ka", 1.0, 1.0), tenant("bob", "kb", 1.0, 1.0)}};
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::RateLimited);
+    EXPECT_EQ(registry.admit("kb", 0.0).verdict, Verdict::Allow)
+        << "alice's empty bucket must not throttle bob";
+}
+
+TEST(TenantRegistry, BurstDefaultsToAtLeastOne)
+{
+    // rps set, burst unset: the bucket still admits one request.
+    TenantRegistry registry{{tenant("alice", "ka", 0.5)}};
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::Allow);
+    EXPECT_EQ(registry.admit("ka", 0.0).verdict, Verdict::RateLimited);
+}
+
+TEST(TenantRegistry, ParsesJsonConfig)
+{
+    StatusOr<std::vector<TenantSpec>> parsed = TenantRegistry::parseConfig(
+        R"({"tenants": [
+            {"name": "alice", "key": "ka", "rps": 10, "burst": 20,
+             "max_inflight": 4},
+            {"name": "bob", "key": "kb"}]})");
+    ASSERT_TRUE(parsed.ok()) << parsed.status().message();
+    ASSERT_EQ(parsed.value().size(), 2u);
+    EXPECT_EQ(parsed.value()[0].name, "alice");
+    EXPECT_DOUBLE_EQ(parsed.value()[0].rps, 10.0);
+    EXPECT_DOUBLE_EQ(parsed.value()[0].burst, 20.0);
+    EXPECT_EQ(parsed.value()[0].max_inflight, 4);
+    EXPECT_EQ(parsed.value()[1].key, "kb");
+}
+
+TEST(TenantRegistry, RejectsBadConfig)
+{
+    EXPECT_FALSE(TenantRegistry::parseConfig("not json").ok());
+    EXPECT_FALSE(TenantRegistry::parseConfig("{}").ok());
+    EXPECT_FALSE(TenantRegistry::parseConfig(
+                     R"({"tenants": [{"name": "x"}]})")
+                     .ok())
+        << "a tenant without a key must be rejected";
+}
+
+TEST(TenantRegistry, EnvOverrideReplacesByNameAndAppends)
+{
+    std::vector<TenantSpec> tenants = {tenant("alice", "old-key", 1.0)};
+    const Status applied = TenantRegistry::applyEnvOverride(
+        "alice:new-key:5:10:3,carol:kc", &tenants);
+    ASSERT_TRUE(applied.ok()) << applied.message();
+    ASSERT_EQ(tenants.size(), 2u);
+    EXPECT_EQ(tenants[0].key, "new-key");
+    EXPECT_DOUBLE_EQ(tenants[0].rps, 5.0);
+    EXPECT_DOUBLE_EQ(tenants[0].burst, 10.0);
+    EXPECT_EQ(tenants[0].max_inflight, 3);
+    EXPECT_EQ(tenants[1].name, "carol");
+    EXPECT_EQ(tenants[1].key, "kc");
+}
+
+TEST(TenantRegistry, EnvOverrideRejectsMalformedEntries)
+{
+    std::vector<TenantSpec> tenants;
+    EXPECT_FALSE(
+        TenantRegistry::applyEnvOverride("nokey", &tenants).ok());
+    EXPECT_FALSE(
+        TenantRegistry::applyEnvOverride("a:k:banana", &tenants).ok());
+}
+
+TEST(ApiKeyOf, PrefersXApiKeyOverBearer)
+{
+    EXPECT_EQ(apiKeyOf("Bearer abc", ""), "abc");
+    EXPECT_EQ(apiKeyOf("Bearer   spaced", ""), "spaced");
+    EXPECT_EQ(apiKeyOf("Bearer abc", "xyz"), "xyz");
+    EXPECT_EQ(apiKeyOf("", "xyz"), "xyz");
+    EXPECT_EQ(apiKeyOf("", ""), "");
+    EXPECT_EQ(apiKeyOf("Basic abc", ""), "")
+        << "only Bearer credentials are recognized";
+}
+
+} // namespace
+} // namespace server
+} // namespace cosa

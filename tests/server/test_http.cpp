@@ -1,0 +1,223 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "server/http.hpp"
+
+namespace cosa {
+namespace server {
+namespace {
+
+using Result = HttpRequestParser::Result;
+
+HttpRequest
+mustParse(const std::string& bytes)
+{
+    HttpRequestParser parser;
+    parser.feed(bytes);
+    HttpRequest request;
+    EXPECT_EQ(parser.next(&request), Result::Ok);
+    return request;
+}
+
+TEST(HttpRequestParser, ParsesSimpleGet)
+{
+    const HttpRequest request =
+        mustParse("GET /healthz HTTP/1.1\r\nHost: x\r\n\r\n");
+    EXPECT_EQ(request.method, "GET");
+    EXPECT_EQ(request.target, "/healthz");
+    EXPECT_EQ(request.version, "HTTP/1.1");
+    EXPECT_EQ(request.header("host"), "x");
+    EXPECT_TRUE(request.body.empty());
+    EXPECT_TRUE(request.keepAlive());
+}
+
+TEST(HttpRequestParser, ParsesPostWithBody)
+{
+    const HttpRequest request = mustParse(
+        "POST /v1/jobs HTTP/1.1\r\nContent-Length: 7\r\n"
+        "Content-Type: application/json\r\n\r\n{\"a\":1}");
+    EXPECT_EQ(request.method, "POST");
+    EXPECT_EQ(request.body, "{\"a\":1}");
+    EXPECT_EQ(request.header("CONTENT-TYPE"), "application/json");
+}
+
+TEST(HttpRequestParser, HeaderLookupIsCaseInsensitiveAndTrimmed)
+{
+    const HttpRequest request = mustParse(
+        "GET / HTTP/1.1\r\nX-Api-Key:   spaced-key  \r\n\r\n");
+    EXPECT_EQ(request.header("x-api-key"), "spaced-key");
+    EXPECT_EQ(request.header("missing"), "");
+}
+
+TEST(HttpRequestParser, TruncatedBodyNeedsMoreThenCompletes)
+{
+    HttpRequestParser parser;
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: 4\r\n\r\nab");
+    HttpRequest request;
+    EXPECT_EQ(parser.next(&request), Result::NeedMore);
+    parser.feed("cd");
+    ASSERT_EQ(parser.next(&request), Result::Ok);
+    EXPECT_EQ(request.body, "abcd");
+}
+
+TEST(HttpRequestParser, ByteAtATimeFeedStillParses)
+{
+    const std::string wire =
+        "POST /v1/jobs HTTP/1.1\r\nContent-Length: 2\r\n\r\nhi";
+    HttpRequestParser parser;
+    HttpRequest request;
+    for (std::size_t i = 0; i + 1 < wire.size(); ++i) {
+        parser.feed(std::string_view(&wire[i], 1));
+        EXPECT_EQ(parser.next(&request), Result::NeedMore);
+    }
+    parser.feed(std::string_view(&wire[wire.size() - 1], 1));
+    ASSERT_EQ(parser.next(&request), Result::Ok);
+    EXPECT_EQ(request.body, "hi");
+}
+
+TEST(HttpRequestParser, PipelinedRequestsDrainInOrder)
+{
+    HttpRequestParser parser;
+    parser.feed("GET /a HTTP/1.1\r\n\r\n"
+                "POST /b HTTP/1.1\r\nContent-Length: 1\r\n\r\nX"
+                "GET /c HTTP/1.1\r\n\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Ok);
+    EXPECT_EQ(request.target, "/a");
+    ASSERT_EQ(parser.next(&request), Result::Ok);
+    EXPECT_EQ(request.target, "/b");
+    EXPECT_EQ(request.body, "X");
+    ASSERT_EQ(parser.next(&request), Result::Ok);
+    EXPECT_EQ(request.target, "/c");
+    EXPECT_EQ(parser.next(&request), Result::NeedMore);
+}
+
+TEST(HttpRequestParser, MalformedStartLineIs400)
+{
+    HttpRequestParser parser;
+    parser.feed("NOT-HTTP\r\nHost: x\r\n\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+    // The parser stays parked: more bytes cannot resurrect it.
+    parser.feed("GET / HTTP/1.1\r\n\r\n");
+    EXPECT_EQ(parser.next(&request), Result::Error);
+}
+
+TEST(HttpRequestParser, FourTokenStartLineIs400)
+{
+    HttpRequestParser parser;
+    parser.feed("GET / HTTP/1.1 extra\r\n\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpRequestParser, BadContentLengthIs400)
+{
+    HttpRequestParser parser;
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: banana\r\n\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 400);
+}
+
+TEST(HttpRequestParser, OversizedHeaderBlockIs431)
+{
+    HttpRequestParser parser;
+    parser.max_header_bytes = 128;
+    std::string wire = "GET / HTTP/1.1\r\nX-Big: ";
+    wire.append(256, 'a');
+    wire += "\r\n\r\n";
+    parser.feed(wire);
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 431);
+}
+
+TEST(HttpRequestParser, OversizedBodyIs413)
+{
+    HttpRequestParser parser;
+    parser.max_body_bytes = 16;
+    parser.feed("POST / HTTP/1.1\r\nContent-Length: 1000\r\n\r\n");
+    HttpRequest request;
+    ASSERT_EQ(parser.next(&request), Result::Error);
+    EXPECT_EQ(parser.errorStatus(), 413);
+}
+
+TEST(HttpRequestParser, ConnectionCloseDisablesKeepAlive)
+{
+    const HttpRequest request =
+        mustParse("GET / HTTP/1.1\r\nConnection: close\r\n\r\n");
+    EXPECT_FALSE(request.keepAlive());
+}
+
+TEST(HttpResponse, SerializeAddsContentLengthAndReason)
+{
+    HttpResponse response;
+    response.status = 404;
+    response.set("Content-Type", "application/json");
+    response.body = "{}";
+    const std::string wire = response.serialize();
+    EXPECT_NE(wire.find("HTTP/1.1 404 Not Found\r\n"), std::string::npos);
+    EXPECT_NE(wire.find("Content-Length: 2\r\n"), std::string::npos);
+    EXPECT_EQ(wire.substr(wire.size() - 2), "{}");
+}
+
+TEST(HttpResponse, RoundTripsThroughResponseParser)
+{
+    HttpResponse response;
+    response.status = 429;
+    response.set("Retry-After", "3");
+    response.body = "slow down";
+    HttpResponseParser parser;
+    parser.feed(response.serialize());
+    HttpResponseParser::Response parsed;
+    ASSERT_EQ(parser.next(&parsed), HttpResponseParser::Result::Ok);
+    EXPECT_EQ(parsed.status, 429);
+    EXPECT_EQ(parsed.header("retry-after"), "3");
+    EXPECT_EQ(parsed.body, "slow down");
+}
+
+TEST(HttpResponse, ChunkedStreamDecodesChunkByChunk)
+{
+    HttpResponse head;
+    head.status = 200;
+    head.chunked = true;
+    HttpResponseParser parser;
+    parser.feed(head.serialize());
+    parser.feed(chunkEncode("first\n"));
+
+    std::string chunk;
+    ASSERT_EQ(parser.nextChunk(&chunk), HttpResponseParser::Result::Ok);
+    EXPECT_EQ(chunk, "first\n");
+    EXPECT_EQ(parser.headerStatus(), 200);
+    EXPECT_TRUE(parser.headerChunked());
+    EXPECT_EQ(parser.nextChunk(&chunk),
+              HttpResponseParser::Result::NeedMore);
+
+    parser.feed(chunkEncode("second\n"));
+    parser.feed(std::string(kChunkedEnd));
+    ASSERT_EQ(parser.nextChunk(&chunk), HttpResponseParser::Result::Ok);
+    EXPECT_EQ(chunk, "second\n");
+    ASSERT_EQ(parser.nextChunk(&chunk), HttpResponseParser::Result::Ok);
+    EXPECT_TRUE(chunk.empty()) << "empty chunk signals stream end";
+}
+
+TEST(HttpResponse, ChunkedBodyReassemblesThroughNext)
+{
+    HttpResponse head;
+    head.status = 200;
+    head.chunked = true;
+    HttpResponseParser parser;
+    parser.feed(head.serialize() + chunkEncode("ab") + chunkEncode("cd") +
+                std::string(kChunkedEnd));
+    HttpResponseParser::Response parsed;
+    ASSERT_EQ(parser.next(&parsed), HttpResponseParser::Result::Ok);
+    EXPECT_EQ(parsed.body, "abcd");
+}
+
+} // namespace
+} // namespace server
+} // namespace cosa

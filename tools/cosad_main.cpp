@@ -1,0 +1,110 @@
+/**
+ * @file
+ * cosad — the scheduling engine as a standalone network daemon.
+ *
+ *   cosad [--host H] [--port P] [--threads N] [--handlers N]
+ *         [--tenants FILE] [--max-queued N] [--max-inflight N]
+ *         [--aging-sec S]
+ *
+ * --port 0 (the default) binds an ephemeral port and prints it, which
+ * is what the smoke tests use. --tenants points at the JSON tenant
+ * config (see docs/serving-daemon.md); the COSAD_TENANTS environment
+ * variable overrides file entries of the same name. With no tenants
+ * configured the daemon runs open (single "default" tenant, no
+ * quota). SIGINT/SIGTERM shut down cleanly.
+ */
+
+#include <csignal>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "common/logging.hpp"
+#include "server/daemon.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+
+void
+onSignal(int)
+{
+    g_stop = 1;
+}
+
+} // namespace
+
+int
+main(int argc, char** argv)
+{
+    using namespace cosa;
+    using namespace cosa::server;
+
+    DaemonConfig config;
+    std::string tenants_file;
+    for (int a = 1; a < argc; ++a) {
+        const auto want = [&](const char* flag) {
+            return std::strcmp(argv[a], flag) == 0 && a + 1 < argc;
+        };
+        if (want("--host")) {
+            config.host = argv[++a];
+        } else if (want("--port")) {
+            config.port = std::atoi(argv[++a]);
+        } else if (want("--threads")) {
+            config.service.num_threads = std::atoi(argv[++a]);
+        } else if (want("--handlers")) {
+            config.num_handler_threads = std::atoi(argv[++a]);
+        } else if (want("--tenants")) {
+            tenants_file = argv[++a];
+        } else if (want("--max-queued")) {
+            config.service.max_queued_jobs = std::atoll(argv[++a]);
+        } else if (want("--max-inflight")) {
+            config.service.max_inflight_jobs = std::atoll(argv[++a]);
+        } else if (want("--aging-sec")) {
+            config.service.aging_sec = std::atof(argv[++a]);
+        } else {
+            fatal("unknown or incomplete flag '", argv[a],
+                  "' (see the file comment in tools/cosad_main.cpp)");
+        }
+    }
+
+    if (!tenants_file.empty()) {
+        std::ifstream in(tenants_file);
+        if (!in)
+            fatal("cannot read --tenants file '", tenants_file, "'");
+        std::ostringstream text;
+        text << in.rdbuf();
+        StatusOr<std::vector<TenantSpec>> parsed =
+            TenantRegistry::parseConfig(text.str());
+        if (!parsed.ok())
+            fatal("bad --tenants file: ", parsed.status().message());
+        config.tenants = std::move(parsed).value();
+    }
+    if (const char* env = std::getenv("COSAD_TENANTS")) {
+        const Status overridden =
+            TenantRegistry::applyEnvOverride(env, &config.tenants);
+        if (!overridden.ok())
+            fatal("bad COSAD_TENANTS: ", overridden.message());
+    }
+
+    Daemon daemon(std::move(config));
+    const Status started = daemon.start();
+    if (!started.ok())
+        fatal("cosad failed to start: ", started.message());
+    // The smoke tests scrape this exact line for the ephemeral port.
+    std::cout << "cosad ready on " << daemon.host() << ":"
+              << daemon.port() << std::endl;
+
+    std::signal(SIGINT, onSignal);
+    std::signal(SIGTERM, onSignal);
+    while (!g_stop) {
+        struct timespec ts = {0, 200 * 1000 * 1000};
+        nanosleep(&ts, nullptr);
+    }
+    inform("cosad: shutting down");
+    daemon.stop();
+    return 0;
+}
