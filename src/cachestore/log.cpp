@@ -1,0 +1,726 @@
+#include "cachestore/log.hpp"
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+#include <filesystem>
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+namespace cosa {
+namespace cachestore {
+
+namespace {
+
+constexpr char kMagic[8] = {'c', 'o', 's', 'a', 'c', 'l', 'o', 'g'};
+constexpr std::uint32_t kVersion = 1;
+// magic + version + shard_index + num_shards
+constexpr std::uint64_t kHeaderBytes = 8 + 4 + 4 + 4;
+// payload_len + checksum
+constexpr std::uint64_t kFrameBytes = 4 + 8;
+/** A frame longer than this is corruption, not a record (the largest
+ *  real entry is a few KiB of mapping + level vectors). */
+constexpr std::uint32_t kMaxPayloadBytes = 64u << 20;
+
+// --- byte codec ----------------------------------------------------------
+
+/** The wire is little-endian; on a little-endian host the codec is a
+ *  plain memcpy, the shift loops are the portable fallback. */
+constexpr bool kLittleEndianHost =
+    std::endian::native == std::endian::little;
+
+void
+putU32(std::string& out, std::uint32_t v)
+{
+    char bytes[4];
+    if constexpr (kLittleEndianHost) {
+        std::memcpy(bytes, &v, 4);
+    } else {
+        for (int i = 0; i < 4; ++i)
+            bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    out.append(bytes, 4);
+}
+
+void
+putU64(std::string& out, std::uint64_t v)
+{
+    char bytes[8];
+    if constexpr (kLittleEndianHost) {
+        std::memcpy(bytes, &v, 8);
+    } else {
+        for (int i = 0; i < 8; ++i)
+            bytes[i] = static_cast<char>((v >> (8 * i)) & 0xFF);
+    }
+    out.append(bytes, 8);
+}
+
+/** LEB128: record payloads carry their integers as varints (counters,
+ *  bounds and lengths are almost always small), which roughly halves a
+ *  record on disk — and every byte saved is a byte the load-path
+ *  checksum never has to grind through. Frame and file headers keep
+ *  fixed-width integers so the scan geometry never depends on record
+ *  contents. */
+void
+putVarint(std::string& out, std::uint64_t v)
+{
+    while (v >= 0x80) {
+        out.push_back(static_cast<char>((v & 0x7F) | 0x80));
+        v >>= 7;
+    }
+    out.push_back(static_cast<char>(v));
+}
+
+/** Zigzag + LEB128 (small negatives stay small). */
+void
+putI64(std::string& out, std::int64_t v)
+{
+    putVarint(out, (static_cast<std::uint64_t>(v) << 1) ^
+                       static_cast<std::uint64_t>(v >> 63));
+}
+
+void
+putDouble(std::string& out, double v)
+{
+    std::uint64_t bits = 0;
+    static_assert(sizeof(bits) == sizeof(v));
+    std::memcpy(&bits, &v, sizeof(bits));
+    putU64(out, bits);
+}
+
+void
+putString(std::string& out, const std::string& s)
+{
+    putVarint(out, s.size());
+    out.append(s);
+}
+
+void
+putDoubles(std::string& out, const std::vector<double>& values)
+{
+    putVarint(out, values.size());
+    for (double v : values)
+        putDouble(out, v);
+}
+
+/** Bounds-checked sequential reader over one payload. */
+struct Cursor
+{
+    const unsigned char* data;
+    std::size_t size;
+    std::size_t pos = 0;
+    bool ok = true;
+
+    explicit Cursor(std::string_view bytes)
+        : data(reinterpret_cast<const unsigned char*>(bytes.data())),
+          size(bytes.size())
+    {
+    }
+
+    bool
+    take(std::size_t n, const unsigned char** out)
+    {
+        if (!ok || size - pos < n) {
+            ok = false;
+            return false;
+        }
+        *out = data + pos;
+        pos += n;
+        return true;
+    }
+
+    std::uint32_t
+    u32()
+    {
+        const unsigned char* p = nullptr;
+        if (!take(4, &p))
+            return 0;
+        std::uint32_t v = 0;
+        if constexpr (kLittleEndianHost) {
+            std::memcpy(&v, p, 4);
+        } else {
+            for (int i = 3; i >= 0; --i)
+                v = (v << 8) | p[i];
+        }
+        return v;
+    }
+
+    std::uint64_t
+    u64()
+    {
+        const unsigned char* p = nullptr;
+        if (!take(8, &p))
+            return 0;
+        std::uint64_t v = 0;
+        if constexpr (kLittleEndianHost) {
+            std::memcpy(&v, p, 8);
+        } else {
+            for (int i = 7; i >= 0; --i)
+                v = (v << 8) | p[i];
+        }
+        return v;
+    }
+
+    std::uint64_t
+    varint()
+    {
+        std::uint64_t v = 0;
+        // One byte covers the common case (counters, lengths, bounds);
+        // the tail loop handles the rest up to the 10-byte maximum.
+        if (!ok || pos >= size) {
+            ok = false;
+            return 0;
+        }
+        std::uint8_t b = data[pos++];
+        if ((b & 0x80) == 0)
+            return b;
+        v = b & 0x7F;
+        for (int shift = 7; shift < 64; shift += 7) {
+            if (pos >= size) {
+                ok = false;
+                return 0;
+            }
+            b = data[pos++];
+            v |= static_cast<std::uint64_t>(b & 0x7F) << shift;
+            if ((b & 0x80) == 0)
+                return v;
+        }
+        ok = false; // > 10 bytes: not a varint
+        return 0;
+    }
+
+    std::int64_t
+    i64()
+    {
+        const std::uint64_t z = varint();
+        return static_cast<std::int64_t>((z >> 1) ^ (~(z & 1) + 1));
+    }
+
+    double
+    f64()
+    {
+        const std::uint64_t bits = u64();
+        double v = 0.0;
+        std::memcpy(&v, &bits, sizeof(v));
+        return v;
+    }
+
+    std::uint8_t
+    u8()
+    {
+        const unsigned char* p = nullptr;
+        if (!take(1, &p))
+            return 0;
+        return *p;
+    }
+
+    std::string
+    str()
+    {
+        const std::uint64_t n = varint();
+        const unsigned char* p = nullptr;
+        if (n > size || !take(n, &p))
+            return std::string();
+        return std::string(reinterpret_cast<const char*>(p), n);
+    }
+
+    std::vector<double>
+    doubles()
+    {
+        const std::uint64_t n = varint();
+        std::vector<double> out;
+        if (!ok || n > size / 8 + 1) {
+            ok = false;
+            return out;
+        }
+        if constexpr (kLittleEndianHost) {
+            const unsigned char* p = nullptr;
+            if (!take(n * sizeof(double), &p))
+                return out;
+            out.resize(n);
+            std::memcpy(out.data(), p, n * sizeof(double));
+            return out;
+        }
+        out.reserve(n);
+        for (std::uint32_t i = 0; i < n && ok; ++i)
+            out.push_back(f64());
+        return out;
+    }
+};
+
+std::string
+headerBytesFor(std::uint32_t shard_index, std::uint32_t num_shards)
+{
+    std::string header(kMagic, sizeof(kMagic));
+    putU32(header, kVersion);
+    putU32(header, shard_index);
+    putU32(header, num_shards);
+    return header;
+}
+
+} // namespace
+
+std::uint64_t
+fnv1a(const void* data, std::size_t size)
+{
+    const unsigned char* bytes = static_cast<const unsigned char*>(data);
+    std::uint64_t h = 0xCBF29CE484222325ULL;
+    for (std::size_t i = 0; i < size; ++i) {
+        h ^= bytes[i];
+        h *= 0x100000001B3ULL;
+    }
+    return h;
+}
+
+std::string
+encodeRecord(const LogRecord& record)
+{
+    std::string out;
+    out.reserve(256);
+    out.push_back(static_cast<char>(record.kind));
+    putVarint(out, record.seq);
+    putString(out, record.key.layer_key);
+    putString(out, record.key.arch_key);
+    putString(out, record.key.scheduler_key);
+    putString(out, record.key.evaluator_key);
+    if (record.kind == LogRecord::Kind::kEvict)
+        return out;
+
+    const LayerSpec& l = record.layer;
+    putString(out, l.name);
+    putI64(out, l.r);
+    putI64(out, l.s);
+    putI64(out, l.p);
+    putI64(out, l.q);
+    putI64(out, l.c);
+    putI64(out, l.k);
+    putI64(out, l.n);
+    putI64(out, l.stride);
+
+    const SearchResult& r = record.result;
+    out.push_back(r.found ? 1 : 0);
+    putString(out, r.scheduler);
+
+    // The full SearchStats, unlike the 7-field text snapshot: the
+    // binary tier has no legacy readers to stay line-compatible with,
+    // so phase timings and LU counters survive a round trip too.
+    const SearchStats& s = r.stats;
+    putI64(out, s.samples);
+    putI64(out, s.valid_evaluated);
+    putDouble(out, s.search_time_sec);
+    putI64(out, s.mip_nodes);
+    putI64(out, s.lp_iterations);
+    putI64(out, s.warm_starts_installed);
+    putI64(out, s.warm_start_hits);
+    putDouble(out, s.presolve_time_sec);
+    putDouble(out, s.root_lp_time_sec);
+    putDouble(out, s.tree_time_sec);
+    putI64(out, s.lu_factorizations);
+    putI64(out, s.lu_eta_updates);
+    putI64(out, s.lu_unstable_updates);
+    putI64(out, s.lu_fill_refactor_requests);
+
+    const Evaluation& ev = r.eval;
+    out.push_back(ev.valid ? 1 : 0);
+    putString(out, ev.invalid_reason);
+    putDouble(out, ev.compute_cycles);
+    putDouble(out, ev.memory_cycles);
+    putDouble(out, ev.cycles);
+    putDouble(out, ev.energy_pj);
+    putDouble(out, ev.mac_energy_pj);
+    putDouble(out, ev.noc_energy_pj);
+    putDouble(out, ev.noc_bytes);
+    putDouble(out, ev.dram_bytes);
+    putDouble(out, ev.spatial_utilization);
+    putI64(out, ev.total_macs);
+    putDoubles(out, ev.reads_bytes);
+    putDoubles(out, ev.writes_bytes);
+    putDoubles(out, ev.level_cycles);
+    putDoubles(out, ev.level_energy_pj);
+
+    putVarint(out, r.mapping.levels.size());
+    for (const auto& level : r.mapping.levels) {
+        putVarint(out, level.size());
+        for (const Loop& loop : level) {
+            out.push_back(static_cast<char>(loop.dim));
+            putI64(out, loop.bound);
+            out.push_back(loop.spatial ? 1 : 0);
+        }
+    }
+    return out;
+}
+
+bool
+decodeRecord(std::string_view payload, LogRecord* record)
+{
+    Cursor in(payload);
+    const std::uint8_t kind = in.u8();
+    if (kind != static_cast<std::uint8_t>(LogRecord::Kind::kInsert) &&
+        kind != static_cast<std::uint8_t>(LogRecord::Kind::kEvict))
+        return false;
+    record->kind = static_cast<LogRecord::Kind>(kind);
+    record->seq = in.varint();
+    record->key.layer_key = in.str();
+    record->key.arch_key = in.str();
+    record->key.scheduler_key = in.str();
+    record->key.evaluator_key = in.str();
+    if (record->kind == LogRecord::Kind::kEvict)
+        return in.ok && in.pos == in.size;
+
+    LayerSpec& l = record->layer;
+    l.name = in.str();
+    l.r = in.i64();
+    l.s = in.i64();
+    l.p = in.i64();
+    l.q = in.i64();
+    l.c = in.i64();
+    l.k = in.i64();
+    l.n = in.i64();
+    l.stride = in.i64();
+
+    SearchResult& r = record->result;
+    r.found = in.u8() != 0;
+    r.scheduler = in.str();
+
+    SearchStats& s = r.stats;
+    s.samples = in.i64();
+    s.valid_evaluated = in.i64();
+    s.search_time_sec = in.f64();
+    s.mip_nodes = in.i64();
+    s.lp_iterations = in.i64();
+    s.warm_starts_installed = in.i64();
+    s.warm_start_hits = in.i64();
+    s.presolve_time_sec = in.f64();
+    s.root_lp_time_sec = in.f64();
+    s.tree_time_sec = in.f64();
+    s.lu_factorizations = in.i64();
+    s.lu_eta_updates = in.i64();
+    s.lu_unstable_updates = in.i64();
+    s.lu_fill_refactor_requests = in.i64();
+
+    Evaluation& ev = r.eval;
+    ev.valid = in.u8() != 0;
+    ev.invalid_reason = in.str();
+    ev.compute_cycles = in.f64();
+    ev.memory_cycles = in.f64();
+    ev.cycles = in.f64();
+    ev.energy_pj = in.f64();
+    ev.mac_energy_pj = in.f64();
+    ev.noc_energy_pj = in.f64();
+    ev.noc_bytes = in.f64();
+    ev.dram_bytes = in.f64();
+    ev.spatial_utilization = in.f64();
+    ev.total_macs = in.i64();
+    ev.reads_bytes = in.doubles();
+    ev.writes_bytes = in.doubles();
+    ev.level_cycles = in.doubles();
+    ev.level_energy_pj = in.doubles();
+
+    const std::uint64_t num_levels = in.varint();
+    if (!in.ok || num_levels > 64)
+        return false;
+    r.mapping.levels.assign(num_levels, {});
+    for (std::uint64_t lv = 0; lv < num_levels; ++lv) {
+        const std::uint64_t num_loops = in.varint();
+        if (!in.ok || num_loops > 4096)
+            return false;
+        auto& loops = r.mapping.levels[lv];
+        loops.resize(num_loops);
+        for (Loop& loop : loops) {
+            const std::uint8_t dim = in.u8();
+            loop.bound = in.i64();
+            loop.spatial = in.u8() != 0;
+            if (dim >= kNumDims)
+                return false;
+            loop.dim = static_cast<Dim>(dim);
+        }
+    }
+    return in.ok && in.pos == in.size;
+}
+
+std::string
+frameRecord(const std::string& payload)
+{
+    std::string frame;
+    frame.reserve(kFrameBytes + payload.size());
+    putU32(frame, static_cast<std::uint32_t>(payload.size()));
+    putU64(frame, fnv1a(payload.data(), payload.size()));
+    frame.append(payload);
+    return frame;
+}
+
+std::uint64_t
+logHeaderBytes()
+{
+    return kHeaderBytes;
+}
+
+std::uint64_t
+framedBytes(const std::string& payload)
+{
+    return kFrameBytes + payload.size();
+}
+
+LogReadResult
+readLog(const std::string& path,
+        const std::function<bool(LogRecord&&, std::uint32_t)>& visit)
+{
+    LogReadResult out;
+    std::error_code ec;
+    if (!std::filesystem::exists(path, ec)) {
+        // A fresh shard: nothing to replay, the writer creates it.
+        out.ok = true;
+        return out;
+    }
+    // Map the file when possible (no copy of a multi-MiB shard just
+    // to scan it); fall back to a plain read. The scan only ever
+    // touches [0, st_size) captured at open, so a concurrent append
+    // past it is invisible rather than a race.
+    std::string owned;
+    std::string_view bytes;
+    void* mapped = nullptr;
+    std::size_t mapped_size = 0;
+    {
+        const int fd = ::open(path.c_str(), O_RDONLY);
+        if (fd < 0) {
+            out.error = path + ": " + std::strerror(errno);
+            return out;
+        }
+        struct stat st;
+        if (::fstat(fd, &st) != 0) {
+            ::close(fd);
+            out.error = path + ": " + std::strerror(errno);
+            return out;
+        }
+        const std::size_t size = static_cast<std::size_t>(st.st_size);
+        if (size > 0) {
+            // POPULATE prefills the page tables in one pass instead of
+            // one soft fault per 4 KiB of a multi-MiB shard (the scan
+            // touches every byte anyway).
+            int flags = MAP_PRIVATE;
+#ifdef MAP_POPULATE
+            flags |= MAP_POPULATE;
+#endif
+            void* m = ::mmap(nullptr, size, PROT_READ, flags, fd, 0);
+            if (m != MAP_FAILED) {
+                mapped = m;
+                mapped_size = size;
+#ifdef MADV_SEQUENTIAL
+                ::madvise(m, size, MADV_SEQUENTIAL);
+#endif
+                bytes = std::string_view(static_cast<const char*>(m), size);
+            }
+        }
+        if (mapped == nullptr) {
+            owned.reserve(size);
+            char buffer[1 << 16];
+            for (;;) {
+                const ssize_t n = ::read(fd, buffer, sizeof(buffer));
+                if (n < 0) {
+                    ::close(fd);
+                    out.error = path + ": " + std::strerror(errno);
+                    return out;
+                }
+                if (n == 0)
+                    break;
+                owned.append(buffer, static_cast<std::size_t>(n));
+            }
+            bytes = owned;
+        }
+        ::close(fd);
+    }
+    struct Unmap
+    {
+        void* mapped;
+        std::size_t size;
+        ~Unmap()
+        {
+            if (mapped != nullptr)
+                ::munmap(mapped, size);
+        }
+    } unmap{mapped, mapped_size};
+    if (bytes.size() < kHeaderBytes ||
+        std::memcmp(bytes.data(), kMagic, sizeof(kMagic)) != 0) {
+        out.error = path + ": not a cosa cachestore shard log";
+        return out;
+    }
+    Cursor header(bytes);
+    header.pos = sizeof(kMagic);
+    const std::uint32_t version = header.u32();
+    if (version != kVersion) {
+        out.error = path + ": unsupported shard log version " +
+                    std::to_string(version);
+        return out;
+    }
+    out.shard_index = header.u32();
+    out.num_shards = header.u32();
+
+    // Frame scan: stop at the first torn or corrupt frame. Everything
+    // before it is intact (each frame carries its own checksum);
+    // everything after it is unreachable in an append-only file, so
+    // the prefix cut *is* the recovery.
+    std::size_t pos = kHeaderBytes;
+    out.valid_bytes = pos;
+    while (pos < bytes.size()) {
+        if (bytes.size() - pos < kFrameBytes) {
+            ++out.records_skipped; // torn mid frame header
+            break;
+        }
+        Cursor frame(bytes);
+        frame.pos = pos;
+        const std::uint32_t payload_len = frame.u32();
+        const std::uint64_t checksum = frame.u64();
+        if (payload_len > kMaxPayloadBytes ||
+            bytes.size() - frame.pos < payload_len) {
+            ++out.records_skipped; // torn mid payload (or length junk)
+            break;
+        }
+        const std::string_view payload(bytes.data() + frame.pos,
+                                       payload_len);
+        if (fnv1a(payload.data(), payload.size()) != checksum) {
+            ++out.records_skipped; // bit flip
+            break;
+        }
+        LogRecord record;
+        if (!decodeRecord(payload, &record)) {
+            ++out.records_skipped;
+            ++out.decode_failures;
+            break;
+        }
+        pos = frame.pos + payload_len;
+        out.valid_bytes = pos;
+        if (!visit(std::move(record),
+                   static_cast<std::uint32_t>(kFrameBytes + payload_len)))
+            break;
+    }
+    out.torn_tail = out.valid_bytes < bytes.size();
+    out.ok = true;
+    return out;
+}
+
+LogReadResult
+readLog(const std::string& path)
+{
+    std::vector<LogRecord> records;
+    std::vector<std::uint32_t> framed_bytes;
+    LogReadResult out = readLog(
+        path, [&](LogRecord&& record, std::uint32_t bytes) {
+            records.push_back(std::move(record));
+            framed_bytes.push_back(bytes);
+            return true;
+        });
+    out.records = std::move(records);
+    out.framed_bytes = std::move(framed_bytes);
+    return out;
+}
+
+Status
+LogWriter::open(const std::string& path, std::uint32_t shard_index,
+                std::uint32_t num_shards, std::uint64_t valid_bytes,
+                bool fsync_each_append)
+{
+    close();
+    fsync_each_append_ = fsync_each_append;
+    std::error_code ec;
+    const bool fresh = !std::filesystem::exists(path, ec);
+    fd_ = ::open(path.c_str(), O_WRONLY | O_CREAT, 0644);
+    if (fd_ < 0)
+        return Status{ErrorCode::kIoError,
+                      "cachestore: cannot open " + path + ": " +
+                          std::strerror(errno)};
+    if (fresh || valid_bytes < kHeaderBytes) {
+        const std::string header = headerBytesFor(shard_index, num_shards);
+        if (::ftruncate(fd_, 0) != 0 ||
+            ::write(fd_, header.data(), header.size()) !=
+                static_cast<ssize_t>(header.size()) ||
+            ::fsync(fd_) != 0) {
+            const Status status{ErrorCode::kIoError,
+                                "cachestore: cannot initialize " + path +
+                                    ": " + std::strerror(errno)};
+            close();
+            return status;
+        }
+        bytes_ = kHeaderBytes;
+        return Status::Ok();
+    }
+    // Reopen after readLog(): cut the torn tail (if any) so the next
+    // append lands at the end of the valid prefix.
+    if (::ftruncate(fd_, static_cast<off_t>(valid_bytes)) != 0 ||
+        ::lseek(fd_, 0, SEEK_END) < 0) {
+        const Status status{ErrorCode::kIoError,
+                            "cachestore: cannot truncate " + path + ": " +
+                                std::strerror(errno)};
+        close();
+        return status;
+    }
+    bytes_ = valid_bytes;
+    return Status::Ok();
+}
+
+Status
+LogWriter::openTruncated(const std::string& path,
+                         std::uint32_t shard_index,
+                         std::uint32_t num_shards, bool fsync_each_append)
+{
+    close();
+    std::error_code ec;
+    std::filesystem::remove(path, ec);
+    return open(path, shard_index, num_shards, 0, fsync_each_append);
+}
+
+Status
+LogWriter::append(const std::string& payload)
+{
+    if (fd_ < 0)
+        return Status{ErrorCode::kIoError, "cachestore: writer not open"};
+    const std::string frame = frameRecord(payload);
+    std::size_t written = 0;
+    while (written < frame.size()) {
+        const ssize_t n = ::write(fd_, frame.data() + written,
+                                  frame.size() - written);
+        if (n < 0) {
+            if (errno == EINTR)
+                continue;
+            return Status{ErrorCode::kIoError,
+                          std::string("cachestore: append failed: ") +
+                              std::strerror(errno)};
+        }
+        written += static_cast<std::size_t>(n);
+    }
+    bytes_ += frame.size();
+    dirty_ = true;
+    if (fsync_each_append_)
+        return sync();
+    return Status::Ok();
+}
+
+Status
+LogWriter::sync()
+{
+    if (fd_ < 0 || !dirty_)
+        return Status::Ok();
+    if (::fsync(fd_) != 0)
+        return Status{ErrorCode::kIoError,
+                      std::string("cachestore: fsync failed: ") +
+                          std::strerror(errno)};
+    dirty_ = false;
+    return Status::Ok();
+}
+
+void
+LogWriter::close()
+{
+    if (fd_ >= 0) {
+        sync();
+        ::close(fd_);
+        fd_ = -1;
+    }
+    bytes_ = 0;
+    dirty_ = false;
+}
+
+} // namespace cachestore
+} // namespace cosa

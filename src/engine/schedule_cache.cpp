@@ -114,6 +114,15 @@ ScheduleCache::evictOneLocked()
     ++evictions_;
     static metrics::Counter& evict_counter = cacheEventCounter("evict");
     evict_counter.inc();
+    // Dedicated eviction series (shard-labeled so the sharded
+    // cachestore tier and this process-local map stay distinguishable
+    // on one dashboard; the base class is the unsharded "local" shard).
+    static metrics::Counter& eviction_total =
+        metrics::MetricsRegistry::global().counter(
+            "cosa_cache_evictions_total",
+            "Schedule-cache LRU evictions by shard",
+            {{"shard", "local"}});
+    eviction_total.inc();
     if (order_tombstones_ > entries_.size() + 16)
         compactOrderLocked();
 }
@@ -225,6 +234,31 @@ ScheduleCache::stats() const
     stats.neighbor_hits = neighbor_hits_;
     stats.evictions = evictions_;
     return stats;
+}
+
+std::vector<ScheduleCache::ExportedEntry>
+ScheduleCache::exportEntries() const
+{
+    std::lock_guard<std::mutex> lock(mutex_);
+    std::vector<ExportedEntry> out;
+    out.reserve(entries_.size());
+    for (const std::string& flat : insertion_order_) {
+        if (flat.empty())
+            continue; // eviction tombstone
+        const auto it = entries_.find(flat);
+        if (it == entries_.end())
+            continue;
+        const Entry& e = it->second;
+        ExportedEntry exported;
+        exported.key.layer_key = e.layer_key;
+        exported.key.arch_key = e.arch_key;
+        exported.key.scheduler_key = e.scheduler_key;
+        exported.key.evaluator_key = e.evaluator_key;
+        exported.result = e.result;
+        exported.layer = e.layer;
+        out.push_back(std::move(exported));
+    }
+    return out;
 }
 
 void

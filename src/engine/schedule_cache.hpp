@@ -92,7 +92,16 @@ struct ScheduleCacheStats
  */
 double canonicalLayerDistance(const LayerSpec& a, const LayerSpec& b);
 
-/** Thread-safe (layer, arch, scheduler) -> SearchResult memo table. */
+/**
+ * Thread-safe (layer, arch, scheduler) -> SearchResult memo table.
+ *
+ * The class is the polymorphic cache interface of the engine: every
+ * method a job touches is virtual, so a request can mount a different
+ * tier (cachestore::PersistentScheduleCache, the sharded on-disk
+ * store) behind the same `std::shared_ptr<ScheduleCache>` without the
+ * engine knowing. The base class is the process-local in-memory
+ * implementation.
+ */
 class ScheduleCache
 {
   public:
@@ -102,18 +111,20 @@ class ScheduleCache
      */
     explicit ScheduleCache(std::int64_t capacity = 0);
 
+    virtual ~ScheduleCache() = default;
+
     /**
      * Look up @p key; counts a hit or a miss (a hit refreshes the
      * entry's LRU recency). The returned result's
      * search_time_sec is the original solve's time (callers decide how
      * to account cached time).
      */
-    std::optional<SearchResult> lookup(const ScheduleCacheKey& key);
+    virtual std::optional<SearchResult> lookup(const ScheduleCacheKey& key);
 
     /** Insert (or overwrite) the result for @p key. @p layer describes
      *  the problem's shape for nearest-neighbor queries. */
-    void insert(const ScheduleCacheKey& key, const SearchResult& result,
-                const LayerSpec& layer);
+    virtual void insert(const ScheduleCacheKey& key,
+                       const SearchResult& result, const LayerSpec& layer);
 
     /**
      * The cached schedule nearest to (@p target, @p arch_key) under the
@@ -129,32 +140,48 @@ class ScheduleCache
      * with a found schedule qualify. Counts a neighbor_hit when a
      * candidate is returned; exact hit/miss counters are untouched.
      */
-    std::optional<SearchResult> nearestNeighbor(
+    virtual std::optional<SearchResult> nearestNeighbor(
         const std::string& arch_key, const std::string& scheduler_key,
         const std::string& evaluator_key, const LayerSpec& target);
 
     /** True when @p key is present, without touching the counters
      *  (or the LRU recency). */
-    bool contains(const ScheduleCacheKey& key) const;
+    virtual bool contains(const ScheduleCacheKey& key) const;
 
     /** Live entry count (same number stats().entries reports). */
-    std::size_t size() const;
+    virtual std::size_t size() const;
 
     /** The LRU entry bound; 0 = unbounded. */
-    std::int64_t capacity() const;
+    virtual std::int64_t capacity() const;
 
     /**
      * Change the LRU entry bound (0 = unbounded). Shrinking below the
      * current size evicts least-recently-used entries immediately
      * (counted in stats().evictions).
      */
-    void setCapacity(std::int64_t capacity);
+    virtual void setCapacity(std::int64_t capacity);
 
     /** Snapshot of the counters. */
-    ScheduleCacheStats stats() const;
+    virtual ScheduleCacheStats stats() const;
 
     /** Drop every entry; counters keep their lifetime totals. */
-    void clear();
+    virtual void clear();
+
+    /** One entry as exportEntries() hands it out. */
+    struct ExportedEntry
+    {
+        ScheduleCacheKey key;
+        SearchResult result;
+        LayerSpec layer;
+    };
+
+    /**
+     * Every live entry in first-insertion order (the same order save()
+     * writes and nearestNeighbor() scans). The snapshot is a deep copy
+     * taken under the lock — format converters (binary shard <-> text
+     * snapshot) iterate it without holding the cache up.
+     */
+    virtual std::vector<ExportedEntry> exportEntries() const;
 
     /** Outcome of a save() or load(). */
     struct IoResult
@@ -178,7 +205,7 @@ class ScheduleCache
      * never truncate an existing snapshot. Missing parent directories
      * are created. Counters are not persisted.
      */
-    IoResult save(const std::string& path) const;
+    virtual IoResult save(const std::string& path) const;
 
     /**
      * Merge a snapshot written by save() into this cache: entries keep
@@ -194,7 +221,7 @@ class ScheduleCache
      * pre-checksum v1/v2 snapshots load as before (parse-checked
      * only).
      */
-    IoResult load(const std::string& path);
+    virtual IoResult load(const std::string& path);
 
   private:
     struct Entry

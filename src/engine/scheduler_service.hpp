@@ -391,6 +391,15 @@ class SchedulerService
     const ServiceConfig& config() const { return config_; }
 
     /**
+     * The shared work-stealing executor. Exposed for background
+     * maintenance work that should ride the engine's worker crew as
+     * threadless continuations (e.g. cachestore compaction) instead of
+     * owning a thread; submit such sets on the lowest-priority tier so
+     * they never delay a solve. Valid for the service's lifetime.
+     */
+    Executor& executor() { return *executor_; }
+
+    /**
      * The process-wide default service (hardware-width executor,
      * unlimited admission): what the SchedulingEngine compatibility
      * wrappers submit to, so every engine in the process shares one

@@ -90,6 +90,34 @@ Daemon::start()
 {
     if (running_.load(std::memory_order_relaxed))
         return Status::Ok();
+
+    // Mount the persistent cache tier before the first connection: a
+    // bad shard directory must fail startup, not the first job.
+    if (!config_.cache_dir.empty() && !cache_) {
+        cachestore::StoreConfig store_config;
+        store_config.dir = config_.cache_dir;
+        store_config.num_shards = config_.cache_shards;
+        store_config.capacity = config_.cache_capacity;
+        auto opened =
+            cachestore::PersistentScheduleCache::open(store_config);
+        if (!opened.ok())
+            return opened.status();
+        cache_ = std::move(opened).value();
+        // Online compaction rides the engine's executor as a
+        // lowest-tier threadless continuation — no thread, no solve
+        // delayed.
+        SchedulerService* service = service_.get();
+        const int maintenance_tier = service->executor().numTiers() - 1;
+        cache_->setAsyncRunner(
+            [service, maintenance_tier](std::function<void()> work) {
+                Executor::TaskSetOptions options;
+                options.tier = maintenance_tier;
+                service->executor().submit(
+                    1, [work = std::move(work)](std::size_t) { work(); },
+                    std::move(options));
+            });
+    }
+
     listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
     if (listen_fd_ < 0)
         return {ErrorCode::kIoError, "socket() failed"};
@@ -524,6 +552,14 @@ Daemon::handle(HandlerTask task)
                               std::move(response));
     }
 
+    if (target == "/v1/cache/stats") {
+        if (request.method != "GET")
+            return reply(405, errorBody("method_not_allowed",
+                                        "cache stats is GET-only"),
+                         tenant);
+        return handleCacheStats(task, tenant);
+    }
+
     if (target == "/v1/jobs") {
         if (request.method == "POST")
             return handleSubmit(task, tenant);
@@ -614,6 +650,10 @@ Daemon::handleSubmit(const HandlerTask& task, const std::string& tenant)
                      errorBody(decoded.status().code(),
                                decoded.status().message()));
     }
+    // Mount the shared persistent tier (unless the request opted out
+    // of caching, which keeps its private throwaway cache).
+    if (cache_ && decoded.value().use_cache)
+        decoded.value().cache = cache_;
 
     auto entry = std::make_shared<JobEntry>();
     entry->tenant = tenant;
@@ -708,14 +748,20 @@ Daemon::handleJobGet(const HandlerTask& task, const std::string& tenant,
     }
     v.set("state", "done");
     // Serialize the canonical result bytes once, under the entry lock
-    // (wait() returns instantly — the job is done).
+    // (wait() returns instantly — the job is done). Provenance is
+    // serialized separately: it carries the cold-vs-warm accounting
+    // that must never leak into the canonical results.
     std::string result_bytes;
+    std::string provenance_bytes;
     {
         std::lock_guard<std::mutex> lock(entry->mutex);
-        if (entry->result_bytes.empty())
-            entry->result_bytes =
-                resultsToJson(entry->job.wait()).dump();
+        if (entry->result_bytes.empty()) {
+            const std::vector<NetworkResult> results = entry->job.wait();
+            entry->result_bytes = resultsToJson(results).dump();
+            entry->provenance_bytes = provenanceToJson(results).dump();
+        }
         result_bytes = entry->result_bytes;
+        provenance_bytes = entry->provenance_bytes;
     }
     // Splice the pre-serialized array in verbatim: re-parsing would
     // only risk the byte-identity the cache exists to pin down.
@@ -723,6 +769,8 @@ Daemon::handleJobGet(const HandlerTask& task, const std::string& tenant,
     body.pop_back(); // '}'
     body += ",\"results\":";
     body += result_bytes;
+    body += ",\"provenance\":";
+    body += provenance_bytes;
     body += "}";
     requestCounter(tenant, 200).inc();
     finishResponse(task.connection, task.slot,
@@ -758,6 +806,53 @@ Daemon::handleJobList(const HandlerTask& task, const std::string& tenant)
     }
     json::Value v = json::Value::object();
     v.set("jobs", std::move(list));
+    requestCounter(tenant, 200).inc();
+    finishResponse(task.connection, task.slot,
+                   jsonResponse(200, v.dump(), keep_alive));
+}
+
+void
+Daemon::handleCacheStats(const HandlerTask& task, const std::string& tenant)
+{
+    const bool keep_alive = task.request.keepAlive();
+    if (!cache_) {
+        requestCounter(tenant, 404).inc();
+        return finishResponse(
+            task.connection, task.slot,
+            jsonResponse(404,
+                         errorBody("not_found",
+                                   "no persistent cache mounted (start "
+                                   "cosad with --cache-dir)"),
+                         keep_alive));
+    }
+    const cachestore::StoreStats stats = cache_->storeStats();
+    json::Value v = json::Value::object();
+    v.set("dir", stats.dir);
+    v.set("num_shards", static_cast<std::int64_t>(stats.num_shards));
+    v.set("capacity", stats.capacity);
+    v.set("entries", stats.cache.entries);
+    v.set("hits", stats.cache.hits);
+    v.set("misses", stats.cache.misses);
+    v.set("neighbor_hits", stats.cache.neighbor_hits);
+    v.set("evictions", stats.cache.evictions);
+    v.set("hit_rate", stats.cache.hitRate());
+    json::Value shards = json::Value::array();
+    for (const cachestore::ShardStats& shard : stats.shards) {
+        json::Value s = json::Value::object();
+        s.set("entries", shard.entries);
+        s.set("hits", shard.hits);
+        s.set("misses", shard.misses);
+        s.set("inserts", shard.inserts);
+        s.set("evictions", shard.evictions);
+        s.set("compactions", shard.compactions);
+        s.set("records_recovered", shard.records_recovered);
+        s.set("records_skipped", shard.records_skipped);
+        s.set("log_bytes", static_cast<std::int64_t>(shard.log_bytes));
+        s.set("live_bytes", static_cast<std::int64_t>(shard.live_bytes));
+        s.set("torn_tail_recovered", shard.torn_tail_recovered);
+        shards.push(std::move(s));
+    }
+    v.set("shards", std::move(shards));
     requestCounter(tenant, 200).inc();
     finishResponse(task.connection, task.slot,
                    jsonResponse(200, v.dump(), keep_alive));

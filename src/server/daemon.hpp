@@ -24,9 +24,12 @@
  *
  *   POST   /v1/jobs              submit  -> 202 {"id": n}
  *   GET    /v1/jobs              list this tenant's jobs
- *   GET    /v1/jobs/{id}         status; includes "results" when done
+ *   GET    /v1/jobs/{id}         status; includes "results" (canonical
+ *                                bytes) + "provenance" when done
  *   DELETE /v1/jobs/{id}         cooperative cancel
  *   GET    /v1/jobs/{id}/events  chunked JSON-lines progress stream
+ *   GET    /v1/cache/stats       persistent cache tier stats (when
+ *                                mounted via cache_dir)
  *   GET    /metrics              Prometheus text (engine + daemon)
  *   GET    /healthz              liveness
  *
@@ -46,6 +49,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "cachestore/store.hpp"
 #include "common/metrics.hpp"
 #include "engine/scheduler_service.hpp"
 #include "server/auth.hpp"
@@ -69,6 +73,19 @@ struct DaemonConfig
     ServiceConfig service;
     /** Auth + quota; empty = open mode. */
     std::vector<TenantSpec> tenants;
+    /**
+     * Persistent schedule-cache tier: when non-empty, start() mounts
+     * (or creates) a cachestore::PersistentScheduleCache on this shard
+     * directory and every submitted job with use_cache shares it —
+     * solves survive daemon restarts. Empty = per-job private caches
+     * (the pre-cachestore behavior).
+     */
+    std::string cache_dir;
+    /** Shard count for a fresh cache_dir (0 adopts the directory's
+     *  manifest, defaulting to 8). */
+    int cache_shards = 0;
+    /** Total cache LRU entry budget (0 = unbounded). */
+    std::int64_t cache_capacity = 0;
 };
 
 /**
@@ -97,6 +114,12 @@ class Daemon
 
     /** The embedded engine (shared with in-process callers). */
     SchedulerService& service() { return *service_; }
+
+    /** The mounted persistent cache tier (null without cache_dir). */
+    const std::shared_ptr<cachestore::PersistentScheduleCache>& cache() const
+    {
+        return cache_;
+    }
 
   private:
     /** One response slot of a connection's ordered outbox. */
@@ -128,8 +151,9 @@ class Daemon
         std::string tag;
         JobPriority priority = JobPriority::Normal;
         ScheduleJob job;
-        std::mutex mutex;          //!< guards result_bytes
-        std::string result_bytes;  //!< canonical results (cached once)
+        std::mutex mutex;             //!< guards the cached bytes
+        std::string result_bytes;     //!< canonical results (cached once)
+        std::string provenance_bytes; //!< cache/warm accounting
     };
 
     struct HandlerTask
@@ -161,6 +185,8 @@ class Daemon
                       std::uint64_t id);
     void handleEvents(const HandlerTask& task, const std::string& tenant,
                       std::uint64_t id);
+    void handleCacheStats(const HandlerTask& task,
+                          const std::string& tenant);
 
     std::shared_ptr<JobEntry> findJob(std::uint64_t id,
                                       const std::string& tenant);
@@ -170,6 +196,11 @@ class Daemon
 
     DaemonConfig config_;
     std::unique_ptr<SchedulerService> service_;
+    /** Shared persistent cache. Teardown is safe in any order:
+     *  compaction continuations on the service executor hold weak_ptrs
+     *  (no-ops once the store is gone) and a running one holds a
+     *  strong ref for its duration. */
+    std::shared_ptr<cachestore::PersistentScheduleCache> cache_;
     TenantRegistry registry_;
 
     int listen_fd_ = -1;

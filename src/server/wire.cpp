@@ -260,7 +260,6 @@ layerResultToJson(const LayerScheduleResult& lr)
     Value v = Value::object();
     v.set("layer", layerToJson(lr.layer));
     v.set("found", lr.result.found);
-    v.set("from_cache", lr.from_cache);
     v.set("deduplicated", lr.deduplicated);
     v.set("cancelled", lr.cancelled);
     v.set("unique_index", lr.unique_index);
@@ -310,15 +309,35 @@ resultsToJson(const std::vector<NetworkResult>& results)
         v.set("edp", net.edp());
         v.set("num_layers", net.num_layers);
         v.set("num_unique", net.num_unique);
-        v.set("num_solved", net.num_solved);
-        v.set("num_cache_hits", net.num_cache_hits);
         v.set("num_cancelled", net.num_cancelled);
         v.set("num_degraded", net.num_degraded);
         v.set("num_failed", net.num_failed);
+        // Cache/warm-start provenance, search-effort counters and
+        // portfolio win tallies live in provenanceToJson(): they all
+        // flip between a cold solve and a warm cache hit, and these
+        // bytes must not.
+        Value layers = Value::array();
+        for (const LayerScheduleResult& lr : net.layers)
+            layers.push(layerResultToJson(lr));
+        v.set("layers", std::move(layers));
+        arr.push(std::move(v));
+    }
+    return arr;
+}
+
+json::Value
+provenanceToJson(const std::vector<NetworkResult>& results)
+{
+    Value arr = Value::array();
+    for (const NetworkResult& net : results) {
+        Value v = Value::object();
+        v.set("network", net.network);
+        v.set("num_solved", net.num_solved);
+        v.set("num_cache_hits", net.num_cache_hits);
         v.set("num_warm_hints", net.num_warm_hints);
         v.set("num_warm_hits", net.num_warm_hits);
-        // Deterministic search counters only: wall times and solver
-        // phase timings are excluded on purpose (byte-identity).
+        // Deterministic search counters (wall times and solver phase
+        // timings stay off the wire entirely).
         Value search = Value::object();
         search.set("samples", net.search.samples);
         search.set("valid_evaluated", net.search.valid_evaluated);
@@ -332,10 +351,12 @@ resultsToJson(const std::vector<NetworkResult>& results)
             wins.set("hybrid", net.portfolio_wins.hybrid);
             v.set("portfolio_wins", std::move(wins));
         }
-        Value layers = Value::array();
-        for (const LayerScheduleResult& lr : net.layers)
-            layers.push(layerResultToJson(lr));
-        v.set("layers", std::move(layers));
+        Value cached = Value::array();
+        for (std::size_t l = 0; l < net.layers.size(); ++l) {
+            if (net.layers[l].from_cache)
+                cached.push(static_cast<std::int64_t>(l));
+        }
+        v.set("cached_layers", std::move(cached));
         arr.push(std::move(v));
     }
     return arr;

@@ -7,12 +7,20 @@
  *
  * The load-bearing function is resultsToJson(): the canonical
  * serialization of a finished job's results. It deliberately omits
- * every nondeterministic field (wall times, solver phase timings) so
- * that for a fixed request the bytes are identical whether the job
- * ran over the wire or in-process, at any executor width and co-tenant
- * mix — the daemon's byte-identity contract, checked by CI's
- * `cosactl local` diff. Deterministic counters (samples, simplex
- * iterations, MIP nodes) stay in.
+ * every nondeterministic field (wall times, solver phase timings) AND
+ * every provenance field (cache hits, warm-start counts, per-layer
+ * from_cache, search-effort counters) so that for a fixed request the
+ * bytes are identical whether the job ran over the wire or
+ * in-process, at any executor width and co-tenant mix, and — since
+ * the cachestore tier landed — whether each layer was solved fresh or
+ * served from a warm persistent cache. That is the daemon's
+ * byte-identity contract, checked by CI's `cosactl local` diff and
+ * its cold-vs-warm `cmp`.
+ *
+ * Provenance is still on the wire, just segregated: the job-status
+ * body carries a "provenance" member (provenanceToJson()) next to
+ * "results", so clients can see what was cached/warm-started without
+ * those counters ever contaminating the schedule bytes.
  *
  * Request decoding accepts named paper workloads ("alexnet",
  * "resnet50", "resnet50full", "resnext50", "deepbench") and inline
@@ -42,6 +50,12 @@ StatusOr<ScheduleRequest> requestFromJson(const json::Value& body,
 /** Canonical deterministic serialization of a finished job's results
  *  ("the schedule bytes"; see the file comment). */
 json::Value resultsToJson(const std::vector<NetworkResult>& results);
+
+/** Per-network provenance of the same results: how much came from the
+ *  cache, warm-start accounting, and the search-effort counters —
+ *  everything that legitimately differs between a cold and a warm run
+ *  and therefore must stay out of resultsToJson(). */
+json::Value provenanceToJson(const std::vector<NetworkResult>& results);
 
 /** One job's listing/status entry. */
 json::Value jobInfoToJson(const JobInfo& info);

@@ -6,6 +6,7 @@
 #include <unistd.h>
 
 #include <chrono>
+#include <filesystem>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -431,6 +432,75 @@ TEST(Daemon, StopWithJobsInFlightDrainsCleanly)
     for (int i = 0; i < 4; ++i)
         submittedId(client.submit(cheapBody("drain", 2)));
     daemon.stop();
+}
+
+TEST(Daemon, CacheStatsIs404WithoutAMountedStore)
+{
+    Daemon daemon{smallConfig()};
+    ASSERT_TRUE(daemon.start().ok());
+    Client client("127.0.0.1", daemon.port());
+    StatusOr<WireResponse> response =
+        client.request("GET", "/v1/cache/stats");
+    ASSERT_TRUE(response.ok()) << response.status().message();
+    EXPECT_EQ(response.value().status, 404) << response.value().body;
+}
+
+TEST(Daemon, PersistentCacheSurvivesRestartByteForByte)
+{
+    // The CI cache-persistence leg, in-process: warm a --cache-dir
+    // daemon, restart it on the same directory, and the second daemon
+    // must answer from disk with the *same wire bytes* as the cold
+    // solve.
+    const std::string dir = "cosa_daemon_cache_test_dir";
+    std::filesystem::remove_all(dir);
+    const std::string body = cheapBody("warm-restart", 3);
+    std::string cold;
+
+    DaemonConfig config = smallConfig();
+    config.cache_dir = dir;
+    config.cache_shards = 4;
+    {
+        Daemon daemon{config};
+        ASSERT_TRUE(daemon.start().ok());
+        Client client("127.0.0.1", daemon.port());
+        const std::uint64_t id = submittedId(client.submit(body));
+        const std::string status_body = waitDone(client, id);
+        cold = resultBytes(status_body);
+        ASSERT_FALSE(cold.empty());
+        // The status body carries cache provenance out-of-band of the
+        // deterministic results member.
+        EXPECT_NE(status_body.find("\"provenance\""), std::string::npos);
+        daemon.stop();
+    }
+
+    Daemon warm{config};
+    ASSERT_TRUE(warm.start().ok());
+    Client client("127.0.0.1", warm.port());
+
+    // The replayed tier is visible before any request touches it.
+    StatusOr<WireResponse> stats =
+        client.request("GET", "/v1/cache/stats");
+    ASSERT_TRUE(stats.ok()) << stats.status().message();
+    ASSERT_EQ(stats.value().status, 200) << stats.value().body;
+    StatusOr<json::Value> parsed =
+        json::Value::parse(stats.value().body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_EQ(parsed.value().getInt("num_shards", 0), 4);
+    const std::int64_t entries = parsed.value().getInt("entries", 0);
+    EXPECT_GT(entries, 0) << stats.value().body;
+
+    const std::uint64_t id = submittedId(client.submit(body));
+    EXPECT_EQ(resultBytes(waitDone(client, id)), cold);
+
+    // And the warm run really was served by the store.
+    stats = client.request("GET", "/v1/cache/stats");
+    ASSERT_TRUE(stats.ok());
+    parsed = json::Value::parse(stats.value().body);
+    ASSERT_TRUE(parsed.ok());
+    EXPECT_GE(parsed.value().getInt("hits", 0), entries)
+        << stats.value().body;
+    warm.stop();
+    std::filesystem::remove_all(dir);
 }
 
 } // namespace

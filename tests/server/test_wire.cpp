@@ -155,7 +155,7 @@ TEST(ResultsToJson, IsByteIdenticalAcrossRunsAndThreadCounts)
         << "canonical result bytes must not depend on executor width";
 }
 
-TEST(ResultsToJson, OmitsWallClockButKeepsDeterministicCounters)
+TEST(ResultsToJson, OmitsWallClockAndProvenance)
 {
     SchedulerService service{ServiceConfig{}};
     SubmitResult submitted = service.submit(mustDecode(
@@ -163,13 +163,23 @@ TEST(ResultsToJson, OmitsWallClockButKeepsDeterministicCounters)
             "arch": "simba", "scheduler": "random",
             "random": {"max_samples": 20, "target_valid": 20}})"));
     ASSERT_TRUE(submitted.accepted());
-    const std::string bytes =
-        resultsToJson(submitted.takeJob().wait()).dump();
+    const std::vector<NetworkResult> results = submitted.takeJob().wait();
+    const std::string bytes = resultsToJson(results).dump();
     EXPECT_EQ(bytes.find("wall_time"), std::string::npos);
     EXPECT_EQ(bytes.find("search_time"), std::string::npos);
-    EXPECT_NE(bytes.find("\"samples\""), std::string::npos);
+    // Provenance (cache/warm accounting, search effort) must never
+    // touch the canonical bytes — it flips cold vs warm runs and would
+    // break the CI cold-vs-warm `cmp`.
+    EXPECT_EQ(bytes.find("from_cache"), std::string::npos);
+    EXPECT_EQ(bytes.find("num_cache_hits"), std::string::npos);
+    EXPECT_EQ(bytes.find("\"samples\""), std::string::npos);
     EXPECT_NE(bytes.find("\"total_cycles\""), std::string::npos);
     EXPECT_NE(bytes.find("\"mapping\""), std::string::npos);
+    // The segregated provenance body carries those counters instead.
+    const std::string provenance = provenanceToJson(results).dump();
+    EXPECT_NE(provenance.find("num_cache_hits"), std::string::npos);
+    EXPECT_NE(provenance.find("\"samples\""), std::string::npos);
+    EXPECT_NE(provenance.find("cached_layers"), std::string::npos);
     // Parse-then-redump must preserve the bytes (what `cosactl result`
     // relies on to keep the CI diff byte-exact).
     StatusOr<json::Value> reparsed = json::Value::parse(bytes);

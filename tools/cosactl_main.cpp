@@ -15,9 +15,19 @@
  *   local FILE|-      run the request in-process (no daemon) and print
  *                     the canonical results bytes — the reference the
  *                     CI smoke diff compares wire results against
+ *   cache stats       the daemon's persistent-cache tier stats
+ *                     (GET /v1/cache/stats; 404 without --cache-dir)
+ *   cache export DIR FILE
+ *                     open the binary shard directory DIR locally and
+ *                     write its live entries as a v3 text snapshot
+ *   cache import FILE DIR
+ *                     merge a v3 text snapshot into the binary shard
+ *                     directory DIR (created when missing)
  *
- * The API key may also come from COSAD_API_KEY. Exit status is 0 on a
- * 2xx answer, 1 otherwise (error bodies print to stderr).
+ * cache export/import run locally against the shard directory — stop
+ * any daemon using it first. The API key may also come from
+ * COSAD_API_KEY. Exit status is 0 on a 2xx answer, 1 otherwise (error
+ * bodies print to stderr).
  */
 
 #include <cstdlib>
@@ -27,6 +37,7 @@
 #include <sstream>
 #include <string>
 
+#include "cachestore/store.hpp"
 #include "common/logging.hpp"
 #include "server/client.hpp"
 #include "server/wire.hpp"
@@ -126,6 +137,42 @@ runLocal(const std::string& text)
     return 0;
 }
 
+/** `cache export|import`: binary shard directory <-> v3 text
+ *  snapshot, run locally (no daemon may be using the directory). */
+int
+runCacheCopy(const std::string& verb, const std::string& dir,
+             const std::string& file)
+{
+    cachestore::StoreConfig config;
+    config.dir = dir;
+    // Bulk path: batch durability to the final syncAll().
+    config.fsync_each_append = false;
+    StatusOr<std::shared_ptr<cachestore::PersistentScheduleCache>> store =
+        cachestore::PersistentScheduleCache::open(std::move(config));
+    if (!store.ok())
+        fatal("cannot open cache dir '", dir, "': ",
+              store.status().message());
+    if (verb == "export") {
+        const ScheduleCache::IoResult saved = store.value()->save(file);
+        if (!saved.ok)
+            fatal("export failed: ", saved.error);
+        std::cout << "exported " << saved.entries << " entries to "
+                  << file << "\n";
+        return 0;
+    }
+    const ScheduleCache::IoResult loaded = store.value()->load(file);
+    if (!loaded.ok)
+        fatal("import failed: ", loaded.error);
+    const Status synced = store.value()->syncAll();
+    if (!synced.ok())
+        fatal("import sync failed: ", synced.message());
+    std::cout << "imported " << loaded.entries << " entries into " << dir;
+    if (loaded.skipped > 0)
+        std::cout << " (" << loaded.skipped << " corrupt records skipped)";
+    std::cout << "\n";
+    return 0;
+}
+
 } // namespace
 
 int
@@ -178,6 +225,20 @@ main(int argc, char** argv)
         return report(client.healthz());
     if (command == "local")
         return runLocal(readAll(arg("a request file")));
+    if (command == "cache") {
+        const std::string verb = arg("a verb (stats|export|import)");
+        if (verb == "stats")
+            return report(client.request("GET", "/v1/cache/stats", ""));
+        if (verb == "export") {
+            const std::string dir = arg("a cache directory");
+            return runCacheCopy(verb, dir, arg("an output file"));
+        }
+        if (verb == "import") {
+            const std::string file = arg("a snapshot file");
+            return runCacheCopy(verb, arg("a cache directory"), file);
+        }
+        fatal("unknown cache verb '", verb, "' (stats|export|import)");
+    }
     if (command == "watch") {
         const std::uint64_t id = parseId(arg("a job id"));
         StatusOr<int> status = client.streamEvents(

@@ -4,14 +4,19 @@
  *
  *   cosad [--host H] [--port P] [--threads N] [--handlers N]
  *         [--tenants FILE] [--max-queued N] [--max-inflight N]
- *         [--aging-sec S]
+ *         [--aging-sec S] [--cache-dir DIR] [--cache-shards K]
+ *         [--cache-capacity N]
  *
  * --port 0 (the default) binds an ephemeral port and prints it, which
  * is what the smoke tests use. --tenants points at the JSON tenant
  * config (see docs/serving-daemon.md); the COSAD_TENANTS environment
  * variable overrides file entries of the same name. With no tenants
  * configured the daemon runs open (single "default" tenant, no
- * quota). SIGINT/SIGTERM shut down cleanly.
+ * quota). --cache-dir mounts the persistent sharded schedule cache
+ * (docs/cache-store.md) so solves survive restarts; --cache-shards
+ * sets the shard count for a fresh directory and --cache-capacity
+ * bounds the LRU entry count (0 = unbounded). SIGINT/SIGTERM shut
+ * down cleanly.
  */
 
 #include <csignal>
@@ -65,6 +70,12 @@ main(int argc, char** argv)
             config.service.max_inflight_jobs = std::atoll(argv[++a]);
         } else if (want("--aging-sec")) {
             config.service.aging_sec = std::atof(argv[++a]);
+        } else if (want("--cache-dir")) {
+            config.cache_dir = argv[++a];
+        } else if (want("--cache-shards")) {
+            config.cache_shards = std::atoi(argv[++a]);
+        } else if (want("--cache-capacity")) {
+            config.cache_capacity = std::atoll(argv[++a]);
         } else {
             fatal("unknown or incomplete flag '", argv[a],
                   "' (see the file comment in tools/cosad_main.cpp)");
